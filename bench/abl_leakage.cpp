@@ -1,0 +1,66 @@
+// ABL-LEAK -- Section 1 motivation: sleep-mode subthreshold leakage.
+//
+// MTCMOS exists because low-Vt logic leaks.  This bench DC-solves the
+// 3-bit adder in three configurations and reports the ground-rail
+// leakage current: (a) low-Vt logic on ideal ground (what you'd ship
+// without MTCMOS), (b) MTCMOS in active mode (sleep FET on), (c) MTCMOS
+// in sleep mode (sleep FET off) -- the configuration whose leakage the
+// high-Vt device suppresses by orders of magnitude.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "circuits/generators.hpp"
+#include "models/technology.hpp"
+#include "netlist/bits.hpp"
+#include "netlist/expand.hpp"
+#include "spice/engine.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace mtcmos;
+  using namespace mtcmos::units;
+  using netlist::bits_from_uint;
+  using netlist::concat_bits;
+  bench::print_header("ABL-LEAK", "Sleep-mode leakage: low-Vt vs MTCMOS (Sec 1 motivation)");
+
+  const auto adder = circuits::make_ripple_adder(tech07(), 3);
+  const auto inputs = concat_bits(bits_from_uint(5, 3), bits_from_uint(2, 3));
+
+  auto leakage = [&](netlist::ExpandOptions::Ground ground, bool sleep_on) {
+    netlist::ExpandOptions opt;
+    opt.ground = ground;
+    opt.sleep_wl = 10.0;
+    opt.sleep_on = sleep_on;
+    auto ex = netlist::to_spice(adder.netlist, opt, inputs, inputs);
+    spice::Engine eng(ex.circuit);
+    const auto v = eng.dc_operating_point(1.0);
+    // Ground-rail current = sum of currents into node 0 through devices;
+    // equivalently the Vdd source current at steady state.
+    double total = 0.0;
+    for (const auto& m : ex.circuit.mosfets()) {
+      if (m.s == spice::kGround || m.d == spice::kGround) {
+        const double i = eng.dc_device_current(m.name, v);
+        total += (m.d == spice::kGround) ? -i : i;
+      }
+    }
+    return total;
+  };
+
+  const double i_lowvt = leakage(netlist::ExpandOptions::Ground::kIdeal, true);
+  const double i_active = leakage(netlist::ExpandOptions::Ground::kSleepFet, true);
+  const double i_sleep = leakage(netlist::ExpandOptions::Ground::kSleepFet, false);
+
+  Table table({"configuration", "ground-rail leakage [nA]", "vs low-Vt baseline"});
+  table.add_row({"low-Vt logic, no MTCMOS", Table::num(i_lowvt / nano, 4), "1x"});
+  table.add_row({"MTCMOS, active (sleep FET on)", Table::num(i_active / nano, 4),
+                 Table::num(i_active / i_lowvt, 3) + "x"});
+  table.add_row({"MTCMOS, sleep (sleep FET off)", Table::num(i_sleep / nano, 4),
+                 Table::num(i_sleep / i_lowvt, 3) + "x"});
+  bench::print_table(table, "abl_leak");
+  std::cout << "Reading: in sleep mode the high-Vt series device cuts the idle\n"
+               "leakage by orders of magnitude (exp(dVt / n vT) ~ 1e4-1e5 for the\n"
+               "0.35 V -> 0.75 V threshold step), while active-mode leakage matches\n"
+               "the low-Vt baseline.  This is the paper's Section 1 rationale.\n";
+  return 0;
+}

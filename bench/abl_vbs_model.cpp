@@ -1,0 +1,123 @@
+// ABL-VBS -- Section 5.3 ablation: which model refinement closes the gap
+// to the transistor-level reference?
+//
+// The paper lists the simulator's approximations: constant
+// saturation-current discharge, no body effect, no input-slope effect,
+// no velocity saturation.  The toolkit implements each as an opt-in
+// extension; this bench measures the inverter-tree and 3-bit-adder delay
+// error against the transistor-level engine for every combination.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "circuits/generators.hpp"
+#include "core/vbs.hpp"
+#include "models/sleep_transistor.hpp"
+#include "models/technology.hpp"
+#include "netlist/bits.hpp"
+#include "sizing/spice_ref.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace mtcmos;
+  using namespace mtcmos::units;
+  using netlist::bits_from_uint;
+  using netlist::concat_bits;
+  bench::print_header("ABL-VBS", "Switch-level model refinements vs transistor-level delay");
+
+  struct Variant {
+    std::string name;
+    core::VbsOptions opt;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"paper Eq.5 (square law)", {}});
+  {
+    core::VbsOptions o;
+    o.body_effect = true;
+    variants.push_back({"+ body effect", o});
+  }
+  {
+    core::VbsOptions o;
+    o.alpha = 1.3;
+    variants.push_back({"+ alpha = 1.3", o});
+  }
+  {
+    core::VbsOptions o;
+    o.input_slope_factor = 0.35;
+    variants.push_back({"+ input slope 0.35", o});
+  }
+  {
+    core::VbsOptions o;
+    o.body_effect = true;
+    o.input_slope_factor = 0.35;
+    variants.push_back({"+ body + slope", o});
+  }
+
+  // --- Inverter tree.
+  {
+    const auto tree = circuits::make_inverter_tree(tech07());
+    const std::string leaf = tree.netlist.net_name(tree.leaves[0]);
+    const sizing::VectorPair vp{{false}, {true}};
+    Table table({"model", "W/L=5 VBS/SPICE", "W/L=14 VBS/SPICE", "W/L=40 VBS/SPICE"});
+    std::map<double, double> spice;
+    for (double wl : {5.0, 14.0, 40.0}) {
+      sizing::SpiceRefOptions sopt;
+      sopt.expand.sleep_wl = wl;
+      sopt.tstop = 25.0 * ns;
+      sizing::SpiceRef ref(tree.netlist, {leaf}, sopt);
+      spice[wl] = ref.measure(vp).delay;
+    }
+    for (const Variant& var : variants) {
+      std::vector<std::string> row = {var.name};
+      for (double wl : {5.0, 14.0, 40.0}) {
+        core::VbsOptions o = var.opt;
+        o.sleep_resistance = SleepTransistor(tech07(), wl).reff();
+        const double d = core::VbsSimulator(tree.netlist, o).delay({false}, {true}, "in", leaf);
+        row.push_back(Table::num(d / spice[wl], 3));
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << "Inverter tree, leaf delay ratio (1.0 = perfect):\n";
+    bench::print_table(table, "abl_vbs_tree");
+  }
+
+  // --- 3-bit adder.
+  {
+    const auto adder = circuits::make_ripple_adder(tech07(), 3);
+    std::vector<std::string> outs;
+    for (const auto s : adder.sum) outs.push_back(adder.netlist.net_name(s));
+    const sizing::VectorPair vp{concat_bits(bits_from_uint(1, 3), bits_from_uint(0, 3)),
+                                concat_bits(bits_from_uint(5, 3), bits_from_uint(6, 3))};
+    Table table({"model", "W/L=5 VBS/SPICE", "W/L=10 VBS/SPICE", "W/L=30 VBS/SPICE"});
+    std::map<double, double> spice;
+    for (double wl : {5.0, 10.0, 30.0}) {
+      sizing::SpiceRefOptions sopt;
+      sopt.expand.sleep_wl = wl;
+      sopt.tstop = 15.0 * ns;
+      sizing::SpiceRef ref(adder.netlist, outs, sopt);
+      spice[wl] = ref.measure(vp).delay;
+    }
+    for (const Variant& var : variants) {
+      std::vector<std::string> row = {var.name};
+      for (double wl : {5.0, 10.0, 30.0}) {
+        core::VbsOptions o = var.opt;
+        o.sleep_resistance = SleepTransistor(tech07(), wl).reff();
+        const double d =
+            core::VbsSimulator(adder.netlist, o).critical_delay(vp.v0, vp.v1, outs);
+        row.push_back(Table::num(d / spice[wl], 3));
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << "3-bit adder, circuit delay ratio (1.0 = perfect):\n";
+    bench::print_table(table, "abl_vbs_adder");
+  }
+  std::cout << "Reading: the paper's square-law model underestimates delay (it skips\n"
+               "the triode tail and input-slope loss).  The body-effect extension\n"
+               "always helps; the input-slope factor helps where stages are inverter-\n"
+               "like (the tree) but needs per-topology calibration on compound-gate\n"
+               "chains (the adder overshoots at 0.35).  The bare alpha option changes\n"
+               "the current normalization (u^alpha with u < 1 V raises current) and is\n"
+               "meant to be paired with a fitted prefactor via fit_alpha_power(); it\n"
+               "is shown here as a sensitivity only.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// ABL-EQ5 -- Section 5.1 model ablation: the Eq. 5 virtual-ground solve.
+//
+// Build N identical always-on dischargers on a shared virtual ground at
+// transistor level, DC-solve, and compare the measured V_x against the
+// closed-form Eq. 5 prediction -- with and without the body-effect
+// refinement (which the paper lists among its simulator's missing second-
+// order effects).  Also sweeps the sleep W/L at fixed N.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/vx_solver.hpp"
+#include "models/sleep_transistor.hpp"
+#include "models/technology.hpp"
+#include "spice/circuit.hpp"
+#include "spice/engine.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace mtcmos;
+
+/// N saturated NMOS pull-downs (gate at Vdd, drain at Vdd) sharing a
+/// virtual ground gated by a sleep FET of the given W/L.
+double spice_vx(const Technology& tech, int n_gates, double sleep_wl) {
+  spice::Circuit ckt;
+  const auto vdd = ckt.node("vdd");
+  const auto vgnd = ckt.node("vgnd");
+  ckt.add_vsource("VDD", vdd, Pwl::constant(tech.vdd));
+  ckt.add_mosfet("Msleep", vgnd, vdd, spice::kGround, spice::kGround, tech.nmos_high,
+                 sleep_wl * tech.lmin, tech.lmin);
+  for (int i = 0; i < n_gates; ++i) {
+    ckt.add_mosfet("M" + std::to_string(i), vdd, vdd, vgnd, spice::kGround, tech.nmos_low,
+                   tech.wn_default, tech.lmin);
+  }
+  spice::Engine eng(ckt);
+  const auto v = eng.dc_operating_point();
+  return v[static_cast<std::size_t>(vgnd)];
+}
+
+}  // namespace
+
+int main() {
+  using namespace mtcmos;
+  bench::print_header("ABL-EQ5", "Eq. 5 V_x model vs transistor-level DC (Sec 5.1)");
+
+  const Technology tech = tech07();
+  const double beta1 = Technology::beta(tech.nmos_low, tech.wn_default, tech.lmin);
+
+  std::cout << "\nSweep N simultaneous dischargers (sleep W/L = 8):\n";
+  Table t1({"N gates", "Vx SPICE [V]", "Vx Eq.5 [V]", "err [%]", "Vx Eq.5+body [V]",
+            "err+body [%]"});
+  const double r8 = SleepTransistor(tech, 8.0).reff();
+  for (int n : {1, 2, 4, 6, 9, 12}) {
+    const double ref = spice_vx(tech, n, 8.0);
+    const double plain = core::solve_vx(r8, tech.vdd, tech.nmos_low, n * beta1, false).vx;
+    const double body = core::solve_vx(r8, tech.vdd, tech.nmos_low, n * beta1, true).vx;
+    t1.add_row({std::to_string(n), Table::num(ref, 4), Table::num(plain, 4),
+                Table::num((plain - ref) / ref * 100.0, 3), Table::num(body, 4),
+                Table::num((body - ref) / ref * 100.0, 3)});
+  }
+  bench::print_table(t1, "abl_eq5_n");
+
+  std::cout << "Sweep sleep W/L (N = 9 dischargers, the tree's third stage):\n";
+  Table t2({"sleep W/L", "Vx SPICE [V]", "Vx Eq.5 [V]", "err [%]", "Vx Eq.5+body [V]",
+            "err+body [%]"});
+  for (double wl : {2.0, 5.0, 8.0, 14.0, 20.0, 40.0}) {
+    const double r = SleepTransistor(tech, wl).reff();
+    const double ref = spice_vx(tech, 9, wl);
+    const double plain = core::solve_vx(r, tech.vdd, tech.nmos_low, 9 * beta1, false).vx;
+    const double body = core::solve_vx(r, tech.vdd, tech.nmos_low, 9 * beta1, true).vx;
+    t2.add_row({Table::num(wl, 3), Table::num(ref, 4), Table::num(plain, 4),
+                Table::num((plain - ref) / ref * 100.0, 3), Table::num(body, 4),
+                Table::num((body - ref) / ref * 100.0, 3)});
+  }
+  bench::print_table(t2, "abl_eq5_wl");
+  std::cout << "Reading: two neglected second-order effects pull in opposite\n"
+               "directions.  Ignoring the body effect overestimates the discharge\n"
+               "current (pushing predicted V_x up); the linear-R sleep model\n"
+               "underestimates the device's resistance once V_x is large (pulling\n"
+               "predicted V_x down).  The paper's plain Eq. 5 benefits from the\n"
+               "cancellation; enabling only the body-effect refinement exposes the\n"
+               "triode error on its own.\n";
+  return 0;
+}

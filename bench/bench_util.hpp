@@ -1,0 +1,48 @@
+#pragma once
+// Shared helpers for the bench harnesses.  Each bench binary regenerates
+// one table or figure from the paper (see DESIGN.md Section 4) and prints
+// paper-style rows plus a machine-readable CSV block.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+#include "waveform/pwl.hpp"
+
+namespace mtcmos::bench {
+
+inline void print_header(const std::string& experiment_id, const std::string& title) {
+  std::cout << "==================================================================\n"
+            << experiment_id << ": " << title << "\n"
+            << "Paper: Kao/Chandrakasan/Antoniadis, \"Transistor Sizing Issues and\n"
+            << "Tool For Multi-Threshold CMOS Technology\", DAC 1997\n"
+            << "==================================================================\n";
+}
+
+inline void print_table(const Table& table, const std::string& csv_tag) {
+  table.print(std::cout);
+  std::cout << "\n[csv:" << csv_tag << "]\n";
+  table.write_csv(std::cout);
+  std::cout << "[/csv]\n\n";
+}
+
+/// Sample several waveforms onto a common uniform grid and print them as
+/// one table (for the transient "figures").
+inline Table sample_waveforms(const std::vector<std::string>& names,
+                              const std::vector<const Pwl*>& waves, double t0, double t1,
+                              int points, double time_scale = 1e9,
+                              const std::string& time_label = "t [ns]") {
+  std::vector<std::string> headers = {time_label};
+  for (const auto& n : names) headers.push_back(n);
+  Table table(headers);
+  for (int i = 0; i < points; ++i) {
+    const double t = t0 + (t1 - t0) * static_cast<double>(i) / (points - 1);
+    std::vector<std::string> row = {Table::num(t * time_scale, 4)};
+    for (const Pwl* w : waves) row.push_back(Table::num(w->sample(t), 4));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace mtcmos::bench

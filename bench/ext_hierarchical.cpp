@@ -1,0 +1,166 @@
+// EXT-HIER -- hierarchical sizing with mutually exclusive discharge
+// patterns (the paper's follow-up direction, implemented as an extension).
+//
+// Circuit: two cascaded 2-bit mirror-adder blocks.  Block A adds the
+// primary operands; block B adds A's results.  B cannot discharge until
+// A's outputs settle, so the two blocks' discharge bursts are separated
+// in time -- the mutual-exclusion situation.
+//
+// Three sizing strategies for a 50 mV bounce budget are compared:
+//   (1) naive:     shared device sized for the SUM of block current peaks
+//                  (what per-block budgeting + addition gives);
+//   (2) exclusive: shared device sized for the observed simultaneous peak
+//                  (the mutual-exclusion analysis);
+//   (3) split:     one device per block (separate virtual grounds), each
+//                  sized for its own peak -- same speed, finer layout
+//                  granularity.
+// The transistor-level engine then verifies that (2) meets the same
+// degradation as (1) at a fraction of the width.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/vbs.hpp"
+#include "models/sleep_transistor.hpp"
+#include "models/technology.hpp"
+#include "netlist/bits.hpp"
+#include "sizing/hierarchical.hpp"
+#include "sizing/sizing.hpp"
+#include "sizing/spice_ref.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace mtcmos;
+using netlist::NetId;
+using netlist::Netlist;
+
+struct TwoBlocks {
+  Netlist nl;
+  std::vector<std::string> outputs;
+};
+
+TwoBlocks build(const Technology& tech) {
+  using mtcmos::units::fF;
+  TwoBlocks out{Netlist(tech), {}};
+  Netlist& nl = out.nl;
+  const NetId a0 = nl.add_input("a0");
+  const NetId a1 = nl.add_input("a1");
+  const NetId b0 = nl.add_input("b0");
+  const NetId b1 = nl.add_input("b1");
+
+  // Block A: direct 2-bit adder.
+  const auto a_fa0 = nl.add_mirror_fa("a_fa0", a0, b0, nl.net("zero"));
+  const auto a_fa1 = nl.add_mirror_fa("a_fa1", a1, b1, a_fa0.cout);
+  nl.add_load(a_fa0.sum, 20.0 * fF);
+  nl.add_load(a_fa1.sum, 20.0 * fF);
+  nl.add_load(a_fa1.cout, 20.0 * fF);
+
+  // Block B: consumes block A's results, so it cannot start discharging
+  // until A's outputs settle -- the bursts are separated in time.
+  const auto b_fa0 = nl.add_mirror_fa("b_fa0", a_fa0.sum, a_fa1.sum, nl.net("zero"));
+  const auto b_fa1 = nl.add_mirror_fa("b_fa1", a_fa1.sum, a_fa1.cout, b_fa0.cout);
+  nl.add_load(b_fa0.sum, 20.0 * fF);
+  nl.add_load(b_fa1.sum, 20.0 * fF);
+  nl.add_load(b_fa1.cout, 20.0 * fF);
+
+  for (const NetId n : {a_fa0.sum, a_fa1.sum, a_fa1.cout, b_fa0.sum, b_fa1.sum, b_fa1.cout}) {
+    out.outputs.push_back(nl.net_name(n));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mtcmos::units;
+  bench::print_header("EXT-HIER", "Mutually exclusive discharge patterns: sizing strategies");
+
+  const Technology tech = tech07();
+  TwoBlocks blocks = build(tech);
+  const Netlist& nl = blocks.nl;
+  std::cout << "Circuit: cascaded 2-bit adder blocks (B adds A's results; "
+            << nl.gate_count() << " gates)\n";
+
+  const auto gate_domain = sizing::domains_by_prefix(nl, {"a_", "b_"});
+  // Stress vectors: operand swings that exercise both blocks.
+  std::vector<sizing::VectorPair> vectors;
+  for (const auto& [v0, v1] : std::vector<std::pair<int, int>>{
+           {0, 15}, {15, 0}, {5, 10}, {10, 5}, {0, 9}, {6, 15}}) {
+    vectors.push_back({netlist::bits_from_uint(static_cast<std::uint64_t>(v0), 4),
+                       netlist::bits_from_uint(static_cast<std::uint64_t>(v1), 4)});
+  }
+
+  const auto overlap = sizing::analyze_discharge_overlap(nl, gate_domain, 2, vectors);
+  std::cout << "\nDischarge-pattern analysis (ideal sleep path):\n"
+            << "  block A peak: " << Table::num(overlap.peak_per_domain[0] / mA, 4) << " mA\n"
+            << "  block B peak: " << Table::num(overlap.peak_per_domain[1] / mA, 4) << " mA\n"
+            << "  sum of peaks: " << Table::num(overlap.peak_sum_of_domains / mA, 4) << " mA\n"
+            << "  simultaneous: " << Table::num(overlap.peak_simultaneous / mA, 4) << " mA\n"
+            << "  exclusivity:  " << Table::num(overlap.exclusivity, 3) << " (1 = never overlap)\n";
+
+  const double budget = 50.0 * mV;
+  const double wl_naive = sizing::peak_current_wl(tech, overlap.peak_sum_of_domains, budget);
+  const double wl_excl = sizing::peak_current_wl(tech, overlap.peak_simultaneous, budget);
+  const double wl_a = sizing::peak_current_wl(tech, overlap.peak_per_domain[0], budget);
+  const double wl_b = sizing::peak_current_wl(tech, overlap.peak_per_domain[1], budget);
+
+  // Verify with the transistor-level engine: worst degradation across the
+  // vector set for the naive and exclusion-aware shared devices.
+  auto spice_worst_degradation = [&](double wl) {
+    sizing::SpiceRefOptions mt;
+    mt.expand.sleep_wl = wl;
+    mt.tstop = 15.0 * ns;
+    sizing::SpiceRef ref(nl, blocks.outputs, mt);
+    sizing::SpiceRefOptions cm = mt;
+    cm.expand.ground = netlist::ExpandOptions::Ground::kIdeal;
+    sizing::SpiceRef base(nl, blocks.outputs, cm);
+    double worst = 0.0;
+    for (const auto& vp : vectors) {
+      const double d0 = base.measure(vp).delay;
+      const double d1 = ref.measure(vp).delay;
+      if (d0 > 0.0 && d1 > 0.0) worst = std::max(worst, (d1 - d0) / d0 * 100.0);
+    }
+    return worst;
+  };
+
+  Table table({"strategy", "W/L (total)", "width vs naive", "verified worst degr [%]"});
+  table.add_row({"(1) shared, sum-of-peaks budget", Table::num(wl_naive, 4), "1.0x",
+                 Table::num(spice_worst_degradation(wl_naive), 3)});
+  table.add_row({"(2) shared, exclusion-aware", Table::num(wl_excl, 4),
+                 Table::num(wl_excl / wl_naive, 3) + "x",
+                 Table::num(spice_worst_degradation(wl_excl), 3)});
+  table.add_row({"(3) split per block (A + B)", Table::num(wl_a + wl_b, 4),
+                 Table::num((wl_a + wl_b) / wl_naive, 3) + "x", "(per-block devices)"});
+  bench::print_table(table, "ext_hier");
+
+  // Multi-domain switch-level check of strategy (3).
+  core::VbsOptions opt;
+  const core::VbsSimulator split(nl, opt, gate_domain,
+                                 {SleepTransistor(tech, wl_a).reff(),
+                                  SleepTransistor(tech, wl_b).reff()});
+  const core::VbsSimulator shared(nl, [&] {
+    core::VbsOptions o;
+    o.sleep_resistance = SleepTransistor(tech, wl_excl).reff();
+    return o;
+  }());
+  double worst_split = 0.0, worst_shared = 0.0;
+  const core::VbsSimulator ideal(nl, {});
+  for (const auto& vp : vectors) {
+    const double d0 = ideal.critical_delay(vp.v0, vp.v1, blocks.outputs);
+    if (d0 <= 0.0) continue;
+    worst_split = std::max(
+        worst_split, (split.critical_delay(vp.v0, vp.v1, blocks.outputs) - d0) / d0 * 100.0);
+    worst_shared = std::max(
+        worst_shared, (shared.critical_delay(vp.v0, vp.v1, blocks.outputs) - d0) / d0 * 100.0);
+  }
+  std::cout << "Switch-level cross-check: split devices worst degr = "
+            << Table::num(worst_split, 3) << "%, exclusion-aware shared = "
+            << Table::num(worst_shared, 3) << "%\n";
+  std::cout << "Reading: because the blocks discharge at different times, the\n"
+               "exclusion-aware shared device matches the naive one's speed at a\n"
+               "fraction of the width; per-block devices land in between and give\n"
+               "layout flexibility.  This is the 'mutually exclusive discharge\n"
+               "patterns' insight the authors developed after this paper.\n";
+  return 0;
+}

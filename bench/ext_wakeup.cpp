@@ -1,0 +1,75 @@
+// EXT-WAKE -- sleep-to-active wake-up transients (extension).
+//
+// During sleep the virtual ground floats up toward the internal logic
+// levels; waking the block means the sleep device must discharge the
+// accumulated charge before the logic is usable again.  The wake-up
+// latency and its energy are the *other* side of the sizing tradeoff:
+// a bigger device wakes faster but dumps a bigger instantaneous current
+// spike into the real ground rail.
+//
+// For the 3-bit adder: DC-settle in sleep mode, ramp the sleep gate at
+// t = 1 ns, and report, per W/L: the settled sleep-state V_gnd, the time
+// for the virtual ground to fall to 10% of it, the peak wake current,
+// and the supply energy of the wake event.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "circuits/generators.hpp"
+#include "models/technology.hpp"
+#include "netlist/bits.hpp"
+#include "netlist/expand.hpp"
+#include "spice/engine.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace mtcmos;
+  using namespace mtcmos::units;
+  using netlist::bits_from_uint;
+  using netlist::concat_bits;
+  bench::print_header("EXT-WAKE", "Sleep-to-active wake-up: latency, current spike, energy");
+
+  const Technology tech = tech07();
+  const auto adder = circuits::make_ripple_adder(tech, 3);
+  const auto inputs = concat_bits(bits_from_uint(5, 3), bits_from_uint(2, 3));
+
+  Table table({"sleep W/L", "Vgnd asleep [V]", "wake to 10% [ns]", "Ipeak wake [uA]",
+               "wake energy [fJ]"});
+  for (double wl : {3.0, 6.0, 10.0, 20.0, 40.0}) {
+    netlist::ExpandOptions opt;
+    opt.sleep_wl = wl;
+    opt.wake_at = 1.0 * ns;
+    auto ex = netlist::to_spice(adder.netlist, opt, inputs, inputs);
+    spice::Engine eng(ex.circuit);
+    spice::TransientOptions topt;
+    // Window long enough for the *slowest* case to fully restore, so the
+    // energy integral is complete for every row.
+    topt.tstop = 10.0 * ns + 600.0 * ns / wl;
+    topt.dt = 2.0 * ps;
+    topt.adaptive = true;
+    topt.dt_max = 100.0 * ps;
+    topt.voltage_probes = {"vgnd"};
+    topt.current_probes = {"Msleep", "VDD"};
+    const auto res = eng.run_transient(topt);
+    const Pwl& vgnd = res.voltages.get("vgnd");
+    const double v_asleep = vgnd.sample(0.9 * ns);
+    const auto settle = vgnd.last_crossing(0.1 * v_asleep, Edge::kFalling);
+    const Pwl& isleep = res.currents.get("Msleep");
+    const Pwl& ivdd = res.currents.get("VDD");
+    const double energy =
+        tech.vdd * ivdd.integral(1.0 * ns, res.voltages.get("vgnd").last_time());
+    table.add_row({Table::num(wl, 3), Table::num(v_asleep, 3),
+                   settle ? Table::num((*settle - 1.0 * ns) / ns, 4) : "-",
+                   Table::num(isleep.max_value() / uA, 4), Table::num(energy / 1e-15, 4)});
+  }
+  bench::print_table(table, "ext_wake");
+  std::cout << "Reading: asleep, the virtual ground floats near the logic levels (the\n"
+               "leakage equilibrium).  Wake-up latency scales ~1/(W/L) while the\n"
+               "instantaneous rush current scales ~W/L -- the ground-rail noise of\n"
+               "waking a big block is itself a sizing constraint.  The supply energy\n"
+               "of the wake event also grows with W/L: a faster virtual-ground\n"
+               "collapse couples deeper transient dips into the floating 'high' nodes\n"
+               "(which sagged to ~V_gnd-ish levels during sleep), so more charge must\n"
+               "be restored from Vdd.  One more reason not to oversize.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// FIG5 -- inverter-tree transients (transistor-level reference).
+//
+// Paper Fig. 5: output transient of the Fig. 4 MTCMOS inverter tree for a
+// 0->1 input transition with sleep W/L in {2, 5, 8, 11, 14, 17, 20}, plus
+// the virtual-ground transient showing the small first-stage bump and the
+// large third-stage bump.  Vdd 1.2 V, C_L 50 fF, Vtn 0.35 V, Vt,high
+// 0.75 V, Lmin 0.7 um.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "circuits/generators.hpp"
+#include "models/technology.hpp"
+#include "sizing/spice_ref.hpp"
+#include "util/units.hpp"
+#include "waveform/measure.hpp"
+
+int main() {
+  using namespace mtcmos;
+  using namespace mtcmos::units;
+  bench::print_header("FIG5", "MTCMOS inverter tree transients vs sleep W/L (SPICE ref)");
+
+  const auto tree = circuits::make_inverter_tree(tech07());
+  const std::string leaf = tree.netlist.net_name(tree.leaves[0]);
+  const sizing::VectorPair vp{{false}, {true}};
+  const std::vector<double> wls = {20.0, 17.0, 14.0, 11.0, 8.0, 5.0, 2.0};
+
+  std::vector<Pwl> outputs, grounds;
+  Table delays({"sleep W/L", "leaf tpd [ns]", "Vx peak [V]", "sleep Ipeak [mA]"});
+  for (double wl : wls) {
+    sizing::SpiceRefOptions opt;
+    opt.expand.sleep_wl = wl;
+    opt.tstop = 30.0 * ns;
+    opt.dt = 2.0 * ps;
+    sizing::SpiceRef ref(tree.netlist, {leaf}, opt);
+    const auto res = ref.transient(vp);
+    outputs.push_back(res.voltages.get(leaf));
+    grounds.push_back(res.voltages.get("vgnd"));
+    const auto m = ref.measure(vp);
+    delays.add_row({Table::num(wl, 3), Table::num(m.delay / ns, 4), Table::num(m.vx_peak, 3),
+                    Table::num(m.sleep_ipeak / mA, 4)});
+  }
+
+  std::cout << "\nOutput transient, third-stage leaf (W/L = 20 ... 2):\n";
+  std::vector<std::string> names;
+  std::vector<const Pwl*> waves;
+  for (std::size_t i = 0; i < wls.size(); ++i) {
+    names.push_back("W/L=" + Table::num(wls[i], 3));
+    waves.push_back(&outputs[i]);
+  }
+  bench::print_table(bench::sample_waveforms(names, waves, 0.0, 22.0 * ns, 34), "fig05_out");
+
+  std::cout << "Virtual-ground transient (note the initial first-stage bump and the\n"
+               "larger bump when all nine third-stage inverters discharge):\n";
+  std::vector<const Pwl*> gwaves;
+  for (const auto& g : grounds) gwaves.push_back(&g);
+  bench::print_table(bench::sample_waveforms(names, gwaves, 0.0, 22.0 * ns, 34), "fig05_vgnd");
+
+  bench::print_table(delays, "fig05_delays");
+  return 0;
+}

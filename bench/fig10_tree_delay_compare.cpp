@@ -1,0 +1,48 @@
+// FIG10 -- delay comparison: transistor-level engine vs the variable-
+// breakpoint switch-level simulator, as a function of sleep W/L, on the
+// Fig. 4 inverter tree (paper Fig. 10).
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "circuits/generators.hpp"
+#include "core/vbs.hpp"
+#include "models/sleep_transistor.hpp"
+#include "models/technology.hpp"
+#include "sizing/spice_ref.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace mtcmos;
+  using namespace mtcmos::units;
+  bench::print_header("FIG10", "Inverter-tree delay vs W/L: SPICE ref vs switch-level simulator");
+
+  const auto tree = circuits::make_inverter_tree(tech07());
+  const std::string leaf = tree.netlist.net_name(tree.leaves[0]);
+  const sizing::VectorPair vp{{false}, {true}};
+
+  Table table({"sleep W/L", "R_eff [kOhm]", "SPICE tpd [ns]", "VBS tpd [ns]", "VBS/SPICE"});
+  for (double wl : {2.0, 3.0, 5.0, 8.0, 11.0, 14.0, 17.0, 20.0, 30.0, 40.0}) {
+    sizing::SpiceRefOptions sopt;
+    sopt.expand.sleep_wl = wl;
+    sopt.tstop = 30.0 * ns;
+    sopt.dt = 2.0 * ps;
+    sizing::SpiceRef ref(tree.netlist, {leaf}, sopt);
+    const double d_spice = ref.measure(vp).delay;
+
+    const SleepTransistor st(tech07(), wl);
+    core::VbsOptions vopt;
+    vopt.sleep_resistance = st.reff();
+    const double d_vbs =
+        core::VbsSimulator(tree.netlist, vopt).delay({false}, {true}, "in", leaf);
+
+    table.add_row({Table::num(wl, 3), Table::num(st.reff() / 1e3, 4),
+                   Table::num(d_spice / ns, 4), Table::num(d_vbs / ns, 4),
+                   Table::num(d_vbs / d_spice, 3)});
+  }
+  bench::print_table(table, "fig10");
+  std::cout << "Reading: both engines agree on the shape -- delay rises steeply once\n"
+               "the sleep device is undersized -- with the switch-level model optimistic\n"
+               "in the heavily-bounced regime, as in the paper's Fig. 10.\n";
+  return 0;
+}

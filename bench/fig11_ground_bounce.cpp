@@ -1,0 +1,71 @@
+// FIG11 -- virtual-ground transient comparison: transistor-level engine
+// vs the switch-level simulator on the inverter tree (paper Fig. 11).
+// The simulator's V_x is stepwise (it models discharging gates as constant
+// current sources and, by default, no capacitance in parallel with the
+// sleep resistor); a very-high-resistance case shows the slow RC recovery
+// the paper calls "unrealistic/undesirable in actual circuits".
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "circuits/generators.hpp"
+#include "core/vbs.hpp"
+#include "models/sleep_transistor.hpp"
+#include "models/technology.hpp"
+#include "sizing/spice_ref.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace mtcmos;
+  using namespace mtcmos::units;
+  bench::print_header("FIG11", "Virtual-ground bounce: SPICE ref vs switch-level simulator");
+
+  const auto tree = circuits::make_inverter_tree(tech07());
+  const std::string leaf = tree.netlist.net_name(tree.leaves[0]);
+  const sizing::VectorPair vp{{false}, {true}};
+
+  for (double wl : {14.0, 5.0}) {
+    sizing::SpiceRefOptions sopt;
+    sopt.expand.sleep_wl = wl;
+    sopt.tstop = 30.0 * ns;
+    sopt.dt = 2.0 * ps;
+    sizing::SpiceRef ref(tree.netlist, {leaf}, sopt);
+    const auto tr = ref.transient(vp);
+    const Pwl& vx_spice = tr.voltages.get("vgnd");
+
+    core::VbsOptions vopt;
+    vopt.sleep_resistance = SleepTransistor(tech07(), wl).reff();
+    const auto vres = core::VbsSimulator(tree.netlist, vopt).run({false}, {true});
+
+    std::cout << "\nSleep W/L = " << wl << " (stepwise simulator vs SPICE):\n";
+    bench::print_table(bench::sample_waveforms({"Vx SPICE [V]", "Vx VBS [V]"},
+                                               {&vx_spice, &vres.virtual_ground}, 0.0,
+                                               20.0 * ns, 40),
+                       "fig11_wl" + Table::num(wl, 3));
+  }
+
+  // Very high resistance case: model the slow discharge with the C_x
+  // extension enabled so the RC recovery tail is visible in the simulator
+  // too (the paper's SPICE trace shows it through the junction caps).
+  {
+    const double wl = 0.5;  // tiny device -> huge R (unrealistic, per paper)
+    sizing::SpiceRefOptions sopt;
+    sopt.expand.sleep_wl = wl;
+    sopt.tstop = 60.0 * ns;
+    sopt.dt = 5.0 * ps;
+    sizing::SpiceRef ref(tree.netlist, {leaf}, sopt);
+    const auto tr = ref.transient(vp);
+
+    core::VbsOptions vopt;
+    vopt.sleep_resistance = SleepTransistor(tech07(), wl).reff();
+    vopt.virtual_ground_cap = 40.0 * fF;  // roughly the expanded junction caps
+    const auto vres = core::VbsSimulator(tree.netlist, vopt).run({false}, {true});
+
+    std::cout << "\nVery high resistance case (W/L = 0.5, slow V_x recovery):\n";
+    bench::print_table(bench::sample_waveforms({"Vx SPICE [V]", "Vx VBS+Cx [V]"},
+                                               {&tr.voltages.get("vgnd"), &vres.virtual_ground},
+                                               0.0, 55.0 * ns, 40),
+                       "fig11_highr");
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Engine micro-benchmarks (google-benchmark): the per-operation costs
+// behind the Section 6.2 runtime table -- Eq. 5 solves, switch-level
+// vector evaluations, sparse LU refactorization, and transistor-level
+// transient steps.
+
+#include <benchmark/benchmark.h>
+
+#include "circuits/generators.hpp"
+#include "core/vbs.hpp"
+#include "core/vx_solver.hpp"
+#include "models/sleep_transistor.hpp"
+#include "models/technology.hpp"
+#include "netlist/bits.hpp"
+#include "sizing/spice_ref.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace mtcmos;
+using namespace mtcmos::units;
+using netlist::bits_from_uint;
+using netlist::concat_bits;
+
+void BM_VxSolve(benchmark::State& state) {
+  const Technology t = tech07();
+  double beta = 1e-4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_vx(1000.0, t.vdd, t.nmos_low, beta, false));
+    beta = (beta < 1e-2) ? beta * 1.01 : 1e-4;
+  }
+}
+BENCHMARK(BM_VxSolve);
+
+void BM_VxSolveBodyEffect(benchmark::State& state) {
+  const Technology t = tech07();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_vx(1000.0, t.vdd, t.nmos_low, 2e-3, true));
+  }
+}
+BENCHMARK(BM_VxSolveBodyEffect);
+
+void BM_VbsAdderVector(benchmark::State& state) {
+  const auto adder = circuits::make_ripple_adder(tech07(), 3);
+  std::vector<std::string> outs;
+  for (const auto s : adder.sum) outs.push_back(adder.netlist.net_name(s));
+  core::VbsOptions opt;
+  opt.sleep_resistance = SleepTransistor(tech07(), 10.0).reff();
+  const core::VbsSimulator sim(adder.netlist, opt);
+  const auto v0 = concat_bits(bits_from_uint(0, 3), bits_from_uint(0, 3));
+  const auto v1 = concat_bits(bits_from_uint(7, 3), bits_from_uint(1, 3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.critical_delay(v0, v1, outs));
+  }
+}
+BENCHMARK(BM_VbsAdderVector);
+
+void BM_VbsTreeVector(benchmark::State& state) {
+  const auto tree = circuits::make_inverter_tree(tech07());
+  core::VbsOptions opt;
+  opt.sleep_resistance = SleepTransistor(tech07(), 8.0).reff();
+  const core::VbsSimulator sim(tree.netlist, opt);
+  const std::string leaf = tree.netlist.net_name(tree.leaves[0]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.delay({false}, {true}, "in", leaf));
+  }
+}
+BENCHMARK(BM_VbsTreeVector);
+
+void BM_SpiceAdderVector(benchmark::State& state) {
+  const auto adder = circuits::make_ripple_adder(tech07(), 3);
+  std::vector<std::string> outs;
+  for (const auto s : adder.sum) outs.push_back(adder.netlist.net_name(s));
+  sizing::SpiceRefOptions opt;
+  opt.expand.sleep_wl = 10.0;
+  opt.tstop = 10.0 * ns;
+  opt.dt = 2.0 * ps;
+  sizing::SpiceRef ref(adder.netlist, outs, opt);
+  const sizing::VectorPair vp{concat_bits(bits_from_uint(0, 3), bits_from_uint(0, 3)),
+                              concat_bits(bits_from_uint(7, 3), bits_from_uint(1, 3))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ref.measure(vp));
+  }
+}
+BENCHMARK(BM_SpiceAdderVector);
+
+void BM_SpiceDcAdder(benchmark::State& state) {
+  const auto adder = circuits::make_ripple_adder(tech07(), 3);
+  netlist::ExpandOptions opt;
+  opt.sleep_wl = 10.0;
+  const auto in = concat_bits(bits_from_uint(5, 3), bits_from_uint(2, 3));
+  auto ex = netlist::to_spice(adder.netlist, opt, in, in);
+  spice::Engine eng(ex.circuit);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.dc_operating_point(1.0));
+  }
+}
+BENCHMARK(BM_SpiceDcAdder);
+
+void BM_EngineBuildMultiplier8x8(benchmark::State& state) {
+  const auto mult = circuits::make_csa_multiplier(tech03(), 8);
+  netlist::ExpandOptions opt;
+  opt.sleep_wl = 170.0;
+  const auto zeros = std::vector<bool>(16, false);
+  for (auto _ : state) {
+    auto ex = netlist::to_spice(mult.netlist, opt, zeros, zeros);
+    spice::Engine eng(ex.circuit);
+    benchmark::DoNotOptimize(eng.unknown_count());
+  }
+}
+BENCHMARK(BM_EngineBuildMultiplier8x8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

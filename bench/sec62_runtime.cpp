@@ -1,0 +1,87 @@
+// SEC62 -- runtime comparison (paper Section 6.2).
+//
+// The paper: exhaustively simulating all 2^6 x 2^6 = 4096 input vector
+// pairs of the 3-bit ripple adder took 4.78 CPU-hours in SPICE on a Sparc
+// 5, and 13.5 s in the variable-breakpoint switch-level simulator.  This
+// bench runs all 4096 vectors through our switch-level simulator (timed),
+// times a deterministic sample of the same vectors through our
+// transistor-level engine, extrapolates the full-space SPICE cost, and
+// prints the speedup factor.  Absolute times reflect 2020s hardware; the
+// orders-of-magnitude *ratio* is the reproduced result.
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "circuits/generators.hpp"
+#include "core/vbs.hpp"
+#include "models/sleep_transistor.hpp"
+#include "models/technology.hpp"
+#include "sizing/sizing.hpp"
+#include "sizing/spice_ref.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mtcmos;
+  using namespace mtcmos::units;
+  using Clock = std::chrono::steady_clock;
+  const bool quick = (argc > 1 && std::string(argv[1]) == "--quick");
+  bench::print_header("SEC62", "Exhaustive 3-bit adder vector sweep: runtime comparison");
+
+  const auto adder = circuits::make_ripple_adder(tech07(), 3);
+  std::vector<std::string> outs;
+  for (const auto s : adder.sum) outs.push_back(adder.netlist.net_name(s));
+  outs.push_back(adder.netlist.net_name(adder.cout));
+  const double wl = 10.0;
+  const auto pairs = sizing::all_vector_pairs(6);
+
+  // --- Switch-level simulator: the full 4096-vector space.
+  core::VbsOptions vopt;
+  vopt.sleep_resistance = SleepTransistor(tech07(), wl).reff();
+  const core::VbsSimulator vbs(adder.netlist, vopt);
+  const auto t0 = Clock::now();
+  double vbs_checksum = 0.0;
+  std::size_t switched = 0;
+  for (const auto& vp : pairs) {
+    const double d = vbs.critical_delay(vp.v0, vp.v1, outs);
+    if (d > 0.0) {
+      vbs_checksum += d;
+      ++switched;
+    }
+  }
+  const double vbs_total = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  // --- Transistor-level engine: deterministic sample, extrapolated.
+  const std::size_t sample = quick ? 8 : 64;
+  sizing::SpiceRefOptions sopt;
+  sopt.expand.sleep_wl = wl;
+  sopt.tstop = 12.0 * ns;
+  sopt.dt = 2.0 * ps;
+  sizing::SpiceRef ref(adder.netlist, outs, sopt);
+  const std::size_t stride = pairs.size() / sample;
+  const auto t1 = Clock::now();
+  std::size_t measured = 0;
+  for (std::size_t i = 0; i < pairs.size() && measured < sample; i += stride, ++measured) {
+    ref.measure(pairs[i]);
+  }
+  const double spice_sample = std::chrono::duration<double>(Clock::now() - t1).count();
+  const double spice_total_est = spice_sample / static_cast<double>(measured) *
+                                 static_cast<double>(pairs.size());
+
+  Table table({"engine", "vectors", "wall time [s]", "per vector [ms]"});
+  table.add_row({"switch-level (VBS)", std::to_string(pairs.size()), Table::num(vbs_total, 4),
+                 Table::num(vbs_total / pairs.size() * 1e3, 3)});
+  table.add_row({"transistor-level (sampled)", std::to_string(measured),
+                 Table::num(spice_sample, 4), Table::num(spice_sample / measured * 1e3, 4)});
+  table.add_row({"transistor-level (4096, extrapolated)", std::to_string(pairs.size()),
+                 Table::num(spice_total_est, 4),
+                 Table::num(spice_total_est / pairs.size() * 1e3, 4)});
+  bench::print_table(table, "sec62");
+
+  std::cout << "Speedup (VBS vs transistor-level, full space): "
+            << Table::num(spice_total_est / vbs_total, 4) << "x\n"
+            << "Paper: 13.5 s vs 4.78 h = ~1275x on a Sparc 5.\n"
+            << "(" << switched << " of 4096 transitions toggle an output; VBS checksum "
+            << Table::num(vbs_checksum / ns, 6) << " ns)\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// TRADEOFF -- the sizing tradeoff the paper's Section 2 frames: "if sized
+// too large, then valuable silicon area would be wasted and switching
+// energy overhead would be increased, but ... if sized too small, then
+// the circuit would be too slow".
+//
+// For the 3-bit adder, sweep the sleep W/L and print every cost column:
+// delay degradation (transistor level), sleep-device area, the gate
+// capacitance its sleep-control driver must switch, the per-sleep-cycle
+// energy, the logic switching energy of a representative vector, and the
+// sleep-mode leakage floor.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "circuits/generators.hpp"
+#include "models/sleep_transistor.hpp"
+#include "models/technology.hpp"
+#include "netlist/bits.hpp"
+#include "netlist/expand.hpp"
+#include "sizing/spice_ref.hpp"
+#include "spice/engine.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace mtcmos;
+  using namespace mtcmos::units;
+  using netlist::bits_from_uint;
+  using netlist::concat_bits;
+  bench::print_header("TRADEOFF", "Sleep-device sizing: speed vs area vs energy vs leakage");
+
+  const Technology tech = tech07();
+  const auto adder = circuits::make_ripple_adder(tech, 3);
+  std::vector<std::string> outs;
+  for (const auto s : adder.sum) outs.push_back(adder.netlist.net_name(s));
+  outs.push_back(adder.netlist.net_name(adder.cout));
+  const sizing::VectorPair vp{concat_bits(bits_from_uint(0, 3), bits_from_uint(0, 3)),
+                              concat_bits(bits_from_uint(7, 3), bits_from_uint(1, 3))};
+
+  // CMOS baseline delay.
+  sizing::SpiceRefOptions base;
+  base.expand.ground = netlist::ExpandOptions::Ground::kIdeal;
+  base.tstop = 12.0 * ns;
+  sizing::SpiceRef cmos(adder.netlist, outs, base);
+  const auto m0 = cmos.measure(vp);
+
+  // Logic area proxy for context: total transistor channel area.
+  double logic_area = 0.0;
+  for (const auto& g : adder.netlist.gates()) {
+    logic_area +=
+        (g.wn + g.wp) * tech.lmin * static_cast<double>(g.pulldown.transistor_count());
+  }
+
+  auto sleep_leakage = [&](double wl) {
+    netlist::ExpandOptions opt;
+    opt.sleep_wl = wl;
+    opt.sleep_on = false;  // sleep mode
+    const auto in = concat_bits(bits_from_uint(5, 3), bits_from_uint(2, 3));
+    auto ex = netlist::to_spice(adder.netlist, opt, in, in);
+    spice::Engine eng(ex.circuit);
+    const auto v = eng.dc_operating_point(1.0);
+    return eng.dc_device_current("Msleep", v);
+  };
+
+  Table table({"W/L", "degr [%]", "sleep area [um^2]", "area vs logic [%]",
+               "sleep gate cap [fF]", "sleep cycle E [fJ]", "vector E [fJ]",
+               "sleep leak [pA]"});
+  for (double wl : {3.0, 6.0, 10.0, 20.0, 40.0, 80.0, 160.0}) {
+    const SleepTransistor st(tech, wl);
+    sizing::SpiceRefOptions opt = base;
+    opt.expand.ground = netlist::ExpandOptions::Ground::kSleepFet;
+    opt.expand.sleep_wl = wl;
+    sizing::SpiceRef ref(adder.netlist, outs, opt);
+    const auto m = ref.measure(vp);
+    table.add_row({Table::num(wl, 4), Table::num((m.delay - m0.delay) / m0.delay * 100.0, 3),
+                   Table::num(st.area() / (um * um), 4),
+                   Table::num(st.area() / logic_area * 100.0, 3),
+                   Table::num(st.gate_cap() / fF, 4),
+                   Table::num(st.cycle_energy() / 1e-15, 4),
+                   Table::num(m.supply_energy / 1e-15, 4),
+                   Table::num(sleep_leakage(wl) / 1e-12, 4)});
+  }
+  bench::print_table(table, "tradeoff");
+  std::cout << "Reading: speed saturates while area, control energy and sleep leakage\n"
+               "keep growing linearly in W/L -- oversizing buys nothing and costs\n"
+               "everything, which is why a degradation-targeted sizer beats the naive\n"
+               "estimates (Sec 2).  Logic switching energy is nearly W/L-independent\n"
+               "(the sleep device adds series resistance, not load capacitance); the\n"
+               "small residual trend is transitions shifting within the metering\n"
+               "window as the circuit slows.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+#pragma once
+// Parametric generators for the paper's benchmark circuits.
+//
+//   * Inverter tree (Fig. 4): 1 -> 3 -> 9 clock-distribution network whose
+//     third stage discharges nine gates simultaneously -- the canonical
+//     virtual-ground-bounce workload of Figures 5, 10 and 11.
+//   * N-bit ripple-carry adder (Fig. 12) built from 28T mirror full
+//     adders, carry-in grounded: the exhaustive-vector workload of
+//     Figures 13/14 and Section 6.2 (3 x 28 transistors at N = 3).
+//   * N x N carry-save array multiplier (Fig. 6): the input-vector-
+//     dependence workload of Figure 7 and Table 1 (8 x 8 in the paper).
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace mtcmos::circuits {
+
+using netlist::NetId;
+using netlist::Netlist;
+
+struct InverterTreeOptions {
+  int fanout = 3;             ///< branching factor per stage
+  int stages = 3;             ///< number of inverter stages
+  double leaf_load = 50e-15;  ///< C_L on every last-stage output [F] (paper: 50 fF)
+  double internal_load = 0.0; ///< extra C_L on non-leaf outputs [F]
+};
+
+struct InverterTree {
+  Netlist netlist;
+  NetId input = -1;
+  std::vector<NetId> leaves;       ///< last-stage outputs
+  std::vector<std::vector<NetId>> stage_outputs;  ///< per stage
+};
+
+InverterTree make_inverter_tree(const Technology& tech, const InverterTreeOptions& options = {});
+
+struct RippleAdder {
+  Netlist netlist;
+  std::vector<NetId> a;    ///< LSB first
+  std::vector<NetId> b;
+  std::vector<NetId> sum;  ///< LSB first
+  NetId cout = -1;
+};
+
+/// Carry-in is tied low, as in the paper's 3-bit experiment.
+RippleAdder make_ripple_adder(const Technology& tech, int nbits, double output_load = 20e-15);
+
+struct CsaMultiplier {
+  Netlist netlist;
+  std::vector<NetId> x;  ///< LSB first
+  std::vector<NetId> y;
+  std::vector<NetId> p;  ///< 2N product bits, LSB first
+};
+
+/// Carry-save array: AND partial-product matrix, N-1 carry-save rows of
+/// mirror full adders, ripple vector-merge final row.
+CsaMultiplier make_csa_multiplier(const Technology& tech, int nbits, double output_load = 20e-15);
+
+/// Wallace-tree multiplier: the same AND matrix and mirror-adder cells,
+/// reduced in logarithmic-depth 3:2 layers instead of linear rows, with a
+/// ripple carry-propagate finish.  Same function as the CSA array but a
+/// very different discharge *pattern* (wider, shallower bursts) -- useful
+/// for studying how architecture changes MTCMOS sizing pressure.
+struct WallaceMultiplier {
+  Netlist netlist;
+  std::vector<NetId> x;
+  std::vector<NetId> y;
+  std::vector<NetId> p;  ///< 2N product bits, LSB first
+  int reduction_layers = 0;
+};
+
+WallaceMultiplier make_wallace_multiplier(const Technology& tech, int nbits,
+                                          double output_load = 20e-15);
+
+/// Simple N-stage inverter chain (validation workload).
+struct InverterChain {
+  Netlist netlist;
+  NetId input = -1;
+  std::vector<NetId> outputs;  ///< per stage
+};
+
+InverterChain make_inverter_chain(const Technology& tech, int stages, double stage_load = 20e-15);
+
+/// Balanced XOR parity-reduction tree over N inputs (N rounded up to a
+/// power of two with constant-0 padding).  A dense XOR workload: every
+/// input transition toggles a full root-to-leaf cone, which makes it a
+/// glitch-heavy stress case for the switch-level simulator.
+struct ParityTree {
+  Netlist netlist;
+  std::vector<NetId> inputs;
+  NetId output = -1;
+  int depth = 0;
+};
+
+ParityTree make_parity_tree(const Technology& tech, int nbits, double output_load = 20e-15);
+
+}  // namespace mtcmos::circuits

@@ -1,0 +1,70 @@
+#include "core/glitch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mtcmos::core {
+
+GlitchReport analyze_glitches(const VbsResult& result, const netlist::Netlist& nl,
+                              const std::vector<bool>& v0, const std::vector<bool>& v1) {
+  require(v0.size() == nl.inputs().size() && v1.size() == nl.inputs().size(),
+          "analyze_glitches: input vector size mismatch");
+  const double vdd = nl.tech().vdd;
+  const double th = 0.5 * vdd;
+
+  const auto before = nl.evaluate(v0);
+  const auto after = nl.evaluate(v1);
+
+  GlitchReport report;
+  for (int g = 0; g < nl.gate_count(); ++g) {
+    const netlist::NetId net = nl.gate(g).output;
+    const std::string& name = nl.net_name(net);
+    if (!result.outputs.has(name)) continue;
+    const Pwl& w = result.outputs.get(name);
+
+    // Count threshold crossings.
+    int crossings = 0;
+    for (std::size_t i = 0; i + 1 < w.size(); ++i) {
+      const double a = w.value_at(i) - th;
+      const double b = w.value_at(i + 1) - th;
+      if ((a <= 0.0 && b > 0.0) || (a >= 0.0 && b < 0.0)) ++crossings;
+    }
+    const int functional =
+        (before[static_cast<std::size_t>(net)] != after[static_cast<std::size_t>(net)]) ? 1 : 0;
+
+    // Largest excursion that reversed direction (local extremum away from
+    // both rails).
+    double worst_partial = 0.0;
+    for (std::size_t i = 1; i + 1 < w.size(); ++i) {
+      const double prev = w.value_at(i - 1);
+      const double here = w.value_at(i);
+      const double next = w.value_at(i + 1);
+      const bool local_max = here > prev && here > next;
+      const bool local_min = here < prev && here < next;
+      if (!local_max && !local_min) continue;
+      const double excursion = local_max ? (here - std::min(prev, next))
+                                         : (std::max(prev, next) - here);
+      // Ignore rail-touching extrema (those are functional transitions).
+      if (here > 0.02 * vdd && here < 0.98 * vdd) {
+        worst_partial = std::max(worst_partial, excursion);
+      }
+    }
+
+    const int extra = std::max(0, crossings - functional);
+    if (extra > 0 || worst_partial > 0.0) {
+      report.glitching_nets.push_back({net, extra, worst_partial});
+      report.total_extra_crossings += extra;
+      // Every reversed excursion charges and discharges C_L once.
+      report.wasted_charge_cap += nl.output_load(g) * worst_partial;
+    }
+  }
+  std::sort(report.glitching_nets.begin(), report.glitching_nets.end(),
+            [](const NetGlitch& a, const NetGlitch& b) {
+              return a.worst_partial > b.worst_partial;
+            });
+  return report;
+}
+
+}  // namespace mtcmos::core

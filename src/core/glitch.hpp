@@ -1,0 +1,41 @@
+#pragma once
+// Glitch analysis of switch-level results.
+//
+// The paper singles out glitching as what makes worst-case MTCMOS vectors
+// hard to predict ("the worst case delay is strongly affected by
+// different input vectors and glitching behavior", Section 2.4) and later
+// suspects its simulator is "too sensitive to circuit glitches" (Section
+// 6.3).  This helper makes glitching measurable: per-net counts of extra
+// threshold crossings, partial-swing amplitudes, and the switched
+// capacitance they waste.
+
+#include <string>
+#include <vector>
+
+#include "core/vbs.hpp"
+#include "netlist/netlist.hpp"
+
+namespace mtcmos::core {
+
+struct NetGlitch {
+  netlist::NetId net = -1;
+  int extra_crossings = 0;   ///< threshold crossings beyond the functional one
+  double worst_partial = 0.0;  ///< largest excursion that reversed before a rail [V]
+};
+
+struct GlitchReport {
+  std::vector<NetGlitch> glitching_nets;  ///< nets with any glitch activity
+  int total_extra_crossings = 0;
+  /// Capacitance switched by non-functional (reversed) swings, a proxy
+  /// for the energy glitches waste: sum over nets of C_L * excursion.
+  double wasted_charge_cap = 0.0;  ///< [F * V] = coulombs
+};
+
+/// Analyze one simulation run.  A net "functionally" crosses the
+/// threshold at most once per transition (its v0 level to its v1 level);
+/// every additional crossing is glitch activity.  Partial swings that
+/// never reach the threshold are reported via worst_partial.
+GlitchReport analyze_glitches(const VbsResult& result, const netlist::Netlist& nl,
+                              const std::vector<bool>& v0, const std::vector<bool>& v1);
+
+}  // namespace mtcmos::core

@@ -1,0 +1,107 @@
+#include "core/vx_solver.hpp"
+
+#include <cmath>
+
+#include "models/level1.hpp"
+#include "util/error.hpp"
+
+namespace mtcmos::core {
+
+namespace {
+
+/// Closed-form positive root of Eq. 5 for a fixed threshold.
+double solve_u(double r, double vdd, double vtn, double beta_total) {
+  const double drive0 = vdd - vtn;
+  if (drive0 <= 0.0) return 0.0;
+  const double a = beta_total * r;
+  if (a < 1e-12) return drive0;  // R -> 0 (or no dischargers): no bounce
+  return (-1.0 + std::sqrt(1.0 + 2.0 * a * drive0)) / a;
+}
+
+}  // namespace
+
+namespace {
+
+double power_current(double beta, double u, double alpha) {
+  if (u <= 0.0) return 0.0;
+  if (alpha == 2.0) return 0.5 * beta * u * u;
+  return 0.5 * beta * std::pow(u, alpha);
+}
+
+}  // namespace
+
+VxSolution solve_vx(double r, double vdd, const MosParams& nmos, double beta_total,
+                    bool body_effect, double alpha) {
+  require(r >= 0.0, "solve_vx: resistance must be non-negative");
+  require(vdd > 0.0, "solve_vx: vdd must be positive");
+  require(beta_total >= 0.0, "solve_vx: beta_total must be non-negative");
+  require(alpha >= 1.0 && alpha <= 2.0, "solve_vx: alpha must be in [1, 2]");
+
+  VxSolution sol;
+  sol.vtn = nmos.vt0;
+  if (beta_total <= 0.0 || r <= 0.0) {
+    sol.vx = 0.0;
+    sol.gate_drive = std::max(vdd - sol.vtn, 0.0);
+    sol.total_current = power_current(beta_total, sol.gate_drive, alpha);
+    return sol;
+  }
+
+  double vtn = nmos.vt0;
+  double u = 0.0;
+  double vx = 0.0;
+  if (alpha == 2.0) {
+    u = solve_u(r, vdd, vtn, beta_total);
+    vx = std::max(vdd - vtn - u, 0.0);
+    if (body_effect) {
+      // Fixed-point refinement: V_tn rises with the source-bulk voltage
+      // V_x, which lowers u and V_x in turn; converges in a few rounds.
+      for (int iter = 0; iter < 32; ++iter) {
+        const double vtn_new = threshold_voltage(nmos, vx);
+        const double u_new = solve_u(r, vdd, vtn_new, beta_total);
+        const double vx_new = std::max(vdd - vtn_new - u_new, 0.0);
+        const bool done = std::abs(vx_new - vx) < 1e-9;
+        vtn = vtn_new;
+        u = u_new;
+        vx = vx_new;
+        if (done) break;
+      }
+    }
+  } else {
+    // General alpha: bisection on V_x.  f(vx) = R * I(vx) - vx is strictly
+    // decreasing minus increasing => single root in [0, vdd - vt].
+    auto residual = [&](double vx_try) {
+      const double vt = body_effect ? threshold_voltage(nmos, vx_try) : nmos.vt0;
+      const double drive = std::max(vdd - vt - vx_try, 0.0);
+      return r * power_current(beta_total, drive, alpha) - vx_try;
+    };
+    double lo = 0.0;
+    double hi = std::max(vdd - nmos.vt0, 0.0);
+    if (residual(lo) <= 0.0) {
+      vx = 0.0;
+    } else {
+      for (int iter = 0; iter < 80; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (residual(mid) > 0.0) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      vx = 0.5 * (lo + hi);
+    }
+    vtn = body_effect ? threshold_voltage(nmos, vx) : nmos.vt0;
+    u = std::max(vdd - vtn - vx, 0.0);
+  }
+  sol.vtn = vtn;
+  sol.gate_drive = u;
+  sol.vx = vx;
+  sol.total_current = power_current(beta_total, u, alpha);
+  return sol;
+}
+
+double gate_discharge_current(double beta, const VxSolution& sol, double alpha) {
+  require(beta >= 0.0, "gate_discharge_current: beta must be non-negative");
+  return power_current(beta, sol.gate_drive, alpha);
+}
+
+}  // namespace mtcmos::core

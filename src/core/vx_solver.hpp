@@ -1,0 +1,48 @@
+#pragma once
+// Virtual-ground voltage solver (paper Eq. 4/5).
+//
+// With N gates discharging simultaneously through a shared sleep
+// resistance R, the virtual-ground voltage V_x is the equilibrium point
+// where the resistor current V_x / R equals the sum of the gates'
+// saturation currents at the reduced gate drive (V_dd - V_x):
+//
+//     V_x / R = sum_j (beta_j / 2) (V_dd - V_x - V_tn)^2          (Eq. 5)
+//
+// Substituting u = V_dd - V_tn - V_x turns this into a quadratic with the
+// single positive root
+//
+//     u = (-1 + sqrt(1 + 2 beta_tot R (V_dd - V_tn))) / (beta_tot R).
+//
+// The optional body-effect refinement (a paper Section 5.3 "future work"
+// item, implemented here as an extension) lets V_tn rise with V_x via the
+// standard body-effect expression and iterates the closed form to a fixed
+// point.
+
+#include "models/mos_params.hpp"
+
+namespace mtcmos::core {
+
+struct VxSolution {
+  double vx = 0.0;           ///< virtual-ground voltage [V]
+  double gate_drive = 0.0;   ///< u = V_dd - V_tn(V_x) - V_x [V]
+  double total_current = 0.0;  ///< current through the sleep resistor [A]
+  double vtn = 0.0;          ///< threshold used (body-corrected if enabled)
+};
+
+/// Solve Eq. 5 for total pull-down gain factor `beta_total` [A/V^2]
+/// through sleep resistance `r` [Ohm].  r == 0 or beta_total == 0 gives
+/// vx = 0 and full gate drive.  `nmos` supplies V_tn and (if
+/// `body_effect`) gamma/phi.
+///
+/// `alpha` generalizes the square law to the Sakurai-Newton alpha-power
+/// form I = (beta/2) u^alpha (u in volts; alpha = 2 is the paper's model
+/// and uses the closed form, anything else falls back to bisection).
+/// Velocity-saturated short-channel devices have alpha in [1, 2].
+VxSolution solve_vx(double r, double vdd, const MosParams& nmos, double beta_total,
+                    bool body_effect = false, double alpha = 2.0);
+
+/// Saturation current of one discharging gate with gain factor `beta`
+/// given a solved operating point.
+double gate_discharge_current(double beta, const VxSolution& sol, double alpha = 2.0);
+
+}  // namespace mtcmos::core

@@ -1,0 +1,54 @@
+#include "models/alpha_power.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mtcmos {
+
+double alpha_power_current(const AlphaPowerModel& m, double w_over_l, double vgs) {
+  require(w_over_l > 0.0, "alpha_power_current: W/L must be positive");
+  const double vov = vgs - m.vt;
+  if (vov <= 0.0) return 0.0;
+  return m.k * w_over_l * std::pow(vov, m.alpha);
+}
+
+double alpha_power_delay(const AlphaPowerModel& m, double w_over_l, double cl, double vdd) {
+  require(cl > 0.0, "alpha_power_delay: load must be positive");
+  const double id = alpha_power_current(m, w_over_l, vdd);
+  require(id > 0.0, "alpha_power_delay: Vdd must exceed Vt");
+  return cl * vdd / (2.0 * id);
+}
+
+AlphaPowerModel fit_alpha_power(const std::vector<double>& vgs, const std::vector<double>& idsat,
+                                double vt, double w_over_l) {
+  require(vgs.size() == idsat.size(), "fit_alpha_power: size mismatch");
+  require(vgs.size() >= 2, "fit_alpha_power: need at least two points");
+  require(w_over_l > 0.0, "fit_alpha_power: W/L must be positive");
+  // Least squares on log(id) = log(k * W/L) + alpha * log(vgs - vt).
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < vgs.size(); ++i) {
+    const double vov = vgs[i] - vt;
+    require(vov > 0.0, "fit_alpha_power: all points must have vgs > vt");
+    require(idsat[i] > 0.0, "fit_alpha_power: currents must be positive");
+    const double x = std::log(vov);
+    const double y = std::log(idsat[i]);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  require(std::abs(denom) > 1e-30, "fit_alpha_power: degenerate points (all same vgs)");
+  AlphaPowerModel m;
+  m.vt = vt;
+  m.alpha = (dn * sxy - sx * sy) / denom;
+  const double log_k_wl = (sy - m.alpha * sx) / dn;
+  m.k = std::exp(log_k_wl) / w_over_l;
+  return m;
+}
+
+}  // namespace mtcmos

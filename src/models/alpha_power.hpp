@@ -1,0 +1,32 @@
+#pragma once
+// Sakurai-Newton alpha-power law MOSFET model (paper references [1][2]).
+//
+// The paper's Eq. 2 approximates CMOS gate delay as
+//     tpd ~ C_L * Vdd / (Vdd - Vt)^alpha
+// with alpha in [1, 2] capturing velocity saturation (alpha = 2 recovers
+// the square law).  The toolkit uses this model for analytic sanity checks
+// and for fitting an equivalent alpha to level-1 I-V data.
+
+#include <vector>
+
+namespace mtcmos {
+
+struct AlphaPowerModel {
+  double alpha = 2.0;  ///< velocity-saturation index
+  double k = 1e-4;     ///< current prefactor: Idsat = k * (W/L) * (Vgs - Vt)^alpha [A]
+  double vt = 0.35;    ///< threshold voltage [V]
+};
+
+/// Saturation drain current at gate-source voltage vgs.
+double alpha_power_current(const AlphaPowerModel& m, double w_over_l, double vgs);
+
+/// Paper Eq. 2/3 delay: tpd = C_L * Vdd / (2 * Idsat(Vdd)).
+double alpha_power_delay(const AlphaPowerModel& m, double w_over_l, double cl, double vdd);
+
+/// Fit (alpha, k) in log space to measured (vgs, idsat) points with vgs > vt.
+/// Requires at least two points.  Used to reduce a level-1 card to an
+/// alpha-power equivalent.
+AlphaPowerModel fit_alpha_power(const std::vector<double>& vgs, const std::vector<double>& idsat,
+                                double vt, double w_over_l);
+
+}  // namespace mtcmos

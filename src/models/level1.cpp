@@ -1,0 +1,100 @@
+#include "models/level1.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace mtcmos {
+
+double threshold_voltage(const MosParams& p, double vsb) {
+  // Clamp the argument so deep forward body bias cannot produce sqrt of a
+  // negative number; the clamp region is far outside normal operation.
+  const double arg = std::max(p.phi + vsb, 0.01 * p.phi);
+  return p.vt0 + p.gamma * (std::sqrt(arg) - std::sqrt(p.phi));
+}
+
+namespace {
+
+/// dVt/dVsb at the (clamped) operating point.
+double dvt_dvsb(const MosParams& p, double vsb) {
+  const double arg = std::max(p.phi + vsb, 0.01 * p.phi);
+  return 0.5 * p.gamma / std::sqrt(arg);
+}
+
+/// Weak-inversion current and derivatives:
+///   I = Ispec * (W/L) * exp(min(vov, 0) / (n vT)) * (1 - exp(-vds / vT)),
+/// Ispec = 2 n kp vT^2 (EKV specific-current scale).  The exponent clamp
+/// makes the term *continue* (as a small constant) into strong inversion
+/// instead of vanishing there: dropping it abruptly at vov = 0 would put a
+/// ~Ispec current discontinuity exactly where floating series-stack nodes
+/// settle, and Newton limit-cycles across such a jump.
+void add_subthreshold(const MosParams& p, double w_over_l, double vov, double vds, double dvt,
+                      MosEval& out) {
+  const double vt_th = constants::thermal_voltage(p.temp);
+  const double n_vt = p.n_sub * vt_th;
+  const double ispec = 2.0 * p.n_sub * p.kp * vt_th * vt_th * w_over_l;
+  const bool weak = vov < 0.0;
+  // Clamp the exponent so NR overshoot cannot overflow.
+  const double x = std::min(vov / n_vt, 0.0);
+  const double e_gate = std::exp(std::max(x, -80.0));
+  const double sat = 1.0 - std::exp(-std::min(vds / vt_th, 80.0));
+  const double id = ispec * e_gate * sat;
+  out.id += id;
+  out.gds += ispec * e_gate * std::exp(-std::min(vds / vt_th, 80.0)) / vt_th;
+  if (weak) {
+    out.gm += id / n_vt;
+    // vbs raises the source-bulk barrier via Vt: dId/dVbs = -dId/dVt *
+    // dVt/dVbs with dVt/dVbs = -dVt/dVsb.
+    out.gmbs += (id / n_vt) * dvt;
+  }
+}
+
+}  // namespace
+
+MosEval mos_level1_eval(const MosParams& p, double w, double l, double vgs, double vds,
+                        double vbs) {
+  require(w > 0.0 && l > 0.0, "mos_level1_eval: W and L must be positive");
+  require(vds >= 0.0, "mos_level1_eval: requires vds >= 0 (caller swaps terminals)");
+  const double w_over_l = w / l;
+  const double vsb = -vbs;
+  const double vt = threshold_voltage(p, vsb);
+  const double dvt = dvt_dvsb(p, vsb);
+  const double vov = vgs - vt;
+
+  MosEval out;
+  if (p.subthreshold) add_subthreshold(p, w_over_l, vov, vds, dvt, out);
+  if (vov <= 0.0) return out;
+
+  const double clm = 1.0 + p.lambda * vds;
+  const double beta = p.kp * w_over_l;
+  if (vds < vov) {
+    // Triode.
+    const double core = vov * vds - 0.5 * vds * vds;
+    const double gm = beta * vds * clm;
+    out.id += beta * core * clm;
+    out.gm += gm;
+    out.gds += beta * (vov - vds) * clm + beta * core * p.lambda;
+    out.gmbs += gm * dvt;  // via dVt/dVbs = -dVt/dVsb, dId/dVt = -gm
+  } else {
+    // Saturation.
+    const double core = 0.5 * vov * vov;
+    const double gm = beta * vov * clm;
+    out.id += beta * core * clm;
+    out.gm += gm;
+    out.gds += beta * core * p.lambda;
+    out.gmbs += gm * dvt;
+  }
+  return out;
+}
+
+double saturation_current(const MosParams& p, double w_over_l, double vgs, double vsb) {
+  require(w_over_l > 0.0, "saturation_current: W/L must be positive");
+  const double vt = threshold_voltage(p, vsb);
+  const double vov = vgs - vt;
+  if (vov <= 0.0) return 0.0;
+  return 0.5 * p.kp * w_over_l * vov * vov;
+}
+
+}  // namespace mtcmos

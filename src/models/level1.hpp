@@ -1,0 +1,36 @@
+#pragma once
+// SPICE level-1 (Shichman-Hodges) MOSFET evaluation with body effect,
+// channel-length modulation, and an EKV-style weak-inversion tail so that
+// "off" devices still leak (needed for the paper's Section 1 motivation:
+// subthreshold leakage is what MTCMOS exists to suppress).
+//
+// The evaluator works in NMOS conventions and requires vds >= 0; the
+// circuit-level device handles PMOS mirroring and source/drain swapping
+// (which is also how reverse conduction, paper Section 2.3, arises
+// naturally in the transistor-level engine).
+
+#include "models/mos_params.hpp"
+
+namespace mtcmos {
+
+/// Operating point derivatives for MNA stamping.
+struct MosEval {
+  double id = 0.0;    ///< drain current [A] (drain -> source)
+  double gm = 0.0;    ///< dId/dVgs [S]
+  double gds = 0.0;   ///< dId/dVds [S]
+  double gmbs = 0.0;  ///< dId/dVbs [S]
+};
+
+/// Body-effect-corrected threshold voltage for source-bulk voltage vsb.
+double threshold_voltage(const MosParams& p, double vsb);
+
+/// Evaluate drain current and derivatives.  Preconditions: vds >= 0,
+/// w > 0, l > 0.  vbs is bulk-source (<= 0 in normal operation).
+MosEval mos_level1_eval(const MosParams& p, double w, double l, double vgs, double vds,
+                        double vbs);
+
+/// Saturation current at gate drive vgs with source at vsb above bulk:
+/// the quantity the paper's Eq. 4/5 sums over discharging gates.
+double saturation_current(const MosParams& p, double w_over_l, double vgs, double vsb);
+
+}  // namespace mtcmos

@@ -1,0 +1,28 @@
+#pragma once
+// MOSFET model card (SPICE level-1 style, plus a weak-inversion term).
+//
+// Voltages in a MosParams card are *N-normalized*: vt0 is the positive
+// threshold magnitude for both device polarities.  The circuit-level
+// device wrapper mirrors terminal voltages for PMOS, so the model math
+// only ever sees NMOS conventions.
+
+namespace mtcmos {
+
+enum class MosType { kNmos, kPmos };
+
+struct MosParams {
+  MosType type = MosType::kNmos;
+  double vt0 = 0.35;    ///< zero-bias threshold magnitude [V]
+  double gamma = 0.45;  ///< body-effect coefficient [sqrt(V)]
+  double phi = 0.7;     ///< surface potential 2*phi_F [V]
+  double lambda = 0.06; ///< channel-length modulation [1/V]
+  double kp = 118e-6;   ///< transconductance parameter mu*Cox [A/V^2]
+  double n_sub = 1.4;   ///< subthreshold slope factor
+  bool subthreshold = true;  ///< include weak-inversion conduction
+  /// Junction temperature [K]: sets the thermal voltage of the
+  /// weak-inversion term (leakage roughly doubles every ~15 K here;
+  /// strong-inversion temperature effects are not modeled).
+  double temp = 300.0;
+};
+
+}  // namespace mtcmos

@@ -1,0 +1,46 @@
+#include "models/sleep_transistor.hpp"
+
+#include "util/error.hpp"
+
+namespace mtcmos {
+
+SleepTransistor::SleepTransistor(const Technology& tech, double w_over_l)
+    : tech_(tech), w_over_l_(w_over_l) {
+  require(w_over_l > 0.0, "SleepTransistor: W/L must be positive");
+  require(tech.vdd > tech.nmos_high.vt0,
+          "SleepTransistor: Vdd must exceed the high threshold for active mode");
+}
+
+double SleepTransistor::width() const { return w_over_l_ * tech_.lmin; }
+
+double SleepTransistor::reff() const {
+  const double gate_drive = tech_.vdd - tech_.nmos_high.vt0;
+  return 1.0 / (tech_.nmos_high.kp * w_over_l_ * gate_drive);
+}
+
+double SleepTransistor::reff_at(double vx) const {
+  const double gate_drive = tech_.vdd - tech_.nmos_high.vt0;
+  require(vx >= 0.0, "SleepTransistor::reff_at: vx must be non-negative");
+  // Triode: I = kp (W/L) ((Vgs-Vt) Vds - Vds^2/2)  =>  R = Vds / I.
+  if (vx <= 0.0) return reff();
+  const double vds = (vx < 1.9 * gate_drive) ? vx : 1.9 * gate_drive;  // stay in triode formula
+  const double i = tech_.nmos_high.kp * w_over_l_ * (gate_drive * vds - 0.5 * vds * vds);
+  return vds / i;
+}
+
+double SleepTransistor::gate_cap() const { return tech_.gate_cap(width(), tech_.lmin); }
+
+double SleepTransistor::cycle_energy() const {
+  return gate_cap() * tech_.vdd * tech_.vdd;
+}
+
+double SleepTransistor::area() const { return width() * tech_.lmin; }
+
+double SleepTransistor::wl_for_resistance(const Technology& tech, double r) {
+  require(r > 0.0, "SleepTransistor::wl_for_resistance: resistance must be positive");
+  const double gate_drive = tech.vdd - tech.nmos_high.vt0;
+  require(gate_drive > 0.0, "SleepTransistor: Vdd must exceed the high threshold");
+  return 1.0 / (tech.nmos_high.kp * r * gate_drive);
+}
+
+}  // namespace mtcmos

@@ -1,0 +1,53 @@
+#pragma once
+// Finite-resistance model of the ON high-Vt sleep transistor (paper
+// Section 2.1).
+//
+// During active operation the virtual-ground node sits close to real
+// ground, so the sleep NMOS operates deep in triode with small Vds and is
+// accurately a linear resistor
+//     R_eff = 1 / (kp_high * (W/L) * (Vdd - Vt_high)).
+// The toolkit uses this R_eff as the shared sleep resistance of the
+// variable-breakpoint simulator; bench fig02_resistor_approx quantifies
+// the approximation against the transistor-level engine.
+
+#include "models/technology.hpp"
+
+namespace mtcmos {
+
+class SleepTransistor {
+ public:
+  /// Sleep NMOS of the given W/L ratio in technology `tech` (channel
+  /// length = tech.lmin, gate tied to Vdd in active mode).
+  SleepTransistor(const Technology& tech, double w_over_l);
+
+  double w_over_l() const { return w_over_l_; }
+  double width() const;  ///< physical width [m]
+
+  /// Small-Vds (linear region) effective resistance [Ohm].
+  double reff() const;
+
+  /// Triode-region resistance evaluated at a finite virtual-ground voltage
+  /// vx (slightly larger than reff() as the device leaves deep triode).
+  double reff_at(double vx) const;
+
+  /// Inverse problem: W/L needed to realize resistance r.
+  static double wl_for_resistance(const Technology& tech, double r);
+
+  // --- Sizing overheads (the costs the paper trades against speed) ---
+
+  /// Gate capacitance of the sleep device [F]: what the sleep-control
+  /// driver must switch on every active/sleep transition.
+  double gate_cap() const;
+  /// Switching energy of one full sleep/wake cycle, C_g * Vdd^2 [J].
+  double cycle_energy() const;
+  /// Channel-area proxy W * L [m^2] ("valuable silicon area").
+  double area() const;
+
+  const Technology& technology() const { return tech_; }
+
+ private:
+  Technology tech_;
+  double w_over_l_;
+};
+
+}  // namespace mtcmos

@@ -1,0 +1,49 @@
+#include "models/technology.hpp"
+
+namespace mtcmos {
+
+Technology tech07() {
+  Technology t;
+  t.name = "paper-0.7um";
+  t.vdd = 1.2;
+  t.lmin = 0.7e-6;
+  t.cox = 2.46e-3;  // tox ~ 14 nm
+  t.cj_per_width = 8e-10;
+
+  t.nmos_low = {MosType::kNmos, /*vt0=*/0.35, /*gamma=*/0.45, /*phi=*/0.7,
+                /*lambda=*/0.06, /*kp=*/118e-6, /*n_sub=*/1.4, /*subthreshold=*/true};
+  t.pmos_low = {MosType::kPmos, /*vt0=*/0.35, /*gamma=*/0.40, /*phi=*/0.7,
+                /*lambda=*/0.08, /*kp=*/47e-6, /*n_sub=*/1.4, /*subthreshold=*/true};
+  t.nmos_high = t.nmos_low;
+  t.nmos_high.vt0 = 0.75;
+  t.pmos_high = t.pmos_low;
+  t.pmos_high.vt0 = 0.75;
+
+  t.wn_default = 3.0 * t.lmin;
+  t.wp_default = 6.0 * t.lmin;
+  return t;
+}
+
+Technology tech03() {
+  Technology t;
+  t.name = "paper-0.3um";
+  t.vdd = 1.0;
+  t.lmin = 0.3e-6;
+  t.cox = 4.93e-3;  // tox ~ 7 nm
+  t.cj_per_width = 6e-10;
+
+  t.nmos_low = {MosType::kNmos, /*vt0=*/0.20, /*gamma=*/0.40, /*phi=*/0.7,
+                /*lambda=*/0.08, /*kp=*/196e-6, /*n_sub=*/1.4, /*subthreshold=*/true};
+  t.pmos_low = {MosType::kPmos, /*vt0=*/0.20, /*gamma=*/0.35, /*phi=*/0.7,
+                /*lambda=*/0.10, /*kp=*/78e-6, /*n_sub=*/1.4, /*subthreshold=*/true};
+  t.nmos_high = t.nmos_low;
+  t.nmos_high.vt0 = 0.70;
+  t.pmos_high = t.pmos_low;
+  t.pmos_high.vt0 = 0.70;
+
+  t.wn_default = 3.0 * t.lmin;
+  t.wp_default = 6.0 * t.lmin;
+  return t;
+}
+
+}  // namespace mtcmos

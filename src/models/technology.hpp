@@ -1,0 +1,48 @@
+#pragma once
+// Technology descriptors for the two processes the paper's experiments use.
+//
+// The paper states only the voltages (Vdd, low/high thresholds) and Lmin;
+// the remaining parameters are textbook values for processes of those
+// generations.  See DESIGN.md Section 2 for the substitution rationale:
+// absolute currents scale with these choices, the W/L-vs-delay *shapes* do
+// not.
+
+#include <string>
+
+#include "models/mos_params.hpp"
+
+namespace mtcmos {
+
+struct Technology {
+  std::string name;
+
+  double vdd = 1.2;          ///< nominal supply [V]
+  double lmin = 0.7e-6;      ///< minimum channel length [m]
+  double cox = 2.46e-3;      ///< gate-oxide capacitance per area [F/m^2]
+  double cj_per_width = 8e-10;  ///< junction cap per metre of device width [F/m]
+
+  MosParams nmos_low;   ///< low-Vt logic NMOS
+  MosParams pmos_low;   ///< low-Vt logic PMOS
+  MosParams nmos_high;  ///< high-Vt sleep NMOS
+  MosParams pmos_high;  ///< high-Vt sleep PMOS
+
+  double wn_default = 2.1e-6;  ///< default logic NMOS width [m]
+  double wp_default = 4.2e-6;  ///< default logic PMOS width [m]
+
+  /// Gate capacitance of one transistor of width w, length l.
+  double gate_cap(double w, double l) const { return cox * w * l; }
+  /// Drain/source junction capacitance of a device of width w.
+  double junction_cap(double w) const { return cj_per_width * w; }
+  /// Gain factor beta = kp * W / L.
+  static double beta(const MosParams& p, double w, double l) { return p.kp * w / l; }
+};
+
+/// The 0.7 um process of the inverter-tree (Fig. 4/5) and 3-bit adder
+/// (Fig. 12-14) experiments: Vdd 1.2 V, Vtn/Vtp +/-0.35 V, Vt,high 0.75 V.
+Technology tech07();
+
+/// The 0.3 um process of the multiplier experiments (Fig. 6/7, Table 1):
+/// Vdd 1.0 V, Vtn/Vtp +/-0.2 V, Vt,high 0.7 V.
+Technology tech03();
+
+}  // namespace mtcmos

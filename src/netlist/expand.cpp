@@ -1,0 +1,162 @@
+#include "netlist/expand.hpp"
+
+#include "models/sleep_transistor.hpp"
+#include "util/error.hpp"
+
+namespace mtcmos::netlist {
+
+namespace {
+
+Pwl input_waveform(const Technology& tech, const ExpandOptions& options, bool v0, bool v1) {
+  const double a = v0 ? tech.vdd : 0.0;
+  const double b = v1 ? tech.vdd : 0.0;
+  if (v0 == v1) return Pwl::constant(a);
+  return Pwl::step(a, b, options.t_switch, options.ramp);
+}
+
+}  // namespace
+
+Expanded to_spice(const Netlist& nl, const ExpandOptions& options, const std::vector<bool>& v0,
+                  const std::vector<bool>& v1) {
+  require(v0.size() == nl.inputs().size() && v1.size() == nl.inputs().size(),
+          "to_spice: input vector size mismatch");
+  const Technology& tech = nl.tech();
+
+  Expanded out;
+  spice::Circuit& ckt = out.circuit;
+  const spice::NodeId vdd = ckt.node(out.vdd_node);
+  ckt.add_vsource("VDD", vdd, Pwl::constant(tech.vdd));
+
+  // Ground style.
+  spice::NodeId logic_gnd = spice::kGround;
+  switch (options.ground) {
+    case ExpandOptions::Ground::kIdeal:
+      out.vgnd_node = "0";
+      break;
+    case ExpandOptions::Ground::kSleepFet: {
+      logic_gnd = ckt.node("vgnd");
+      out.vgnd_node = "vgnd";
+      out.sleep_device = "Msleep";
+      const double w = options.sleep_wl * tech.lmin;
+      spice::NodeId sleep_gate;
+      if (options.wake_at >= 0.0) {
+        // Wake-up transient: dedicated gate driver ramping 0 -> Vdd.
+        sleep_gate = ckt.node("sleep_en");
+        ckt.add_vsource("VSLEEP", sleep_gate,
+                        Pwl::step(0.0, tech.vdd, options.wake_at, options.wake_ramp));
+      } else {
+        sleep_gate = options.sleep_on ? vdd : spice::kGround;
+      }
+      ckt.add_mosfet("Msleep", logic_gnd, sleep_gate, spice::kGround, spice::kGround,
+                     tech.nmos_high, w, tech.lmin);
+      // Sleep device's own drain junction on the virtual ground.
+      ckt.add_node_cap(logic_gnd, tech.junction_cap(w));
+      break;
+    }
+    case ExpandOptions::Ground::kSleepResistor: {
+      logic_gnd = ckt.node("vgnd");
+      out.vgnd_node = "vgnd";
+      out.sleep_device = "Rsleep";
+      const SleepTransistor st(tech, options.sleep_wl);
+      ckt.add_resistor("Rsleep", logic_gnd, spice::kGround, st.reff());
+      ckt.add_node_cap(logic_gnd, tech.junction_cap(st.width()));
+      break;
+    }
+  }
+  if (options.extra_virtual_ground_cap > 0.0) {
+    require(logic_gnd != spice::kGround,
+            "to_spice: extra virtual-ground capacitance needs a virtual ground");
+    ckt.add_node_cap(logic_gnd, options.extra_virtual_ground_cap);
+  }
+
+  // Net -> node. Net names become node names verbatim.
+  std::vector<spice::NodeId> node_of(static_cast<std::size_t>(nl.net_count()), spice::kGround);
+  for (NetId n = 0; n < nl.net_count(); ++n) {
+    node_of[static_cast<std::size_t>(n)] = ckt.node(nl.net_name(n));
+  }
+
+  // Primary inputs and constant-0 nets are source-driven.
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    const NetId n = nl.inputs()[i];
+    ckt.add_vsource("VIN:" + nl.net_name(n), node_of[static_cast<std::size_t>(n)],
+                    input_waveform(tech, options, v0[i], v1[i]));
+  }
+  for (NetId n = 0; n < nl.net_count(); ++n) {
+    if (!nl.is_input(n) && nl.driver_of(n) < 0) {
+      ckt.add_vsource("VTIE0:" + nl.net_name(n), node_of[static_cast<std::size_t>(n)],
+                      Pwl::constant(0.0));
+    }
+  }
+
+  // Distributed virtual-ground rail: per-gate tap nodes chained by
+  // rail_resistance, anchored at the sleep path (or ground).
+  std::vector<spice::NodeId> gate_gnd(static_cast<std::size_t>(nl.gate_count()), logic_gnd);
+  if (options.rail_resistance > 0.0) {
+    spice::NodeId prev = logic_gnd;
+    for (int gi = 0; gi < nl.gate_count(); ++gi) {
+      const spice::NodeId tap = ckt.node("vgnd_t" + std::to_string(gi));
+      ckt.add_resistor("Rrail" + std::to_string(gi), prev, tap, options.rail_resistance);
+      gate_gnd[static_cast<std::size_t>(gi)] = tap;
+      prev = tap;
+    }
+  }
+
+  // Gates.
+  for (int gi = 0; gi < nl.gate_count(); ++gi) {
+    const Gate& g = nl.gate(gi);
+    const spice::NodeId out_node = node_of[static_cast<std::size_t>(g.output)];
+    int internal = 0;
+    int mos = 0;
+
+    auto expand_network = [&](const SpExpr& expr, bool nmos, spice::NodeId bottom) {
+      const double w = nmos ? g.wn : g.wp;
+      const MosParams& params = nmos ? tech.nmos_low : tech.pmos_low;
+      const spice::NodeId bulk = nmos ? spice::kGround : vdd;
+      const char tag = nmos ? 'n' : 'p';
+      expr.expand(
+          out_node, bottom,
+          [&](int pin, int top_node, int bottom_node) {
+            const NetId in_net = g.fanins[static_cast<std::size_t>(pin)];
+            const spice::NodeId gate_node = node_of[static_cast<std::size_t>(in_net)];
+            ckt.add_mosfet(g.name + "." + tag + std::to_string(mos++),
+                           static_cast<spice::NodeId>(top_node), gate_node,
+                           static_cast<spice::NodeId>(bottom_node), bulk, params, w, tech.lmin);
+            // Gate capacitance on the driving net.
+            ckt.add_node_cap(gate_node, tech.gate_cap(w, tech.lmin));
+            // Junction capacitance at both channel terminals (skipping the
+            // rails; the virtual ground is NOT a rail, so it accumulates
+            // the parasitic capacitance of Section 2.2 naturally).
+            for (const spice::NodeId term :
+                 {static_cast<spice::NodeId>(top_node), static_cast<spice::NodeId>(bottom_node)}) {
+              if (term != spice::kGround && term != vdd) {
+                ckt.add_node_cap(term, tech.junction_cap(w));
+              }
+            }
+          },
+          [&]() { return ckt.node(g.name + "#" + tag + std::to_string(internal++)); });
+    };
+
+    expand_network(g.pulldown, /*nmos=*/true, gate_gnd[static_cast<std::size_t>(gi)]);
+    expand_network(g.pulldown.dual(), /*nmos=*/false, vdd);
+  }
+
+  // Explicit loads.
+  for (NetId n = 0; n < nl.net_count(); ++n) {
+    const double cl = nl.extra_load(n);
+    if (cl > 0.0) ckt.add_node_cap(node_of[static_cast<std::size_t>(n)], cl);
+  }
+  return out;
+}
+
+void set_input_vectors(const Netlist& nl, const ExpandOptions& options, spice::Circuit& circuit,
+                       const std::vector<bool>& v0, const std::vector<bool>& v1) {
+  require(v0.size() == nl.inputs().size() && v1.size() == nl.inputs().size(),
+          "set_input_vectors: input vector size mismatch");
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    const NetId n = nl.inputs()[i];
+    circuit.set_vsource("VIN:" + nl.net_name(n),
+                        input_waveform(nl.tech(), options, v0[i], v1[i]));
+  }
+}
+
+}  // namespace mtcmos::netlist

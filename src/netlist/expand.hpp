@@ -1,0 +1,62 @@
+#pragma once
+// Transistor-level expansion: gate netlist -> spice::Circuit.
+//
+// Produces the MTCMOS structure of paper Fig. 1: all logic NMOS sources
+// tied to a shared virtual-ground net, gated to real ground by one high-Vt
+// sleep NMOS (or, for ablations, its linear-resistor equivalent, or ideal
+// ground for the CMOS baseline).  Junction capacitances are attached at
+// every non-rail channel terminal, so the virtual ground automatically
+// carries the parasitic capacitance paper Section 2.2 discusses.
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "spice/circuit.hpp"
+
+namespace mtcmos::netlist {
+
+struct ExpandOptions {
+  enum class Ground {
+    kIdeal,          ///< CMOS baseline: NMOS sources at real ground
+    kSleepFet,       ///< high-Vt sleep NMOS (paper Fig. 1)
+    kSleepResistor,  ///< R_eff linear model (paper Fig. 2)
+  };
+  Ground ground = Ground::kSleepFet;
+  double sleep_wl = 10.0;  ///< sleep device W/L (or the W/L whose R_eff to use)
+  bool sleep_on = true;    ///< active mode (gate at Vdd); false = sleep mode
+  /// When >= 0 (and ground == kSleepFet), the sleep gate is driven by a
+  /// dedicated source ("VSLEEP") that ramps 0 -> Vdd at this time:
+  /// sleep-to-active wake-up transients (overrides sleep_on).
+  double wake_at = -1.0;
+  double wake_ramp = 50e-12;  ///< VSLEEP ramp length [s]
+  /// Distributed virtual-ground rail: when > 0, each gate's pull-down
+  /// network lands on its own tap node ("vgnd_t<k>", in gate order) and
+  /// consecutive taps are chained by this resistance [Ohm], with the
+  /// sleep device (or R_eff / ideal ground) at tap 0.  Models the layout
+  /// IR drop along the virtual-ground rail: gates far from the sleep
+  /// transistor see extra bounce.
+  double rail_resistance = 0.0;
+  double extra_virtual_ground_cap = 0.0;  ///< added C_x for Section 2.2 studies
+  double t_switch = 0.2e-9;  ///< time at which inputs transition [s]
+  double ramp = 50e-12;      ///< input ramp duration [s]
+};
+
+struct Expanded {
+  spice::Circuit circuit;
+  std::string vdd_node = "vdd";
+  std::string vgnd_node;     ///< "0" when ground is ideal
+  std::string sleep_device;  ///< "Msleep" / "Rsleep"; empty when ideal
+};
+
+/// Expand `nl` with inputs driven from vector `v0` (values before
+/// t_switch) to `v1` (after).  Input source names are "VIN:<net name>".
+Expanded to_spice(const Netlist& nl, const ExpandOptions& options, const std::vector<bool>& v0,
+                  const std::vector<bool>& v1);
+
+/// Update the input sources of a previously expanded circuit for a new
+/// vector transition (cheap re-run without re-expanding).
+void set_input_vectors(const Netlist& nl, const ExpandOptions& options, spice::Circuit& circuit,
+                       const std::vector<bool>& v0, const std::vector<bool>& v1);
+
+}  // namespace mtcmos::netlist

@@ -1,0 +1,272 @@
+#include "netlist/io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace mtcmos::netlist {
+
+double parse_eng(const std::string& token) {
+  require(!token.empty(), "parse_eng: empty token");
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("parse_eng: not a number: '" + token + "'");
+  }
+  if (pos == token.size()) return value;
+  require(pos + 1 == token.size(), "parse_eng: trailing junk in '" + token + "'");
+  switch (token[pos]) {
+    case 'f':
+      return value * 1e-15;
+    case 'p':
+      return value * 1e-12;
+    case 'n':
+      return value * 1e-9;
+    case 'u':
+      return value * 1e-6;
+    case 'm':
+      return value * 1e-3;
+    case 'k':
+      return value * 1e3;
+    default:
+      throw std::invalid_argument("parse_eng: unknown suffix in '" + token + "'");
+  }
+}
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::invalid_argument("netlist line " + std::to_string(line) + ": " + message);
+}
+
+/// S-expression -> SpExpr, building the fanin list as nets appear.
+class ExprParser {
+ public:
+  ExprParser(Netlist& nl, std::vector<NetId>& fanins, int line)
+      : nl_(nl), fanins_(fanins), line_(line) {}
+
+  SpExpr parse(std::istringstream& in) {
+    skip_space(in);
+    const int c = in.peek();
+    if (c == EOF) fail(line_, "unexpected end of expression");
+    if (c == '(') {
+      in.get();
+      skip_space(in);
+      const int kind = in.get();
+      if (kind != 's' && kind != 'p') fail(line_, "expected 's' or 'p' after '('");
+      std::vector<SpExpr> children;
+      while (true) {
+        skip_space(in);
+        if (in.peek() == ')') {
+          in.get();
+          break;
+        }
+        if (in.peek() == EOF) fail(line_, "missing ')'");
+        children.push_back(parse(in));
+      }
+      if (children.empty()) fail(line_, "empty series/parallel group");
+      return kind == 's' ? SpExpr::series(std::move(children))
+                         : SpExpr::parallel(std::move(children));
+    }
+    // Leaf: a net name.
+    std::string name;
+    while (in.peek() != EOF && !std::isspace(in.peek()) && in.peek() != ')' &&
+           in.peek() != '(') {
+      name.push_back(static_cast<char>(in.get()));
+    }
+    if (name.empty()) fail(line_, "expected a net name");
+    const NetId net = nl_.net(name);
+    for (std::size_t i = 0; i < fanins_.size(); ++i) {
+      if (fanins_[i] == net) return SpExpr::input(static_cast<int>(i));
+    }
+    fanins_.push_back(net);
+    return SpExpr::input(static_cast<int>(fanins_.size()) - 1);
+  }
+
+ private:
+  static void skip_space(std::istringstream& in) {
+    while (in.peek() != EOF && std::isspace(in.peek())) in.get();
+  }
+  Netlist& nl_;
+  std::vector<NetId>& fanins_;
+  int line_;
+};
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) {
+    if (tok[0] == '#') break;
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+}  // namespace
+
+ParsedNetlist read_netlist(std::istream& in) {
+  // First pass: find the tech line (it must precede everything that
+  // depends on it, but we allow it anywhere for convenience by buffering).
+  std::vector<std::string> lines;
+  std::string raw;
+  while (std::getline(in, raw)) lines.push_back(raw);
+
+  Technology tech = tech07();
+  bool tech_seen = false;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto toks = tokenize(lines[i]);
+    if (toks.empty() || toks[0] != "tech") continue;
+    if (toks.size() != 2) fail(static_cast<int>(i + 1), "tech takes one argument");
+    if (toks[1] == "paper-0.7um") {
+      tech = tech07();
+    } else if (toks[1] == "paper-0.3um") {
+      tech = tech03();
+    } else {
+      fail(static_cast<int>(i + 1), "unknown technology '" + toks[1] + "'");
+    }
+    require(!tech_seen, "netlist: multiple tech lines");
+    tech_seen = true;
+  }
+
+  ParsedNetlist out{Netlist(tech), {}};
+  Netlist& nl = out.nl;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const int ln = static_cast<int>(i + 1);
+    const auto toks = tokenize(lines[i]);
+    if (toks.empty()) continue;
+    const std::string& kw = toks[0];
+    auto need = [&](std::size_t n) {
+      if (toks.size() != n + 1) {
+        fail(ln, kw + " takes " + std::to_string(n) + " arguments");
+      }
+    };
+    if (kw == "tech") {
+      continue;  // handled above
+    } else if (kw == "input") {
+      if (toks.size() < 2) fail(ln, "input needs at least one net");
+      for (std::size_t k = 1; k < toks.size(); ++k) nl.add_input(toks[k]);
+    } else if (kw == "inv") {
+      need(2);
+      nl.add_inv(toks[1], nl.net(toks[2]));
+    } else if (kw == "buf") {
+      need(2);
+      nl.add_buf(toks[1], nl.net(toks[2]));
+    } else if (kw == "nand2") {
+      need(3);
+      nl.add_nand2(toks[1], nl.net(toks[2]), nl.net(toks[3]));
+    } else if (kw == "nor2") {
+      need(3);
+      nl.add_nor2(toks[1], nl.net(toks[2]), nl.net(toks[3]));
+    } else if (kw == "and2") {
+      need(3);
+      nl.add_and2(toks[1], nl.net(toks[2]), nl.net(toks[3]));
+    } else if (kw == "or2") {
+      need(3);
+      nl.add_or2(toks[1], nl.net(toks[2]), nl.net(toks[3]));
+    } else if (kw == "xor2") {
+      need(3);
+      nl.add_xor2(toks[1], nl.net(toks[2]), nl.net(toks[3]));
+    } else if (kw == "xnor2") {
+      need(3);
+      nl.add_xnor2(toks[1], nl.net(toks[2]), nl.net(toks[3]));
+    } else if (kw == "nand3") {
+      need(4);
+      nl.add_nand3(toks[1], nl.net(toks[2]), nl.net(toks[3]), nl.net(toks[4]));
+    } else if (kw == "nor3") {
+      need(4);
+      nl.add_nor3(toks[1], nl.net(toks[2]), nl.net(toks[3]), nl.net(toks[4]));
+    } else if (kw == "aoi21") {
+      need(4);
+      nl.add_aoi21(toks[1], nl.net(toks[2]), nl.net(toks[3]), nl.net(toks[4]));
+    } else if (kw == "oai21") {
+      need(4);
+      nl.add_oai21(toks[1], nl.net(toks[2]), nl.net(toks[3]), nl.net(toks[4]));
+    } else if (kw == "fa") {
+      need(4);
+      nl.add_mirror_fa(toks[1], nl.net(toks[2]), nl.net(toks[3]), nl.net(toks[4]));
+    } else if (kw == "gate") {
+      if (toks.size() < 6) fail(ln, "gate needs: name output wn wp expr");
+      std::vector<NetId> fanins;
+      SpExpr expr = SpExpr::input(0);
+      const std::string& line = lines[i];
+      const std::size_t open = line.find('(');
+      if (open == std::string::npos) {
+        // Single-transistor network: the expression is a bare net name.
+        if (toks.size() != 6) fail(ln, "gate with a bare-net expression takes 5 arguments");
+        fanins.push_back(nl.net(toks[5]));
+      } else {
+        // Re-parse the expression from the raw line (it contains spaces).
+        std::istringstream expr_in(line.substr(open));
+        ExprParser parser(nl, fanins, ln);
+        expr = parser.parse(expr_in);
+        std::string rest;
+        if (expr_in >> rest && rest[0] != '#') fail(ln, "trailing tokens after gate expression");
+      }
+      nl.add_gate(toks[1], std::move(expr), std::move(fanins), nl.net(toks[2]),
+                  parse_eng(toks[3]), parse_eng(toks[4]));
+    } else if (kw == "load") {
+      need(2);
+      nl.add_load(nl.net(toks[1]), parse_eng(toks[2]));
+    } else if (kw == "output") {
+      if (toks.size() < 2) fail(ln, "output needs at least one net");
+      for (std::size_t k = 1; k < toks.size(); ++k) {
+        nl.net(toks[k]);  // ensure it exists
+        out.outputs.push_back(toks[k]);
+      }
+    } else {
+      fail(ln, "unknown keyword '" + kw + "'");
+    }
+  }
+  return out;
+}
+
+ParsedNetlist read_netlist_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "read_netlist_file: cannot open " + path);
+  return read_netlist(in);
+}
+
+namespace {
+
+void write_expr(std::ostream& os, const SpExpr& expr, const Netlist& nl, const Gate& gate) {
+  os << expr.serialize([&](int pin) {
+    return nl.net_name(gate.fanins[static_cast<std::size_t>(pin)]);
+  });
+}
+
+}  // namespace
+
+void write_netlist(std::ostream& os, const Netlist& nl, const std::vector<std::string>& outputs) {
+  os << "# mtcmos-kit netlist\n";
+  os << "tech " << nl.tech().name << "\n";
+  if (!nl.inputs().empty()) {
+    os << "input";
+    for (const NetId n : nl.inputs()) os << ' ' << nl.net_name(n);
+    os << "\n";
+  }
+  for (int g = 0; g < nl.gate_count(); ++g) {
+    const Gate& gate = nl.gate(g);
+    os << "gate " << gate.name << ' ' << nl.net_name(gate.output) << ' ' << gate.wn << ' '
+       << gate.wp << ' ';
+    write_expr(os, gate.pulldown, nl, gate);
+    os << "\n";
+  }
+  for (NetId n = 0; n < nl.net_count(); ++n) {
+    const double cl = nl.extra_load(n);
+    if (cl > 0.0) os << "load " << nl.net_name(n) << ' ' << cl << "\n";
+  }
+  if (!outputs.empty()) {
+    os << "output";
+    for (const std::string& o : outputs) os << ' ' << o;
+    os << "\n";
+  }
+}
+
+}  // namespace mtcmos::netlist

@@ -1,0 +1,48 @@
+#pragma once
+// Text serialization of gate netlists (".mtn" format).
+//
+// A small line-oriented format so blocks can be described outside C++
+// (and fed to the mtcmos_sizer CLI):
+//
+//   # comment
+//   tech paper-0.7um            | paper-0.3um
+//   input a b ci                declare primary inputs
+//   inv g1 a                    cell shorthands (output net = "<name>.out",
+//   nand2 g2 a b                mirror FA makes "<name>.s"/"<name>.cout")
+//   nor2 g3 a b
+//   and2|or2|buf|nand3|nor3|aoi21|oai21|xor2|xnor2 ...
+//   fa fa0 a b ci
+//   gate g4 out 2.1u 4.2u (p (s a b) ci)   generic gate: name, output net,
+//                                          Wn, Wp, series/parallel s-expr
+//   load fa0.s 50f              explicit capacitance (f/p/n/u suffixes)
+//   output fa0.s fa0.cout       observable outputs (used by tools)
+//
+// write_netlist() always emits the generic `gate` form (plus input/load/
+// output lines), so read(write(nl)) reproduces the netlist exactly.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace mtcmos::netlist {
+
+struct ParsedNetlist {
+  Netlist nl;
+  std::vector<std::string> outputs;  ///< nets declared with `output`
+};
+
+/// Parse the .mtn format.  Throws std::invalid_argument with a
+/// line-numbered message on malformed input.
+ParsedNetlist read_netlist(std::istream& in);
+ParsedNetlist read_netlist_file(const std::string& path);
+
+/// Serialize (generic-gate form; exact round trip).
+void write_netlist(std::ostream& os, const Netlist& nl,
+                   const std::vector<std::string>& outputs = {});
+
+/// Parse an engineering-notation value ("50f", "1.2p", "3e-15", "2.1u").
+double parse_eng(const std::string& token);
+
+}  // namespace mtcmos::netlist

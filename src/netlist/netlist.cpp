@@ -1,0 +1,309 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace mtcmos::netlist {
+
+Netlist::Netlist(Technology tech) : tech_(std::move(tech)) {}
+
+NetId Netlist::net(const std::string& name) {
+  const auto it = net_ids_.find(name);
+  if (it != net_ids_.end()) return it->second;
+  const NetId id = static_cast<NetId>(net_names_.size());
+  net_names_.push_back(name);
+  net_ids_[name] = id;
+  is_input_.push_back(false);
+  driver_.push_back(-1);
+  fanout_.emplace_back();
+  return id;
+}
+
+std::optional<NetId> Netlist::find_net(const std::string& name) const {
+  const auto it = net_ids_.find(name);
+  if (it == net_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Netlist::net_name(NetId id) const {
+  require(id >= 0 && id < net_count(), "Netlist::net_name: bad net id");
+  return net_names_[static_cast<std::size_t>(id)];
+}
+
+NetId Netlist::add_input(const std::string& name) {
+  const NetId id = net(name);
+  require(!is_input_[static_cast<std::size_t>(id)], "Netlist::add_input: duplicate input " + name);
+  require(driver_[static_cast<std::size_t>(id)] < 0,
+          "Netlist::add_input: net already driven by a gate");
+  is_input_[static_cast<std::size_t>(id)] = true;
+  inputs_.push_back(id);
+  return id;
+}
+
+bool Netlist::is_input(NetId id) const {
+  require(id >= 0 && id < net_count(), "Netlist::is_input: bad net id");
+  return is_input_[static_cast<std::size_t>(id)];
+}
+
+int Netlist::add_gate(const std::string& name, SpExpr pulldown, std::vector<NetId> fanins,
+                      NetId output, double wn, double wp) {
+  require(output >= 0 && output < net_count(), "Netlist::add_gate: bad output net");
+  require(!is_input_[static_cast<std::size_t>(output)],
+          "Netlist::add_gate: cannot drive a primary input");
+  require(driver_[static_cast<std::size_t>(output)] < 0,
+          "Netlist::add_gate: net " + net_name(output) + " already driven");
+  require(pulldown.max_pin() < static_cast<int>(fanins.size()),
+          "Netlist::add_gate: expression references a pin beyond the fanin list");
+  for (NetId f : fanins) {
+    require(f >= 0 && f < net_count(), "Netlist::add_gate: bad fanin net");
+    require(f != output, "Netlist::add_gate: combinational self-loop on " + net_name(output));
+  }
+  const int idx = static_cast<int>(gates_.size());
+  Gate g;
+  g.name = name;
+  g.fanins = std::move(fanins);
+  g.output = output;
+  g.pulldown = std::move(pulldown);
+  g.wn = (wn > 0.0) ? wn : tech_.wn_default;
+  g.wp = (wp > 0.0) ? wp : tech_.wp_default;
+  driver_[static_cast<std::size_t>(output)] = idx;
+  for (NetId f : g.fanins) fanout_[static_cast<std::size_t>(f)].push_back(idx);
+  gates_.push_back(std::move(g));
+  return idx;
+}
+
+NetId Netlist::add_inv(const std::string& name, NetId in, double wn, double wp) {
+  const NetId out = net(name + ".out");
+  add_gate(name, SpExpr::input(0), {in}, out, wn, wp);
+  return out;
+}
+
+NetId Netlist::add_nand2(const std::string& name, NetId a, NetId b) {
+  const NetId out = net(name + ".out");
+  add_gate(name, SpExpr::series({SpExpr::input(0), SpExpr::input(1)}), {a, b}, out);
+  return out;
+}
+
+NetId Netlist::add_nor2(const std::string& name, NetId a, NetId b) {
+  const NetId out = net(name + ".out");
+  add_gate(name, SpExpr::parallel({SpExpr::input(0), SpExpr::input(1)}), {a, b}, out);
+  return out;
+}
+
+NetId Netlist::add_and2(const std::string& name, NetId a, NetId b) {
+  const NetId nand_out = add_nand2(name + ".nd", a, b);
+  const NetId out = net(name + ".out");
+  add_gate(name + ".inv", SpExpr::input(0), {nand_out}, out);
+  return out;
+}
+
+NetId Netlist::add_or2(const std::string& name, NetId a, NetId b) {
+  const NetId nor_out = add_nor2(name + ".nr", a, b);
+  const NetId out = net(name + ".out");
+  add_gate(name + ".inv", SpExpr::input(0), {nor_out}, out);
+  return out;
+}
+
+NetId Netlist::add_buf(const std::string& name, NetId in) {
+  const NetId mid = add_inv(name + ".i0", in);
+  const NetId out = net(name + ".out");
+  add_gate(name + ".i1", SpExpr::input(0), {mid}, out);
+  return out;
+}
+
+NetId Netlist::add_nand3(const std::string& name, NetId a, NetId b, NetId c) {
+  const NetId out = net(name + ".out");
+  add_gate(name, SpExpr::series({SpExpr::input(0), SpExpr::input(1), SpExpr::input(2)}),
+           {a, b, c}, out);
+  return out;
+}
+
+NetId Netlist::add_nor3(const std::string& name, NetId a, NetId b, NetId c) {
+  const NetId out = net(name + ".out");
+  add_gate(name, SpExpr::parallel({SpExpr::input(0), SpExpr::input(1), SpExpr::input(2)}),
+           {a, b, c}, out);
+  return out;
+}
+
+NetId Netlist::add_aoi21(const std::string& name, NetId a, NetId b, NetId c) {
+  const NetId out = net(name + ".out");
+  add_gate(name,
+           SpExpr::parallel({SpExpr::series({SpExpr::input(0), SpExpr::input(1)}),
+                             SpExpr::input(2)}),
+           {a, b, c}, out);
+  return out;
+}
+
+NetId Netlist::add_oai21(const std::string& name, NetId a, NetId b, NetId c) {
+  const NetId out = net(name + ".out");
+  add_gate(name,
+           SpExpr::series({SpExpr::parallel({SpExpr::input(0), SpExpr::input(1)}),
+                           SpExpr::input(2)}),
+           {a, b, c}, out);
+  return out;
+}
+
+NetId Netlist::add_xor2(const std::string& name, NetId a, NetId b) {
+  const NetId n1 = add_nand2(name + ".n1", a, b);
+  const NetId n2 = add_nand2(name + ".n2", a, n1);
+  const NetId n3 = add_nand2(name + ".n3", b, n1);
+  const NetId out = net(name + ".out");
+  add_gate(name + ".n4", SpExpr::series({SpExpr::input(0), SpExpr::input(1)}), {n2, n3}, out);
+  return out;
+}
+
+NetId Netlist::add_xnor2(const std::string& name, NetId a, NetId b) {
+  const NetId n1 = add_nor2(name + ".n1", a, b);
+  const NetId n2 = add_nor2(name + ".n2", a, n1);
+  const NetId n3 = add_nor2(name + ".n3", b, n1);
+  const NetId out = net(name + ".out");
+  add_gate(name + ".n4", SpExpr::parallel({SpExpr::input(0), SpExpr::input(1)}), {n2, n3}, out);
+  return out;
+}
+
+Netlist::FullAdderOuts Netlist::add_mirror_fa(const std::string& prefix, NetId a, NetId b,
+                                              NetId ci) {
+  // Carry stage: coutb = NOT( a b + ci (a + b) )  -- 5 NMOS + 5 PMOS.
+  const SpExpr ab = SpExpr::series({SpExpr::input(0), SpExpr::input(1)});
+  const SpExpr a_or_b = SpExpr::parallel({SpExpr::input(0), SpExpr::input(1)});
+  const SpExpr carry_pd = SpExpr::parallel({ab, SpExpr::series({a_or_b, SpExpr::input(2)})});
+  const NetId coutb = net(prefix + ".coutb");
+  add_gate(prefix + ".carry", carry_pd, {a, b, ci}, coutb);
+
+  // Sum stage: sumb = NOT( a b ci + coutb (a + b + ci) ) -- 7 NMOS + 7 PMOS.
+  const SpExpr abc = SpExpr::series({SpExpr::input(0), SpExpr::input(1), SpExpr::input(2)});
+  const SpExpr any = SpExpr::parallel({SpExpr::input(0), SpExpr::input(1), SpExpr::input(2)});
+  const SpExpr sum_pd = SpExpr::parallel({abc, SpExpr::series({SpExpr::input(3), any})});
+  const NetId sumb = net(prefix + ".sumb");
+  add_gate(prefix + ".sum", sum_pd, {a, b, ci, coutb}, sumb);
+
+  FullAdderOuts outs;
+  outs.cout = net(prefix + ".cout");
+  add_gate(prefix + ".cinv", SpExpr::input(0), {coutb}, outs.cout);
+  outs.sum = net(prefix + ".s");
+  add_gate(prefix + ".sinv", SpExpr::input(0), {sumb}, outs.sum);
+  return outs;
+}
+
+void Netlist::add_load(NetId n, double cap) {
+  require(n >= 0 && n < net_count(), "Netlist::add_load: bad net id");
+  require(cap >= 0.0, "Netlist::add_load: capacitance must be non-negative");
+  extra_load_[n] += cap;
+}
+
+double Netlist::extra_load(NetId n) const {
+  const auto it = extra_load_.find(n);
+  return it == extra_load_.end() ? 0.0 : it->second;
+}
+
+int Netlist::driver_of(NetId n) const {
+  require(n >= 0 && n < net_count(), "Netlist::driver_of: bad net id");
+  return driver_[static_cast<std::size_t>(n)];
+}
+
+const std::vector<int>& Netlist::fanout_of(NetId n) const {
+  require(n >= 0 && n < net_count(), "Netlist::fanout_of: bad net id");
+  return fanout_[static_cast<std::size_t>(n)];
+}
+
+std::vector<int> Netlist::topo_order() const {
+  // Kahn's algorithm over gates; a gate is ready when all fanin nets that
+  // are gate-driven have been produced.
+  std::vector<int> pending(gates_.size(), 0);
+  for (std::size_t g = 0; g < gates_.size(); ++g) {
+    for (NetId f : gates_[g].fanins) {
+      if (driver_[static_cast<std::size_t>(f)] >= 0) ++pending[g];
+    }
+  }
+  std::deque<int> ready;
+  for (std::size_t g = 0; g < gates_.size(); ++g) {
+    if (pending[g] == 0) ready.push_back(static_cast<int>(g));
+  }
+  std::vector<int> order;
+  order.reserve(gates_.size());
+  while (!ready.empty()) {
+    const int g = ready.front();
+    ready.pop_front();
+    order.push_back(g);
+    for (int succ : fanout_[static_cast<std::size_t>(gates_[static_cast<std::size_t>(g)].output)]) {
+      if (--pending[static_cast<std::size_t>(succ)] == 0) ready.push_back(succ);
+    }
+  }
+  ensure(order.size() == gates_.size(), "Netlist::topo_order: combinational cycle detected");
+  return order;
+}
+
+std::vector<bool> Netlist::evaluate(const std::vector<bool>& input_values) const {
+  require(input_values.size() == inputs_.size(),
+          "Netlist::evaluate: input value count mismatch");
+  std::vector<bool> values(static_cast<std::size_t>(net_count()), false);
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    values[static_cast<std::size_t>(inputs_[i])] = input_values[i];
+  }
+  for (int g : topo_order()) {
+    const Gate& gate = gates_[static_cast<std::size_t>(g)];
+    std::vector<bool> pins(gate.fanins.size());
+    for (std::size_t p = 0; p < gate.fanins.size(); ++p) {
+      pins[p] = values[static_cast<std::size_t>(gate.fanins[p])];
+    }
+    values[static_cast<std::size_t>(gate.output)] = !gate.pulldown.conducts(pins);
+  }
+  return values;
+}
+
+double Netlist::input_cap(int g, int pin) const {
+  require(g >= 0 && g < gate_count(), "Netlist::input_cap: bad gate index");
+  const Gate& gate = gates_[static_cast<std::size_t>(g)];
+  require(pin >= 0 && pin < static_cast<int>(gate.fanins.size()),
+          "Netlist::input_cap: bad pin index");
+  const int count = gate.pulldown.pin_count(pin);  // dual has the same count
+  return static_cast<double>(count) * tech_.cox * tech_.lmin * (gate.wn + gate.wp);
+}
+
+double Netlist::output_load(int g) const {
+  require(g >= 0 && g < gate_count(), "Netlist::output_load: bad gate index");
+  const Gate& gate = gates_[static_cast<std::size_t>(g)];
+  double cl = extra_load(gate.output);
+  for (int succ : fanout_[static_cast<std::size_t>(gate.output)]) {
+    const Gate& sg = gates_[static_cast<std::size_t>(succ)];
+    for (std::size_t p = 0; p < sg.fanins.size(); ++p) {
+      if (sg.fanins[p] == gate.output) cl += input_cap(succ, static_cast<int>(p));
+    }
+  }
+  // Own junction capacitance at the output node.
+  cl += tech_.junction_cap(gate.wn) * gate.pulldown.top_adjacency();
+  cl += tech_.junction_cap(gate.wp) * gate.pulldown.dual().top_adjacency();
+  return cl;
+}
+
+double Netlist::beta_n_eff(int g) const {
+  require(g >= 0 && g < gate_count(), "Netlist::beta_n_eff: bad gate index");
+  const Gate& gate = gates_[static_cast<std::size_t>(g)];
+  const int depth = gate.pulldown.max_depth();
+  return tech_.nmos_low.kp * gate.wn / (tech_.lmin * static_cast<double>(depth));
+}
+
+double Netlist::beta_p_eff(int g) const {
+  require(g >= 0 && g < gate_count(), "Netlist::beta_p_eff: bad gate index");
+  const Gate& gate = gates_[static_cast<std::size_t>(g)];
+  const int depth = gate.pulldown.dual().max_depth();
+  return tech_.pmos_low.kp * gate.wp / (tech_.lmin * static_cast<double>(depth));
+}
+
+double Netlist::total_nmos_width() const {
+  double total = 0.0;
+  for (const Gate& g : gates_) {
+    total += g.wn * static_cast<double>(g.pulldown.transistor_count());
+  }
+  return total;
+}
+
+int Netlist::transistor_count() const {
+  int total = 0;
+  for (const Gate& g : gates_) total += 2 * g.pulldown.transistor_count();
+  return total;
+}
+
+}  // namespace mtcmos::netlist

@@ -1,0 +1,151 @@
+#pragma once
+// Gate-level netlist.
+//
+// A Netlist is a DAG of static CMOS gates over named nets, bound to a
+// Technology.  Each gate is described by its NMOS pull-down SpExpr (the
+// pull-up is the dual), per-transistor widths, and the nets it connects.
+// From this single description the toolkit derives:
+//   * boolean evaluation (used by the switch-level simulator's event
+//     semantics and by functional tests),
+//   * the transistor-level expansion (netlist/expand.hpp),
+//   * the equivalent-inverter parameters of the paper's Section 5 model
+//     (effective beta from worst-case stack depth, effective C_L from
+//     fanout gate and junction capacitance).
+//
+// Undriven non-input nets are constant logic 0 (tied to ground in the
+// transistor expansion) -- used e.g. for the carry-in of a half adder.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "models/technology.hpp"
+#include "netlist/sp_expr.hpp"
+
+namespace mtcmos::netlist {
+
+using NetId = int;
+
+struct Gate {
+  std::string name;
+  std::vector<NetId> fanins;
+  NetId output = -1;
+  SpExpr pulldown = SpExpr::input(0);
+  double wn = 0.0;  ///< per-transistor NMOS width [m]
+  double wp = 0.0;  ///< per-transistor PMOS width [m]
+};
+
+class Netlist {
+ public:
+  explicit Netlist(Technology tech);
+
+  const Technology& tech() const { return tech_; }
+
+  /// Get-or-create a named net.
+  NetId net(const std::string& name);
+  std::optional<NetId> find_net(const std::string& name) const;
+  const std::string& net_name(NetId id) const;
+  int net_count() const { return static_cast<int>(net_names_.size()); }
+
+  /// Declare a primary input.
+  NetId add_input(const std::string& name);
+  const std::vector<NetId>& inputs() const { return inputs_; }
+  bool is_input(NetId id) const;
+
+  /// Add a gate computing NOT(pulldown conducts) onto net `output`.
+  /// Widths of 0 pick the technology defaults.  Returns the gate index.
+  int add_gate(const std::string& name, SpExpr pulldown, std::vector<NetId> fanins, NetId output,
+               double wn = 0.0, double wp = 0.0);
+
+  // Cell helpers (return the output net).
+  NetId add_inv(const std::string& name, NetId in, double wn = 0.0, double wp = 0.0);
+  NetId add_nand2(const std::string& name, NetId a, NetId b);
+  NetId add_nor2(const std::string& name, NetId a, NetId b);
+  /// AND2 = NAND2 + INV (two gates, matching the transistor realization).
+  NetId add_and2(const std::string& name, NetId a, NetId b);
+  /// OR2 = NOR2 + INV.
+  NetId add_or2(const std::string& name, NetId a, NetId b);
+  /// BUF = INV + INV.
+  NetId add_buf(const std::string& name, NetId in);
+  NetId add_nand3(const std::string& name, NetId a, NetId b, NetId c);
+  NetId add_nor3(const std::string& name, NetId a, NetId b, NetId c);
+  /// AOI21: out = NOT(a b + c), one complementary gate (6T).
+  NetId add_aoi21(const std::string& name, NetId a, NetId b, NetId c);
+  /// OAI21: out = NOT((a + b) c), one complementary gate (6T).
+  NetId add_oai21(const std::string& name, NetId a, NetId b, NetId c);
+  /// XOR2 from four NAND2 (the classic 16T realization; single-gate
+  /// static XOR needs complemented inputs, which the SP framework models
+  /// as explicit inverting stages anyway).
+  NetId add_xor2(const std::string& name, NetId a, NetId b);
+  /// XNOR2 from four NOR2.
+  NetId add_xnor2(const std::string& name, NetId a, NetId b);
+
+  /// 28-transistor mirror full adder (Weste & Eshraghian p. 548): carry
+  /// stage (5+5), sum stage (7+7), two output inverters.  Gate names are
+  /// prefixed; intermediate nets are "<prefix>.coutb" / "<prefix>.sumb".
+  struct FullAdderOuts {
+    NetId sum = -1;
+    NetId cout = -1;
+  };
+  FullAdderOuts add_mirror_fa(const std::string& prefix, NetId a, NetId b, NetId ci);
+
+  /// Explicit load capacitance on a net (adds to whatever the fanout
+  /// presents).
+  void add_load(NetId n, double cap);
+  double extra_load(NetId n) const;
+
+  const std::vector<Gate>& gates() const { return gates_; }
+  const Gate& gate(int idx) const { return gates_[static_cast<std::size_t>(idx)]; }
+  int gate_count() const { return static_cast<int>(gates_.size()); }
+
+  /// Driving gate of a net (-1 if primary input or constant 0).
+  int driver_of(NetId n) const;
+  /// Gate indices with `n` among their fanins.
+  const std::vector<int>& fanout_of(NetId n) const;
+
+  /// Gate indices in topological order (throws on a combinational cycle).
+  std::vector<int> topo_order() const;
+
+  /// Steady-state boolean value of every net for the given input values
+  /// (ordered as `inputs()`).
+  std::vector<bool> evaluate(const std::vector<bool>& input_values) const;
+
+  // --- Equivalent-inverter reduction (paper Section 5.1/5.2) ---
+
+  /// Gate capacitance presented by pin `pin` of gate `g` (all transistors
+  /// gated by that pin).
+  double input_cap(int g, int pin) const;
+  /// Total switched capacitance at the gate's output: explicit load +
+  /// fanout input caps + own junction caps.  This is the C_L of the
+  /// equivalent inverter, and matches what the transistor expansion
+  /// attaches to the same node.
+  double output_load(int g) const;
+  /// Effective pull-down gain factor kp_n * Weff/L with Weff derated by
+  /// the worst-case NMOS stack depth.
+  double beta_n_eff(int g) const;
+  /// Same for the pull-up network (dual depth).
+  double beta_p_eff(int g) const;
+
+  /// Sum of all low-Vt NMOS widths [m]: the naive sleep-transistor sizing
+  /// baseline of paper Section 2 ("sum the widths of internal low Vt
+  /// transistors").
+  double total_nmos_width() const;
+
+  /// Total transistor count (both polarities), e.g. the paper's
+  /// "3 x 28 transistors" for the 3-bit adder.
+  int transistor_count() const;
+
+ private:
+  Technology tech_;
+  std::vector<std::string> net_names_;
+  std::map<std::string, NetId> net_ids_;
+  std::vector<NetId> inputs_;
+  std::vector<bool> is_input_;
+  std::vector<int> driver_;  ///< per net: gate index or -1
+  std::vector<std::vector<int>> fanout_;
+  std::map<NetId, double> extra_load_;
+  std::vector<Gate> gates_;
+};
+
+}  // namespace mtcmos::netlist

@@ -1,0 +1,157 @@
+#include "sizing/characterize.hpp"
+
+#include <algorithm>
+
+#include "netlist/netlist.hpp"
+#include "spice/engine.hpp"
+#include "util/error.hpp"
+#include "waveform/measure.hpp"
+
+namespace mtcmos::sizing {
+
+double CellTable::lookup(const std::vector<double>& slews, const std::vector<double>& loads,
+                         const std::vector<std::vector<double>>& table, double slew,
+                         double load) {
+  require(!slews.empty() && !loads.empty(), "CellTable::lookup: empty axes");
+  auto bracket = [](const std::vector<double>& axis, double x) {
+    // Clamped index pair (i, i+1) and interpolation fraction.
+    if (x <= axis.front() || axis.size() == 1) return std::pair<std::size_t, double>{0, 0.0};
+    if (x >= axis.back()) return std::pair<std::size_t, double>{axis.size() - 2, 1.0};
+    std::size_t i = 0;
+    while (i + 2 < axis.size() && axis[i + 1] < x) ++i;
+    return std::pair<std::size_t, double>{i, (x - axis[i]) / (axis[i + 1] - axis[i])};
+  };
+  const auto [si, sf] = bracket(slews, slew);
+  const auto [li, lf] = bracket(loads, load);
+  const std::size_t s1 = std::min(si + 1, slews.size() - 1);
+  const std::size_t l1 = std::min(li + 1, loads.size() - 1);
+  const double a = table[si][li] * (1.0 - sf) + table[s1][li] * sf;
+  const double b = table[si][l1] * (1.0 - sf) + table[s1][l1] * sf;
+  return a * (1.0 - lf) + b * lf;
+}
+
+double CellTable::delay(bool rising, double slew, double load) const {
+  return lookup(slews, loads, rising ? delay_rise : delay_fall, slew, load);
+}
+
+double CellTable::transition(bool rising, double slew, double load) const {
+  return lookup(slews, loads, rising ? trans_rise : trans_fall, slew, load);
+}
+
+namespace {
+
+/// NMOS stack depth of the (single) gate in the characterization netlist.
+double gate_depth_n(const netlist::Netlist& nl) {
+  return static_cast<double>(nl.gate(0).pulldown.max_depth());
+}
+
+}  // namespace
+
+CellTable characterize_cell(const Technology& tech, const CharacterizeSpec& spec) {
+  require(spec.n_pins >= 1, "characterize_cell: need at least one pin");
+  require(spec.switch_pin >= 0 && spec.switch_pin < spec.n_pins,
+          "characterize_cell: bad switch pin");
+  require(static_cast<int>(spec.static_pins.size()) == spec.n_pins,
+          "characterize_cell: static_pins must have n_pins entries");
+  require(!spec.slews.empty() && !spec.loads.empty(), "characterize_cell: empty grid");
+
+  // The output must toggle when the switch pin toggles.
+  {
+    std::vector<bool> lo = spec.static_pins;
+    std::vector<bool> hi = spec.static_pins;
+    lo[static_cast<std::size_t>(spec.switch_pin)] = false;
+    hi[static_cast<std::size_t>(spec.switch_pin)] = true;
+    require(spec.pulldown.conducts(lo) != spec.pulldown.conducts(hi),
+            "characterize_cell: switch pin is non-controlling under the static pin values");
+  }
+
+  CellTable out;
+  out.slews = spec.slews;
+  out.loads = spec.loads;
+  const std::size_t ns = spec.slews.size();
+  const std::size_t nl_pts = spec.loads.size();
+  out.delay_rise.assign(ns, std::vector<double>(nl_pts, 0.0));
+  out.delay_fall = out.delay_rise;
+  out.trans_rise = out.delay_rise;
+  out.trans_fall = out.delay_rise;
+
+  for (std::size_t si = 0; si < ns; ++si) {
+    for (std::size_t li = 0; li < nl_pts; ++li) {
+      // Fresh tiny netlist per grid point (load is baked into the net).
+      netlist::Netlist nl(tech);
+      std::vector<netlist::NetId> pins;
+      for (int p = 0; p < spec.n_pins; ++p) {
+        pins.push_back(nl.add_input("in" + std::to_string(p)));
+      }
+      const netlist::NetId out_net = nl.net("out");
+      nl.add_gate("dut", spec.pulldown, pins, out_net, spec.wn, spec.wp);
+      nl.add_load(out_net, spec.loads[li]);
+
+      netlist::ExpandOptions opt;
+      opt.ground = spec.ground;
+      opt.sleep_wl = spec.sleep_wl;
+      opt.ramp = spec.slews[si];
+      opt.t_switch = 0.2e-9;
+
+      // Physics-derived transient window: the weakest drive through the
+      // cell (stack-derated, sleep-derated) swinging the full load, with
+      // generous margin -- and a x4 retry ladder for pathological points.
+      const double depth_n = gate_depth_n(nl);
+      const double wn_eff = (spec.wn > 0.0 ? spec.wn : tech.wn_default);
+      const double wp_eff = (spec.wp > 0.0 ? spec.wp : tech.wp_default);
+      const double beta_n = tech.nmos_low.kp * wn_eff / (tech.lmin * depth_n);
+      const double beta_p = tech.pmos_low.kp * wp_eff / tech.lmin;
+      const double drive_n = tech.vdd - tech.nmos_low.vt0;
+      const double drive_p = tech.vdd - tech.pmos_low.vt0;
+      const double i_weak =
+          0.1 * std::min(0.5 * beta_n * drive_n * drive_n, 0.5 * beta_p * drive_p * drive_p);
+      double window = opt.t_switch + 4.0 * spec.slews[si] +
+                      3.0 * spec.loads[li] * tech.vdd / std::max(i_weak, 1e-9);
+      window = std::max(window, 6e-9);
+
+      for (const bool in_rising : {true, false}) {
+        std::vector<bool> v0 = spec.static_pins;
+        std::vector<bool> v1 = spec.static_pins;
+        v0[static_cast<std::size_t>(spec.switch_pin)] = !in_rising;
+        v1[static_cast<std::size_t>(spec.switch_pin)] = in_rising;
+        auto ex = netlist::to_spice(nl, opt, v0, v1);
+        spice::Engine eng(ex.circuit);
+
+        bool done = false;
+        for (int attempt = 0; attempt < 3 && !done; ++attempt, window *= 4.0) {
+          spice::TransientOptions topt;
+          topt.tstop = window;
+          topt.dt = 1e-12;
+          topt.adaptive = true;
+          topt.dt_max = 50e-12;
+          topt.voltage_probes = {"in" + std::to_string(spec.switch_pin), "out"};
+          const auto res = eng.run_transient(topt);
+          const Pwl& win = res.voltages.get("in" + std::to_string(spec.switch_pin));
+          const Pwl& wout = res.voltages.get("out");
+          const bool out_rising = wout.last_value() > 0.5 * tech.vdd;
+          const auto d = propagation_delay(win, wout, tech.vdd,
+                                           in_rising ? Edge::kRising : Edge::kFalling,
+                                           out_rising ? Edge::kRising : Edge::kFalling);
+          const auto tt = transition_time(wout, tech.vdd,
+                                          out_rising ? Edge::kRising : Edge::kFalling, 0.1, 0.9,
+                                          opt.t_switch);
+          if (!d || !tt) continue;  // retry with a larger window
+          if (out_rising) {
+            out.delay_rise[si][li] = *d;
+            out.trans_rise[si][li] = *tt;
+          } else {
+            out.delay_fall[si][li] = *d;
+            out.trans_fall[si][li] = *tt;
+          }
+          done = true;
+        }
+        require(done,
+                "characterize_cell: output did not complete its transition even in the "
+                "retry window");
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mtcmos::sizing

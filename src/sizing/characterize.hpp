@@ -1,0 +1,56 @@
+#pragma once
+// Standard-cell delay characterization (NLDM-style lookup tables).
+//
+// Drives a single cell through the transistor-level engine over an input
+// slew x output load grid and records propagation delay and output
+// transition time, for both output edges -- the industry-standard way of
+// abstracting cell timing.  The MTCMOS twist: characterizing the same
+// cell with a sleep device in its ground path yields the *derated* table,
+// quantifying at cell granularity what the paper measures at circuit
+// granularity (only falling delays derate; rising delays are untouched by
+// an NMOS sleep device).
+
+#include <vector>
+
+#include "netlist/expand.hpp"
+#include "netlist/sp_expr.hpp"
+#include "models/technology.hpp"
+
+namespace mtcmos::sizing {
+
+struct CharacterizeSpec {
+  netlist::SpExpr pulldown = netlist::SpExpr::input(0);
+  int n_pins = 1;
+  int switch_pin = 0;             ///< the pin that toggles
+  std::vector<bool> static_pins;  ///< values of the other pins (size n_pins;
+                                  ///< the switch_pin entry is ignored)
+  double wn = 0.0, wp = 0.0;      ///< 0 = technology defaults
+
+  std::vector<double> slews = {20e-12, 60e-12, 150e-12, 400e-12};  ///< input ramps [s]
+  std::vector<double> loads = {10e-15, 25e-15, 60e-15, 150e-15};   ///< output caps [F]
+
+  netlist::ExpandOptions::Ground ground = netlist::ExpandOptions::Ground::kIdeal;
+  double sleep_wl = 10.0;  ///< used when ground == kSleepFet / kSleepResistor
+};
+
+/// delay[si][li] / transition[si][li] over spec.slews x spec.loads.
+struct CellTable {
+  std::vector<double> slews;
+  std::vector<double> loads;
+  std::vector<std::vector<double>> delay_rise;  ///< output rising [s]
+  std::vector<std::vector<double>> delay_fall;  ///< output falling [s]
+  std::vector<std::vector<double>> trans_rise;  ///< output 10-90% [s]
+  std::vector<std::vector<double>> trans_fall;
+
+  /// Bilinear interpolation (clamped to the grid edges).
+  static double lookup(const std::vector<double>& slews, const std::vector<double>& loads,
+                       const std::vector<std::vector<double>>& table, double slew, double load);
+  double delay(bool rising, double slew, double load) const;
+  double transition(bool rising, double slew, double load) const;
+};
+
+/// Characterize one cell.  Throws if the switch pin is non-controlling
+/// under the given static pin values (the output would never move).
+CellTable characterize_cell(const Technology& tech, const CharacterizeSpec& spec);
+
+}  // namespace mtcmos::sizing

@@ -1,0 +1,198 @@
+#include "sizing/hierarchical.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "models/sleep_transistor.hpp"
+#include "util/error.hpp"
+
+namespace mtcmos::sizing {
+
+std::vector<int> domains_by_prefix(const Netlist& nl, const std::vector<std::string>& prefixes) {
+  require(!prefixes.empty(), "domains_by_prefix: need at least one prefix");
+  std::vector<int> domain(static_cast<std::size_t>(nl.gate_count()), -1);
+  for (int g = 0; g < nl.gate_count(); ++g) {
+    const std::string& name = nl.gate(g).name;
+    for (std::size_t p = 0; p < prefixes.size(); ++p) {
+      if (name.rfind(prefixes[p], 0) == 0) {
+        domain[static_cast<std::size_t>(g)] = static_cast<int>(p);
+        break;
+      }
+    }
+    require(domain[static_cast<std::size_t>(g)] >= 0,
+            "domains_by_prefix: gate '" + name + "' matches no prefix");
+  }
+  return domain;
+}
+
+DischargeOverlap analyze_discharge_overlap(const Netlist& nl,
+                                           const std::vector<int>& gate_domain, int n_domains,
+                                           const std::vector<VectorPair>& vectors,
+                                           core::VbsOptions base) {
+  require(n_domains >= 1, "analyze_discharge_overlap: need at least one domain");
+  require(!vectors.empty(), "analyze_discharge_overlap: need at least one vector");
+  base.sleep_resistance = 0.0;
+  const core::VbsSimulator sim(nl, base, gate_domain,
+                               std::vector<double>(static_cast<std::size_t>(n_domains), 0.0));
+
+  DischargeOverlap out;
+  out.peak_per_domain.assign(static_cast<std::size_t>(n_domains), 0.0);
+  for (const VectorPair& vp : vectors) {
+    const core::VbsResult res = sim.run(vp.v0, vp.v1);
+    if (!res.sleep_current.empty()) {
+      out.peak_simultaneous = std::max(out.peak_simultaneous, res.sleep_current.max_value());
+    }
+    for (int d = 0; d < n_domains; ++d) {
+      const std::string name = "isleep" + std::to_string(d);
+      if (n_domains > 1 && res.domain_currents.has(name)) {
+        out.peak_per_domain[static_cast<std::size_t>(d)] =
+            std::max(out.peak_per_domain[static_cast<std::size_t>(d)],
+                     res.domain_currents.get(name).max_value());
+      } else if (n_domains == 1 && !res.sleep_current.empty()) {
+        out.peak_per_domain[0] =
+            std::max(out.peak_per_domain[0], res.sleep_current.max_value());
+      }
+    }
+  }
+  double sum = 0.0;
+  double biggest = 0.0;
+  for (const double p : out.peak_per_domain) {
+    sum += p;
+    biggest = std::max(biggest, p);
+  }
+  out.peak_sum_of_domains = sum;
+  if (sum - biggest > 1e-30) {
+    out.exclusivity = std::clamp((sum - out.peak_simultaneous) / (sum - biggest), 0.0, 1.0);
+  } else {
+    out.exclusivity = 1.0;  // a single (or dominant) domain is trivially exclusive
+  }
+  return out;
+}
+
+namespace {
+
+/// Peak over time and vectors of the summed current of a set of blocks,
+/// where `traces[v][b]` is block b's current trace for vector v.
+double set_peak(const std::vector<std::vector<Pwl>>& traces, const std::set<int>& blocks) {
+  double peak = 0.0;
+  for (const auto& per_block : traces) {
+    // Union of member breakpoints for this vector.
+    std::vector<double> times;
+    for (const int b : blocks) {
+      const Pwl& w = per_block[static_cast<std::size_t>(b)];
+      times.insert(times.end(), w.times().begin(), w.times().end());
+    }
+    std::sort(times.begin(), times.end());
+    for (const double t : times) {
+      double total = 0.0;
+      for (const int b : blocks) total += per_block[static_cast<std::size_t>(b)].sample(t);
+      peak = std::max(peak, total);
+    }
+  }
+  return peak;
+}
+
+}  // namespace
+
+PartitionPlan optimize_sleep_partition(const Netlist& nl, const std::vector<int>& gate_domain,
+                                       int n_blocks, const std::vector<VectorPair>& vectors,
+                                       double bounce_budget, double exclusivity_floor,
+                                       core::VbsOptions base) {
+  require(n_blocks >= 1, "optimize_sleep_partition: need at least one block");
+  require(!vectors.empty(), "optimize_sleep_partition: need at least one vector");
+  require(bounce_budget > 0.0, "optimize_sleep_partition: bounce budget must be positive");
+  require(exclusivity_floor >= 0.0 && exclusivity_floor <= 1.0,
+          "optimize_sleep_partition: exclusivity floor in [0, 1]");
+
+  // Per-vector, per-block current traces at ideal sleep paths.
+  base.sleep_resistance = 0.0;
+  const core::VbsSimulator sim(nl, base, gate_domain,
+                               std::vector<double>(static_cast<std::size_t>(n_blocks), 0.0));
+  std::vector<std::vector<Pwl>> traces;
+  for (const VectorPair& vp : vectors) {
+    const core::VbsResult res = sim.run(vp.v0, vp.v1);
+    std::vector<Pwl> per_block(static_cast<std::size_t>(n_blocks));
+    for (int b = 0; b < n_blocks; ++b) {
+      const std::string name = "isleep" + std::to_string(b);
+      if (n_blocks > 1 && res.domain_currents.has(name)) {
+        per_block[static_cast<std::size_t>(b)] = res.domain_currents.get(name);
+      } else {
+        per_block[static_cast<std::size_t>(b)] = res.sleep_current;
+      }
+    }
+    traces.push_back(std::move(per_block));
+  }
+
+  const Technology& tech = nl.tech();
+  auto width_of = [&](const std::set<int>& blocks) {
+    const double peak = set_peak(traces, blocks);
+    return (peak > 0.0) ? peak_current_wl(tech, peak, bounce_budget) : 0.0;
+  };
+
+  // Start with one group per block.
+  std::vector<std::set<int>> groups;
+  for (int b = 0; b < n_blocks; ++b) groups.push_back({b});
+  std::vector<double> widths;
+  for (const auto& g : groups) widths.push_back(width_of(g));
+
+  PartitionPlan plan;
+  plan.per_block_total_wl = 0.0;
+  for (const double w : widths) plan.per_block_total_wl += w;
+  {
+    std::set<int> all;
+    for (int b = 0; b < n_blocks; ++b) all.insert(b);
+    plan.single_device_wl = width_of(all);
+  }
+
+  // Greedy merging under the exclusivity constraint.
+  bool merged = true;
+  while (merged && groups.size() > 1) {
+    merged = false;
+    double best_saving = 0.0;
+    std::size_t best_i = 0, best_j = 0;
+    std::set<int> best_union;
+    double best_union_width = 0.0;
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      for (std::size_t j = i + 1; j < groups.size(); ++j) {
+        std::set<int> u = groups[i];
+        u.insert(groups[j].begin(), groups[j].end());
+        const double wu = width_of(u);
+        const double saving = widths[i] + widths[j] - wu;
+        // Pairwise exclusivity of the two groups: how close is the union
+        // peak to the larger member's peak (1) versus the sum (0)?
+        const double pi = set_peak(traces, groups[i]);
+        const double pj = set_peak(traces, groups[j]);
+        const double pu = set_peak(traces, u);
+        const double small = std::min(pi, pj);
+        const double excl =
+            (small > 1e-30) ? std::clamp(1.0 - (pu - std::max(pi, pj)) / small, 0.0, 1.0) : 1.0;
+        if (excl >= exclusivity_floor && saving > best_saving) {
+          best_saving = saving;
+          best_i = i;
+          best_j = j;
+          best_union = std::move(u);
+          best_union_width = wu;
+        }
+      }
+    }
+    if (best_saving > 1e-12) {
+      groups[best_i] = std::move(best_union);
+      widths[best_i] = best_union_width;
+      groups.erase(groups.begin() + static_cast<std::ptrdiff_t>(best_j));
+      widths.erase(widths.begin() + static_cast<std::ptrdiff_t>(best_j));
+      merged = true;
+    }
+  }
+
+  plan.group_of_block.assign(static_cast<std::size_t>(n_blocks), -1);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (const int b : groups[g]) plan.group_of_block[static_cast<std::size_t>(b)] =
+        static_cast<int>(g);
+  }
+  plan.group_wl = widths;
+  plan.total_wl = 0.0;
+  for (const double w : widths) plan.total_wl += w;
+  return plan;
+}
+
+}  // namespace mtcmos::sizing

@@ -1,0 +1,79 @@
+#pragma once
+// Hierarchical (multi-sleep-device) sizing support.
+//
+// The paper's follow-up direction: when sub-blocks have *mutually
+// exclusive discharge patterns* (they never sink large currents at the
+// same time), a shared sleep transistor only ever carries one block's
+// current, so it can be sized for the max over blocks instead of the sum
+// -- or each block can get its own, independently sized device (separate
+// virtual grounds, modeled by the multi-domain VbsSimulator).
+//
+// This module provides the discharge-pattern analysis that justifies
+// either choice: per-domain current envelopes over a vector set, their
+// peaks, and an exclusivity score.
+
+#include <vector>
+
+#include "core/vbs.hpp"
+#include "netlist/netlist.hpp"
+#include "sizing/sizing.hpp"
+
+namespace mtcmos::sizing {
+
+/// Assign each gate to the domain of the first name-prefix it matches.
+/// Throws if any gate matches no prefix (every gate must have a home).
+std::vector<int> domains_by_prefix(const Netlist& nl, const std::vector<std::string>& prefixes);
+
+struct DischargeOverlap {
+  /// Worst-case (over vectors and time) discharge-current peak per domain.
+  std::vector<double> peak_per_domain;
+  /// Sum of the per-domain peaks: what a naive "budget each block
+  /// separately and add" sizing would design the shared device for.
+  double peak_sum_of_domains = 0.0;
+  /// Worst instantaneous *total* current actually observed: what the
+  /// shared device really carries.
+  double peak_simultaneous = 0.0;
+  /// 1 = fully mutually exclusive (total never exceeds the largest single
+  /// block), 0 = fully simultaneous (total reaches the sum of peaks).
+  double exclusivity = 0.0;
+};
+
+/// Measure discharge overlap across `vectors` with ideal sleep paths
+/// (R = 0 in every domain), using the switch-level simulator's per-domain
+/// current traces.  `base` supplies stimulus timing / model options.
+DischargeOverlap analyze_discharge_overlap(const Netlist& nl,
+                                           const std::vector<int>& gate_domain, int n_domains,
+                                           const std::vector<VectorPair>& vectors,
+                                           core::VbsOptions base = {});
+
+// --- Sleep-partition optimization ---
+//
+// Merging blocks under one shared sleep device never increases the
+// required total width (the union's simultaneous peak is at most the sum
+// of the blocks' peaks), but merging blocks that *do* discharge together
+// couples their ground bounce: a quiet block inherits its neighbour's
+// noise.  The optimizer therefore merges greedily by width savings,
+// subject to a pairwise-exclusivity floor.
+
+struct PartitionPlan {
+  /// fine block index -> merged device index.
+  std::vector<int> group_of_block;
+  /// W/L of each merged device (sized for its union's simultaneous peak
+  /// against the bounce budget).
+  std::vector<double> group_wl;
+  double total_wl = 0.0;
+  /// Baselines: one device per fine block / one device for everything.
+  double per_block_total_wl = 0.0;
+  double single_device_wl = 0.0;
+};
+
+/// Greedily merge fine blocks whose pairwise exclusivity is at least
+/// `exclusivity_floor` (1 = only merge blocks that never overlap, 0 =
+/// merge everything), picking the largest width saving first.  Widths are
+/// sized by the Section 4 peak-current rule against `bounce_budget`.
+PartitionPlan optimize_sleep_partition(const Netlist& nl, const std::vector<int>& gate_domain,
+                                       int n_blocks, const std::vector<VectorPair>& vectors,
+                                       double bounce_budget, double exclusivity_floor = 0.8,
+                                       core::VbsOptions base = {});
+
+}  // namespace mtcmos::sizing

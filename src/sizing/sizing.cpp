@@ -1,0 +1,236 @@
+#include "sizing/sizing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "models/sleep_transistor.hpp"
+#include "netlist/bits.hpp"
+#include "util/error.hpp"
+
+namespace mtcmos::sizing {
+
+DelayEvaluator::DelayEvaluator(const Netlist& nl, std::vector<std::string> outputs,
+                               core::VbsOptions base)
+    : nl_(nl), outputs_(std::move(outputs)), base_(base) {
+  require(!outputs_.empty(), "DelayEvaluator: need at least one output net");
+  for (const std::string& name : outputs_) {
+    require(nl_.find_net(name).has_value(), "DelayEvaluator: unknown net " + name);
+  }
+}
+
+double DelayEvaluator::delay_cmos(const VectorPair& vp) const {
+  core::VbsOptions opt = base_;
+  opt.sleep_resistance = 0.0;
+  return core::VbsSimulator(nl_, opt).critical_delay(vp.v0, vp.v1, outputs_);
+}
+
+double DelayEvaluator::delay_at_wl(const VectorPair& vp, double wl) const {
+  core::VbsOptions opt = base_;
+  opt.sleep_resistance = SleepTransistor(nl_.tech(), wl).reff();
+  return core::VbsSimulator(nl_, opt).critical_delay(vp.v0, vp.v1, outputs_);
+}
+
+double DelayEvaluator::degradation_pct(const VectorPair& vp, double wl) const {
+  const double d0 = delay_cmos(vp);
+  if (d0 <= 0.0) return -1.0;
+  const double d1 = delay_at_wl(vp, wl);
+  if (d1 <= 0.0) return -1.0;
+  return (d1 - d0) / d0 * 100.0;
+}
+
+double sum_of_widths_wl(const Netlist& nl) {
+  return nl.total_nmos_width() / nl.tech().lmin;
+}
+
+double peak_current_wl(const Technology& tech, double ipeak, double bounce_budget) {
+  require(ipeak > 0.0, "peak_current_wl: peak current must be positive");
+  require(bounce_budget > 0.0, "peak_current_wl: bounce budget must be positive");
+  // Ipeak * R_eff(W/L) <= budget  =>  W/L >= Ipeak / (budget kp (Vdd - Vth)).
+  return SleepTransistor::wl_for_resistance(tech, bounce_budget / ipeak);
+}
+
+double measure_peak_current(const Netlist& nl, const VectorPair& vp, core::VbsOptions base) {
+  base.sleep_resistance = 0.0;
+  const core::VbsResult res = core::VbsSimulator(nl, base).run(vp.v0, vp.v1);
+  return res.sleep_current.empty() ? 0.0 : res.sleep_current.max_value();
+}
+
+SizingResult size_for_degradation(const DelayEvaluator& eval,
+                                  const std::vector<VectorPair>& vectors, double target_pct,
+                                  double wl_min, double wl_max, double wl_tol) {
+  require(!vectors.empty(), "size_for_degradation: need at least one vector");
+  require(target_pct > 0.0, "size_for_degradation: target must be positive");
+  require(wl_min > 0.0 && wl_max > wl_min, "size_for_degradation: bad W/L bounds");
+  require(wl_tol > 0.0, "size_for_degradation: bad tolerance");
+
+  auto worst_at = [&](double wl) {
+    double worst = -1.0;
+    std::size_t worst_idx = 0;
+    for (std::size_t i = 0; i < vectors.size(); ++i) {
+      const double deg = eval.degradation_pct(vectors[i], wl);
+      if (deg > worst) {
+        worst = deg;
+        worst_idx = i;
+      }
+    }
+    return std::pair<double, std::size_t>{worst, worst_idx};
+  };
+
+  auto [deg_max, idx_max] = worst_at(wl_max);
+  if (deg_max > target_pct) {
+    throw NumericalError("size_for_degradation: even W/L=" + std::to_string(wl_max) +
+                         " degrades " + std::to_string(deg_max) + "% > target");
+  }
+  auto [deg_min, idx_min] = worst_at(wl_min);
+  if (deg_min >= 0.0 && deg_min <= target_pct) {
+    return {wl_min, deg_min, vectors[idx_min]};
+  }
+
+  // Bisection in log space (degradation is monotone decreasing in W/L).
+  double lo = wl_min, hi = wl_max;
+  double hi_deg = deg_max;
+  std::size_t hi_idx = idx_max;
+  while (hi - lo > wl_tol) {
+    const double mid = std::sqrt(lo * hi);
+    const auto [deg, idx] = worst_at(mid);
+    if (deg >= 0.0 && deg <= target_pct) {
+      hi = mid;
+      hi_deg = deg;
+      hi_idx = idx;
+    } else {
+      lo = mid;
+    }
+  }
+  return {hi, hi_deg, vectors[hi_idx]};
+}
+
+std::vector<VectorPair> all_vector_pairs(int n_inputs) {
+  require(n_inputs >= 1 && n_inputs <= 8,
+          "all_vector_pairs: exhaustive enumeration limited to 8 inputs (65536 pairs); "
+          "use sampled_vector_pairs for larger spaces");
+  const std::uint64_t space = 1ull << n_inputs;
+  std::vector<VectorPair> pairs;
+  pairs.reserve(static_cast<std::size_t>(space * space));
+  for (std::uint64_t a = 0; a < space; ++a) {
+    for (std::uint64_t b = 0; b < space; ++b) {
+      pairs.push_back(
+          {netlist::bits_from_uint(a, n_inputs), netlist::bits_from_uint(b, n_inputs)});
+    }
+  }
+  return pairs;
+}
+
+std::vector<VectorPair> sampled_vector_pairs(int n_inputs, int count, Rng& rng) {
+  require(n_inputs >= 1 && n_inputs <= 64, "sampled_vector_pairs: bad input count");
+  require(count >= 1, "sampled_vector_pairs: count must be positive");
+  const std::uint64_t mask =
+      (n_inputs == 64) ? ~0ull : ((1ull << n_inputs) - 1ull);
+  std::vector<VectorPair> pairs;
+  pairs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    pairs.push_back({netlist::bits_from_uint(rng.uniform_int(0, mask), n_inputs),
+                     netlist::bits_from_uint(rng.uniform_int(0, mask), n_inputs)});
+  }
+  return pairs;
+}
+
+std::vector<VectorDelay> rank_vectors(const DelayEvaluator& eval,
+                                      const std::vector<VectorPair>& vectors, double wl) {
+  std::vector<VectorDelay> out;
+  for (const VectorPair& vp : vectors) {
+    VectorDelay vd;
+    vd.pair = vp;
+    vd.delay_cmos = eval.delay_cmos(vp);
+    if (vd.delay_cmos <= 0.0) continue;
+    vd.delay_mtcmos = eval.delay_at_wl(vp, wl);
+    if (vd.delay_mtcmos <= 0.0) continue;
+    vd.degradation_pct = (vd.delay_mtcmos - vd.delay_cmos) / vd.delay_cmos * 100.0;
+    out.push_back(std::move(vd));
+  }
+  std::sort(out.begin(), out.end(), [](const VectorDelay& a, const VectorDelay& b) {
+    return a.degradation_pct > b.degradation_pct;
+  });
+  return out;
+}
+
+VectorDelay search_worst_vector(const DelayEvaluator& eval, double wl, int samples, Rng& rng) {
+  require(samples >= 1, "search_worst_vector: need at least one sample");
+  const int n = static_cast<int>(eval.netlist().inputs().size());
+
+  auto score = [&](const VectorPair& vp) -> double {
+    // Objective: absolute MTCMOS delay (what the designer must cover).
+    return eval.delay_at_wl(vp, wl);
+  };
+
+  VectorPair best;
+  double best_score = -1.0;
+  for (const VectorPair& vp : sampled_vector_pairs(n, samples, rng)) {
+    const double s = score(vp);
+    if (s > best_score) {
+      best_score = s;
+      best = vp;
+    }
+  }
+  require(best_score > 0.0, "search_worst_vector: no sampled vector toggles the outputs");
+
+  // Greedy single-bit-flip refinement on both endpoints of the transition.
+  bool improved = true;
+  int rounds = 0;
+  while (improved && rounds++ < 32) {
+    improved = false;
+    for (int side = 0; side < 2; ++side) {
+      for (int bit = 0; bit < n; ++bit) {
+        VectorPair cand = best;
+        auto& vec = (side == 0) ? cand.v0 : cand.v1;
+        vec[static_cast<std::size_t>(bit)] = !vec[static_cast<std::size_t>(bit)];
+        const double s = score(cand);
+        if (s > best_score) {
+          best_score = s;
+          best = std::move(cand);
+          improved = true;
+        }
+      }
+    }
+  }
+
+  VectorDelay out;
+  out.pair = best;
+  out.delay_mtcmos = best_score;
+  out.delay_cmos = eval.delay_cmos(best);
+  out.degradation_pct = (out.delay_cmos > 0.0)
+                            ? (out.delay_mtcmos - out.delay_cmos) / out.delay_cmos * 100.0
+                            : -1.0;
+  return out;
+}
+
+double falling_discharge_weight(const Netlist& nl, const VectorPair& vp) {
+  require(vp.v0.size() == nl.inputs().size() && vp.v1.size() == nl.inputs().size(),
+          "falling_discharge_weight: input vector size mismatch");
+  const auto before = nl.evaluate(vp.v0);
+  const auto after = nl.evaluate(vp.v1);
+  double weight = 0.0;
+  for (int g = 0; g < nl.gate_count(); ++g) {
+    const auto out = static_cast<std::size_t>(nl.gate(g).output);
+    if (before[out] && !after[out]) weight += nl.beta_n_eff(g);
+  }
+  return weight;
+}
+
+std::vector<VectorPair> screen_vectors(const Netlist& nl, std::vector<VectorPair> candidates,
+                                       std::size_t keep) {
+  require(keep >= 1, "screen_vectors: keep must be >= 1");
+  std::vector<std::pair<double, std::size_t>> scored;
+  scored.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    scored.emplace_back(falling_discharge_weight(nl, candidates[i]), i);
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<VectorPair> out;
+  for (std::size_t i = 0; i < keep && i < scored.size(); ++i) {
+    out.push_back(std::move(candidates[scored[i].second]));
+  }
+  return out;
+}
+
+}  // namespace mtcmos::sizing

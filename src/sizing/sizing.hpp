@@ -1,0 +1,136 @@
+#pragma once
+// Sleep-transistor sizing methodologies (the paper's purpose).
+//
+// Three estimators, in increasing order of intelligence:
+//   1. sum_of_widths_wl  -- "sum the widths of internal low-Vt
+//      transistors" (Section 2: "unnecessarily large estimates").
+//   2. peak_current_wl   -- size so the worst-case current spike keeps the
+//      virtual-ground bounce under a budget (Section 4: "extremely
+//      conservative"; the paper's example lands ~3x too big).
+//   3. size_for_degradation -- the paper's methodology: sweep/bisect the
+//      sleep W/L with the variable-breakpoint simulator until the worst
+//      vector's % delay degradation meets the target.
+//
+// Plus the vector-space machinery those need: exhaustive enumeration for
+// small circuits (the 4096-vector adder of Section 6.2), seeded sampling
+// and greedy bit-flip refinement for large ones (the 8x8 multiplier of
+// Section 4), and ranked degradation reports (Figure 14).
+
+#include <string>
+#include <vector>
+
+#include "core/vbs.hpp"
+#include "models/technology.hpp"
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace mtcmos::sizing {
+
+using netlist::Netlist;
+
+/// A v0 -> v1 input transition.
+struct VectorPair {
+  std::vector<bool> v0;
+  std::vector<bool> v1;
+};
+
+/// Per-vector delay measurement at a given sizing.
+struct VectorDelay {
+  VectorPair pair;
+  double delay_cmos = -1.0;    ///< [s], sleep path ideal (R = 0)
+  double delay_mtcmos = -1.0;  ///< [s], at the evaluated W/L
+  double degradation_pct = 0.0;
+};
+
+/// Measures circuit delay (latest 50% crossing among `outputs`) through
+/// the switch-level simulator, for arbitrary sleep W/L, with a cached
+/// R = 0 baseline.
+class DelayEvaluator {
+ public:
+  /// `outputs` are net names whose latest crossing defines the delay.
+  /// `base` carries stimulus timing and model extensions; its
+  /// sleep_resistance field is overridden per call.
+  DelayEvaluator(const Netlist& nl, std::vector<std::string> outputs, core::VbsOptions base = {});
+
+  double delay_cmos(const VectorPair& vp) const;
+  double delay_at_wl(const VectorPair& vp, double wl) const;
+  /// Convenience: % degradation at `wl` (negative if the outputs never
+  /// switch for this pair).
+  double degradation_pct(const VectorPair& vp, double wl) const;
+
+  const Netlist& netlist() const { return nl_; }
+  const std::vector<std::string>& outputs() const { return outputs_; }
+
+ private:
+  const Netlist& nl_;
+  std::vector<std::string> outputs_;
+  core::VbsOptions base_;
+};
+
+// --- Baseline estimators ---
+
+/// Baseline 1: W/L that matches the summed width of every low-Vt NMOS.
+double sum_of_widths_wl(const Netlist& nl);
+
+/// Baseline 2: W/L such that a (fixed) peak current `ipeak` drops no more
+/// than `bounce_budget` volts across R_eff.
+double peak_current_wl(const Technology& tech, double ipeak, double bounce_budget);
+
+/// Peak total discharge current for a vector, measured with an ideal
+/// sleep path (R = 0), i.e. the "worst case peak current" Section 4 would
+/// design for.
+double measure_peak_current(const Netlist& nl, const VectorPair& vp,
+                            core::VbsOptions base = {});
+
+// --- Simulator-driven sizing ---
+
+struct SizingResult {
+  double wl = 0.0;                 ///< minimal W/L meeting the target
+  double degradation_pct = 0.0;    ///< achieved worst-vector degradation
+  VectorPair binding_vector;       ///< the vector that binds the sizing
+};
+
+/// Smallest W/L (within [wl_min, wl_max], resolved to `wl_tol`) whose
+/// worst degradation over `vectors` is <= target_pct.  Throws
+/// NumericalError if even wl_max cannot meet the target.
+SizingResult size_for_degradation(const DelayEvaluator& eval,
+                                  const std::vector<VectorPair>& vectors, double target_pct,
+                                  double wl_min = 1.0, double wl_max = 4000.0,
+                                  double wl_tol = 0.5);
+
+// --- Vector-space exploration ---
+
+/// All 2^n * 2^n transitions of an n-input circuit (n <= 8 guard).
+std::vector<VectorPair> all_vector_pairs(int n_inputs);
+
+/// `count` transitions sampled uniformly (deterministic under the seed).
+std::vector<VectorPair> sampled_vector_pairs(int n_inputs, int count, Rng& rng);
+
+/// Degradation-ranked report over a vector set at sizing `wl`.  Pairs
+/// whose outputs never switch are dropped.  Sorted worst-first.
+std::vector<VectorDelay> rank_vectors(const DelayEvaluator& eval,
+                                      const std::vector<VectorPair>& vectors, double wl);
+
+/// Randomized worst-vector search: `samples` random pairs, then greedy
+/// single-bit-flip refinement from the best one.  Returns the worst
+/// VectorDelay found.  This is how the toolkit narrows the 2^32 vector
+/// space of the 8x8 multiplier the way the paper narrows it for SPICE.
+VectorDelay search_worst_vector(const DelayEvaluator& eval, double wl, int samples, Rng& rng);
+
+// --- Logic-level screening (a pre-filter before even the fast simulator) ---
+
+/// Static simultaneous-discharge estimate for a transition: the summed
+/// effective pull-down gain of every gate whose steady-state output falls
+/// from v0 to v1.  No timing is involved -- it upper-bounds how much
+/// current *could* flow through the sleep device at once, and correlates
+/// strongly with MTCMOS sensitivity (paper Section 2.4: vectors "that
+/// will cause large currents to flow through the sleep transistors").
+double falling_discharge_weight(const Netlist& nl, const VectorPair& vp);
+
+/// Keep the `keep` candidates with the largest falling_discharge_weight.
+/// Used to thin huge vector sets before handing them to the simulator,
+/// mirroring how the paper's tool thins them before SPICE.
+std::vector<VectorPair> screen_vectors(const Netlist& nl, std::vector<VectorPair> candidates,
+                                       std::size_t keep);
+
+}  // namespace mtcmos::sizing

@@ -1,0 +1,96 @@
+#include "sizing/spice_ref.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mtcmos::sizing {
+
+namespace {
+
+std::vector<bool> all_zero(std::size_t n) { return std::vector<bool>(n, false); }
+
+}  // namespace
+
+SpiceRef::SpiceRef(const netlist::Netlist& nl, std::vector<std::string> outputs,
+                   const SpiceRefOptions& options)
+    : nl_(nl),
+      outputs_(std::move(outputs)),
+      options_(options),
+      ex_(netlist::to_spice(nl, options.expand, all_zero(nl.inputs().size()),
+                            all_zero(nl.inputs().size()))),
+      engine_(ex_.circuit) {
+  require(!outputs_.empty(), "SpiceRef: need at least one output net");
+  for (const std::string& name : outputs_) {
+    require(nl_.find_net(name).has_value(), "SpiceRef: unknown net " + name);
+  }
+}
+
+spice::TransientResult SpiceRef::transient(const VectorPair& vp,
+                                           const std::vector<std::string>& extra_probes) {
+  netlist::set_input_vectors(nl_, options_.expand, ex_.circuit, vp.v0, vp.v1);
+  spice::TransientOptions topt;
+  topt.tstop = options_.tstop;
+  topt.dt = options_.dt;
+  // Seed the t=0 DC solve with rail voltages from boolean evaluation --
+  // internal stack nodes stay at 0 and get refined by Newton.
+  const auto logic = nl_.evaluate(vp.v0);
+  topt.dc_initial_guess.assign(static_cast<std::size_t>(ex_.circuit.node_count()), 0.0);
+  for (netlist::NetId n = 0; n < nl_.net_count(); ++n) {
+    const auto node = ex_.circuit.find_node(nl_.net_name(n));
+    if (node.has_value() && logic[static_cast<std::size_t>(n)]) {
+      topt.dc_initial_guess[static_cast<std::size_t>(*node)] = nl_.tech().vdd;
+    }
+  }
+  topt.voltage_probes = outputs_;
+  for (const std::string& p : extra_probes) topt.voltage_probes.push_back(p);
+  // One input channel for the delay reference.
+  if (!nl_.inputs().empty()) {
+    topt.voltage_probes.push_back(nl_.net_name(nl_.inputs().front()));
+  }
+  if (!ex_.vgnd_node.empty() && ex_.vgnd_node != "0") {
+    topt.voltage_probes.push_back(ex_.vgnd_node);
+  }
+  if (!ex_.sleep_device.empty()) topt.current_probes.push_back(ex_.sleep_device);
+  topt.current_probes.push_back("VDD");  // supply current, for energy metering
+  // Deduplicate probes (an output may coincide with an extra probe).
+  std::sort(topt.voltage_probes.begin(), topt.voltage_probes.end());
+  topt.voltage_probes.erase(
+      std::unique(topt.voltage_probes.begin(), topt.voltage_probes.end()),
+      topt.voltage_probes.end());
+  return engine_.run_transient(topt);
+}
+
+SpiceRefResult SpiceRef::measure(const VectorPair& vp) {
+  const spice::TransientResult res = transient(vp);
+  SpiceRefResult out;
+  const double vdd = nl_.tech().vdd;
+  const double th = 0.5 * vdd;
+  const double t_in = options_.expand.t_switch + 0.5 * options_.expand.ramp;
+
+  double worst = -1.0;
+  double settle = 0.0;
+  for (const std::string& name : outputs_) {
+    const Pwl& w = res.voltages.get(name);
+    const auto t = w.last_crossing(th, Edge::kAny);
+    if (t && *t > t_in) worst = std::max(worst, *t - t_in);
+    const double final_v = w.last_value();
+    settle = std::max(settle, std::min(std::abs(final_v), std::abs(vdd - final_v)));
+  }
+  out.delay = worst;
+  out.settle_error = settle;
+  if (!ex_.vgnd_node.empty() && ex_.vgnd_node != "0" && res.voltages.has(ex_.vgnd_node)) {
+    out.vx_peak = res.voltages.get(ex_.vgnd_node).max_value();
+  }
+  if (!ex_.sleep_device.empty() && res.currents.has(ex_.sleep_device)) {
+    out.sleep_ipeak = res.currents.get(ex_.sleep_device).max_value();
+  }
+  if (res.currents.has("VDD")) {
+    const Pwl& ivdd = res.currents.get("VDD");
+    out.supply_energy = vdd * ivdd.integral(ivdd.first_time(), ivdd.last_time());
+  }
+  return out;
+}
+
+}  // namespace mtcmos::sizing

@@ -1,0 +1,59 @@
+#pragma once
+// Transistor-level reference measurements.
+//
+// Wraps netlist expansion + the MNA engine into the same "delay of a
+// vector transition" interface the switch-level DelayEvaluator offers, so
+// the benches can print SPICE and simulator columns side by side (paper
+// Figures 10, 13, 14).  The expanded circuit and its factorization
+// pattern are built once; successive vectors only swap source waveforms.
+
+#include <string>
+#include <vector>
+
+#include "netlist/expand.hpp"
+#include "netlist/netlist.hpp"
+#include "sizing/sizing.hpp"
+#include "spice/engine.hpp"
+
+namespace mtcmos::sizing {
+
+struct SpiceRefOptions {
+  netlist::ExpandOptions expand;  ///< ground style, sleep W/L, stimulus timing
+  double tstop = 6e-9;            ///< transient window [s]
+  double dt = 2e-12;              ///< nominal step [s]
+};
+
+struct SpiceRefResult {
+  double delay = -1.0;        ///< latest output 50% crossing - input 50% [s]
+  double vx_peak = 0.0;       ///< peak virtual-ground voltage [V]
+  double sleep_ipeak = 0.0;   ///< peak sleep-device current [A]
+  double settle_error = 0.0;  ///< worst |final - rail| among outputs [V]
+  double supply_energy = 0.0;  ///< Vdd * integral of the VDD source current [J]
+};
+
+class SpiceRef {
+ public:
+  SpiceRef(const netlist::Netlist& nl, std::vector<std::string> outputs,
+           const SpiceRefOptions& options);
+  SpiceRef(const SpiceRef&) = delete;
+  SpiceRef& operator=(const SpiceRef&) = delete;
+
+  /// Measure one vector transition.
+  SpiceRefResult measure(const VectorPair& vp);
+
+  /// Full transient for waveform-level benches: probes every requested
+  /// node plus virtual ground and sleep current.
+  spice::TransientResult transient(const VectorPair& vp,
+                                   const std::vector<std::string>& extra_probes = {});
+
+  const netlist::Expanded& expanded() const { return ex_; }
+
+ private:
+  const netlist::Netlist& nl_;
+  std::vector<std::string> outputs_;
+  SpiceRefOptions options_;
+  netlist::Expanded ex_;
+  spice::Engine engine_;
+};
+
+}  // namespace mtcmos::sizing

@@ -1,0 +1,72 @@
+#pragma once
+// Static timing analysis over characterized cell tables.
+//
+// A classic topological STA: per-arc NLDM lookups (slew in, load out),
+// negative-unate arcs (every cell here is a complementary gate), latest
+// arrival per net and edge.  It exists in this toolkit to *quantify the
+// paper's Section 2.4 warning*: a critical-path tool -- even one whose
+// tables were characterized with the cell's own sleep device -- cannot
+// see the virtual-ground interaction of many gates discharging through a
+// *shared* sleep transistor, so it underestimates MTCMOS delay where the
+// vector-aware simulator does not (bench ext_sta).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sizing/characterize.hpp"
+
+namespace mtcmos::sizing {
+
+struct StaOptions {
+  /// Characterization grid for the per-cell tables.
+  std::vector<double> slews = {20e-12, 60e-12, 150e-12, 400e-12};
+  std::vector<double> loads = {5e-15, 15e-15, 40e-15, 100e-15, 250e-15};
+  /// Table flavour: ideal ground (plain CMOS tables) or per-cell sleep
+  /// device (derated tables).
+  netlist::ExpandOptions::Ground ground = netlist::ExpandOptions::Ground::kIdeal;
+  double sleep_wl = 10.0;
+  double input_slew = 50e-12;  ///< primary-input transition time [s]
+};
+
+struct StaResult {
+  std::vector<double> arrival_rise;  ///< per net, latest rising arrival [s]
+  std::vector<double> arrival_fall;  ///< per net, latest falling arrival [s]
+  std::vector<double> slew_rise;     ///< slew of the arc setting that arrival
+  std::vector<double> slew_fall;
+  double worst_arrival = 0.0;
+  netlist::NetId worst_net = -1;
+
+  double arrival(netlist::NetId n) const {
+    return std::max(arrival_rise[static_cast<std::size_t>(n)],
+                    arrival_fall[static_cast<std::size_t>(n)]);
+  }
+};
+
+class StaEngine {
+ public:
+  /// Characterizes every distinct (cell shape, pin) arc in `nl` up front
+  /// (cached by structure), then analyze() is pure table propagation.
+  StaEngine(const netlist::Netlist& nl, StaOptions options);
+
+  /// Latest arrivals with every primary input switching at t = 0.
+  StaResult analyze() const;
+
+  /// Number of distinct characterized arc tables (diagnostics; shared
+  /// across structurally identical cells).
+  std::size_t arc_count() const { return tables_.size(); }
+
+ private:
+  struct Arc {
+    const CellTable* table = nullptr;  ///< owned by tables_
+  };
+
+  const netlist::Netlist& nl_;
+  StaOptions options_;
+  std::map<std::string, CellTable> tables_;      ///< cache key -> table
+  std::vector<std::vector<Arc>> arcs_;           ///< [gate][pin]
+  std::vector<double> loads_;                    ///< per gate
+};
+
+}  // namespace mtcmos::sizing

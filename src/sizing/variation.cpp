@@ -1,0 +1,123 @@
+#include "sizing/variation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "models/sleep_transistor.hpp"
+#include "util/error.hpp"
+
+namespace mtcmos::sizing {
+
+namespace {
+
+Technology sample_technology(const Technology& nominal, const VariationModel& model, Rng& rng) {
+  std::normal_distribution<double> unit(0.0, 1.0);
+  Technology t = nominal;
+  const double d_low = model.sigma_vt_low * unit(rng.engine());
+  const double d_low_p = model.sigma_vt_low * unit(rng.engine());
+  const double d_high = model.sigma_vt_high * unit(rng.engine());
+  const double kp_scale =
+      std::max(0.5, 1.0 + model.sigma_kp_frac * unit(rng.engine()));
+  t.nmos_low.vt0 = std::max(0.01, t.nmos_low.vt0 + d_low);
+  t.pmos_low.vt0 = std::max(0.01, t.pmos_low.vt0 + d_low_p);
+  t.nmos_high.vt0 = std::max(0.05, t.nmos_high.vt0 + d_high);
+  t.pmos_high.vt0 = std::max(0.05, t.pmos_high.vt0 + d_high);
+  t.nmos_low.kp *= kp_scale;
+  t.pmos_low.kp *= kp_scale;
+  t.nmos_high.kp *= kp_scale;
+  t.pmos_high.kp *= kp_scale;
+  require(t.vdd > t.nmos_high.vt0 + 0.05,
+          "sample_technology: variation pushed Vt,high too close to Vdd; "
+          "reduce sigma_vt_high");
+  return t;
+}
+
+double chip_degradation(const NetlistBuilder& builder, const Technology& chip,
+                        const std::vector<std::string>& outputs, const VectorPair& vp, double wl,
+                        const core::VbsOptions& base) {
+  const netlist::Netlist nl = builder(chip);
+  core::VbsOptions cmos = base;
+  cmos.sleep_resistance = 0.0;
+  const double d0 = core::VbsSimulator(nl, cmos).critical_delay(vp.v0, vp.v1, outputs);
+  if (d0 <= 0.0) return -1.0;
+  core::VbsOptions mt = base;
+  mt.sleep_resistance = SleepTransistor(chip, wl).reff();
+  const double d1 = core::VbsSimulator(nl, mt).critical_delay(vp.v0, vp.v1, outputs);
+  if (d1 <= 0.0) return -1.0;
+  return (d1 - d0) / d0 * 100.0;
+}
+
+}  // namespace
+
+double percentile_of(const std::vector<double>& sorted_ascending, double percentile) {
+  require(!sorted_ascending.empty(), "percentile_of: empty sample");
+  require(percentile >= 0.0 && percentile <= 1.0, "percentile_of: percentile in [0,1]");
+  // Nearest-rank definition: index = ceil(p * n) - 1, clamped.
+  const double n = static_cast<double>(sorted_ascending.size());
+  const double rank = std::clamp(std::ceil(percentile * n) - 1.0, 0.0, n - 1.0);
+  return sorted_ascending[static_cast<std::size_t>(rank)];
+}
+
+VariationResult monte_carlo_degradation(const NetlistBuilder& builder, const Technology& nominal,
+                                        const std::vector<std::string>& outputs,
+                                        const VectorPair& vp, double wl,
+                                        const VariationModel& model, int samples, Rng& rng,
+                                        core::VbsOptions base) {
+  require(samples >= 1, "monte_carlo_degradation: need at least one sample");
+  VariationResult out;
+  out.nominal = chip_degradation(builder, nominal, outputs, vp, wl, base);
+  for (int s = 0; s < samples; ++s) {
+    const Technology chip = sample_technology(nominal, model, rng);
+    const double deg = chip_degradation(builder, chip, outputs, vp, wl, base);
+    if (deg < 0.0) {
+      ++out.failed_samples;
+      continue;
+    }
+    out.degradation_pct.push_back(deg);
+  }
+  require(!out.degradation_pct.empty(), "monte_carlo_degradation: every sample failed");
+  std::sort(out.degradation_pct.begin(), out.degradation_pct.end());
+  double sum = 0.0;
+  for (const double d : out.degradation_pct) sum += d;
+  out.mean = sum / static_cast<double>(out.degradation_pct.size());
+  out.p50 = percentile_of(out.degradation_pct, 0.50);
+  out.p95 = percentile_of(out.degradation_pct, 0.95);
+  out.worst = out.degradation_pct.back();
+  return out;
+}
+
+double wl_for_yield(const NetlistBuilder& builder, const Technology& nominal,
+                    const std::vector<std::string>& outputs, const VectorPair& vp,
+                    double target_pct, double percentile, const VariationModel& model,
+                    int samples, std::uint64_t seed, double wl_min, double wl_max, double wl_tol,
+                    core::VbsOptions base) {
+  require(target_pct > 0.0, "wl_for_yield: target must be positive");
+  require(wl_min > 0.0 && wl_max > wl_min && wl_tol > 0.0, "wl_for_yield: bad W/L bounds");
+
+  // Common random numbers: each probe re-seeds, so bisection sees a
+  // deterministic monotone function of W/L.
+  auto yield_metric = [&](double wl) {
+    Rng rng(seed);
+    const VariationResult res =
+        monte_carlo_degradation(builder, nominal, outputs, vp, wl, model, samples, rng, base);
+    return percentile_of(res.degradation_pct, percentile);
+  };
+  if (yield_metric(wl_max) > target_pct) {
+    throw NumericalError("wl_for_yield: even W/L=" + std::to_string(wl_max) +
+                         " misses the yield target");
+  }
+  if (yield_metric(wl_min) <= target_pct) return wl_min;
+  double lo = wl_min, hi = wl_max;
+  while (hi - lo > wl_tol) {
+    const double mid = std::sqrt(lo * hi);
+    if (yield_metric(mid) <= target_pct) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace mtcmos::sizing

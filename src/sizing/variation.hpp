@@ -1,0 +1,71 @@
+#pragma once
+// Monte-Carlo process variation on MTCMOS sizing.
+//
+// A post-paper extension the sizing problem invites: the sleep device's
+// effective resistance is 1 / (kp (W/L) (Vdd - Vt,high)), so with the
+// paper's voltages (Vdd - Vt,high as small as 0.3 V) a few tens of mV of
+// threshold variation moves R_eff -- and the delay degradation -- by tens
+// of percent.  A device sized exactly for the nominal corner misses the
+// target on half the chips; this module quantifies that and sizes for a
+// yield percentile instead.
+//
+// Variation model: per-chip (fully correlated across devices of a class)
+// Gaussian shifts of the three threshold classes plus a relative kp
+// shift.  Local mismatch is deliberately out of scope -- sleep sizing is
+// a global design decision dominated by the global corner.
+
+#include <functional>
+
+#include "core/vbs.hpp"
+#include "models/technology.hpp"
+#include "netlist/netlist.hpp"
+#include "sizing/sizing.hpp"
+#include "util/rng.hpp"
+
+namespace mtcmos::sizing {
+
+struct VariationModel {
+  double sigma_vt_low = 0.015;   ///< sigma of low-Vt NMOS/PMOS shift [V]
+  double sigma_vt_high = 0.030;  ///< sigma of the high-Vt (extra implant) shift [V]
+  double sigma_kp_frac = 0.05;   ///< relative sigma of kp (mobility/tox)
+};
+
+/// Rebuilds the workload for a sampled technology (the Netlist owns a
+/// Technology copy, so variation means re-generation -- cheap for the
+/// paper's circuits).
+using NetlistBuilder = std::function<netlist::Netlist(const Technology&)>;
+
+struct VariationResult {
+  std::vector<double> degradation_pct;  ///< per Monte-Carlo sample, sorted ascending
+  double nominal = 0.0;                 ///< degradation at the nominal corner
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double worst = 0.0;
+  int failed_samples = 0;  ///< samples whose outputs did not switch
+};
+
+/// Sample `samples` chips, measuring the % delay degradation of vector
+/// `vp` (worst over `outputs`) at sleep sizing `wl` on each.  Each chip's
+/// CMOS baseline uses that chip's own (varied) devices, so the metric
+/// isolates the MTCMOS penalty from plain logic-speed variation.
+VariationResult monte_carlo_degradation(const NetlistBuilder& builder, const Technology& nominal,
+                                        const std::vector<std::string>& outputs,
+                                        const VectorPair& vp, double wl,
+                                        const VariationModel& model, int samples, Rng& rng,
+                                        core::VbsOptions base = {});
+
+/// Smallest W/L whose `percentile` (e.g. 0.95) degradation stays under
+/// `target_pct` across the Monte-Carlo population.  Uses common random
+/// numbers (the same seed per probe) so the bisection is on a
+/// deterministic function.
+double wl_for_yield(const NetlistBuilder& builder, const Technology& nominal,
+                    const std::vector<std::string>& outputs, const VectorPair& vp,
+                    double target_pct, double percentile, const VariationModel& model,
+                    int samples, std::uint64_t seed, double wl_min = 1.0, double wl_max = 4000.0,
+                    double wl_tol = 1.0, core::VbsOptions base = {});
+
+/// Percentile helper on a sorted ascending sample vector (nearest rank).
+double percentile_of(const std::vector<double>& sorted_ascending, double percentile);
+
+}  // namespace mtcmos::sizing

@@ -1,0 +1,107 @@
+#include "spice/circuit.hpp"
+
+#include "util/error.hpp"
+
+namespace mtcmos::spice {
+
+Circuit::Circuit() {
+  node_names_.push_back("0");
+  node_ids_["0"] = kGround;
+  node_ids_["gnd"] = kGround;
+}
+
+NodeId Circuit::node(const std::string& name) {
+  const auto it = node_ids_.find(name);
+  if (it != node_ids_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(node_names_.size());
+  node_names_.push_back(name);
+  node_ids_[name] = id;
+  return id;
+}
+
+std::optional<NodeId> Circuit::find_node(const std::string& name) const {
+  const auto it = node_ids_.find(name);
+  if (it == node_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Circuit::node_name(NodeId id) const {
+  require(id >= 0 && id < node_count(), "Circuit::node_name: bad node id");
+  return node_names_[static_cast<std::size_t>(id)];
+}
+
+void Circuit::check_node(NodeId id) const {
+  require(id >= 0 && id < node_count(), "Circuit: node id out of range");
+}
+
+void Circuit::add_resistor(const std::string& name, NodeId a, NodeId b, double resistance) {
+  check_node(a);
+  check_node(b);
+  require(resistance > 0.0, "Circuit::add_resistor: resistance must be positive");
+  require(a != b, "Circuit::add_resistor: terminals must differ");
+  resistors_.push_back({name, a, b, resistance});
+}
+
+void Circuit::add_capacitor(const std::string& name, NodeId a, NodeId b, double capacitance) {
+  check_node(a);
+  check_node(b);
+  require(capacitance > 0.0, "Circuit::add_capacitor: capacitance must be positive");
+  require(a != b, "Circuit::add_capacitor: terminals must differ");
+  capacitors_.push_back({name, a, b, capacitance});
+}
+
+void Circuit::add_node_cap(NodeId a, double capacitance) {
+  check_node(a);
+  require(a != kGround, "Circuit::add_node_cap: cannot load ground");
+  require(capacitance >= 0.0, "Circuit::add_node_cap: capacitance must be non-negative");
+  if (capacitance == 0.0) return;
+  const auto it = grounded_cap_index_.find(a);
+  if (it != grounded_cap_index_.end()) {
+    capacitors_[it->second].capacitance += capacitance;
+    return;
+  }
+  grounded_cap_index_[a] = capacitors_.size();
+  capacitors_.push_back({"cnode:" + node_name(a), a, kGround, capacitance});
+}
+
+void Circuit::add_vsource(const std::string& name, NodeId node, Pwl voltage) {
+  check_node(node);
+  require(node != kGround, "Circuit::add_vsource: cannot drive ground");
+  require(!voltage.empty(), "Circuit::add_vsource: empty waveform");
+  for (const VSource& v : vsources_) {
+    require(v.node != node, "Circuit::add_vsource: node already driven by " + v.name);
+    require(v.name != name, "Circuit::add_vsource: duplicate source name " + name);
+  }
+  vsources_.push_back({name, node, std::move(voltage)});
+}
+
+void Circuit::add_isource(const std::string& name, NodeId from, NodeId to, Pwl current) {
+  check_node(from);
+  check_node(to);
+  require(from != to, "Circuit::add_isource: terminals must differ");
+  require(!current.empty(), "Circuit::add_isource: empty waveform");
+  isources_.push_back({name, from, to, std::move(current)});
+}
+
+void Circuit::add_mosfet(const std::string& name, NodeId d, NodeId g, NodeId s, NodeId b,
+                         const MosParams& params, double w, double l) {
+  check_node(d);
+  check_node(g);
+  check_node(s);
+  check_node(b);
+  require(w > 0.0 && l > 0.0, "Circuit::add_mosfet: W and L must be positive");
+  mosfets_.push_back({name, d, g, s, b, params, w, l});
+}
+
+void Circuit::set_vsource(const std::string& name, Pwl voltage) {
+  require(!voltage.empty(), "Circuit::set_vsource: empty waveform");
+  for (VSource& v : vsources_) {
+    if (v.name == name) {
+      v.voltage = std::move(voltage);
+      return;
+    }
+  }
+  require(false, "Circuit::set_vsource: no source named " + name);
+}
+
+}  // namespace mtcmos::spice

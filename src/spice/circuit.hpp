@@ -1,0 +1,114 @@
+#pragma once
+// Transistor-level circuit description for the MNA engine.
+//
+// Restrictions (deliberate, see DESIGN.md):
+//   * Ideal voltage sources must be grounded (one terminal = node 0).
+//     Every source the paper's experiments need (Vdd rail, input drivers,
+//     sleep-gate bias) is grounded, and this restriction lets the engine
+//     treat driven nodes as known voltages instead of adding MNA branch
+//     currents -- which in turn keeps every matrix diagonal strictly
+//     positive so the sparse LU never needs to pivot.
+//   * MOSFET intrinsic capacitances are not part of the device model;
+//     the netlist expansion adds explicit linear capacitors (gate, drain
+//     junction).  This matches the lumped-C assumption of the paper's
+//     switch-level tool and keeps the two engines comparable.
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "models/mos_params.hpp"
+#include "waveform/pwl.hpp"
+
+namespace mtcmos::spice {
+
+using NodeId = int;
+inline constexpr NodeId kGround = 0;
+
+struct Resistor {
+  std::string name;
+  NodeId a = kGround;
+  NodeId b = kGround;
+  double resistance = 0.0;
+};
+
+struct Capacitor {
+  std::string name;
+  NodeId a = kGround;
+  NodeId b = kGround;
+  double capacitance = 0.0;
+};
+
+struct VSource {
+  std::string name;
+  NodeId node = kGround;  ///< driven node (other terminal is ground)
+  Pwl voltage;
+};
+
+struct ISource {
+  std::string name;
+  NodeId from = kGround;  ///< current flows from -> to through the source
+  NodeId to = kGround;
+  Pwl current;
+};
+
+struct Mosfet {
+  std::string name;
+  NodeId d = kGround;
+  NodeId g = kGround;
+  NodeId s = kGround;
+  NodeId b = kGround;
+  MosParams params;
+  double w = 0.0;
+  double l = 0.0;
+};
+
+class Circuit {
+ public:
+  Circuit();
+
+  /// Get-or-create a named node.  Node "0" / "gnd" is ground.
+  NodeId node(const std::string& name);
+  std::optional<NodeId> find_node(const std::string& name) const;
+  const std::string& node_name(NodeId id) const;
+  int node_count() const { return static_cast<int>(node_names_.size()); }
+
+  void add_resistor(const std::string& name, NodeId a, NodeId b, double resistance);
+  void add_capacitor(const std::string& name, NodeId a, NodeId b, double capacitance);
+  /// Adds capacitance between `a` and ground, merging with any existing
+  /// grounded capacitor on that node (used heavily by netlist expansion).
+  void add_node_cap(NodeId a, double capacitance);
+  void add_vsource(const std::string& name, NodeId node, Pwl voltage);
+  void add_isource(const std::string& name, NodeId from, NodeId to, Pwl current);
+  void add_mosfet(const std::string& name, NodeId d, NodeId g, NodeId s, NodeId b,
+                  const MosParams& params, double w, double l);
+
+  const std::vector<Resistor>& resistors() const { return resistors_; }
+  const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+  const std::vector<VSource>& vsources() const { return vsources_; }
+  const std::vector<ISource>& isources() const { return isources_; }
+  const std::vector<Mosfet>& mosfets() const { return mosfets_; }
+
+  /// Replace the waveform of an existing voltage source (used to re-run a
+  /// circuit with a different input vector without rebuilding it).
+  void set_vsource(const std::string& name, Pwl voltage);
+
+  /// Total MOSFET count (diagnostics / paper's "3x28 transistors").
+  std::size_t mosfet_count() const { return mosfets_.size(); }
+
+ private:
+  void check_node(NodeId id) const;
+
+  std::vector<std::string> node_names_;
+  std::unordered_map<std::string, NodeId> node_ids_;
+  std::unordered_map<NodeId, std::size_t> grounded_cap_index_;
+
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<VSource> vsources_;
+  std::vector<ISource> isources_;
+  std::vector<Mosfet> mosfets_;
+};
+
+}  // namespace mtcmos::spice

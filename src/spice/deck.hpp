@@ -1,0 +1,27 @@
+#pragma once
+// SPICE deck export.
+//
+// Writes a Circuit as a flat, ngspice-compatible level-1 deck so any
+// expanded MTCMOS block can be cross-checked in an external simulator.
+// Node names are sanitized to [a-z0-9_]; distinct MOSFET model cards are
+// deduplicated into .model statements.
+
+#include <iosfwd>
+#include <string>
+
+#include "spice/circuit.hpp"
+
+namespace mtcmos::spice {
+
+struct DeckOptions {
+  std::string title = "mtcmos-kit export";
+  double tstop = 10e-9;  ///< suggested .tran stop time [s]
+  double tstep = 2e-12;  ///< suggested .tran step [s]
+};
+
+void write_spice_deck(std::ostream& os, const Circuit& circuit, const DeckOptions& options = {});
+
+/// Node-name sanitizer used by the exporter (exposed for tests).
+std::string spice_safe_name(const std::string& name);
+
+}  // namespace mtcmos::spice

@@ -1,0 +1,32 @@
+#pragma once
+// Error-handling helpers.
+//
+// Library code validates preconditions with require(); violations throw,
+// they never abort.  Numerical failures (non-convergence, singular
+// matrices) throw NumericalError so callers can distinguish "you called me
+// wrong" from "the math did not work out".
+
+#include <stdexcept>
+#include <string>
+
+namespace mtcmos {
+
+/// Thrown when an iterative numerical method fails (Newton divergence,
+/// singular pivot, time-step underflow, ...).
+class NumericalError : public std::runtime_error {
+ public:
+  explicit NumericalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Precondition check: throws std::invalid_argument with `message` when
+/// `condition` is false.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+/// Internal-consistency check: throws std::logic_error when violated.
+inline void ensure(bool condition, const std::string& message) {
+  if (!condition) throw std::logic_error(message);
+}
+
+}  // namespace mtcmos

@@ -1,0 +1,243 @@
+#include "util/sparse_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace mtcmos {
+
+void SparseLu::reserve_entry(int row, int col) {
+  require(!finalized_, "SparseLu: cannot reserve entries after finalize()");
+  require(row >= 0 && col >= 0, "SparseLu: negative index");
+  pending_.push_back({row, col});
+}
+
+namespace {
+
+/// Greedy minimum-degree ordering on the symmetrized pattern.
+std::vector<int> min_degree_order(int n, const std::vector<std::set<int>>& adj_in) {
+  std::vector<std::set<int>> adj = adj_in;
+  std::vector<bool> eliminated(static_cast<std::size_t>(n), false);
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  for (int step = 0; step < n; ++step) {
+    int best = -1;
+    std::size_t best_deg = 0;
+    for (int v = 0; v < n; ++v) {
+      if (eliminated[static_cast<std::size_t>(v)]) continue;
+      const std::size_t deg = adj[static_cast<std::size_t>(v)].size();
+      if (best < 0 || deg < best_deg) {
+        best = v;
+        best_deg = deg;
+      }
+    }
+    order.push_back(best);
+    eliminated[static_cast<std::size_t>(best)] = true;
+    // Form the elimination clique among best's remaining neighbours.
+    std::vector<int> nbrs;
+    for (int u : adj[static_cast<std::size_t>(best)]) {
+      if (!eliminated[static_cast<std::size_t>(u)]) nbrs.push_back(u);
+    }
+    for (std::size_t a = 0; a < nbrs.size(); ++a) {
+      adj[static_cast<std::size_t>(nbrs[a])].erase(best);
+      for (std::size_t b = a + 1; b < nbrs.size(); ++b) {
+        adj[static_cast<std::size_t>(nbrs[a])].insert(nbrs[b]);
+        adj[static_cast<std::size_t>(nbrs[b])].insert(nbrs[a]);
+      }
+    }
+    adj[static_cast<std::size_t>(best)].clear();
+  }
+  return order;
+}
+
+}  // namespace
+
+void SparseLu::finalize(int n) {
+  require(!finalized_, "SparseLu: finalize() called twice");
+  require(n > 0, "SparseLu: system size must be positive");
+  n_ = n;
+
+  // Symmetrized adjacency for ordering.
+  std::vector<std::set<int>> adj(static_cast<std::size_t>(n));
+  for (const EntryKey& e : pending_) {
+    require(e.row < n && e.col < n, "SparseLu: entry index out of range");
+    if (e.row != e.col) {
+      adj[static_cast<std::size_t>(e.row)].insert(e.col);
+      adj[static_cast<std::size_t>(e.col)].insert(e.row);
+    }
+  }
+  const std::vector<int> order = min_degree_order(n, adj);
+  perm_.assign(static_cast<std::size_t>(n), 0);
+  iperm_.assign(static_cast<std::size_t>(n), 0);
+  for (int k = 0; k < n; ++k) {
+    perm_[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])] = k;
+    iperm_[static_cast<std::size_t>(k)] = order[static_cast<std::size_t>(k)];
+  }
+
+  // Build permuted row patterns (always include the diagonal so the pivot
+  // slot exists even if the user never stamps it).
+  std::vector<std::set<int>> rows(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) rows[static_cast<std::size_t>(i)].insert(i);
+  for (const EntryKey& e : pending_) {
+    rows[static_cast<std::size_t>(perm_[static_cast<std::size_t>(e.row)])].insert(
+        perm_[static_cast<std::size_t>(e.col)]);
+  }
+  pending_.clear();
+  pending_.shrink_to_fit();
+
+  // Symbolic elimination: propagate fill.  Maintain, per column k, the set
+  // of rows i > k with a structural (i, k) entry.
+  std::vector<std::set<int>> col_rows(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j : rows[static_cast<std::size_t>(i)]) {
+      if (i > j) col_rows[static_cast<std::size_t>(j)].insert(i);
+    }
+  }
+  for (int k = 0; k < n; ++k) {
+    const auto& below = col_rows[static_cast<std::size_t>(k)];
+    for (int i : below) {
+      // row_i gains row_k's entries with column > k.
+      for (int j : rows[static_cast<std::size_t>(k)]) {
+        if (j <= k) continue;
+        auto [it, inserted] = rows[static_cast<std::size_t>(i)].insert(j);
+        (void)it;
+        if (inserted && i > j) col_rows[static_cast<std::size_t>(j)].insert(i);
+      }
+    }
+  }
+
+  // Flatten the post-fill pattern.
+  row_begin_.assign(static_cast<std::size_t>(n) + 1, 0);
+  cols_.clear();
+  for (int i = 0; i < n; ++i) {
+    row_begin_[static_cast<std::size_t>(i)] = static_cast<int>(cols_.size());
+    for (int j : rows[static_cast<std::size_t>(i)]) cols_.push_back(j);
+  }
+  row_begin_[static_cast<std::size_t>(n)] = static_cast<int>(cols_.size());
+  values_.assign(cols_.size(), 0.0);
+  diag_pos_.assign(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    diag_pos_[static_cast<std::size_t>(i)] = internal_pos(i, i);
+    ensure(diag_pos_[static_cast<std::size_t>(i)] >= 0, "SparseLu: missing diagonal");
+  }
+
+  // Compile the elimination program.
+  steps_.clear();
+  op_src_.clear();
+  op_dst_.clear();
+  for (int k = 0; k < n; ++k) {
+    for (int i : col_rows[static_cast<std::size_t>(k)]) {
+      ElimStep step;
+      step.pivot_k = k;
+      step.target_row = i;
+      step.lik_pos = internal_pos(i, k);
+      step.pivot_pos = diag_pos_[static_cast<std::size_t>(k)];
+      step.op_begin = op_src_.size();
+      for (int pos = internal_pos(k, k) + 1; pos < row_begin_[static_cast<std::size_t>(k) + 1];
+           ++pos) {
+        const int j = cols_[static_cast<std::size_t>(pos)];
+        const int dst = internal_pos(i, j);
+        ensure(dst >= 0, "SparseLu: symbolic factorization missed a fill entry");
+        op_src_.push_back(pos);
+        op_dst_.push_back(dst);
+      }
+      step.op_end = op_src_.size();
+      steps_.push_back(step);
+    }
+  }
+
+  finalized_ = true;
+}
+
+int SparseLu::internal_pos(int irow, int icol) const {
+  const int begin = row_begin_[static_cast<std::size_t>(irow)];
+  const int end = row_begin_[static_cast<std::size_t>(irow) + 1];
+  const int* lo = cols_.data() + begin;
+  const int* hi = cols_.data() + end;
+  const int* it = std::lower_bound(lo, hi, icol);
+  if (it == hi || *it != icol) return -1;
+  return static_cast<int>(it - cols_.data());
+}
+
+int SparseLu::slot(int row, int col) const {
+  require(finalized_, "SparseLu::slot: call finalize() first");
+  require(row >= 0 && row < n_ && col >= 0 && col < n_, "SparseLu::slot: index out of range");
+  return internal_pos(perm_[static_cast<std::size_t>(row)], perm_[static_cast<std::size_t>(col)]);
+}
+
+void SparseLu::clear_values() {
+  std::fill(values_.begin(), values_.end(), 0.0);
+  have_factor_ = false;
+}
+
+void SparseLu::factorize() {
+  require(finalized_, "SparseLu::factorize: call finalize() first");
+  factor_ = values_;
+  for (const ElimStep& s : steps_) {
+    const double pivot = factor_[static_cast<std::size_t>(s.pivot_pos)];
+    if (std::abs(pivot) < 1e-300) {
+      throw NumericalError("SparseLu::factorize: zero pivot at internal index " +
+                           std::to_string(s.pivot_k));
+    }
+    const double m = factor_[static_cast<std::size_t>(s.lik_pos)] / pivot;
+    factor_[static_cast<std::size_t>(s.lik_pos)] = m;
+    if (m == 0.0) continue;
+    for (std::size_t op = s.op_begin; op < s.op_end; ++op) {
+      factor_[static_cast<std::size_t>(op_dst_[op])] -=
+          m * factor_[static_cast<std::size_t>(op_src_[op])];
+    }
+  }
+  have_factor_ = true;
+}
+
+std::vector<double> SparseLu::solve(const std::vector<double>& b) const {
+  require(have_factor_, "SparseLu::solve: call factorize() first");
+  require(static_cast<int>(b.size()) == n_, "SparseLu::solve: rhs dimension mismatch");
+  std::vector<double> y(static_cast<std::size_t>(n_), 0.0);
+  for (int i = 0; i < n_; ++i) {
+    y[static_cast<std::size_t>(i)] = b[static_cast<std::size_t>(iperm_[static_cast<std::size_t>(i)])];
+  }
+  // Forward substitution with unit-diagonal L, using the elimination steps
+  // grouped by pivot order (steps_ is already ordered by pivot_k).
+  for (const ElimStep& s : steps_) {
+    y[static_cast<std::size_t>(s.target_row)] -=
+        factor_[static_cast<std::size_t>(s.lik_pos)] * y[static_cast<std::size_t>(s.pivot_k)];
+  }
+  // Back substitution with U.
+  for (int i = n_ - 1; i >= 0; --i) {
+    double acc = y[static_cast<std::size_t>(i)];
+    const int dp = diag_pos_[static_cast<std::size_t>(i)];
+    for (int pos = dp + 1; pos < row_begin_[static_cast<std::size_t>(i) + 1]; ++pos) {
+      acc -= factor_[static_cast<std::size_t>(pos)] *
+             y[static_cast<std::size_t>(cols_[static_cast<std::size_t>(pos)])];
+    }
+    y[static_cast<std::size_t>(i)] = acc / factor_[static_cast<std::size_t>(dp)];
+  }
+  // Un-permute.
+  std::vector<double> x(static_cast<std::size_t>(n_), 0.0);
+  for (int i = 0; i < n_; ++i) {
+    x[static_cast<std::size_t>(iperm_[static_cast<std::size_t>(i)])] = y[static_cast<std::size_t>(i)];
+  }
+  return x;
+}
+
+std::vector<double> SparseLu::multiply(const std::vector<double>& x) const {
+  require(finalized_, "SparseLu::multiply: call finalize() first");
+  require(static_cast<int>(x.size()) == n_, "SparseLu::multiply: dimension mismatch");
+  std::vector<double> y(static_cast<std::size_t>(n_), 0.0);
+  for (int i = 0; i < n_; ++i) {
+    double acc = 0.0;
+    for (int pos = row_begin_[static_cast<std::size_t>(i)];
+         pos < row_begin_[static_cast<std::size_t>(i) + 1]; ++pos) {
+      const int j = cols_[static_cast<std::size_t>(pos)];
+      acc += values_[static_cast<std::size_t>(pos)] *
+             x[static_cast<std::size_t>(iperm_[static_cast<std::size_t>(j)])];
+    }
+    y[static_cast<std::size_t>(iperm_[static_cast<std::size_t>(i)])] = acc;
+  }
+  return y;
+}
+
+}  // namespace mtcmos

@@ -1,0 +1,52 @@
+#pragma once
+// Unit helpers and physical constants.
+//
+// The whole toolkit works in SI units: volts, amperes, seconds, farads,
+// ohms, metres.  These helpers exist so that literal circuit descriptions
+// read like a datasheet ("50.0 * units::fF") instead of a soup of
+// exponents.
+
+namespace mtcmos::units {
+
+// Metric scale factors.
+inline constexpr double femto = 1e-15;
+inline constexpr double pico = 1e-12;
+inline constexpr double nano = 1e-9;
+inline constexpr double micro = 1e-6;
+inline constexpr double milli = 1e-3;
+inline constexpr double kilo = 1e3;
+inline constexpr double mega = 1e6;
+inline constexpr double giga = 1e9;
+
+// Common engineering shorthands (value of "one unit" in SI).
+inline constexpr double fF = femto;   // farad
+inline constexpr double pF = pico;    // farad
+inline constexpr double ps = pico;    // second
+inline constexpr double ns = nano;    // second
+inline constexpr double us = micro;   // second
+inline constexpr double mV = milli;   // volt
+inline constexpr double uA = micro;   // ampere
+inline constexpr double mA = milli;   // ampere
+inline constexpr double um = micro;   // metre
+inline constexpr double nm = nano;    // metre
+inline constexpr double kOhm = kilo;  // ohm
+
+}  // namespace mtcmos::units
+
+namespace mtcmos::constants {
+
+// Boltzmann constant [J/K].
+inline constexpr double k_boltzmann = 1.380649e-23;
+// Elementary charge [C].
+inline constexpr double q_electron = 1.602176634e-19;
+// Permittivity of SiO2 [F/m].
+inline constexpr double eps_sio2 = 3.45e-11;
+// Default simulation temperature [K].
+inline constexpr double temp_nominal = 300.0;
+
+// Thermal voltage kT/q at temperature T [V].
+constexpr double thermal_voltage(double temp_kelvin = temp_nominal) {
+  return k_boltzmann * temp_kelvin / q_electron;
+}
+
+}  // namespace mtcmos::constants

@@ -1,0 +1,47 @@
+#include "waveform/measure.hpp"
+
+#include "util/error.hpp"
+
+namespace mtcmos {
+
+std::optional<double> propagation_delay(const Pwl& input, const Pwl& output, double vdd,
+                                        Edge input_edge, Edge output_edge, double t_from) {
+  require(vdd > 0.0, "propagation_delay: vdd must be positive");
+  const double level = 0.5 * vdd;
+  const auto t_in = input.crossing(level, input_edge, t_from);
+  if (!t_in) return std::nullopt;
+  const auto t_out = output.crossing(level, output_edge, *t_in);
+  if (!t_out) return std::nullopt;
+  return *t_out - *t_in;
+}
+
+std::optional<double> transition_time(const Pwl& w, double vdd, Edge edge, double frac_lo,
+                                      double frac_hi, double t_from) {
+  require(vdd > 0.0, "transition_time: vdd must be positive");
+  require(frac_lo < frac_hi, "transition_time: frac_lo must be < frac_hi");
+  const double v_lo = frac_lo * vdd;
+  const double v_hi = frac_hi * vdd;
+  if (edge == Edge::kRising) {
+    const auto t0 = w.crossing(v_lo, Edge::kRising, t_from);
+    if (!t0) return std::nullopt;
+    const auto t1 = w.crossing(v_hi, Edge::kRising, *t0);
+    if (!t1) return std::nullopt;
+    return *t1 - *t0;
+  }
+  if (edge == Edge::kFalling) {
+    const auto t0 = w.crossing(v_hi, Edge::kFalling, t_from);
+    if (!t0) return std::nullopt;
+    const auto t1 = w.crossing(v_lo, Edge::kFalling, *t0);
+    if (!t1) return std::nullopt;
+    return *t1 - *t0;
+  }
+  require(false, "transition_time: edge must be rising or falling");
+  return std::nullopt;
+}
+
+double percent_degradation(double t_cmos, double t_mtcmos) {
+  require(t_cmos > 0.0, "percent_degradation: baseline delay must be positive");
+  return (t_mtcmos - t_cmos) / t_cmos * 100.0;
+}
+
+}  // namespace mtcmos

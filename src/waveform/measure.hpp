@@ -1,0 +1,29 @@
+#pragma once
+// Timing measurements on waveforms.
+//
+// Conventions match the paper: logic threshold is Vdd/2, propagation delay
+// is measured between 50% crossings of input and output (Eq. 3's
+// C_L * (Vdd/2) / I form), and "% degradation due to MTCMOS" compares the
+// same measurement with and without the sleep network.
+
+#include <optional>
+
+#include "waveform/pwl.hpp"
+
+namespace mtcmos {
+
+/// 50% input crossing -> 50% output crossing, for the given edges.
+/// Crossings are searched from t_from.  Returns nullopt if either signal
+/// never crosses.
+std::optional<double> propagation_delay(const Pwl& input, const Pwl& output, double vdd,
+                                        Edge input_edge, Edge output_edge, double t_from = 0.0);
+
+/// Time from `frac_lo` to `frac_hi` of the swing on the given edge
+/// (e.g. 10%-90% rise time).
+std::optional<double> transition_time(const Pwl& w, double vdd, Edge edge, double frac_lo = 0.1,
+                                      double frac_hi = 0.9, double t_from = 0.0);
+
+/// (t_mtcmos - t_cmos) / t_cmos * 100.
+double percent_degradation(double t_cmos, double t_mtcmos);
+
+}  // namespace mtcmos

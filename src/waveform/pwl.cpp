@@ -1,0 +1,148 @@
+#include "waveform/pwl.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mtcmos {
+
+Pwl Pwl::constant(double value) {
+  Pwl w;
+  w.append(0.0, value);
+  return w;
+}
+
+Pwl Pwl::step(double v0, double v1, double t_step, double t_ramp) {
+  require(t_ramp >= 0.0, "Pwl::step: ramp must be non-negative");
+  Pwl w;
+  w.append(0.0, v0);
+  if (t_step > 0.0) w.append(t_step, v0);
+  w.append(t_step + t_ramp, v1);
+  return w;
+}
+
+void Pwl::append(double t, double v) {
+  require(std::isfinite(t) && std::isfinite(v), "Pwl::append: non-finite point");
+  if (!times_.empty()) {
+    require(t >= times_.back(), "Pwl::append: time must be non-decreasing");
+    if (t == times_.back()) {
+      values_.back() = v;  // vertical step: keep the latest value
+      return;
+    }
+  }
+  times_.push_back(t);
+  values_.push_back(v);
+}
+
+double Pwl::first_time() const {
+  require(!empty(), "Pwl: empty waveform");
+  return times_.front();
+}
+
+double Pwl::last_time() const {
+  require(!empty(), "Pwl: empty waveform");
+  return times_.back();
+}
+
+double Pwl::last_value() const {
+  require(!empty(), "Pwl: empty waveform");
+  return values_.back();
+}
+
+double Pwl::sample(double t) const {
+  require(!empty(), "Pwl::sample: empty waveform");
+  if (t <= times_.front()) return values_.front();
+  if (t >= times_.back()) return values_.back();
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const std::size_t hi = static_cast<std::size_t>(it - times_.begin());
+  const std::size_t lo = hi - 1;
+  const double t0 = times_[lo];
+  const double t1 = times_[hi];
+  const double frac = (t - t0) / (t1 - t0);
+  return values_[lo] + frac * (values_[hi] - values_[lo]);
+}
+
+namespace {
+
+bool edge_matches(Edge edge, double v0, double v1) {
+  switch (edge) {
+    case Edge::kRising:
+      return v1 > v0;
+    case Edge::kFalling:
+      return v1 < v0;
+    case Edge::kAny:
+      return v1 != v0;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<double> Pwl::crossing(double level, Edge edge, double t_from) const {
+  for (std::size_t i = 0; i + 1 < times_.size(); ++i) {
+    const double v0 = values_[i];
+    const double v1 = values_[i + 1];
+    if (!edge_matches(edge, v0, v1)) continue;
+    const double lo = std::min(v0, v1);
+    const double hi = std::max(v0, v1);
+    if (level < lo || level > hi) continue;
+    const double frac = (level - v0) / (v1 - v0);
+    const double t = times_[i] + frac * (times_[i + 1] - times_[i]);
+    if (t >= t_from) return t;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> Pwl::last_crossing(double level, Edge edge) const {
+  std::optional<double> result;
+  for (std::size_t i = 0; i + 1 < times_.size(); ++i) {
+    const double v0 = values_[i];
+    const double v1 = values_[i + 1];
+    if (!edge_matches(edge, v0, v1)) continue;
+    const double lo = std::min(v0, v1);
+    const double hi = std::max(v0, v1);
+    if (level < lo || level > hi) continue;
+    const double frac = (level - v0) / (v1 - v0);
+    result = times_[i] + frac * (times_[i + 1] - times_[i]);
+  }
+  return result;
+}
+
+double Pwl::min_value() const {
+  require(!empty(), "Pwl::min_value: empty waveform");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Pwl::max_value() const {
+  require(!empty(), "Pwl::max_value: empty waveform");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Pwl::integral(double t0, double t1) const {
+  require(!empty(), "Pwl::integral: empty waveform");
+  require(t1 >= t0, "Pwl::integral: t1 must be >= t0");
+  if (t0 == t1) return 0.0;
+  double acc = 0.0;
+  // Segment boundaries: t0, every interior point in (t0, t1), t1.
+  double prev_t = t0;
+  double prev_v = sample(t0);
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    const double t = times_[i];
+    if (t <= t0) continue;
+    if (t >= t1) break;
+    acc += 0.5 * (prev_v + values_[i]) * (t - prev_t);
+    prev_t = t;
+    prev_v = values_[i];
+  }
+  acc += 0.5 * (prev_v + sample(t1)) * (t1 - prev_t);
+  return acc;
+}
+
+double Pwl::time_of_max() const {
+  require(!empty(), "Pwl::time_of_max: empty waveform");
+  const auto it = std::max_element(values_.begin(), values_.end());
+  return times_[static_cast<std::size_t>(it - values_.begin())];
+}
+
+}  // namespace mtcmos

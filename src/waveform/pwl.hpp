@@ -1,0 +1,70 @@
+#pragma once
+// Piecewise-linear waveform.
+//
+// The fundamental signal representation of the toolkit.  Both the SPICE
+// engine (sampled node voltages) and the variable-breakpoint switch-level
+// simulator (whose outputs are piecewise linear *by construction*, paper
+// Section 5.2) produce Pwl objects, so all measurements are shared.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace mtcmos {
+
+enum class Edge { kRising, kFalling, kAny };
+
+class Pwl {
+ public:
+  Pwl() = default;
+
+  /// Constant waveform helper.
+  static Pwl constant(double value);
+
+  /// Step from v0 to v1 at time t_step with linear ramp of length t_ramp.
+  static Pwl step(double v0, double v1, double t_step, double t_ramp);
+
+  /// Append a (time, value) point.  Time must be >= the last time; a point
+  /// at exactly the same time replaces the previous value (vertical step).
+  void append(double t, double v);
+
+  std::size_t size() const { return times_.size(); }
+  bool empty() const { return times_.empty(); }
+  double time_at(std::size_t i) const { return times_[i]; }
+  double value_at(std::size_t i) const { return values_[i]; }
+  const std::vector<double>& times() const { return times_; }
+  const std::vector<double>& values() const { return values_; }
+
+  double first_time() const;
+  double last_time() const;
+  double last_value() const;
+
+  /// Linear interpolation; clamps to the end values outside the support.
+  double sample(double t) const;
+
+  /// Earliest time >= t_from at which the waveform crosses `level` with the
+  /// requested edge direction.  Returns nullopt if it never does.
+  std::optional<double> crossing(double level, Edge edge = Edge::kAny,
+                                 double t_from = -1e300) const;
+
+  /// Latest crossing of `level` (useful for settled-value measurements).
+  std::optional<double> last_crossing(double level, Edge edge = Edge::kAny) const;
+
+  /// Minimum / maximum value over the support (empty waveform throws).
+  double min_value() const;
+  double max_value() const;
+
+  /// Time at which the maximum value is attained (first occurrence).
+  double time_of_max() const;
+
+  /// Exact integral of the piecewise-linear waveform over [t0, t1]
+  /// (clamped-constant extrapolation outside the support).  Used for
+  /// charge/energy metering: integral of a current trace is charge.
+  double integral(double t0, double t1) const;
+
+ private:
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+}  // namespace mtcmos

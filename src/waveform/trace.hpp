@@ -1,0 +1,27 @@
+#pragma once
+// Named collection of waveforms produced by a simulation run.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "waveform/pwl.hpp"
+
+namespace mtcmos {
+
+class Trace {
+ public:
+  /// Creates (or returns) the waveform for `name`.
+  Pwl& channel(const std::string& name);
+
+  bool has(const std::string& name) const;
+  const Pwl& get(const std::string& name) const;
+
+  std::vector<std::string> names() const;
+  std::size_t channel_count() const { return channels_.size(); }
+
+ private:
+  std::map<std::string, Pwl> channels_;
+};
+
+}  // namespace mtcmos

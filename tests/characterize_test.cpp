@@ -1,0 +1,118 @@
+// Tests for the NLDM-style cell characterizer.
+
+#include <gtest/gtest.h>
+
+#include "models/technology.hpp"
+#include "netlist/sp_expr.hpp"
+#include "sizing/characterize.hpp"
+#include "util/units.hpp"
+
+namespace mtcmos::sizing {
+namespace {
+
+using netlist::SpExpr;
+using mtcmos::units::fF;
+using mtcmos::units::ps;
+
+CharacterizeSpec inverter_spec() {
+  CharacterizeSpec spec;
+  spec.pulldown = SpExpr::input(0);
+  spec.n_pins = 1;
+  spec.static_pins = {false};
+  spec.slews = {20.0 * ps, 100.0 * ps, 300.0 * ps};
+  spec.loads = {10.0 * fF, 40.0 * fF, 120.0 * fF};
+  return spec;
+}
+
+TEST(Characterize, DelayMonotoneInLoadAndSlew) {
+  const auto table = characterize_cell(tech07(), inverter_spec());
+  for (std::size_t si = 0; si < table.slews.size(); ++si) {
+    for (std::size_t li = 0; li + 1 < table.loads.size(); ++li) {
+      EXPECT_LT(table.delay_fall[si][li], table.delay_fall[si][li + 1]);
+      EXPECT_LT(table.delay_rise[si][li], table.delay_rise[si][li + 1]);
+    }
+  }
+  for (std::size_t li = 0; li < table.loads.size(); ++li) {
+    for (std::size_t si = 0; si + 1 < table.slews.size(); ++si) {
+      EXPECT_LT(table.delay_fall[si][li], table.delay_fall[si + 1][li]);
+    }
+  }
+}
+
+TEST(Characterize, OutputTransitionGrowsWithLoad) {
+  const auto table = characterize_cell(tech07(), inverter_spec());
+  for (std::size_t si = 0; si < table.slews.size(); ++si) {
+    EXPECT_LT(table.trans_fall[si][0], table.trans_fall[si][2]);
+    EXPECT_LT(table.trans_rise[si][0], table.trans_rise[si][2]);
+  }
+}
+
+TEST(Characterize, SleepDeratesFallOnly) {
+  CharacterizeSpec plain = inverter_spec();
+  CharacterizeSpec gated = inverter_spec();
+  gated.ground = netlist::ExpandOptions::Ground::kSleepFet;
+  gated.sleep_wl = 8.0;
+  const auto tp = characterize_cell(tech07(), plain);
+  const auto tg = characterize_cell(tech07(), gated);
+  for (std::size_t si = 0; si < tp.slews.size(); ++si) {
+    for (std::size_t li = 0; li < tp.loads.size(); ++li) {
+      EXPECT_GT(tg.delay_fall[si][li], 1.1 * tp.delay_fall[si][li]);
+      EXPECT_NEAR(tg.delay_rise[si][li] / tp.delay_rise[si][li], 1.0, 0.03);
+    }
+  }
+}
+
+TEST(Characterize, LookupExactAtGridPointsAndInterpolatesBetween) {
+  const auto table = characterize_cell(tech07(), inverter_spec());
+  EXPECT_DOUBLE_EQ(table.delay(false, table.slews[1], table.loads[2]),
+                   table.delay_fall[1][2]);
+  // Midpoint lies between the bracketing grid values.
+  const double mid_load = 0.5 * (table.loads[0] + table.loads[1]);
+  const double v = table.delay(false, table.slews[0], mid_load);
+  EXPECT_GT(v, table.delay_fall[0][0]);
+  EXPECT_LT(v, table.delay_fall[0][1]);
+  // Clamped outside the grid.
+  EXPECT_DOUBLE_EQ(table.delay(false, table.slews[0], 1e-18), table.delay_fall[0][0]);
+  EXPECT_DOUBLE_EQ(table.delay(false, 1.0, table.loads[2]),
+                   table.delay_fall[table.slews.size() - 1][2]);
+}
+
+TEST(Characterize, Nand2StackSlowerThanInverter) {
+  CharacterizeSpec nand2;
+  nand2.pulldown = SpExpr::series({SpExpr::input(0), SpExpr::input(1)});
+  nand2.n_pins = 2;
+  nand2.switch_pin = 0;
+  nand2.static_pins = {false, true};
+  nand2.slews = {60.0 * ps};
+  nand2.loads = {40.0 * fF};
+  CharacterizeSpec inv = inverter_spec();
+  inv.slews = {60.0 * ps};
+  inv.loads = {40.0 * fF};
+  const auto tn = characterize_cell(tech07(), nand2);
+  const auto ti = characterize_cell(tech07(), inv);
+  EXPECT_GT(tn.delay_fall[0][0], ti.delay_fall[0][0]);  // 2-stack pull-down
+}
+
+TEST(Characterize, NonControllingPinRejected) {
+  CharacterizeSpec bad;
+  bad.pulldown = SpExpr::series({SpExpr::input(0), SpExpr::input(1)});
+  bad.n_pins = 2;
+  bad.switch_pin = 0;
+  bad.static_pins = {false, false};  // other NAND input low: pin 0 cannot control
+  EXPECT_THROW(characterize_cell(tech07(), bad), std::invalid_argument);
+}
+
+TEST(Characterize, SpecValidation) {
+  CharacterizeSpec spec = inverter_spec();
+  spec.static_pins = {};
+  EXPECT_THROW(characterize_cell(tech07(), spec), std::invalid_argument);
+  spec = inverter_spec();
+  spec.switch_pin = 5;
+  EXPECT_THROW(characterize_cell(tech07(), spec), std::invalid_argument);
+  spec = inverter_spec();
+  spec.slews.clear();
+  EXPECT_THROW(characterize_cell(tech07(), spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtcmos::sizing

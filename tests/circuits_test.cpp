@@ -1,0 +1,275 @@
+// Tests for the circuit generators: structure counts and, crucially,
+// exhaustive functional verification of the adder and multiplier at the
+// logic level (the paper's circuits must compute the right answers before
+// their delays mean anything).
+
+#include <gtest/gtest.h>
+
+#include "circuits/generators.hpp"
+#include "core/vbs.hpp"
+#include "models/technology.hpp"
+#include "netlist/bits.hpp"
+#include "netlist/expand.hpp"
+#include "spice/engine.hpp"
+#include "util/units.hpp"
+
+namespace mtcmos::circuits {
+namespace {
+
+using netlist::bits_from_uint;
+using netlist::concat_bits;
+using netlist::uint_from_bits;
+using mtcmos::units::fF;
+
+TEST(InverterTree, PaperStructureIs139) {
+  const auto tree = make_inverter_tree(tech07());
+  ASSERT_EQ(tree.stage_outputs.size(), 3u);
+  EXPECT_EQ(tree.stage_outputs[0].size(), 1u);
+  EXPECT_EQ(tree.stage_outputs[1].size(), 3u);
+  EXPECT_EQ(tree.stage_outputs[2].size(), 9u);
+  EXPECT_EQ(tree.netlist.gate_count(), 13);
+  EXPECT_EQ(tree.netlist.transistor_count(), 26);
+}
+
+TEST(InverterTree, LogicAlternatesPerStage) {
+  const auto tree = make_inverter_tree(tech07());
+  const auto v1 = tree.netlist.evaluate({true});
+  // Stage 1 inverts once, stage 2 twice, stage 3 three times.
+  EXPECT_FALSE(v1[static_cast<std::size_t>(tree.stage_outputs[0][0])]);
+  EXPECT_TRUE(v1[static_cast<std::size_t>(tree.stage_outputs[1][0])]);
+  EXPECT_FALSE(v1[static_cast<std::size_t>(tree.leaves[0])]);
+}
+
+TEST(InverterTree, LeafLoadsApplied) {
+  InverterTreeOptions opt;
+  opt.leaf_load = 50.0 * fF;
+  const auto tree = make_inverter_tree(tech07(), opt);
+  for (const auto leaf : tree.leaves) {
+    EXPECT_NEAR(tree.netlist.extra_load(leaf), 50.0 * fF, 1e-20);
+  }
+}
+
+TEST(InverterTree, CustomFanoutAndStages) {
+  InverterTreeOptions opt;
+  opt.fanout = 2;
+  opt.stages = 4;
+  const auto tree = make_inverter_tree(tech07(), opt);
+  EXPECT_EQ(tree.stage_outputs[3].size(), 8u);  // 1, 2, 4, 8
+  EXPECT_EQ(tree.netlist.gate_count(), 1 + 2 + 4 + 8);
+}
+
+TEST(RippleAdder, PaperTransistorCount) {
+  const auto adder = make_ripple_adder(tech07(), 3);
+  EXPECT_EQ(adder.netlist.transistor_count(), 3 * 28);  // paper: "3x28 transistors"
+}
+
+TEST(RippleAdder, ExhaustiveFunctionalCheck3Bit) {
+  const auto adder = make_ripple_adder(tech07(), 3);
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    for (std::uint64_t b = 0; b < 8; ++b) {
+      const auto in = concat_bits(bits_from_uint(a, 3), bits_from_uint(b, 3));
+      const auto vals = adder.netlist.evaluate(in);
+      std::uint64_t result = 0;
+      for (int i = 0; i < 3; ++i) {
+        if (vals[static_cast<std::size_t>(adder.sum[static_cast<std::size_t>(i)])]) {
+          result |= (1ull << i);
+        }
+      }
+      if (vals[static_cast<std::size_t>(adder.cout)]) result |= (1ull << 3);
+      EXPECT_EQ(result, a + b) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(RippleAdder, WiderAdderSpotChecks) {
+  const auto adder = make_ripple_adder(tech07(), 8);
+  for (const auto& [a, b] : std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+           {0, 0}, {255, 1}, {128, 127}, {170, 85}, {255, 255}}) {
+    const auto in = concat_bits(bits_from_uint(a, 8), bits_from_uint(b, 8));
+    const auto vals = adder.netlist.evaluate(in);
+    std::uint64_t result = 0;
+    for (int i = 0; i < 8; ++i) {
+      if (vals[static_cast<std::size_t>(adder.sum[static_cast<std::size_t>(i)])]) {
+        result |= (1ull << i);
+      }
+    }
+    if (vals[static_cast<std::size_t>(adder.cout)]) result |= (1ull << 8);
+    EXPECT_EQ(result, a + b) << "a=" << a << " b=" << b;
+  }
+}
+
+std::uint64_t eval_multiplier(const CsaMultiplier& mult, std::uint64_t x, std::uint64_t y,
+                              int nbits) {
+  const auto in = concat_bits(bits_from_uint(x, nbits), bits_from_uint(y, nbits));
+  const auto vals = mult.netlist.evaluate(in);
+  std::uint64_t p = 0;
+  for (std::size_t i = 0; i < mult.p.size(); ++i) {
+    if (vals[static_cast<std::size_t>(mult.p[i])]) p |= (1ull << i);
+  }
+  return p;
+}
+
+TEST(CsaMultiplier, Exhaustive2Bit) {
+  const auto mult = make_csa_multiplier(tech07(), 2);
+  for (std::uint64_t x = 0; x < 4; ++x) {
+    for (std::uint64_t y = 0; y < 4; ++y) {
+      EXPECT_EQ(eval_multiplier(mult, x, y, 2), x * y) << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+TEST(CsaMultiplier, Exhaustive4Bit) {
+  const auto mult = make_csa_multiplier(tech03(), 4);
+  for (std::uint64_t x = 0; x < 16; ++x) {
+    for (std::uint64_t y = 0; y < 16; ++y) {
+      EXPECT_EQ(eval_multiplier(mult, x, y, 4), x * y) << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+TEST(CsaMultiplier, PaperVectors8Bit) {
+  const auto mult = make_csa_multiplier(tech03(), 8);
+  // The paper's Table 1 / Fig. 7 vectors.
+  EXPECT_EQ(eval_multiplier(mult, 0xFF, 0x81, 8), 0xFFull * 0x81ull);
+  EXPECT_EQ(eval_multiplier(mult, 0x7F, 0x81, 8), 0x7Full * 0x81ull);
+  EXPECT_EQ(eval_multiplier(mult, 0x00, 0x00, 8), 0ull);
+  EXPECT_EQ(eval_multiplier(mult, 0xFF, 0xFF, 8), 0xFFull * 0xFFull);
+}
+
+TEST(CsaMultiplier, StructureCounts8Bit) {
+  const auto mult = make_csa_multiplier(tech03(), 8);
+  // 64 AND2 (2 gates each) + 64 mirror FAs (4 gates each).
+  EXPECT_EQ(mult.netlist.gate_count(), 64 * 2 + 64 * 4);
+  // 64 AND2 * 6T + 64 FA * 28T.
+  EXPECT_EQ(mult.netlist.transistor_count(), 64 * 6 + 64 * 28);
+  EXPECT_EQ(mult.p.size(), 16u);
+}
+
+TEST(InverterChain, PropagatesAndCounts) {
+  const auto chain = make_inverter_chain(tech07(), 5);
+  EXPECT_EQ(chain.netlist.gate_count(), 5);
+  const auto vals = chain.netlist.evaluate({true});
+  EXPECT_FALSE(vals[static_cast<std::size_t>(chain.outputs[0])]);
+  EXPECT_TRUE(vals[static_cast<std::size_t>(chain.outputs[1])]);
+  EXPECT_FALSE(vals[static_cast<std::size_t>(chain.outputs[4])]);
+}
+
+std::uint64_t eval_wallace(const WallaceMultiplier& mult, std::uint64_t x, std::uint64_t y,
+                           int nbits) {
+  const auto in = concat_bits(bits_from_uint(x, nbits), bits_from_uint(y, nbits));
+  const auto vals = mult.netlist.evaluate(in);
+  std::uint64_t p = 0;
+  for (std::size_t i = 0; i < mult.p.size(); ++i) {
+    if (vals[static_cast<std::size_t>(mult.p[i])]) p |= (1ull << i);
+  }
+  return p;
+}
+
+TEST(WallaceMultiplier, Exhaustive4Bit) {
+  const auto mult = make_wallace_multiplier(tech03(), 4);
+  for (std::uint64_t x = 0; x < 16; ++x) {
+    for (std::uint64_t y = 0; y < 16; ++y) {
+      EXPECT_EQ(eval_wallace(mult, x, y, 4), x * y) << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+TEST(WallaceMultiplier, SpotChecks8Bit) {
+  const auto mult = make_wallace_multiplier(tech03(), 8);
+  for (const auto& [x, y] : std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+           {0xFF, 0x81}, {0x7F, 0x81}, {0xAA, 0x55}, {0xFF, 0xFF}, {0, 0x42}}) {
+    EXPECT_EQ(eval_wallace(mult, x, y, 8), x * y) << std::hex << x << "*" << y;
+  }
+}
+
+TEST(WallaceMultiplier, LogDepthReduction) {
+  // Dot-column height n reduces by ~2/3 per layer: 8 -> 6 -> 4 -> 3 -> 2
+  // is 4 layers; the CSA array's equivalent chain is n-1 = 7 rows deep.
+  EXPECT_EQ(make_wallace_multiplier(tech03(), 8).reduction_layers, 4);
+  EXPECT_EQ(make_wallace_multiplier(tech03(), 4).reduction_layers, 2);
+}
+
+TEST(WallaceMultiplier, ShallowerCriticalPathThanCsa) {
+  // Same function, fewer logic levels: the Wallace tree's CMOS delay must
+  // beat the CSA array's for a carry-heavy vector.
+  const auto csa = make_csa_multiplier(tech03(), 6);
+  const auto wal = make_wallace_multiplier(tech03(), 6);
+  auto worst_delay = [](const auto& mult) {
+    std::vector<std::string> outs;
+    for (const auto p : mult.p) outs.push_back(mult.netlist.net_name(p));
+    const core::VbsSimulator sim(mult.netlist, {});
+    const auto v0 = concat_bits(bits_from_uint(0, 6), bits_from_uint(0, 6));
+    const auto v1 = concat_bits(bits_from_uint(63, 6), bits_from_uint(33, 6));
+    return sim.critical_delay(v0, v1, outs);
+  };
+  EXPECT_LT(worst_delay(wal), worst_delay(csa));
+}
+
+TEST(ParityTree, ComputesParityExhaustively) {
+  const auto tree = make_parity_tree(tech07(), 5);
+  for (std::uint64_t v = 0; v < 32; ++v) {
+    const auto vals = tree.netlist.evaluate(bits_from_uint(v, 5));
+    EXPECT_EQ(vals[static_cast<std::size_t>(tree.output)], __builtin_parityll(v) != 0)
+        << "v=" << v;
+  }
+}
+
+TEST(ParityTree, DepthIsLogarithmic) {
+  EXPECT_EQ(make_parity_tree(tech07(), 2).depth, 1);
+  EXPECT_EQ(make_parity_tree(tech07(), 4).depth, 2);
+  EXPECT_EQ(make_parity_tree(tech07(), 8).depth, 3);
+  EXPECT_EQ(make_parity_tree(tech07(), 5).depth, 3);  // padded to 8
+}
+
+TEST(ParityTree, XorGateCount) {
+  // 8 inputs -> 4 + 2 + 1 = 7 XOR2, each 4 NAND gates.
+  const auto tree = make_parity_tree(tech07(), 8);
+  EXPECT_EQ(tree.netlist.gate_count(), 7 * 4);
+  EXPECT_EQ(tree.netlist.transistor_count(), 7 * 16);
+}
+
+TEST(Generators, InvalidArgumentsRejected) {
+  EXPECT_THROW(make_ripple_adder(tech07(), 0), std::invalid_argument);
+  EXPECT_THROW(make_csa_multiplier(tech07(), 1), std::invalid_argument);
+  EXPECT_THROW(make_inverter_chain(tech07(), 0), std::invalid_argument);
+  InverterTreeOptions opt;
+  opt.stages = 0;
+  EXPECT_THROW(make_inverter_tree(tech07(), opt), std::invalid_argument);
+}
+
+TEST(Expansion, TreeExpandsWithSleepDevice) {
+  const auto tree = make_inverter_tree(tech07());
+  const auto ex = netlist::to_spice(tree.netlist, {}, {false}, {true});
+  // 13 inverters * 2 + sleep = 27 transistors.
+  EXPECT_EQ(ex.circuit.mosfet_count(), 27u);
+}
+
+TEST(Expansion, AdderDcMatchesLogicThroughSleepFet) {
+  // End-to-end: expand the 2-bit adder in MTCMOS form, DC-solve a few
+  // vectors, compare outputs with boolean evaluation.
+  const auto adder = make_ripple_adder(tech07(), 2);
+  netlist::ExpandOptions opt;
+  opt.sleep_wl = 15.0;
+  for (const auto& [a, b] : std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+           {0, 0}, {1, 2}, {3, 3}, {2, 1}}) {
+    const auto in = concat_bits(bits_from_uint(a, 2), bits_from_uint(b, 2));
+    auto ex = netlist::to_spice(adder.netlist, opt, in, in);
+    spice::Engine eng(ex.circuit);
+    const auto volts = eng.dc_operating_point(1.0);
+    const auto logic = adder.netlist.evaluate(in);
+    std::uint64_t result = 0;
+    for (int i = 0; i < 2; ++i) {
+      const auto node =
+          ex.circuit.find_node(adder.netlist.net_name(adder.sum[static_cast<std::size_t>(i)]));
+      ASSERT_TRUE(node.has_value());
+      if (volts[static_cast<std::size_t>(*node)] > 0.6) result |= (1ull << i);
+    }
+    const auto cnode = ex.circuit.find_node(adder.netlist.net_name(adder.cout));
+    if (volts[static_cast<std::size_t>(*cnode)] > 0.6) result |= (1ull << 2);
+    EXPECT_EQ(result, a + b) << "a=" << a << " b=" << b;
+    (void)logic;
+  }
+}
+
+}  // namespace
+}  // namespace mtcmos::circuits

@@ -1,0 +1,503 @@
+// Tests for the variable-breakpoint switch-level simulator: the Eq. 5
+// solver, single-gate delay against the closed form, event semantics
+// (Fig. 9), extensions, and agreement with first principles.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/generators.hpp"
+#include "core/glitch.hpp"
+#include "core/vbs.hpp"
+#include "core/vx_solver.hpp"
+#include "models/sleep_transistor.hpp"
+#include "models/technology.hpp"
+#include "netlist/bits.hpp"
+#include "util/units.hpp"
+#include "waveform/measure.hpp"
+
+namespace mtcmos::core {
+namespace {
+
+using circuits::make_inverter_chain;
+using circuits::make_inverter_tree;
+using circuits::make_ripple_adder;
+using netlist::bits_from_uint;
+using netlist::concat_bits;
+using netlist::Netlist;
+using mtcmos::units::fF;
+using mtcmos::units::ns;
+using mtcmos::units::ps;
+
+// --- Vx solver ---
+
+TEST(VxSolver, ZeroResistanceGivesFullDrive) {
+  const Technology t = tech07();
+  const VxSolution sol = solve_vx(0.0, t.vdd, t.nmos_low, 1e-3);
+  EXPECT_DOUBLE_EQ(sol.vx, 0.0);
+  EXPECT_NEAR(sol.gate_drive, t.vdd - t.nmos_low.vt0, 1e-12);
+}
+
+TEST(VxSolver, ZeroBetaGivesNoCurrent) {
+  const Technology t = tech07();
+  const VxSolution sol = solve_vx(1000.0, t.vdd, t.nmos_low, 0.0);
+  EXPECT_DOUBLE_EQ(sol.vx, 0.0);
+  EXPECT_DOUBLE_EQ(sol.total_current, 0.0);
+}
+
+TEST(VxSolver, SatisfiesEquationFive) {
+  const Technology t = tech07();
+  for (double r : {100.0, 1000.0, 5000.0}) {
+    for (double beta : {1e-4, 1e-3, 5e-3}) {
+      const VxSolution sol = solve_vx(r, t.vdd, t.nmos_low, beta);
+      // Vx / R == (beta/2) (Vdd - Vx - Vtn)^2
+      const double lhs = sol.vx / r;
+      const double rhs = 0.5 * beta * sol.gate_drive * sol.gate_drive;
+      EXPECT_NEAR(lhs, rhs, 1e-9 * std::max(lhs, 1e-12)) << "r=" << r << " beta=" << beta;
+      EXPECT_NEAR(sol.vx + sol.gate_drive + sol.vtn, t.vdd, 1e-9);
+    }
+  }
+}
+
+TEST(VxSolver, VxIncreasesWithBetaAndR) {
+  const Technology t = tech07();
+  double prev = -1.0;
+  for (double beta : {1e-4, 3e-4, 1e-3, 3e-3}) {
+    const double vx = solve_vx(1000.0, t.vdd, t.nmos_low, beta).vx;
+    EXPECT_GT(vx, prev);
+    prev = vx;
+  }
+  prev = -1.0;
+  for (double r : {100.0, 300.0, 1000.0, 3000.0}) {
+    const double vx = solve_vx(r, t.vdd, t.nmos_low, 1e-3).vx;
+    EXPECT_GT(vx, prev);
+    prev = vx;
+  }
+}
+
+TEST(VxSolver, VxBoundedByVddMinusVt) {
+  const Technology t = tech07();
+  const VxSolution sol = solve_vx(1e6, t.vdd, t.nmos_low, 1e-2);  // absurdly weak sleep
+  EXPECT_LT(sol.vx, t.vdd - t.nmos_low.vt0);
+  EXPECT_GT(sol.gate_drive, 0.0);
+}
+
+TEST(VxSolver, BodyEffectLowersVxAndCurrent) {
+  const Technology t = tech07();
+  const VxSolution plain = solve_vx(2000.0, t.vdd, t.nmos_low, 2e-3, false);
+  const VxSolution body = solve_vx(2000.0, t.vdd, t.nmos_low, 2e-3, true);
+  EXPECT_GT(body.vtn, plain.vtn);                    // threshold rises with Vsb
+  EXPECT_LT(body.total_current, plain.total_current);  // so current drops
+  EXPECT_LT(body.vx, plain.vx);                      // and the bounce shrinks
+  // Consistency of the body-corrected fixed point.
+  EXPECT_NEAR(body.vx / 2000.0, 0.5 * 2e-3 * body.gate_drive * body.gate_drive, 1e-9);
+}
+
+TEST(VxSolver, GateCurrentShare) {
+  const Technology t = tech07();
+  const VxSolution sol = solve_vx(1000.0, t.vdd, t.nmos_low, 3e-3);
+  const double i1 = gate_discharge_current(1e-3, sol);
+  const double i2 = gate_discharge_current(2e-3, sol);
+  EXPECT_NEAR(i1 + i2, sol.total_current, 1e-12);
+  EXPECT_NEAR(i2 / i1, 2.0, 1e-9);
+}
+
+// --- Single-inverter VBS behaviour ---
+
+Netlist single_inverter(const Technology& t, double load) {
+  Netlist nl(t);
+  const auto in = nl.add_input("in");
+  const auto out = nl.add_inv("inv", in);
+  nl.add_load(out, load);
+  return nl;
+}
+
+TEST(Vbs, InverterFallingDelayMatchesClosedForm) {
+  // With R = 0 the paper's model is exact: tphl = CL (Vdd/2) / Isat.
+  const Technology t = tech07();
+  Netlist nl = single_inverter(t, 50.0 * fF);
+  VbsOptions opt;
+  opt.sleep_resistance = 0.0;
+  const VbsSimulator sim(nl, opt);
+  const double d = sim.delay({false}, {true}, "in", "inv.out");
+  const double beta = t.nmos_low.kp * t.wn_default / t.lmin;
+  const double isat = 0.5 * beta * (t.vdd - t.nmos_low.vt0) * (t.vdd - t.nmos_low.vt0);
+  const double cl = nl.output_load(0);
+  EXPECT_NEAR(d, cl * (t.vdd / 2.0) / isat, 1e-15);
+}
+
+TEST(Vbs, InverterRisingDelayUsesPullUp) {
+  const Technology t = tech07();
+  Netlist nl = single_inverter(t, 50.0 * fF);
+  const VbsSimulator sim(nl, {});
+  const double d = sim.delay({true}, {false}, "in", "inv.out");
+  const double beta_p = t.pmos_low.kp * t.wp_default / t.lmin;
+  const double ip = 0.5 * beta_p * (t.vdd - t.pmos_low.vt0) * (t.vdd - t.pmos_low.vt0);
+  const double cl = nl.output_load(0);
+  EXPECT_NEAR(d, cl * (t.vdd / 2.0) / ip, 1e-15);
+}
+
+TEST(Vbs, SleepResistanceSlowsFallingOnly) {
+  const Technology t = tech07();
+  Netlist nl = single_inverter(t, 50.0 * fF);
+  VbsOptions fast;
+  VbsOptions slow;
+  slow.sleep_resistance = 3000.0;
+  const VbsSimulator s_fast(nl, fast);
+  const VbsSimulator s_slow(nl, slow);
+  EXPECT_GT(s_slow.delay({false}, {true}, "in", "inv.out"),
+            s_fast.delay({false}, {true}, "in", "inv.out"));
+  EXPECT_DOUBLE_EQ(s_slow.delay({true}, {false}, "in", "inv.out"),
+                   s_fast.delay({true}, {false}, "in", "inv.out"));
+}
+
+TEST(Vbs, DelayMonotoneInSleepResistance) {
+  const Technology t = tech07();
+  Netlist nl = single_inverter(t, 50.0 * fF);
+  double prev = 0.0;
+  for (double r : {0.0, 500.0, 1000.0, 2000.0, 4000.0}) {
+    VbsOptions opt;
+    opt.sleep_resistance = r;
+    const double d = VbsSimulator(nl, opt).delay({false}, {true}, "in", "inv.out");
+    EXPECT_GT(d, prev) << "r=" << r;
+    prev = d;
+  }
+}
+
+TEST(Vbs, NoInputChangeMeansNoBreakpointsBeyondSetup) {
+  const Technology t = tech07();
+  Netlist nl = single_inverter(t, 50.0 * fF);
+  const VbsSimulator sim(nl, {});
+  const VbsResult res = sim.run({true}, {true});
+  EXPECT_EQ(res.breakpoints, 0u);
+  EXPECT_DOUBLE_EQ(res.outputs.get("inv.out").last_value(), 0.0);
+}
+
+TEST(Vbs, OutputWaveformIsMonotonePwl) {
+  const Technology t = tech07();
+  Netlist nl = single_inverter(t, 50.0 * fF);
+  VbsOptions opt;
+  opt.sleep_resistance = 1000.0;
+  const VbsResult res = VbsSimulator(nl, opt).run({false}, {true});
+  const Pwl& w = res.outputs.get("inv.out");
+  for (std::size_t i = 0; i + 1 < w.size(); ++i) {
+    EXPECT_LE(w.value_at(i + 1), w.value_at(i) + 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(w.last_value(), 0.0);
+}
+
+// --- Chain and tree: event propagation ---
+
+TEST(Vbs, ChainPropagatesStageByStage) {
+  const auto chain = make_inverter_chain(tech07(), 4);
+  const VbsSimulator sim(chain.netlist, {});
+  const VbsResult res = sim.run({false}, {true});
+  const double vdd = tech07().vdd;
+  double prev_cross = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    const auto& w = res.outputs.get(chain.netlist.net_name(chain.outputs[static_cast<std::size_t>(i)]));
+    const auto cross = w.crossing(0.5 * vdd, Edge::kAny, 0.0);
+    ASSERT_TRUE(cross.has_value()) << "stage " << i;
+    EXPECT_GT(*cross, prev_cross) << "stage " << i;
+    prev_cross = *cross;
+  }
+}
+
+TEST(Vbs, TreeThirdStageBouncesHardest) {
+  // Paper Fig. 5: a small bump when the first inverter discharges, a large
+  // bump when all nine third-stage inverters discharge.  For the 0->1
+  // input, stages 1 and 3 discharge.
+  const auto tree = make_inverter_tree(tech07());
+  VbsOptions opt;
+  opt.sleep_resistance = SleepTransistor(tech07(), 8.0).reff();
+  const VbsResult res = VbsSimulator(tree.netlist, opt).run({false}, {true});
+  const Pwl& vx = res.virtual_ground;
+  EXPECT_GT(res.vx_peak, 0.05);
+  // The peak must occur during the third stage, i.e. after the second
+  // stage output has risen.
+  const auto& s2 = res.outputs.get(tree.netlist.net_name(tree.stage_outputs[1][0]));
+  const auto t_s2 = s2.crossing(0.6, Edge::kRising);
+  ASSERT_TRUE(t_s2.has_value());
+  EXPECT_GT(vx.time_of_max(), *t_s2);
+}
+
+TEST(Vbs, TreeDelayGrowsAsSleepShrinks) {
+  const auto tree = make_inverter_tree(tech07());
+  const std::string leaf = tree.netlist.net_name(tree.leaves[0]);
+  double prev = 0.0;
+  for (double wl : {20.0, 14.0, 8.0, 2.0}) {
+    VbsOptions opt;
+    opt.sleep_resistance = SleepTransistor(tech07(), wl).reff();
+    const double d = VbsSimulator(tree.netlist, opt).delay({false}, {true}, "in", leaf);
+    EXPECT_GT(d, prev) << "wl=" << wl;
+    prev = d;
+  }
+}
+
+TEST(Vbs, SimultaneousDischargersSlowerThanSolo) {
+  // Two inverters sharing the sleep resistor discharge slower together
+  // than one alone -- the core MTCMOS interaction (paper Section 5.1).
+  const Technology t = tech07();
+  Netlist nl(t);
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto oa = nl.add_inv("ga", a);
+  nl.add_inv("gb", b);
+  nl.add_load(oa, 50.0 * fF);
+  nl.add_load(nl.find_net("gb.out").value(), 50.0 * fF);
+  VbsOptions opt;
+  opt.sleep_resistance = 2000.0;
+  const VbsSimulator sim(nl, opt);
+  const double solo = sim.delay({false, true}, {true, true}, "a", "ga.out");
+  const double both = sim.delay({false, false}, {true, true}, "a", "ga.out");
+  EXPECT_GT(both, solo * 1.05);
+}
+
+TEST(Vbs, AdderComputesCorrectFinalLevels) {
+  const auto adder = make_ripple_adder(tech07(), 3);
+  VbsOptions opt;
+  opt.sleep_resistance = SleepTransistor(tech07(), 10.0).reff();
+  const VbsSimulator sim(adder.netlist, opt);
+  for (const auto& [a0, b0, a1, b1] :
+       std::vector<std::array<std::uint64_t, 4>>{{0, 0, 7, 1}, {1, 6, 5, 5}, {3, 4, 7, 7}}) {
+    const auto v0 = concat_bits(bits_from_uint(a0, 3), bits_from_uint(b0, 3));
+    const auto v1 = concat_bits(bits_from_uint(a1, 3), bits_from_uint(b1, 3));
+    const VbsResult res = sim.run(v0, v1);
+    const auto expect = adder.netlist.evaluate(v1);
+    const double vdd = tech07().vdd;
+    for (int i = 0; i < 3; ++i) {
+      const auto& w =
+          res.outputs.get(adder.netlist.net_name(adder.sum[static_cast<std::size_t>(i)]));
+      const bool high = w.last_value() > 0.5 * vdd;
+      EXPECT_EQ(high, expect[static_cast<std::size_t>(adder.sum[static_cast<std::size_t>(i)])])
+          << "bit " << i;
+    }
+  }
+}
+
+TEST(Vbs, GlitchReversalHandled) {
+  // NAND(a, b) with a: 0->1 and b: 1->0 arriving later creates a glitch:
+  // output starts falling when a rises, then recovers when b falls.  The
+  // simulator must flip the drive mid-transition without error.
+  const Technology t = tech07();
+  Netlist nl(t);
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto inv_b = nl.add_inv("dly", b);  // delays b's effect on the nand
+  const auto out = nl.net("n.out");
+  nl.add_gate("n", netlist::SpExpr::series({netlist::SpExpr::input(0), netlist::SpExpr::input(1)}),
+              {a, inv_b}, out);
+  nl.add_load(out, 30.0 * fF);
+  nl.add_load(inv_b, 30.0 * fF);
+  VbsOptions opt;
+  opt.sleep_resistance = 1500.0;
+  // a rises (nand starts discharging since inv_b is still high), then
+  // inv_b falls and the nand output must recover to vdd.
+  const VbsResult res = VbsSimulator(nl, opt).run({false, false}, {true, true});
+  const Pwl& w = res.outputs.get("n.out");
+  EXPECT_LT(w.min_value(), t.vdd)       // dipped
+      << "expected a glitch dip";
+  EXPECT_DOUBLE_EQ(w.last_value(), t.vdd);  // recovered
+}
+
+// --- Glitch analysis ---
+
+TEST(Glitch, CleanTransitionReportsNothing) {
+  const auto chain = make_inverter_chain(tech07(), 3);
+  const VbsSimulator sim(chain.netlist, {});
+  const auto res = sim.run({false}, {true});
+  const auto rep = analyze_glitches(res, chain.netlist, {false}, {true});
+  EXPECT_EQ(rep.total_extra_crossings, 0);
+  EXPECT_TRUE(rep.glitching_nets.empty());
+}
+
+TEST(Glitch, DetectsNandGlitchDipAndReversal) {
+  // The same circuit as Vbs.GlitchReversalHandled: the NAND output dips
+  // and recovers -- a reversed partial swing the report must flag.
+  const Technology t = tech07();
+  Netlist nl(t);
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto inv_b = nl.add_inv("dly", b);
+  const auto out = nl.net("n.out");
+  nl.add_gate("n", netlist::SpExpr::series({netlist::SpExpr::input(0), netlist::SpExpr::input(1)}),
+              {a, inv_b}, out);
+  nl.add_load(out, 30.0 * fF);
+  nl.add_load(inv_b, 30.0 * fF);
+  VbsOptions opt;
+  opt.sleep_resistance = 1500.0;
+  const VbsSimulator sim(nl, opt);
+  const auto res = sim.run({false, false}, {true, true});
+  const auto rep = analyze_glitches(res, nl, {false, false}, {true, true});
+  ASSERT_FALSE(rep.glitching_nets.empty());
+  bool found = false;
+  for (const auto& ng : rep.glitching_nets) {
+    if (ng.net == out) {
+      found = true;
+      EXPECT_GT(ng.worst_partial, 0.05);  // a visible dip
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_GT(rep.wasted_charge_cap, 0.0);
+}
+
+TEST(Glitch, ExtraCrossingsCountedWhenDipCrossesThreshold) {
+  // Heavier glitch: make the dip deep enough to cross Vdd/2 (delay the
+  // recovering input further with a loaded buffer).
+  const Technology t = tech07();
+  Netlist nl(t);
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto d1 = nl.add_inv("d1", b);
+  nl.add_load(d1, 150.0 * fF);  // slow: the NAND dips deep before recovery
+  const auto out = nl.net("n.out");
+  nl.add_gate("n", netlist::SpExpr::series({netlist::SpExpr::input(0), netlist::SpExpr::input(1)}),
+              {a, d1}, out);
+  nl.add_load(out, 20.0 * fF);
+  const VbsSimulator sim(nl, {});
+  const auto res = sim.run({false, false}, {true, true});
+  // Functionally out stays high (a=1, d1 ends low) => any crossing pair is
+  // glitch activity.
+  const auto rep = analyze_glitches(res, nl, {false, false}, {true, true});
+  EXPECT_GE(rep.total_extra_crossings, 2);
+}
+
+TEST(Glitch, InputSizeValidated) {
+  const auto chain = make_inverter_chain(tech07(), 2);
+  const VbsSimulator sim(chain.netlist, {});
+  const auto res = sim.run({false}, {true});
+  EXPECT_THROW(analyze_glitches(res, chain.netlist, {false, true}, {true, false}),
+               std::invalid_argument);
+}
+
+// --- Extensions ---
+
+TEST(Vbs, BodyEffectExtensionSlowsDischarge) {
+  const auto tree = make_inverter_tree(tech07());
+  const std::string leaf = tree.netlist.net_name(tree.leaves[0]);
+  VbsOptions plain;
+  plain.sleep_resistance = SleepTransistor(tech07(), 5.0).reff();
+  VbsOptions body = plain;
+  body.body_effect = true;
+  const double d_plain = VbsSimulator(tree.netlist, plain).delay({false}, {true}, "in", leaf);
+  const double d_body = VbsSimulator(tree.netlist, body).delay({false}, {true}, "in", leaf);
+  EXPECT_GT(d_body, d_plain);
+}
+
+TEST(Vbs, VirtualGroundCapSmoothsBounce) {
+  // Section 2.2: C_x filters the bounce; a large C_x must reduce the V_x
+  // peak seen during the transition window.
+  const auto tree = make_inverter_tree(tech07());
+  VbsOptions no_cap;
+  no_cap.sleep_resistance = SleepTransistor(tech07(), 8.0).reff();
+  VbsOptions big_cap = no_cap;
+  big_cap.virtual_ground_cap = 20e-12;  // 20 pF ("on the order of pico farads")
+  const VbsResult a = VbsSimulator(tree.netlist, no_cap).run({false}, {true});
+  const VbsResult b = VbsSimulator(tree.netlist, big_cap).run({false}, {true});
+  EXPECT_LT(b.vx_peak, 0.5 * a.vx_peak);
+}
+
+TEST(Vbs, VirtualGroundCapSlowsRecovery) {
+  // The same C_x keeps V_x elevated after the gates finish (the Section
+  // 2.2 drawback).  Compare V_x shortly after the discharge ends.
+  const auto tree = make_inverter_tree(tech07());
+  VbsOptions big_cap;
+  big_cap.sleep_resistance = SleepTransistor(tech07(), 8.0).reff();
+  big_cap.virtual_ground_cap = 20e-12;
+  const VbsResult res = VbsSimulator(tree.netlist, big_cap).run({false}, {true});
+  // tau = R * Cx; at the final breakpoint V_x should still be well above 0.
+  EXPECT_GT(res.virtual_ground.sample(res.finish_time), 1e-3);
+}
+
+TEST(Vbs, ReverseConductionPinsAndFlags) {
+  // One heavy discharger + one idle-low gate: with the extension on, the
+  // idle gate's output is pulled to V_x.
+  const Technology t = tech07();
+  Netlist nl(t);
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto oa = nl.add_inv("ga", a);
+  const auto ob = nl.add_inv("gb", b);
+  nl.add_load(oa, 200.0 * fF);
+  nl.add_load(ob, 50.0 * fF);
+  VbsOptions opt;
+  opt.sleep_resistance = 4000.0;
+  opt.reverse_conduction = true;
+  // b stays high -> gb.out stays (logic) low; a rises -> ga discharges.
+  const VbsResult res = VbsSimulator(nl, opt).run({false, true}, {true, true});
+  const Pwl& w = res.outputs.get("gb.out");
+  EXPECT_GT(w.max_value(), 0.01);  // pinned up toward Vx
+  EXPECT_LE(w.max_value(), res.vx_peak + 1e-9);
+}
+
+TEST(Vbs, InputValidation) {
+  const Technology t = tech07();
+  Netlist nl = single_inverter(t, 50.0 * fF);
+  VbsOptions opt;
+  opt.sleep_resistance = -1.0;
+  EXPECT_THROW(VbsSimulator(nl, opt), std::invalid_argument);
+  const VbsSimulator sim(nl, {});
+  EXPECT_THROW(sim.run({false, true}, {true, false}), std::invalid_argument);
+}
+
+TEST(Vbs, DelayReturnsNegativeForUnknownNets) {
+  const Technology t = tech07();
+  Netlist nl = single_inverter(t, 50.0 * fF);
+  const VbsSimulator sim(nl, {});
+  EXPECT_LT(sim.delay({false}, {true}, "nope", "inv.out"), 0.0);
+  EXPECT_LT(sim.delay({false}, {true}, "in", "nope"), 0.0);
+}
+
+TEST(Vbs, AlphaOneIsSlowestDrive) {
+  // At u < 1 V, u^1 > u^2, so alpha=1 drives MORE current and is faster;
+  // this pins down the normalization convention (I = beta/2 * u^alpha
+  // with u in volts).
+  const Technology t = tech07();
+  Netlist nl = single_inverter(t, 50.0 * fF);
+  VbsOptions a2;
+  VbsOptions a1;
+  a1.alpha = 1.0;
+  const double d2 = VbsSimulator(nl, a2).delay({false}, {true}, "in", "inv.out");
+  const double d1 = VbsSimulator(nl, a1).delay({false}, {true}, "in", "inv.out");
+  EXPECT_LT(d1, d2);
+}
+
+TEST(Vbs, InputSlopeFactorDelaysActivation) {
+  const auto chain = make_inverter_chain(tech07(), 3);
+  const std::string out = chain.netlist.net_name(chain.outputs.back());
+  VbsOptions plain;
+  VbsOptions lagged;
+  lagged.input_slope_factor = 0.3;
+  const double d0 = VbsSimulator(chain.netlist, plain).delay({false}, {true}, "in", out);
+  const double d1 = VbsSimulator(chain.netlist, lagged).delay({false}, {true}, "in", out);
+  EXPECT_GT(d1, d0 * 1.05);
+}
+
+TEST(Vbs, SupplyEnergyCountsRisingSwingsOnly) {
+  const Technology t = tech07();
+  Netlist nl = single_inverter(t, 50.0 * fF);
+  const VbsSimulator sim(nl, {});
+  // Output falls: no supply energy.  Output rises: CL * Vdd^2.
+  EXPECT_DOUBLE_EQ(sim.run({false}, {true}).supply_energy, 0.0);
+  const double e_rise = sim.run({true}, {false}).supply_energy;
+  EXPECT_NEAR(e_rise, nl.output_load(0) * t.vdd * t.vdd, 1e-18);
+}
+
+TEST(Vbs, CriticalDelayPicksLatestOutput) {
+  const auto adder = make_ripple_adder(tech07(), 3);
+  VbsOptions opt;
+  opt.sleep_resistance = SleepTransistor(tech07(), 10.0).reff();
+  const VbsSimulator sim(adder.netlist, opt);
+  std::vector<std::string> outs;
+  for (const auto s : adder.sum) outs.push_back(adder.netlist.net_name(s));
+  outs.push_back(adder.netlist.net_name(adder.cout));
+  const auto v0 = concat_bits(bits_from_uint(0, 3), bits_from_uint(0, 3));
+  const auto v1 = concat_bits(bits_from_uint(7, 3), bits_from_uint(1, 3));
+  const double worst = sim.critical_delay(v0, v1, outs);
+  const double s0 = sim.delay(v0, v1, "a0", outs[0]);
+  EXPECT_GT(worst, 0.0);
+  EXPECT_GE(worst, s0);
+}
+
+}  // namespace
+}  // namespace mtcmos::core

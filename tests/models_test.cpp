@@ -1,0 +1,252 @@
+// Unit tests for mtcmos::models: level-1 MOSFET, technologies, alpha-power
+// law, sleep-transistor resistance model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/alpha_power.hpp"
+#include "models/level1.hpp"
+#include "models/sleep_transistor.hpp"
+#include "models/technology.hpp"
+#include "util/units.hpp"
+
+namespace mtcmos {
+namespace {
+
+MosParams nmos_no_sub() {
+  MosParams p = tech07().nmos_low;
+  p.subthreshold = false;
+  return p;
+}
+
+TEST(Level1, CutoffHasNoStrongInversionCurrent) {
+  const MosParams p = nmos_no_sub();
+  const MosEval e = mos_level1_eval(p, 2e-6, 0.7e-6, /*vgs=*/0.1, /*vds=*/1.0, 0.0);
+  EXPECT_DOUBLE_EQ(e.id, 0.0);
+}
+
+TEST(Level1, SaturationSquareLaw) {
+  MosParams p = nmos_no_sub();
+  p.lambda = 0.0;
+  const double w = 2e-6, l = 1e-6;
+  const double vov = 0.5;
+  const MosEval e = mos_level1_eval(p, w, l, p.vt0 + vov, /*vds=*/1.0, 0.0);
+  EXPECT_NEAR(e.id, 0.5 * p.kp * (w / l) * vov * vov, 1e-15);
+  EXPECT_NEAR(e.gm, p.kp * (w / l) * vov, 1e-12);
+  EXPECT_NEAR(e.gds, 0.0, 1e-15);
+}
+
+TEST(Level1, TriodeRegion) {
+  MosParams p = nmos_no_sub();
+  p.lambda = 0.0;
+  const double w = 2e-6, l = 1e-6;
+  const double vov = 0.5, vds = 0.1;
+  const MosEval e = mos_level1_eval(p, w, l, p.vt0 + vov, vds, 0.0);
+  EXPECT_NEAR(e.id, p.kp * (w / l) * (vov * vds - 0.5 * vds * vds), 1e-15);
+}
+
+TEST(Level1, CurrentContinuousAtPinchoff) {
+  MosParams p = nmos_no_sub();
+  const double w = 2e-6, l = 1e-6, vov = 0.4;
+  const double eps = 1e-7;
+  const MosEval lin = mos_level1_eval(p, w, l, p.vt0 + vov, vov - eps, 0.0);
+  const MosEval sat = mos_level1_eval(p, w, l, p.vt0 + vov, vov + eps, 0.0);
+  // Continuous up to the 2*eps*gds slope term across the boundary.
+  EXPECT_NEAR(lin.id, sat.id, 3.0 * eps * sat.gds + 1e-15);
+}
+
+TEST(Level1, BodyEffectRaisesThreshold) {
+  const MosParams p = tech07().nmos_low;
+  const double vt0 = threshold_voltage(p, 0.0);
+  const double vt_biased = threshold_voltage(p, 0.3);
+  EXPECT_DOUBLE_EQ(vt0, p.vt0);
+  EXPECT_GT(vt_biased, vt0);
+  // Analytical value.
+  EXPECT_NEAR(vt_biased, p.vt0 + p.gamma * (std::sqrt(p.phi + 0.3) - std::sqrt(p.phi)), 1e-12);
+}
+
+TEST(Level1, BodyEffectReducesCurrent) {
+  const MosParams p = nmos_no_sub();
+  const double w = 2e-6, l = 1e-6;
+  const MosEval grounded = mos_level1_eval(p, w, l, 0.9, 1.0, 0.0);
+  const MosEval body_biased = mos_level1_eval(p, w, l, 0.9, 1.0, -0.3);  // vsb = +0.3
+  EXPECT_LT(body_biased.id, grounded.id);
+}
+
+TEST(Level1, ChannelLengthModulationIncreasesIdWithVds) {
+  const MosParams p = nmos_no_sub();
+  const double w = 2e-6, l = 1e-6;
+  const MosEval a = mos_level1_eval(p, w, l, 0.9, 0.8, 0.0);
+  const MosEval b = mos_level1_eval(p, w, l, 0.9, 1.2, 0.0);
+  EXPECT_GT(b.id, a.id);
+  EXPECT_GT(a.gds, 0.0);
+}
+
+TEST(Level1, SubthresholdLeakageDecadesPerVt) {
+  MosParams p = tech07().nmos_low;
+  p.subthreshold = true;
+  const double w = 2e-6, l = 0.7e-6;
+  const MosEval low = mos_level1_eval(p, w, l, 0.0, 1.2, 0.0);
+  MosParams hp = tech07().nmos_high;
+  const MosEval high = mos_level1_eval(hp, w, l, 0.0, 1.2, 0.0);
+  EXPECT_GT(low.id, 0.0);
+  EXPECT_GT(high.id, 0.0);
+  // 0.4 V higher threshold must suppress leakage by orders of magnitude:
+  // exp(0.4 / (n vT)) ~ 6e4 at n=1.4.
+  const double ratio = low.id / high.id;
+  EXPECT_GT(ratio, 1e3);
+  EXPECT_LT(ratio, 1e7);
+}
+
+TEST(Level1, LeakageGrowsWithTemperature) {
+  MosParams p = tech07().nmos_low;
+  p.temp = 300.0;
+  const double i300 = mos_level1_eval(p, 2e-6, 0.7e-6, 0.0, 1.2, 0.0).id;
+  p.temp = 360.0;
+  const double i360 = mos_level1_eval(p, 2e-6, 0.7e-6, 0.0, 1.2, 0.0).id;
+  EXPECT_GT(i360, 3.0 * i300);  // several octaves over 60 K
+  // Strong inversion is (deliberately) temperature-independent in this model.
+  p.temp = 300.0;
+  const double s300 = mos_level1_eval(p, 2e-6, 0.7e-6, 1.2, 1.2, 0.0).id;
+  p.temp = 360.0;
+  const double s360 = mos_level1_eval(p, 2e-6, 0.7e-6, 1.2, 1.2, 0.0).id;
+  EXPECT_NEAR(s360 / s300, 1.0, 0.01);
+}
+
+TEST(Level1, SubthresholdVanishesWithVds) {
+  const MosParams p = tech07().nmos_low;
+  const MosEval e = mos_level1_eval(p, 2e-6, 0.7e-6, 0.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(e.id, 0.0);
+}
+
+TEST(Level1, InvalidArgsThrow) {
+  const MosParams p = tech07().nmos_low;
+  EXPECT_THROW(mos_level1_eval(p, -1e-6, 1e-6, 1.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(mos_level1_eval(p, 1e-6, 1e-6, 1.0, -0.1, 0.0), std::invalid_argument);
+}
+
+TEST(Level1, SaturationCurrentHelperMatchesEval) {
+  MosParams p = nmos_no_sub();
+  p.lambda = 0.0;
+  const double wl = 3.0;
+  const double i1 = saturation_current(p, wl, 1.2, 0.0);
+  const MosEval e = mos_level1_eval(p, wl * 1e-6, 1e-6, 1.2, 2.0, 0.0);
+  EXPECT_NEAR(i1, e.id, 1e-12);
+  EXPECT_DOUBLE_EQ(saturation_current(p, wl, 0.2, 0.0), 0.0);  // below Vt
+}
+
+TEST(Technology, PresetsMatchPaperVoltages) {
+  const Technology t7 = tech07();
+  EXPECT_DOUBLE_EQ(t7.vdd, 1.2);
+  EXPECT_DOUBLE_EQ(t7.nmos_low.vt0, 0.35);
+  EXPECT_DOUBLE_EQ(t7.pmos_low.vt0, 0.35);
+  EXPECT_DOUBLE_EQ(t7.nmos_high.vt0, 0.75);
+  EXPECT_DOUBLE_EQ(t7.lmin, 0.7e-6);
+
+  const Technology t3 = tech03();
+  EXPECT_DOUBLE_EQ(t3.vdd, 1.0);
+  EXPECT_DOUBLE_EQ(t3.nmos_low.vt0, 0.20);
+  EXPECT_DOUBLE_EQ(t3.nmos_high.vt0, 0.70);
+  EXPECT_DOUBLE_EQ(t3.lmin, 0.3e-6);
+}
+
+TEST(Technology, CapacitanceHelpers) {
+  const Technology t = tech07();
+  EXPECT_NEAR(t.gate_cap(2e-6, 0.7e-6), t.cox * 1.4e-12, 1e-20);
+  EXPECT_NEAR(t.junction_cap(2e-6), t.cj_per_width * 2e-6, 1e-20);
+  EXPECT_GT(Technology::beta(t.nmos_low, 2.1e-6, 0.7e-6), 0.0);
+}
+
+TEST(AlphaPower, SquareLawRecovery) {
+  const AlphaPowerModel m{2.0, 59e-6, 0.35};  // k = kp/2 equivalent
+  const double id = alpha_power_current(m, 3.0, 1.2);
+  EXPECT_NEAR(id, 59e-6 * 3.0 * 0.85 * 0.85, 1e-12);
+  EXPECT_DOUBLE_EQ(alpha_power_current(m, 3.0, 0.2), 0.0);
+}
+
+TEST(AlphaPower, DelayScalesInverselyWithGateDrive) {
+  const AlphaPowerModel m{1.3, 1e-4, 0.35};
+  const double d_high = alpha_power_delay(m, 3.0, 50e-15, 1.2);
+  const double d_low = alpha_power_delay(m, 3.0, 50e-15, 0.8);
+  EXPECT_GT(d_low, d_high);  // lower Vdd -> slower
+}
+
+TEST(AlphaPower, FitRecoversExactModel) {
+  const AlphaPowerModel truth{1.4, 2.3e-4, 0.35};
+  std::vector<double> vgs, id;
+  for (double v = 0.6; v <= 1.3; v += 0.1) {
+    vgs.push_back(v);
+    id.push_back(alpha_power_current(truth, 2.0, v));
+  }
+  const AlphaPowerModel fit = fit_alpha_power(vgs, id, truth.vt, 2.0);
+  EXPECT_NEAR(fit.alpha, truth.alpha, 1e-9);
+  EXPECT_NEAR(fit.k, truth.k, 1e-9 * truth.k);
+}
+
+TEST(AlphaPower, FitLevel1DataGivesAlphaNearTwo) {
+  // Level-1 is a square law, so the fitted alpha should be close to 2
+  // (slightly above due to channel-length modulation at fixed vds).
+  MosParams p = nmos_no_sub();
+  p.lambda = 0.0;
+  std::vector<double> vgs, id;
+  for (double v = 0.6; v <= 1.21; v += 0.05) {
+    vgs.push_back(v);
+    id.push_back(saturation_current(p, 3.0, v, 0.0));
+  }
+  const AlphaPowerModel fit = fit_alpha_power(vgs, id, p.vt0, 3.0);
+  EXPECT_NEAR(fit.alpha, 2.0, 1e-6);
+}
+
+TEST(AlphaPower, FitRejectsBadInput) {
+  EXPECT_THROW(fit_alpha_power({1.0}, {1e-4}, 0.35, 1.0), std::invalid_argument);
+  EXPECT_THROW(fit_alpha_power({0.3, 0.4}, {1e-4, 2e-4}, 0.35, 1.0), std::invalid_argument);
+  EXPECT_THROW(fit_alpha_power({1.0, 1.0}, {1e-4, 1e-4}, 0.35, 1.0), std::invalid_argument);
+}
+
+TEST(SleepTransistor, ReffInverseInWl) {
+  const Technology t = tech07();
+  const SleepTransistor small(t, 5.0);
+  const SleepTransistor large(t, 20.0);
+  EXPECT_NEAR(small.reff() / large.reff(), 4.0, 1e-9);
+}
+
+TEST(SleepTransistor, ReffMatchesClosedForm) {
+  const Technology t = tech03();
+  const SleepTransistor s(t, 170.0);
+  const double expected = 1.0 / (t.nmos_high.kp * 170.0 * (t.vdd - t.nmos_high.vt0));
+  EXPECT_NEAR(s.reff(), expected, 1e-9 * expected);
+  // Paper context: W/L = 170 in the 0.3 um process should be order 100 Ohm.
+  EXPECT_GT(s.reff(), 10.0);
+  EXPECT_LT(s.reff(), 1000.0);
+}
+
+TEST(SleepTransistor, ReffAtIncreasesWithVx) {
+  const Technology t = tech07();
+  const SleepTransistor s(t, 10.0);
+  EXPECT_NEAR(s.reff_at(0.0), s.reff(), 1e-9 * s.reff());
+  EXPECT_GT(s.reff_at(0.2), s.reff());
+  EXPECT_GT(s.reff_at(0.4), s.reff_at(0.2));
+}
+
+TEST(SleepTransistor, WlForResistanceRoundTrip) {
+  const Technology t = tech07();
+  const double wl = SleepTransistor::wl_for_resistance(t, 500.0);
+  const SleepTransistor s(t, wl);
+  EXPECT_NEAR(s.reff(), 500.0, 1e-9 * 500.0);
+}
+
+TEST(SleepTransistor, WidthIsWlTimesLmin) {
+  const Technology t = tech07();
+  const SleepTransistor s(t, 12.0);
+  EXPECT_NEAR(s.width(), 12.0 * t.lmin, 1e-18);
+}
+
+TEST(SleepTransistor, RejectsBadArguments) {
+  const Technology t = tech07();
+  EXPECT_THROW(SleepTransistor(t, 0.0), std::invalid_argument);
+  EXPECT_THROW(SleepTransistor::wl_for_resistance(t, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtcmos

@@ -1,0 +1,452 @@
+// Tests for the MNA transient engine: analytic linear circuits, MOSFET DC
+// behaviour, inverter delays, and the MTCMOS-specific phenomena (virtual
+// ground bounce, sleep-transistor-vs-resistor equivalence, reverse
+// conduction).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/level1.hpp"
+#include "models/sleep_transistor.hpp"
+#include "models/technology.hpp"
+#include "spice/circuit.hpp"
+#include "spice/engine.hpp"
+#include "util/units.hpp"
+#include "waveform/measure.hpp"
+
+namespace mtcmos::spice {
+namespace {
+
+using mtcmos::units::fF;
+using mtcmos::units::ns;
+using mtcmos::units::ps;
+
+TEST(SpiceDc, ResistorDivider) {
+  Circuit ckt;
+  const NodeId vin = ckt.node("vin");
+  const NodeId mid = ckt.node("mid");
+  ckt.add_vsource("V1", vin, Pwl::constant(2.0));
+  ckt.add_resistor("R1", vin, mid, 1000.0);
+  ckt.add_resistor("R2", mid, kGround, 3000.0);
+  Engine eng(ckt);
+  const auto v = eng.dc_operating_point();
+  EXPECT_NEAR(v[static_cast<std::size_t>(mid)], 1.5, 1e-6);
+  EXPECT_NEAR(eng.dc_device_current("R1", v), 0.5e-3, 1e-8);
+}
+
+TEST(SpiceDc, DriverlessNodePulledToGroundByGmin) {
+  Circuit ckt;
+  const NodeId floating = ckt.node("floating");
+  const NodeId vin = ckt.node("vin");
+  ckt.add_vsource("V1", vin, Pwl::constant(1.0));
+  ckt.add_resistor("R1", vin, ckt.node("a"), 100.0);
+  ckt.add_resistor("R2", ckt.node("a"), kGround, 100.0);
+  ckt.add_capacitor("C1", floating, kGround, 1.0 * fF);
+  Engine eng(ckt);
+  const auto v = eng.dc_operating_point();
+  EXPECT_NEAR(v[static_cast<std::size_t>(floating)], 0.0, 1e-9);
+}
+
+TEST(SpiceDc, CurrentSourceIntoResistor) {
+  Circuit ckt;
+  const NodeId out = ckt.node("out");
+  ckt.add_isource("I1", kGround, out, Pwl::constant(1e-3));
+  ckt.add_resistor("R1", out, kGround, 2000.0);
+  Engine eng(ckt);
+  const auto v = eng.dc_operating_point();
+  EXPECT_NEAR(v[static_cast<std::size_t>(out)], 2.0, 1e-5);
+}
+
+TEST(SpiceDc, DiodeConnectedNmosMatchesModel) {
+  const Technology t = tech07();
+  Circuit ckt;
+  const NodeId vdd = ckt.node("vdd");
+  const NodeId d = ckt.node("d");
+  ckt.add_vsource("VDD", vdd, Pwl::constant(t.vdd));
+  ckt.add_resistor("R1", vdd, d, 10e3);
+  ckt.add_mosfet("M1", d, d, kGround, kGround, t.nmos_low, 2.1e-6, 0.7e-6);
+  Engine eng(ckt);
+  const auto v = eng.dc_operating_point();
+  const double vd = v[static_cast<std::size_t>(d)];
+  // KCL: (vdd - vd)/R = Id(vd).
+  const double i_res = (t.vdd - vd) / 10e3;
+  const MosEval e = mos_level1_eval(t.nmos_low, 2.1e-6, 0.7e-6, vd, vd, 0.0);
+  EXPECT_NEAR(i_res, e.id, 1e-9 + 1e-5 * i_res);
+  EXPECT_NEAR(eng.dc_device_current("M1", v), e.id, 1e-12 + 1e-9 * e.id);
+}
+
+TEST(SpiceTransient, RcDischargeMatchesAnalytic) {
+  // 1 kOhm / 1 pF: tau = 1 ns.  Node starts at 1 V (via DC with source),
+  // source steps to 0 at t=0 instantly; v(t) = exp(-t/tau).
+  Circuit ckt;
+  const NodeId src = ckt.node("src");
+  const NodeId out = ckt.node("out");
+  Pwl v_src;
+  v_src.append(0.0, 1.0);
+  v_src.append(1.0 * ps, 0.0);
+  ckt.add_vsource("V1", src, v_src);
+  ckt.add_resistor("R1", src, out, 1000.0);
+  ckt.add_capacitor("C1", out, kGround, 1e-12);
+  Engine eng(ckt);
+  TransientOptions opt;
+  opt.tstop = 5.0 * ns;
+  opt.dt = 1.0 * ps;
+  opt.voltage_probes = {"out"};
+  const TransientResult res = eng.run_transient(opt);
+  const Pwl& w = res.voltages.get("out");
+  for (double t : {0.5 * ns, 1.0 * ns, 2.0 * ns, 4.0 * ns}) {
+    const double expected = std::exp(-(t - 1.0 * ps) / (1.0 * ns));
+    EXPECT_NEAR(w.sample(t), expected, 5e-3) << "at t=" << t;
+  }
+}
+
+TEST(SpiceTransient, RcChargeFromZero) {
+  Circuit ckt;
+  const NodeId src = ckt.node("src");
+  const NodeId out = ckt.node("out");
+  ckt.add_vsource("V1", src, Pwl::step(0.0, 1.0, 0.0, 1.0 * ps));
+  ckt.add_resistor("R1", src, out, 10e3);
+  ckt.add_capacitor("C1", out, kGround, 100 * fF);  // tau = 1 ns
+  Engine eng(ckt);
+  TransientOptions opt;
+  opt.tstop = 4.0 * ns;
+  opt.dt = 2.0 * ps;
+  opt.voltage_probes = {"out"};
+  const auto res = eng.run_transient(opt);
+  const Pwl& w = res.voltages.get("out");
+  EXPECT_NEAR(w.sample(1.0 * ns), 1.0 - std::exp(-1.0), 5e-3);
+  EXPECT_NEAR(w.sample(4.0 * ns), 1.0 - std::exp(-4.0), 5e-3);
+}
+
+TEST(SpiceTransient, CapacitorConservesChargeBetweenTwoCaps) {
+  // Charge sharing: C1 (1 pF at 1 V) connected through R to C2 (1 pF at 0).
+  // Final voltage on both = 0.5 V.
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  const NodeId b = ckt.node("b");
+  const NodeId src = ckt.node("src");
+  // Pre-charge a to 1 V through a small resistor, then let the source float
+  // is not possible with ideal sources; instead emulate: source drives a
+  // through a tiny R until t=0.1ns, then jumps to... keep it simple: start
+  // DC with source at 1 V connected to `a` via small R and large R to b.
+  ckt.add_vsource("V1", src, Pwl::step(1.0, 1.0, 0.0, 1.0 * ps));  // constant 1 V
+  ckt.add_resistor("Rsrc", src, a, 1e9);  // effectively disconnected
+  ckt.add_resistor("Rab", a, b, 1e3);
+  ckt.add_capacitor("C1", a, kGround, 1e-12);
+  ckt.add_capacitor("C2", b, kGround, 1e-12);
+  Engine eng(ckt);
+  // DC: both nodes at 1 V (through the 1 GOhm + gmin ladder)... with gmin
+  // to ground, the divider sits near 1 V * (gmin path); accept whatever DC
+  // gives and just verify the two nodes equalize and stay equal.
+  TransientOptions opt;
+  opt.tstop = 1.0 * ns;
+  opt.dt = 1.0 * ps;
+  opt.voltage_probes = {"a", "b"};
+  const auto res = eng.run_transient(opt);
+  EXPECT_NEAR(res.voltages.get("a").last_value(), res.voltages.get("b").last_value(), 1e-3);
+}
+
+// ---------------------------------------------------------------------------
+// Inverter-level behaviour.
+
+struct InverterFixture {
+  Circuit ckt;
+  NodeId vdd_node, in, out;
+  Technology tech = tech07();
+
+  explicit InverterFixture(double cl = 50.0 * fF, bool with_sleep = false, double sleep_wl = 10.0,
+                           bool sleep_as_resistor = false) {
+    vdd_node = ckt.node("vdd");
+    in = ckt.node("in");
+    out = ckt.node("out");
+    ckt.add_vsource("VDD", vdd_node, Pwl::constant(tech.vdd));
+    NodeId source_n = kGround;
+    if (with_sleep) {
+      source_n = ckt.node("vgnd");
+      if (sleep_as_resistor) {
+        const SleepTransistor st(tech, sleep_wl);
+        ckt.add_resistor("Rsleep", source_n, kGround, st.reff());
+      } else {
+        ckt.add_mosfet("Msleep", source_n, vdd_node, kGround, kGround, tech.nmos_high,
+                       sleep_wl * tech.lmin, tech.lmin);
+      }
+      ckt.add_node_cap(source_n, 1.0 * fF);
+    }
+    ckt.add_mosfet("MP", out, in, vdd_node, vdd_node, tech.pmos_low, tech.wp_default, tech.lmin);
+    ckt.add_mosfet("MN", out, in, source_n, kGround, tech.nmos_low, tech.wn_default, tech.lmin);
+    ckt.add_node_cap(out, cl);
+  }
+
+  /// Falling-output propagation delay for a rising input step at 0.2 ns.
+  double tphl(double dt = 1.0 * ps) {
+    ckt.set_vsource("VIN", Pwl::step(0.0, tech.vdd, 0.2 * ns, 50.0 * ps));
+    Engine eng(ckt);
+    TransientOptions opt;
+    opt.tstop = 3.0 * ns;
+    opt.dt = dt;
+    opt.voltage_probes = {"in", "out"};
+    const auto res = eng.run_transient(opt);
+    const auto d = propagation_delay(res.voltages.get("in"), res.voltages.get("out"), tech.vdd,
+                                     Edge::kRising, Edge::kFalling);
+    EXPECT_TRUE(d.has_value());
+    return d.value_or(-1.0);
+  }
+
+  void add_input_source() { ckt.add_vsource("VIN", in, Pwl::constant(0.0)); }
+};
+
+TEST(SpiceInverter, VtcEndpoints) {
+  InverterFixture f;
+  f.add_input_source();
+  Engine eng(f.ckt);
+  f.ckt.set_vsource("VIN", Pwl::constant(0.0));
+  auto v = eng.dc_operating_point();
+  EXPECT_NEAR(v[static_cast<std::size_t>(f.out)], f.tech.vdd, 5e-3);
+  f.ckt.set_vsource("VIN", Pwl::constant(f.tech.vdd));
+  v = eng.dc_operating_point();
+  EXPECT_NEAR(v[static_cast<std::size_t>(f.out)], 0.0, 5e-3);
+}
+
+TEST(SpiceInverter, VtcIsMonotonicallyFalling) {
+  InverterFixture f;
+  f.add_input_source();
+  Engine eng(f.ckt);
+  double prev = 1e9;
+  for (double vin = 0.0; vin <= f.tech.vdd + 1e-9; vin += 0.1) {
+    f.ckt.set_vsource("VIN", Pwl::constant(vin));
+    const auto v = eng.dc_operating_point();
+    const double vout = v[static_cast<std::size_t>(f.out)];
+    EXPECT_LE(vout, prev + 1e-6) << "VTC not monotone at vin=" << vin;
+    prev = vout;
+  }
+}
+
+TEST(SpiceInverter, FallingDelayNearFirstOrderEstimate) {
+  InverterFixture f;
+  f.add_input_source();
+  const double d = f.tphl();
+  // First-order estimate: CL * Vdd/2 / Idsat (paper Eq. 3).
+  const double isat =
+      saturation_current(f.tech.nmos_low, f.tech.wn_default / f.tech.lmin, f.tech.vdd, 0.0);
+  const double estimate = 50.0 * fF * (f.tech.vdd / 2.0) / isat;
+  EXPECT_GT(d, 0.3 * estimate);
+  EXPECT_LT(d, 2.0 * estimate);
+}
+
+TEST(SpiceInverter, DelayScalesWithLoad) {
+  InverterFixture f1(25.0 * fF);
+  f1.add_input_source();
+  InverterFixture f2(100.0 * fF);
+  f2.add_input_source();
+  const double d1 = f1.tphl();
+  const double d2 = f2.tphl();
+  EXPECT_NEAR(d2 / d1, 4.0, 1.0);  // roughly linear in CL
+}
+
+TEST(SpiceMtcmos, SleepTransistorSlowsFallingEdge) {
+  InverterFixture plain(50.0 * fF, /*with_sleep=*/false);
+  plain.add_input_source();
+  InverterFixture gated(50.0 * fF, /*with_sleep=*/true, /*sleep_wl=*/3.0);
+  gated.add_input_source();
+  const double d_plain = plain.tphl();
+  const double d_gated = gated.tphl();
+  EXPECT_GT(d_gated, d_plain * 1.02);
+}
+
+TEST(SpiceMtcmos, DelayMonotoneInSleepWidth) {
+  double prev = 1e9;
+  for (double wl : {2.0, 5.0, 10.0, 20.0}) {
+    InverterFixture f(50.0 * fF, true, wl);
+    f.add_input_source();
+    const double d = f.tphl();
+    EXPECT_LT(d, prev) << "delay should shrink as sleep W/L grows, wl=" << wl;
+    prev = d;
+  }
+}
+
+TEST(SpiceMtcmos, ResistorApproximationCloseToDevice) {
+  // Paper Section 2.1: the ON sleep transistor behaves like a linear
+  // resistor *while the virtual ground stays low*.  Delays with the device
+  // and with R_eff agree within a modest tolerance at the sizings where
+  // the bounce is small; the severely undersized regime (where the device
+  // leaves deep triode) is quantified in bench fig02_resistor_approx.
+  for (double wl : {10.0, 20.0, 40.0}) {
+    InverterFixture dev(50.0 * fF, true, wl, /*sleep_as_resistor=*/false);
+    dev.add_input_source();
+    InverterFixture res(50.0 * fF, true, wl, /*sleep_as_resistor=*/true);
+    res.add_input_source();
+    const double dd = dev.tphl();
+    const double dr = res.tphl();
+    EXPECT_NEAR(dd / dr, 1.0, 0.15) << "wl=" << wl;
+  }
+}
+
+TEST(SpiceMtcmos, RisingEdgeUnaffectedBySleepTransistor) {
+  // Only the high-to-low transition is affected by an NMOS sleep device
+  // (paper Section 2.1).
+  auto tplh = [](bool with_sleep) {
+    InverterFixture f(50.0 * fF, with_sleep, 5.0);
+    f.ckt.add_vsource("VIN", f.in, Pwl::step(f.tech.vdd, 0.0, 0.2 * ns, 50.0 * ps));
+    Engine eng(f.ckt);
+    TransientOptions opt;
+    opt.tstop = 3.0 * ns;
+    opt.dt = 1.0 * ps;
+    opt.voltage_probes = {"in", "out"};
+    const auto res = eng.run_transient(opt);
+    const auto d = propagation_delay(res.voltages.get("in"), res.voltages.get("out"), f.tech.vdd,
+                                     Edge::kFalling, Edge::kRising);
+    EXPECT_TRUE(d.has_value());
+    return d.value_or(-1.0);
+  };
+  const double d_plain = tplh(false);
+  const double d_gated = tplh(true);
+  EXPECT_NEAR(d_gated / d_plain, 1.0, 0.05);
+}
+
+TEST(SpiceMtcmos, VirtualGroundBouncesDuringDischarge) {
+  InverterFixture f(50.0 * fF, true, 5.0);
+  f.ckt.add_vsource("VIN", f.in, Pwl::step(0.0, f.tech.vdd, 0.2 * ns, 50.0 * ps));
+  Engine eng(f.ckt);
+  TransientOptions opt;
+  opt.tstop = 3.0 * ns;
+  opt.dt = 1.0 * ps;
+  opt.voltage_probes = {"vgnd"};
+  opt.current_probes = {"Msleep"};
+  const auto res = eng.run_transient(opt);
+  const Pwl& vgnd = res.voltages.get("vgnd");
+  EXPECT_GT(vgnd.max_value(), 0.02);          // bounces up during discharge
+  EXPECT_LT(vgnd.sample(0.1 * ns), 0.01);     // quiet before the edge
+  EXPECT_LT(vgnd.last_value(), 0.02);         // settles back
+  // Sleep current integrates the discharge: peak must be positive.
+  EXPECT_GT(res.currents.get("Msleep").max_value(), 0.0);
+}
+
+TEST(SpiceMtcmos, ReverseConductionPinsLowOutputToVx) {
+  // Two inverters share a virtual ground.  Gate A discharges a big load
+  // (bouncing the virtual ground); gate B's output is already low and gets
+  // pulled up toward Vx through its ON NMOS (paper Section 2.3).
+  const Technology tech = tech07();
+  Circuit ckt;
+  const NodeId vdd = ckt.node("vdd");
+  const NodeId vgnd = ckt.node("vgnd");
+  const NodeId a_in = ckt.node("a_in");
+  const NodeId a_out = ckt.node("a_out");
+  const NodeId b_in = ckt.node("b_in");
+  const NodeId b_out = ckt.node("b_out");
+  ckt.add_vsource("VDD", vdd, Pwl::constant(tech.vdd));
+  ckt.add_mosfet("Msleep", vgnd, vdd, kGround, kGround, tech.nmos_high, 2.0 * tech.lmin,
+                 tech.lmin);
+  auto add_inv = [&](const std::string& p, NodeId in, NodeId out, double cl) {
+    ckt.add_mosfet(p + "_mp", out, in, vdd, vdd, tech.pmos_low, tech.wp_default, tech.lmin);
+    ckt.add_mosfet(p + "_mn", out, in, vgnd, kGround, tech.nmos_low, tech.wn_default, tech.lmin);
+    ckt.add_node_cap(out, cl);
+  };
+  add_inv("a", a_in, a_out, 200.0 * fF);
+  add_inv("b", b_in, b_out, 50.0 * fF);
+  ckt.add_vsource("VA", a_in, Pwl::step(0.0, tech.vdd, 0.2 * ns, 50.0 * ps));
+  ckt.add_vsource("VB", b_in, Pwl::constant(tech.vdd));  // B output held low
+  Engine eng(ckt);
+  TransientOptions opt;
+  opt.tstop = 6.0 * ns;
+  opt.dt = 1.0 * ps;
+  opt.voltage_probes = {"vgnd", "b_out"};
+  const auto res = eng.run_transient(opt);
+  const double vx_peak = res.voltages.get("vgnd").max_value();
+  const double b_peak = res.voltages.get("b_out").max_value();
+  EXPECT_GT(vx_peak, 0.05);
+  // b_out is dragged up toward the bounced virtual ground.
+  EXPECT_GT(b_peak, 0.3 * vx_peak);
+  EXPECT_LT(b_peak, 1.2 * vx_peak);
+}
+
+TEST(SpiceTransientAdaptive, RcDischargeMatchesAnalyticWithFewerSteps) {
+  Circuit ckt;
+  const NodeId src = ckt.node("src");
+  const NodeId out = ckt.node("out");
+  Pwl v_src;
+  v_src.append(0.0, 1.0);
+  v_src.append(1.0 * ps, 0.0);
+  ckt.add_vsource("V1", src, v_src);
+  ckt.add_resistor("R1", src, out, 1000.0);
+  ckt.add_capacitor("C1", out, kGround, 1e-12);  // tau = 1 ns
+  Engine eng(ckt);
+  TransientOptions fixed;
+  fixed.tstop = 8.0 * ns;
+  fixed.dt = 1.0 * ps;
+  fixed.voltage_probes = {"out"};
+  TransientOptions adaptive = fixed;
+  adaptive.adaptive = true;
+  adaptive.lte_tol = 1e-4;
+  adaptive.dt_max = 200.0 * ps;
+  const auto rf = eng.run_transient(fixed);
+  const auto ra = eng.run_transient(adaptive);
+  for (double t : {0.5 * ns, 1.0 * ns, 3.0 * ns, 7.0 * ns}) {
+    const double expected = std::exp(-(t - 1.0 * ps) / (1.0 * ns));
+    EXPECT_NEAR(ra.voltages.get("out").sample(t), expected, 3e-3) << "t=" << t;
+  }
+  // The long settling tail should be covered in far fewer steps.
+  EXPECT_LT(ra.steps, rf.steps / 4);
+}
+
+TEST(SpiceTransientAdaptive, InverterDelayMatchesFixedStep) {
+  InverterFixture fa(50.0 * fF, true, 8.0);
+  fa.add_input_source();
+  fa.ckt.set_vsource("VIN", Pwl::step(0.0, fa.tech.vdd, 0.2 * ns, 50.0 * ps));
+  Engine eng(fa.ckt);
+  TransientOptions fixed;
+  fixed.tstop = 4.0 * ns;
+  fixed.dt = 1.0 * ps;
+  fixed.voltage_probes = {"in", "out"};
+  TransientOptions adaptive = fixed;
+  adaptive.adaptive = true;
+  adaptive.lte_tol = 2e-4;
+  const auto rf = eng.run_transient(fixed);
+  const auto ra = eng.run_transient(adaptive);
+  const auto df = propagation_delay(rf.voltages.get("in"), rf.voltages.get("out"), fa.tech.vdd,
+                                    Edge::kRising, Edge::kFalling);
+  const auto da = propagation_delay(ra.voltages.get("in"), ra.voltages.get("out"), fa.tech.vdd,
+                                    Edge::kRising, Edge::kFalling);
+  ASSERT_TRUE(df && da);
+  EXPECT_NEAR(*da / *df, 1.0, 0.02);
+}
+
+TEST(SpiceTransient, ProbeErrorsAreReported) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  ckt.add_vsource("V1", a, Pwl::constant(1.0));
+  ckt.add_resistor("R1", a, ckt.node("b"), 100.0);
+  ckt.add_resistor("R2", ckt.node("b"), kGround, 100.0);
+  Engine eng(ckt);
+  TransientOptions opt;
+  opt.tstop = 1.0 * ns;
+  opt.dt = 0.1 * ns;
+  opt.voltage_probes = {"does_not_exist"};
+  EXPECT_THROW(eng.run_transient(opt), std::invalid_argument);
+  opt.voltage_probes = {};
+  opt.current_probes = {"no_such_device"};
+  EXPECT_THROW(eng.run_transient(opt), std::invalid_argument);
+}
+
+TEST(SpiceCircuit, ValidationErrors) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  EXPECT_THROW(ckt.add_resistor("R", a, a, 100.0), std::invalid_argument);
+  EXPECT_THROW(ckt.add_resistor("R", a, kGround, -5.0), std::invalid_argument);
+  EXPECT_THROW(ckt.add_vsource("V", kGround, Pwl::constant(1.0)), std::invalid_argument);
+  ckt.add_vsource("V1", a, Pwl::constant(1.0));
+  EXPECT_THROW(ckt.add_vsource("V2", a, Pwl::constant(2.0)), std::invalid_argument);
+  EXPECT_THROW(ckt.set_vsource("missing", Pwl::constant(0.0)), std::invalid_argument);
+}
+
+TEST(SpiceCircuit, NodeCapMerging) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  ckt.add_node_cap(a, 10.0 * fF);
+  ckt.add_node_cap(a, 5.0 * fF);
+  ASSERT_EQ(ckt.capacitors().size(), 1u);
+  EXPECT_NEAR(ckt.capacitors()[0].capacitance, 15.0 * fF, 1e-20);
+}
+
+}  // namespace
+}  // namespace mtcmos::spice

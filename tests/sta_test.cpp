@@ -1,0 +1,115 @@
+// Tests for the cell-table static timing analyzer.
+
+#include <gtest/gtest.h>
+
+#include "circuits/generators.hpp"
+#include "core/vbs.hpp"
+#include "models/technology.hpp"
+#include "netlist/netlist.hpp"
+#include "sizing/sta.hpp"
+#include "util/units.hpp"
+
+namespace mtcmos::sizing {
+namespace {
+
+using netlist::NetId;
+using netlist::Netlist;
+using mtcmos::units::fF;
+using mtcmos::units::ps;
+
+StaOptions quick_options() {
+  StaOptions opt;
+  opt.slews = {30.0 * ps, 120.0 * ps, 350.0 * ps};
+  opt.loads = {10.0 * fF, 40.0 * fF, 120.0 * fF};
+  return opt;
+}
+
+TEST(Sta, ChainArrivalsAccumulate) {
+  const auto chain = circuits::make_inverter_chain(tech07(), 4);
+  const StaEngine sta(chain.netlist, quick_options());
+  const auto res = sta.analyze();
+  double prev = 0.0;
+  for (const auto out : chain.outputs) {
+    const double a = res.arrival(out);
+    EXPECT_GT(a, prev);
+    prev = a;
+  }
+  // One characterized arc serves all four identical inverters.
+  EXPECT_EQ(sta.arc_count(), 1u);
+}
+
+TEST(Sta, WorstNetIsTheDeepestOutput) {
+  const auto chain = circuits::make_inverter_chain(tech07(), 4);
+  const StaEngine sta(chain.netlist, quick_options());
+  const auto res = sta.analyze();
+  EXPECT_EQ(res.worst_net, chain.outputs.back());
+}
+
+TEST(Sta, NegativeUnateEdgePropagation) {
+  // Single inverter: a rising input can only produce a falling output.
+  Netlist nl(tech07());
+  const NetId in = nl.add_input("a");
+  const NetId out = nl.add_inv("inv", in);
+  nl.add_load(out, 20.0 * fF);
+  const StaEngine sta(nl, quick_options());
+  const auto res = sta.analyze();
+  EXPECT_GE(res.arrival_fall[static_cast<std::size_t>(out)], 0.0);
+  EXPECT_GE(res.arrival_rise[static_cast<std::size_t>(out)], 0.0);  // from input fall
+  EXPECT_GT(res.arrival(out), 0.0);
+}
+
+TEST(Sta, LargerLoadIncreasesArrival) {
+  auto build = [](double load) {
+    Netlist nl(tech07());
+    const NetId in = nl.add_input("a");
+    const NetId out = nl.add_inv("inv", in);
+    nl.add_load(out, load);
+    return nl;
+  };
+  const Netlist small = build(15.0 * fF);
+  const Netlist big = build(100.0 * fF);
+  const auto ra = StaEngine(small, quick_options()).analyze();
+  const auto rb = StaEngine(big, quick_options()).analyze();
+  EXPECT_GT(rb.worst_arrival, ra.worst_arrival);
+}
+
+TEST(Sta, DeratedTablesSlowerThanPlain) {
+  const auto adder = circuits::make_ripple_adder(tech07(), 2);
+  StaOptions plain = quick_options();
+  StaOptions derated = quick_options();
+  derated.ground = netlist::ExpandOptions::Ground::kSleepFet;
+  derated.sleep_wl = 8.0;
+  const auto rp = StaEngine(adder.netlist, plain).analyze();
+  const auto rd = StaEngine(adder.netlist, derated).analyze();
+  EXPECT_GT(rd.worst_arrival, rp.worst_arrival * 1.05);
+}
+
+TEST(Sta, AdderStaBoundsTypicalVectorDelays) {
+  // STA's worst arrival must be at least the delay of a typical single
+  // vector measured by the switch-level simulator at ideal ground.
+  const auto adder = circuits::make_ripple_adder(tech07(), 2);
+  const StaEngine sta(adder.netlist, quick_options());
+  const auto res = sta.analyze();
+  std::vector<std::string> outs;
+  for (const auto s : adder.sum) outs.push_back(adder.netlist.net_name(s));
+  const core::VbsSimulator vbs(adder.netlist, {});
+  const double d = vbs.critical_delay({false, false, false, false}, {true, false, false, true},
+                                      outs);
+  ASSERT_GT(d, 0.0);
+  EXPECT_GT(res.worst_arrival, 0.8 * d);
+}
+
+TEST(Sta, ArcCacheDeduplicatesIdenticalCells) {
+  // The 2-bit adder has 2 identical mirror FAs: carry gate, sum gate and
+  // two inverters, each with <= #pins arcs -- far fewer tables than
+  // gates x pins.
+  const auto adder = circuits::make_ripple_adder(tech07(), 2);
+  const StaEngine sta(adder.netlist, quick_options());
+  int total_pins = 0;
+  for (const auto& g : adder.netlist.gates()) total_pins += static_cast<int>(g.fanins.size());
+  EXPECT_LT(static_cast<int>(sta.arc_count()), total_pins);
+  EXPECT_GE(sta.arc_count(), 4u);
+}
+
+}  // namespace
+}  // namespace mtcmos::sizing

@@ -1,0 +1,129 @@
+// Tests for Monte-Carlo process variation and yield-aware sizing.
+
+#include <gtest/gtest.h>
+
+#include "circuits/generators.hpp"
+#include "models/technology.hpp"
+#include "netlist/bits.hpp"
+#include "sizing/variation.hpp"
+
+namespace mtcmos::sizing {
+namespace {
+
+using netlist::bits_from_uint;
+using netlist::concat_bits;
+
+const NetlistBuilder kAdderBuilder = [](const Technology& t) {
+  return circuits::make_ripple_adder(t, 2).netlist;
+};
+
+std::vector<std::string> adder_outputs() {
+  const auto ref = circuits::make_ripple_adder(tech07(), 2);
+  std::vector<std::string> outs;
+  for (const auto s : ref.sum) outs.push_back(ref.netlist.net_name(s));
+  return outs;
+}
+
+VectorPair stress_pair() {
+  return {concat_bits(bits_from_uint(0, 2), bits_from_uint(0, 2)),
+          concat_bits(bits_from_uint(3, 2), bits_from_uint(3, 2))};
+}
+
+TEST(Percentile, NearestRank) {
+  const std::vector<double> s = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile_of(s, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_of(s, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile_of(s, 0.95), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_of(s, 1.0), 5.0);
+  EXPECT_THROW(percentile_of({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(percentile_of(s, 1.5), std::invalid_argument);
+}
+
+TEST(MonteCarlo, ZeroSigmaReproducesNominal) {
+  VariationModel model;
+  model.sigma_vt_low = 0.0;
+  model.sigma_vt_high = 0.0;
+  model.sigma_kp_frac = 0.0;
+  Rng rng(5);
+  const auto res = monte_carlo_degradation(kAdderBuilder, tech07(), adder_outputs(),
+                                           stress_pair(), 10.0, model, 20, rng);
+  EXPECT_GT(res.nominal, 0.0);
+  EXPECT_NEAR(res.mean, res.nominal, 1e-9);
+  EXPECT_NEAR(res.worst, res.nominal, 1e-9);
+  EXPECT_EQ(res.failed_samples, 0);
+}
+
+TEST(MonteCarlo, SpreadGrowsWithSigma) {
+  VariationModel small;
+  small.sigma_vt_high = 0.01;
+  VariationModel big;
+  big.sigma_vt_high = 0.04;
+  Rng r1(7), r2(7);
+  const auto a = monte_carlo_degradation(kAdderBuilder, tech07(), adder_outputs(), stress_pair(),
+                                         10.0, small, 100, r1);
+  const auto b = monte_carlo_degradation(kAdderBuilder, tech07(), adder_outputs(), stress_pair(),
+                                         10.0, big, 100, r2);
+  EXPECT_GT(b.worst - b.p50, a.worst - a.p50);
+  EXPECT_GT(b.p95, a.p95);
+}
+
+TEST(MonteCarlo, DeterministicUnderSeed) {
+  VariationModel model;
+  Rng r1(99), r2(99);
+  const auto a = monte_carlo_degradation(kAdderBuilder, tech07(), adder_outputs(), stress_pair(),
+                                         12.0, model, 50, r1);
+  const auto b = monte_carlo_degradation(kAdderBuilder, tech07(), adder_outputs(), stress_pair(),
+                                         12.0, model, 50, r2);
+  ASSERT_EQ(a.degradation_pct.size(), b.degradation_pct.size());
+  for (std::size_t i = 0; i < a.degradation_pct.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.degradation_pct[i], b.degradation_pct[i]);
+  }
+}
+
+TEST(MonteCarlo, P95AboveMedian) {
+  VariationModel model;
+  Rng rng(3);
+  const auto res = monte_carlo_degradation(kAdderBuilder, tech07(), adder_outputs(),
+                                           stress_pair(), 15.0, model, 200, rng);
+  EXPECT_GE(res.p95, res.p50);
+  EXPECT_GE(res.worst, res.p95);
+  EXPECT_LE(res.degradation_pct.front(), res.p50);
+}
+
+TEST(YieldSizing, BiggerThanNominalAndMeetsTarget) {
+  VariationModel model;
+  const double target = 15.0;
+  const double wl_yield = wl_for_yield(kAdderBuilder, tech07(), adder_outputs(), stress_pair(),
+                                       target, 0.95, model, 80, /*seed=*/11);
+  // Nominal-corner sizing for the same target must be smaller.
+  VariationModel zero;
+  zero.sigma_vt_low = zero.sigma_vt_high = 0.0;
+  zero.sigma_kp_frac = 0.0;
+  const double wl_nominal = wl_for_yield(kAdderBuilder, tech07(), adder_outputs(), stress_pair(),
+                                         target, 0.95, zero, 1, /*seed=*/11);
+  EXPECT_GT(wl_yield, wl_nominal);
+  // Verify the yield size out of sample.
+  Rng rng(777);
+  const auto res = monte_carlo_degradation(kAdderBuilder, tech07(), adder_outputs(),
+                                           stress_pair(), wl_yield, model, 200, rng);
+  EXPECT_LE(res.p95, target * 1.1);  // allow sampling noise
+}
+
+TEST(YieldSizing, ImpossibleTargetThrows) {
+  VariationModel model;
+  EXPECT_THROW(wl_for_yield(kAdderBuilder, tech07(), adder_outputs(), stress_pair(), 0.0001,
+                            0.95, model, 20, 1, 1.0, 4.0),
+               NumericalError);
+}
+
+TEST(MonteCarlo, ExtremeSigmaRejected) {
+  VariationModel model;
+  model.sigma_vt_high = 5.0;  // would push Vt,high past Vdd on most samples
+  Rng rng(1);
+  EXPECT_THROW(monte_carlo_degradation(kAdderBuilder, tech07(), adder_outputs(), stress_pair(),
+                                       10.0, model, 10, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtcmos::sizing

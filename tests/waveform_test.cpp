@@ -1,0 +1,236 @@
+// Unit tests for mtcmos::waveform: Pwl, crossings, delay measurements.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "waveform/measure.hpp"
+#include "waveform/pwl.hpp"
+#include "waveform/trace.hpp"
+#include "waveform/vcd.hpp"
+
+namespace mtcmos {
+namespace {
+
+TEST(Pwl, ConstantSamplesEverywhere) {
+  const Pwl w = Pwl::constant(1.2);
+  EXPECT_DOUBLE_EQ(w.sample(-1.0), 1.2);
+  EXPECT_DOUBLE_EQ(w.sample(0.0), 1.2);
+  EXPECT_DOUBLE_EQ(w.sample(1e9), 1.2);
+}
+
+TEST(Pwl, LinearInterpolation) {
+  Pwl w;
+  w.append(0.0, 0.0);
+  w.append(2.0, 4.0);
+  EXPECT_DOUBLE_EQ(w.sample(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(w.sample(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(w.sample(2.0), 4.0);
+  EXPECT_DOUBLE_EQ(w.sample(3.0), 4.0);  // clamp
+}
+
+TEST(Pwl, StepFactory) {
+  const Pwl w = Pwl::step(0.0, 1.2, 1.0, 0.1);
+  EXPECT_DOUBLE_EQ(w.sample(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(w.sample(1.05), 0.6);
+  EXPECT_DOUBLE_EQ(w.sample(2.0), 1.2);
+}
+
+TEST(Pwl, NonDecreasingTimeEnforced) {
+  Pwl w;
+  w.append(1.0, 0.0);
+  EXPECT_THROW(w.append(0.5, 1.0), std::invalid_argument);
+}
+
+TEST(Pwl, SameTimeReplacesValue) {
+  Pwl w;
+  w.append(0.0, 0.0);
+  w.append(1.0, 1.0);
+  w.append(1.0, 2.0);
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w.sample(1.0), 2.0);
+}
+
+TEST(Pwl, RisingCrossing) {
+  const Pwl w = Pwl::step(0.0, 1.0, 0.0, 1.0);  // ramp 0..1 over [0,1]
+  const auto t = w.crossing(0.5, Edge::kRising);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 0.5, 1e-12);
+}
+
+TEST(Pwl, FallingCrossingIgnoredByRisingSearch) {
+  Pwl w;
+  w.append(0.0, 1.0);
+  w.append(1.0, 0.0);
+  EXPECT_FALSE(w.crossing(0.5, Edge::kRising).has_value());
+  ASSERT_TRUE(w.crossing(0.5, Edge::kFalling).has_value());
+}
+
+TEST(Pwl, CrossingFromOffset) {
+  Pwl w;  // rises, falls, rises
+  w.append(0.0, 0.0);
+  w.append(1.0, 1.0);
+  w.append(2.0, 0.0);
+  w.append(3.0, 1.0);
+  const auto t = w.crossing(0.5, Edge::kRising, 1.5);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 2.5, 1e-12);
+}
+
+TEST(Pwl, LastCrossing) {
+  Pwl w;
+  w.append(0.0, 0.0);
+  w.append(1.0, 1.0);
+  w.append(2.0, 0.0);
+  w.append(3.0, 1.0);
+  const auto t = w.last_crossing(0.5, Edge::kAny);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 2.5, 1e-12);
+}
+
+TEST(Pwl, MinMaxAndTimeOfMax) {
+  Pwl w;
+  w.append(0.0, 0.1);
+  w.append(1.0, 0.9);
+  w.append(2.0, 0.3);
+  EXPECT_DOUBLE_EQ(w.min_value(), 0.1);
+  EXPECT_DOUBLE_EQ(w.max_value(), 0.9);
+  EXPECT_DOUBLE_EQ(w.time_of_max(), 1.0);
+}
+
+TEST(Pwl, EmptyThrows) {
+  const Pwl w;
+  EXPECT_THROW(w.sample(0.0), std::invalid_argument);
+  EXPECT_THROW(w.min_value(), std::invalid_argument);
+}
+
+TEST(Measure, PropagationDelayInverterLike) {
+  // Input rises at t=1 (50% at 1.0), output falls crossing 50% at t=1.4.
+  const double vdd = 1.2;
+  Pwl in;
+  in.append(0.0, 0.0);
+  in.append(1.0 - 0.05, 0.0);
+  in.append(1.0 + 0.05, vdd);
+  Pwl out;
+  out.append(0.0, vdd);
+  out.append(1.2, vdd);
+  out.append(1.6, 0.0);  // crosses 0.6 V at 1.4
+  const auto d = propagation_delay(in, out, vdd, Edge::kRising, Edge::kFalling);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NEAR(*d, 0.4, 1e-9);
+}
+
+TEST(Measure, PropagationDelayNoOutputTransition) {
+  const double vdd = 1.0;
+  const Pwl in = Pwl::step(0.0, vdd, 1.0, 0.1);
+  const Pwl out = Pwl::constant(vdd);
+  EXPECT_FALSE(propagation_delay(in, out, vdd, Edge::kRising, Edge::kFalling).has_value());
+}
+
+TEST(Measure, TransitionTimeRising) {
+  const Pwl w = Pwl::step(0.0, 1.0, 0.0, 1.0);
+  const auto tt = transition_time(w, 1.0, Edge::kRising);
+  ASSERT_TRUE(tt.has_value());
+  EXPECT_NEAR(*tt, 0.8, 1e-12);  // 10% to 90% of a linear ramp
+}
+
+TEST(Measure, TransitionTimeFalling) {
+  Pwl w;
+  w.append(0.0, 1.0);
+  w.append(2.0, 0.0);
+  const auto tt = transition_time(w, 1.0, Edge::kFalling);
+  ASSERT_TRUE(tt.has_value());
+  EXPECT_NEAR(*tt, 1.6, 1e-12);
+}
+
+TEST(Measure, TransitionTimeRejectsAnyEdge) {
+  const Pwl w = Pwl::step(0.0, 1.0, 0.0, 1.0);
+  EXPECT_THROW(transition_time(w, 1.0, Edge::kAny), std::invalid_argument);
+}
+
+TEST(Pwl, StepRejectsNegativeRamp) {
+  EXPECT_THROW(Pwl::step(0.0, 1.0, 0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Pwl, AppendRejectsNonFinite) {
+  Pwl w;
+  EXPECT_THROW(w.append(0.0, std::nan("")), std::invalid_argument);
+  EXPECT_THROW(w.append(std::numeric_limits<double>::infinity(), 1.0), std::invalid_argument);
+}
+
+TEST(Measure, PercentDegradation) {
+  EXPECT_NEAR(percent_degradation(1.0, 1.05), 5.0, 1e-12);
+  EXPECT_NEAR(percent_degradation(2.0, 2.0), 0.0, 1e-12);
+  EXPECT_THROW(percent_degradation(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(Pwl, IntegralOfConstant) {
+  const Pwl w = Pwl::constant(2.0);
+  EXPECT_DOUBLE_EQ(w.integral(0.0, 3.0), 6.0);
+  EXPECT_DOUBLE_EQ(w.integral(1.0, 1.0), 0.0);
+}
+
+TEST(Pwl, IntegralOfRamp) {
+  Pwl w;
+  w.append(0.0, 0.0);
+  w.append(2.0, 4.0);
+  EXPECT_DOUBLE_EQ(w.integral(0.0, 2.0), 4.0);       // triangle
+  EXPECT_DOUBLE_EQ(w.integral(0.0, 1.0), 1.0);       // partial triangle
+  EXPECT_DOUBLE_EQ(w.integral(2.0, 4.0), 8.0);       // clamped tail
+  EXPECT_THROW(w.integral(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Vcd, EmitsHeaderAndChanges) {
+  Trace tr;
+  Pwl& a = tr.channel("out");
+  a.append(0.0, 0.0);
+  a.append(1e-9, 1.2);
+  Pwl& b = tr.channel("vgnd");
+  b.append(0.0, 0.05);
+  b.append(2e-9, 0.05);
+  std::ostringstream os;
+  write_vcd(os, tr);
+  const std::string vcd = os.str();
+  EXPECT_NE(vcd.find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var real 64"), std::string::npos);
+  EXPECT_NE(vcd.find("out"), std::string::npos);
+  EXPECT_NE(vcd.find("vgnd"), std::string::npos);
+  EXPECT_NE(vcd.find("#0"), std::string::npos);
+  EXPECT_NE(vcd.find("#1000"), std::string::npos);  // 1 ns = 1000 ps ticks
+  EXPECT_NE(vcd.find("r1.2"), std::string::npos);
+}
+
+TEST(Vcd, SuppressesNoChangeSamples) {
+  Trace tr;
+  Pwl& a = tr.channel("flat");
+  a.append(0.0, 1.0);
+  a.append(1e-9, 1.0);
+  a.append(2e-9, 1.0);
+  std::ostringstream os;
+  write_vcd(os, tr);
+  // Only the initial value is dumped; later ticks produce no blocks.
+  const std::string vcd = os.str();
+  EXPECT_NE(vcd.find("#0"), std::string::npos);
+  EXPECT_EQ(vcd.find("#1000"), std::string::npos);
+}
+
+TEST(Vcd, EmptyTraceThrows) {
+  Trace tr;
+  std::ostringstream os;
+  EXPECT_THROW(write_vcd(os, tr), std::invalid_argument);
+}
+
+TEST(Trace, ChannelCreationAndLookup) {
+  Trace tr;
+  tr.channel("out").append(0.0, 1.0);
+  EXPECT_TRUE(tr.has("out"));
+  EXPECT_FALSE(tr.has("missing"));
+  EXPECT_THROW(tr.get("missing"), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(tr.get("out").sample(0.0), 1.0);
+  EXPECT_EQ(tr.names().size(), 1u);
+}
+
+}  // namespace
+}  // namespace mtcmos
