@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_leakage.dir/abl_leakage.cpp.o"
+  "CMakeFiles/abl_leakage.dir/abl_leakage.cpp.o.d"
+  "abl_leakage"
+  "abl_leakage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_reverse_conduction.dir/abl_reverse_conduction.cpp.o"
+  "CMakeFiles/abl_reverse_conduction.dir/abl_reverse_conduction.cpp.o.d"
+  "abl_reverse_conduction"
+  "abl_reverse_conduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_reverse_conduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_vbs_model.dir/abl_vbs_model.cpp.o"
+  "CMakeFiles/abl_vbs_model.dir/abl_vbs_model.cpp.o.d"
+  "abl_vbs_model"
+  "abl_vbs_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_vbs_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_virtual_ground_cap.dir/abl_virtual_ground_cap.cpp.o"
+  "CMakeFiles/abl_virtual_ground_cap.dir/abl_virtual_ground_cap.cpp.o.d"
+  "abl_virtual_ground_cap"
+  "abl_virtual_ground_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_virtual_ground_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

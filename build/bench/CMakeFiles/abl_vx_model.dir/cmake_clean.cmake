@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_vx_model.dir/abl_vx_model.cpp.o"
+  "CMakeFiles/abl_vx_model.dir/abl_vx_model.cpp.o.d"
+  "abl_vx_model"
+  "abl_vx_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_vx_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_rail.dir/ext_rail.cpp.o"
+  "CMakeFiles/ext_rail.dir/ext_rail.cpp.o.d"
+  "ext_rail"
+  "ext_rail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_rail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_sta.dir/ext_sta.cpp.o"
+  "CMakeFiles/ext_sta.dir/ext_sta.cpp.o.d"
+  "ext_sta"
+  "ext_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_wakeup.dir/ext_wakeup.cpp.o"
+  "CMakeFiles/ext_wakeup.dir/ext_wakeup.cpp.o.d"
+  "ext_wakeup"
+  "ext_wakeup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_wakeup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

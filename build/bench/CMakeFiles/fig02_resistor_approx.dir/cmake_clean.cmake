@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_resistor_approx.dir/fig02_resistor_approx.cpp.o"
+  "CMakeFiles/fig02_resistor_approx.dir/fig02_resistor_approx.cpp.o.d"
+  "fig02_resistor_approx"
+  "fig02_resistor_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_resistor_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_tree_transient.dir/fig05_tree_transient.cpp.o"
+  "CMakeFiles/fig05_tree_transient.dir/fig05_tree_transient.cpp.o.d"
+  "fig05_tree_transient"
+  "fig05_tree_transient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_tree_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

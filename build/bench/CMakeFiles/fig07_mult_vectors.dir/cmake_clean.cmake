@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_mult_vectors.dir/fig07_mult_vectors.cpp.o"
+  "CMakeFiles/fig07_mult_vectors.dir/fig07_mult_vectors.cpp.o.d"
+  "fig07_mult_vectors"
+  "fig07_mult_vectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_mult_vectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_breakpoints.dir/fig09_breakpoints.cpp.o"
+  "CMakeFiles/fig09_breakpoints.dir/fig09_breakpoints.cpp.o.d"
+  "fig09_breakpoints"
+  "fig09_breakpoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_breakpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_tree_delay_compare.dir/fig10_tree_delay_compare.cpp.o"
+  "CMakeFiles/fig10_tree_delay_compare.dir/fig10_tree_delay_compare.cpp.o.d"
+  "fig10_tree_delay_compare"
+  "fig10_tree_delay_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tree_delay_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_ground_bounce.dir/fig11_ground_bounce.cpp.o"
+  "CMakeFiles/fig11_ground_bounce.dir/fig11_ground_bounce.cpp.o.d"
+  "fig11_ground_bounce"
+  "fig11_ground_bounce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_ground_bounce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

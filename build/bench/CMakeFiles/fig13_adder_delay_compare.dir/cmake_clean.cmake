@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_adder_delay_compare.dir/fig13_adder_delay_compare.cpp.o"
+  "CMakeFiles/fig13_adder_delay_compare.dir/fig13_adder_delay_compare.cpp.o.d"
+  "fig13_adder_delay_compare"
+  "fig13_adder_delay_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_adder_delay_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

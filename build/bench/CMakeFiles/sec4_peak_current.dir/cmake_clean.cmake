@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec4_peak_current.dir/sec4_peak_current.cpp.o"
+  "CMakeFiles/sec4_peak_current.dir/sec4_peak_current.cpp.o.d"
+  "sec4_peak_current"
+  "sec4_peak_current.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4_peak_current.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

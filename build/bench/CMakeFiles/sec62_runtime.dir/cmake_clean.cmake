@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec62_runtime.dir/sec62_runtime.cpp.o"
+  "CMakeFiles/sec62_runtime.dir/sec62_runtime.cpp.o.d"
+  "sec62_runtime"
+  "sec62_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec62_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

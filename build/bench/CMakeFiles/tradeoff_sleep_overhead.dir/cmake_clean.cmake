@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tradeoff_sleep_overhead.dir/tradeoff_sleep_overhead.cpp.o"
+  "CMakeFiles/tradeoff_sleep_overhead.dir/tradeoff_sleep_overhead.cpp.o.d"
+  "tradeoff_sleep_overhead"
+  "tradeoff_sleep_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tradeoff_sleep_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/adder_vector_sweep.cpp" "examples/CMakeFiles/adder_vector_sweep.dir/adder_vector_sweep.cpp.o" "gcc" "examples/CMakeFiles/adder_vector_sweep.dir/adder_vector_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sizing/CMakeFiles/mtcmos_sizing.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/mtcmos_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mtcmos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/mtcmos_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/mtcmos_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/mtcmos_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/waveform/CMakeFiles/mtcmos_waveform.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mtcmos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

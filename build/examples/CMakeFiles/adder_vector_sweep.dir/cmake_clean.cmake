@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adder_vector_sweep.dir/adder_vector_sweep.cpp.o"
+  "CMakeFiles/adder_vector_sweep.dir/adder_vector_sweep.cpp.o.d"
+  "adder_vector_sweep"
+  "adder_vector_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adder_vector_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_cells.dir/characterize_cells.cpp.o"
+  "CMakeFiles/characterize_cells.dir/characterize_cells.cpp.o.d"
+  "characterize_cells"
+  "characterize_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

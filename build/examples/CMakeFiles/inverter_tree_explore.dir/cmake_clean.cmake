@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inverter_tree_explore.dir/inverter_tree_explore.cpp.o"
+  "CMakeFiles/inverter_tree_explore.dir/inverter_tree_explore.cpp.o.d"
+  "inverter_tree_explore"
+  "inverter_tree_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inverter_tree_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

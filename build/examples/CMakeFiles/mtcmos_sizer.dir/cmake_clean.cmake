@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtcmos_sizer.dir/mtcmos_sizer.cpp.o"
+  "CMakeFiles/mtcmos_sizer.dir/mtcmos_sizer.cpp.o.d"
+  "mtcmos_sizer"
+  "mtcmos_sizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtcmos_sizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/size_multiplier.dir/size_multiplier.cpp.o"
+  "CMakeFiles/size_multiplier.dir/size_multiplier.cpp.o.d"
+  "size_multiplier"
+  "size_multiplier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/size_multiplier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtcmos_circuits.dir/generators.cpp.o"
+  "CMakeFiles/mtcmos_circuits.dir/generators.cpp.o.d"
+  "libmtcmos_circuits.a"
+  "libmtcmos_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtcmos_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/glitch.cpp" "src/core/CMakeFiles/mtcmos_core.dir/glitch.cpp.o" "gcc" "src/core/CMakeFiles/mtcmos_core.dir/glitch.cpp.o.d"
+  "/root/repo/src/core/vbs.cpp" "src/core/CMakeFiles/mtcmos_core.dir/vbs.cpp.o" "gcc" "src/core/CMakeFiles/mtcmos_core.dir/vbs.cpp.o.d"
+  "/root/repo/src/core/vx_solver.cpp" "src/core/CMakeFiles/mtcmos_core.dir/vx_solver.cpp.o" "gcc" "src/core/CMakeFiles/mtcmos_core.dir/vx_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/mtcmos_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/mtcmos_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/waveform/CMakeFiles/mtcmos_waveform.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/mtcmos_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mtcmos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtcmos_core.dir/glitch.cpp.o"
+  "CMakeFiles/mtcmos_core.dir/glitch.cpp.o.d"
+  "CMakeFiles/mtcmos_core.dir/vbs.cpp.o"
+  "CMakeFiles/mtcmos_core.dir/vbs.cpp.o.d"
+  "CMakeFiles/mtcmos_core.dir/vx_solver.cpp.o"
+  "CMakeFiles/mtcmos_core.dir/vx_solver.cpp.o.d"
+  "libmtcmos_core.a"
+  "libmtcmos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtcmos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

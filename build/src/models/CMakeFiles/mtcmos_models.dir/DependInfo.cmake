@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/alpha_power.cpp" "src/models/CMakeFiles/mtcmos_models.dir/alpha_power.cpp.o" "gcc" "src/models/CMakeFiles/mtcmos_models.dir/alpha_power.cpp.o.d"
+  "/root/repo/src/models/level1.cpp" "src/models/CMakeFiles/mtcmos_models.dir/level1.cpp.o" "gcc" "src/models/CMakeFiles/mtcmos_models.dir/level1.cpp.o.d"
+  "/root/repo/src/models/sleep_transistor.cpp" "src/models/CMakeFiles/mtcmos_models.dir/sleep_transistor.cpp.o" "gcc" "src/models/CMakeFiles/mtcmos_models.dir/sleep_transistor.cpp.o.d"
+  "/root/repo/src/models/technology.cpp" "src/models/CMakeFiles/mtcmos_models.dir/technology.cpp.o" "gcc" "src/models/CMakeFiles/mtcmos_models.dir/technology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mtcmos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

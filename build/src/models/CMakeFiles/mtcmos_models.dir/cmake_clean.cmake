@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtcmos_models.dir/alpha_power.cpp.o"
+  "CMakeFiles/mtcmos_models.dir/alpha_power.cpp.o.d"
+  "CMakeFiles/mtcmos_models.dir/level1.cpp.o"
+  "CMakeFiles/mtcmos_models.dir/level1.cpp.o.d"
+  "CMakeFiles/mtcmos_models.dir/sleep_transistor.cpp.o"
+  "CMakeFiles/mtcmos_models.dir/sleep_transistor.cpp.o.d"
+  "CMakeFiles/mtcmos_models.dir/technology.cpp.o"
+  "CMakeFiles/mtcmos_models.dir/technology.cpp.o.d"
+  "libmtcmos_models.a"
+  "libmtcmos_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtcmos_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

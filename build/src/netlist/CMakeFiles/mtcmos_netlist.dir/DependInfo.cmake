@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/expand.cpp" "src/netlist/CMakeFiles/mtcmos_netlist.dir/expand.cpp.o" "gcc" "src/netlist/CMakeFiles/mtcmos_netlist.dir/expand.cpp.o.d"
+  "/root/repo/src/netlist/io.cpp" "src/netlist/CMakeFiles/mtcmos_netlist.dir/io.cpp.o" "gcc" "src/netlist/CMakeFiles/mtcmos_netlist.dir/io.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/mtcmos_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/mtcmos_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/sp_expr.cpp" "src/netlist/CMakeFiles/mtcmos_netlist.dir/sp_expr.cpp.o" "gcc" "src/netlist/CMakeFiles/mtcmos_netlist.dir/sp_expr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spice/CMakeFiles/mtcmos_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/mtcmos_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mtcmos_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/waveform/CMakeFiles/mtcmos_waveform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtcmos_netlist.dir/expand.cpp.o"
+  "CMakeFiles/mtcmos_netlist.dir/expand.cpp.o.d"
+  "CMakeFiles/mtcmos_netlist.dir/io.cpp.o"
+  "CMakeFiles/mtcmos_netlist.dir/io.cpp.o.d"
+  "CMakeFiles/mtcmos_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/mtcmos_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/mtcmos_netlist.dir/sp_expr.cpp.o"
+  "CMakeFiles/mtcmos_netlist.dir/sp_expr.cpp.o.d"
+  "libmtcmos_netlist.a"
+  "libmtcmos_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtcmos_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

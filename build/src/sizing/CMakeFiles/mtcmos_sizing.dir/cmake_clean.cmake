@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtcmos_sizing.dir/characterize.cpp.o"
+  "CMakeFiles/mtcmos_sizing.dir/characterize.cpp.o.d"
+  "CMakeFiles/mtcmos_sizing.dir/hierarchical.cpp.o"
+  "CMakeFiles/mtcmos_sizing.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/mtcmos_sizing.dir/sizing.cpp.o"
+  "CMakeFiles/mtcmos_sizing.dir/sizing.cpp.o.d"
+  "CMakeFiles/mtcmos_sizing.dir/spice_ref.cpp.o"
+  "CMakeFiles/mtcmos_sizing.dir/spice_ref.cpp.o.d"
+  "CMakeFiles/mtcmos_sizing.dir/sta.cpp.o"
+  "CMakeFiles/mtcmos_sizing.dir/sta.cpp.o.d"
+  "CMakeFiles/mtcmos_sizing.dir/variation.cpp.o"
+  "CMakeFiles/mtcmos_sizing.dir/variation.cpp.o.d"
+  "libmtcmos_sizing.a"
+  "libmtcmos_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtcmos_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtcmos_spice.dir/circuit.cpp.o"
+  "CMakeFiles/mtcmos_spice.dir/circuit.cpp.o.d"
+  "CMakeFiles/mtcmos_spice.dir/deck.cpp.o"
+  "CMakeFiles/mtcmos_spice.dir/deck.cpp.o.d"
+  "CMakeFiles/mtcmos_spice.dir/engine.cpp.o"
+  "CMakeFiles/mtcmos_spice.dir/engine.cpp.o.d"
+  "libmtcmos_spice.a"
+  "libmtcmos_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtcmos_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtcmos_util.dir/dense_matrix.cpp.o"
+  "CMakeFiles/mtcmos_util.dir/dense_matrix.cpp.o.d"
+  "CMakeFiles/mtcmos_util.dir/sparse_lu.cpp.o"
+  "CMakeFiles/mtcmos_util.dir/sparse_lu.cpp.o.d"
+  "CMakeFiles/mtcmos_util.dir/table.cpp.o"
+  "CMakeFiles/mtcmos_util.dir/table.cpp.o.d"
+  "libmtcmos_util.a"
+  "libmtcmos_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtcmos_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/waveform/measure.cpp" "src/waveform/CMakeFiles/mtcmos_waveform.dir/measure.cpp.o" "gcc" "src/waveform/CMakeFiles/mtcmos_waveform.dir/measure.cpp.o.d"
+  "/root/repo/src/waveform/pwl.cpp" "src/waveform/CMakeFiles/mtcmos_waveform.dir/pwl.cpp.o" "gcc" "src/waveform/CMakeFiles/mtcmos_waveform.dir/pwl.cpp.o.d"
+  "/root/repo/src/waveform/trace.cpp" "src/waveform/CMakeFiles/mtcmos_waveform.dir/trace.cpp.o" "gcc" "src/waveform/CMakeFiles/mtcmos_waveform.dir/trace.cpp.o.d"
+  "/root/repo/src/waveform/vcd.cpp" "src/waveform/CMakeFiles/mtcmos_waveform.dir/vcd.cpp.o" "gcc" "src/waveform/CMakeFiles/mtcmos_waveform.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mtcmos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

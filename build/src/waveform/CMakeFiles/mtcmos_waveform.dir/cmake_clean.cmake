@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtcmos_waveform.dir/measure.cpp.o"
+  "CMakeFiles/mtcmos_waveform.dir/measure.cpp.o.d"
+  "CMakeFiles/mtcmos_waveform.dir/pwl.cpp.o"
+  "CMakeFiles/mtcmos_waveform.dir/pwl.cpp.o.d"
+  "CMakeFiles/mtcmos_waveform.dir/trace.cpp.o"
+  "CMakeFiles/mtcmos_waveform.dir/trace.cpp.o.d"
+  "CMakeFiles/mtcmos_waveform.dir/vcd.cpp.o"
+  "CMakeFiles/mtcmos_waveform.dir/vcd.cpp.o.d"
+  "libmtcmos_waveform.a"
+  "libmtcmos_waveform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtcmos_waveform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

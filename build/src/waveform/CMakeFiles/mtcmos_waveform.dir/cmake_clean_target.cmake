@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmtcmos_waveform.a"
+)
