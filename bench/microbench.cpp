@@ -1,9 +1,25 @@
-// Engine micro-benchmarks (google-benchmark): the per-operation costs
-// behind the Section 6.2 runtime table -- Eq. 5 solves, switch-level
-// vector evaluations, sparse LU refactorization, and transistor-level
-// transient steps.
+// Engine benchmarks.
+//
+// Default mode runs the parallel sweep benchmark: the Section 6.2
+// 4096-vector adder sweep, once on 1 thread and once on --threads N
+// (default: MTCMOS_THREADS or all cores), verifies the two delay arrays
+// are bit-identical, and writes the machine-readable BENCH_sweep.json so
+// the throughput trajectory is tracked across PRs.
+//
+//   microbench [--threads N] [--json PATH] [--gbench [gbench args...]]
+//
+// --gbench additionally runs the google-benchmark micro-suite (Eq. 5
+// solves, switch-level vector evaluations, transistor-level steps);
+// remaining arguments are forwarded to google-benchmark.
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "circuits/generators.hpp"
 #include "core/vbs.hpp"
@@ -11,7 +27,9 @@
 #include "models/sleep_transistor.hpp"
 #include "models/technology.hpp"
 #include "netlist/bits.hpp"
+#include "sizing/sizing.hpp"
 #include "sizing/spice_ref.hpp"
+#include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -109,6 +127,108 @@ void BM_EngineBuildMultiplier8x8(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineBuildMultiplier8x8);
 
+// Timed sweep of all 4096 adder vector pairs on `threads` threads.
+// Returns the per-vector delays (index-addressed, scheduling-independent)
+// and the wall time.
+struct SweepRun {
+  std::vector<double> delays;
+  double seconds = 0.0;
+};
+
+SweepRun run_sweep(const core::VbsSimulator& sim, const std::vector<sizing::VectorPair>& pairs,
+                   const std::vector<std::string>& outs, int threads) {
+  using Clock = std::chrono::steady_clock;
+  util::ThreadPool pool(threads);
+  SweepRun out;
+  const auto t0 = Clock::now();
+  out.delays = pool.parallel_map(pairs.size(), [&](std::size_t i) {
+    thread_local core::VbsWorkspace ws;
+    return sim.critical_delay(pairs[i].v0, pairs[i].v1, outs, ws);
+  });
+  out.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  return out;
+}
+
+int sweep_benchmark(int threads, const std::string& json_path) {
+  const auto adder = circuits::make_ripple_adder(tech07(), 3);
+  std::vector<std::string> outs;
+  for (const auto s : adder.sum) outs.push_back(adder.netlist.net_name(s));
+  outs.push_back(adder.netlist.net_name(adder.cout));
+  const double wl = 10.0;
+  core::VbsOptions opt;
+  opt.sleep_resistance = SleepTransistor(tech07(), wl).reff();
+  const core::VbsSimulator sim(adder.netlist, opt);
+  const auto pairs = sizing::all_vector_pairs(6);
+
+  const SweepRun serial = run_sweep(sim, pairs, outs, 1);
+  const SweepRun parallel = run_sweep(sim, pairs, outs, threads);
+  const bool identical = serial.delays == parallel.delays;
+
+  const double n = static_cast<double>(pairs.size());
+  const double serial_vps = n / serial.seconds;
+  const double parallel_vps = n / parallel.seconds;
+  const double speedup = serial.seconds / parallel.seconds;
+
+  std::cout << "SWEEP sec62 3-bit adder, " << pairs.size() << " vector pairs, W/L = " << wl
+            << "\n  serial   (1 thread):   " << serial.seconds << " s  (" << serial_vps
+            << " vectors/s)\n  parallel (" << threads << " threads):  " << parallel.seconds
+            << " s  (" << parallel_vps << " vectors/s)\n  speedup: " << speedup
+            << "x   results bit-identical: " << (identical ? "yes" : "NO") << "\n";
+
+  std::ofstream json(json_path);
+  if (!json) {
+    std::cerr << "microbench: cannot write " << json_path << "\n";
+    return 1;
+  }
+  json << "{\n"
+       << "  \"bench\": \"sec62_sweep\",\n"
+       << "  \"circuit\": \"ripple_adder_3bit\",\n"
+       << "  \"vectors\": " << pairs.size() << ",\n"
+       << "  \"sleep_wl\": " << wl << ",\n"
+       << "  \"threads\": " << threads << ",\n"
+       << "  \"serial_seconds\": " << serial.seconds << ",\n"
+       << "  \"parallel_seconds\": " << parallel.seconds << ",\n"
+       << "  \"serial_vectors_per_sec\": " << serial_vps << ",\n"
+       << "  \"parallel_vectors_per_sec\": " << parallel_vps << ",\n"
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"identical\": " << (identical ? "true" : "false") << "\n"
+       << "}\n";
+  std::cout << "wrote " << json_path << "\n";
+  return identical ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  int threads = util::ThreadPool::default_thread_count();
+  std::string json_path = "BENCH_sweep.json";
+  bool gbench = false;
+  std::vector<char*> gbench_args = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+      if (threads < 1) threads = 1;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--gbench") {
+      gbench = true;
+    } else if (gbench) {
+      gbench_args.push_back(argv[i]);  // forward to google-benchmark
+    } else {
+      std::cerr << "usage: microbench [--threads N] [--json PATH] [--gbench [gbench args...]]\n";
+      return 2;
+    }
+  }
+
+  const int rc = sweep_benchmark(threads, json_path);
+  if (rc != 0) return rc;
+
+  if (gbench) {
+    int gargc = static_cast<int>(gbench_args.size());
+    benchmark::Initialize(&gargc, gbench_args.data());
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return 0;
+}

@@ -9,10 +9,12 @@
 // and shows how the worst *CMOS* vector is NOT the worst MTCMOS vector --
 // the central warning of the paper.
 //
-// Build & run:  ./build/examples/adder_vector_sweep
+// Build & run:  ./build/examples/adder_vector_sweep [--threads N]
+// (default thread count: MTCMOS_THREADS env var, else all cores)
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <iostream>
 
 #include "circuits/generators.hpp"
@@ -23,12 +25,26 @@
 #include "netlist/bits.hpp"
 #include "sizing/sizing.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mtcmos;
   using namespace mtcmos::units;
   using netlist::uint_from_bits;
+
+  int threads = util::ThreadPool::default_thread_count();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+      if (threads < 1) threads = 1;
+    } else {
+      std::cerr << "usage: adder_vector_sweep [--threads N]\n";
+      return 2;
+    }
+  }
+  util::ThreadPool pool(threads);
 
   const auto adder = circuits::make_ripple_adder(tech07(), 3);
   std::vector<std::string> outputs;
@@ -39,9 +55,9 @@ int main() {
 
   const auto pairs = sizing::all_vector_pairs(6);
   std::cout << "Sweeping " << pairs.size() << " vector transitions at sleep W/L = " << wl
-            << " ...\n";
+            << " on " << pool.thread_count() << " threads ...\n";
   const auto t0 = std::chrono::steady_clock::now();
-  const auto ranked = sizing::rank_vectors(eval, pairs, wl);
+  const auto ranked = sizing::rank_vectors(eval, pairs, wl, &pool);
   const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   std::cout << ranked.size() << " transitions toggle an output; swept in " << secs
             << " s (paper: 13.5 s on a Sparc 5 for the same space)\n\n";
@@ -102,7 +118,7 @@ int main() {
   for (std::size_t i = 0; i < 25 && i < ranked.size(); ++i) stress.push_back(ranked[i].pair);
   Table sizes({"target degr [%]", "required W/L"});
   for (double target : {20.0, 10.0, 5.0, 2.0}) {
-    const auto s = sizing::size_for_degradation(eval, stress, target, 1.0, 4000.0);
+    const auto s = sizing::size_for_degradation(eval, stress, target, 1.0, 4000.0, 0.5, &pool);
     sizes.add_row({Table::num(target, 3), Table::num(s.wl, 4)});
   }
   sizes.print(std::cout);

@@ -16,13 +16,8 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kEpsT = 1e-18;  // event coincidence window [s]
 constexpr double kEpsV = 1e-9;   // rail/threshold arrival tolerance [V]
 
-enum class Drive { kIdle, kUp, kDown };
-
-struct GateState {
-  Drive drive = Drive::kIdle;
-  double vout = 0.0;
-  double slope = 0.0;
-};
+using detail::Drive;
+using detail::InputEvent;
 
 }  // namespace
 
@@ -64,6 +59,12 @@ VbsSimulator::VbsSimulator(const netlist::Netlist& nl, VbsOptions options,
 }
 
 VbsResult VbsSimulator::run(const std::vector<bool>& v0, const std::vector<bool>& v1) const {
+  VbsWorkspace ws;
+  return run(v0, v1, ws);
+}
+
+VbsResult VbsSimulator::run(const std::vector<bool>& v0, const std::vector<bool>& v1,
+                            VbsWorkspace& ws) const {
   require(v0.size() == nl_.inputs().size() && v1.size() == nl_.inputs().size(),
           "VbsSimulator::run: input vector size mismatch");
   const Technology& tech = nl_.tech();
@@ -76,21 +77,33 @@ VbsResult VbsSimulator::run(const std::vector<bool>& v0, const std::vector<bool>
 
   VbsResult result;
 
-  // Settled initial state.
-  std::vector<bool> logic = nl_.evaluate(v0);
-  std::vector<GateState> state(static_cast<std::size_t>(nl_.gate_count()));
+  // Settled initial state, evaluated in the precomputed topological order
+  // into the workspace (same semantics as Netlist::evaluate: undriven
+  // non-input nets are constant 0).
+  std::vector<bool>& logic = ws.logic;
+  logic.assign(static_cast<std::size_t>(nl_.net_count()), false);
+  for (std::size_t i = 0; i < nl_.inputs().size(); ++i) {
+    logic[static_cast<std::size_t>(nl_.inputs()[i])] = v0[i];
+  }
+  for (const int g : topo_) {
+    const netlist::Gate& gate = nl_.gate(g);
+    ws.pins.resize(gate.fanins.size());
+    for (std::size_t p = 0; p < gate.fanins.size(); ++p) {
+      ws.pins[p] = logic[static_cast<std::size_t>(gate.fanins[p])];
+    }
+    logic[static_cast<std::size_t>(gate.output)] = !gate.pulldown.conducts(ws.pins);
+  }
+
+  std::vector<detail::GateScratch>& state = ws.state;
+  state.assign(static_cast<std::size_t>(nl_.gate_count()), detail::GateScratch{});
   for (int g = 0; g < nl_.gate_count(); ++g) {
     state[static_cast<std::size_t>(g)].vout =
         logic[static_cast<std::size_t>(nl_.gate(g).output)] ? vdd : 0.0;
   }
 
   // Input waveforms (full ramps) and their threshold-crossing events.
-  struct InputEvent {
-    double t = 0.0;
-    netlist::NetId net = -1;
-    bool value = false;
-  };
-  std::vector<InputEvent> input_events;
+  std::vector<detail::InputEvent>& input_events = ws.input_events;
+  input_events.clear();
   const double t_cross_in = options_.t_switch + 0.5 * options_.input_ramp;
   for (std::size_t i = 0; i < nl_.inputs().size(); ++i) {
     const netlist::NetId n = nl_.inputs()[i];
@@ -112,7 +125,8 @@ VbsResult VbsSimulator::run(const std::vector<bool>& v0, const std::vector<bool>
   }
 
   double t_now = 0.0;
-  std::vector<double> vx_state(static_cast<std::size_t>(n_dom), 0.0);
+  std::vector<double>& vx_state = ws.vx_state;
+  vx_state.assign(static_cast<std::size_t>(n_dom), 0.0);
   auto record_step = [](Pwl& w, double t, double v) {
     if (!w.empty() && t <= w.last_time()) t = w.last_time() + kEpsT;
     w.append(t, v);
@@ -139,15 +153,16 @@ VbsResult VbsSimulator::run(const std::vector<bool>& v0, const std::vector<bool>
 
   // Re-evaluate a gate's drive direction from current net logic.  The
   // low-side rest level depends on the gate's domain (reverse conduction).
-  std::vector<double> target_low(static_cast<std::size_t>(n_dom), 0.0);
+  std::vector<double>& target_low = ws.target_low;
+  target_low.assign(static_cast<std::size_t>(n_dom), 0.0);
   auto reevaluate = [&](int g) {
     const netlist::Gate& gate = nl_.gate(g);
-    std::vector<bool> pins(gate.fanins.size());
+    ws.pins.resize(gate.fanins.size());
     for (std::size_t p = 0; p < gate.fanins.size(); ++p) {
-      pins[p] = logic[static_cast<std::size_t>(gate.fanins[p])];
+      ws.pins[p] = logic[static_cast<std::size_t>(gate.fanins[p])];
     }
-    const bool target = !gate.pulldown.conducts(pins);
-    GateState& st = state[static_cast<std::size_t>(g)];
+    const bool target = !gate.pulldown.conducts(ws.pins);
+    detail::GateScratch& st = state[static_cast<std::size_t>(g)];
     const Drive before = st.drive;
     const double low = target_low[static_cast<std::size_t>(gate_domain_[static_cast<std::size_t>(g)])];
     if (target && st.vout < vdd - kEpsV) {
@@ -165,11 +180,8 @@ VbsResult VbsSimulator::run(const std::vector<bool>& v0, const std::vector<bool>
             [](const InputEvent& a, const InputEvent& b) { return a.t < b.t; });
 
   // Delayed gate activations (input-slope extension).
-  struct Pending {
-    double t = 0.0;
-    int gate = -1;
-  };
-  std::vector<Pending> pending;
+  std::vector<detail::PendingEval>& pending = ws.pending;
+  pending.clear();
 
   const double alpha = options_.alpha;
   auto drive_current = [alpha](double beta, double u) {
@@ -178,10 +190,14 @@ VbsResult VbsSimulator::run(const std::vector<bool>& v0, const std::vector<bool>
     return 0.5 * beta * std::pow(u, alpha);
   };
 
-  std::vector<double> beta_dom(static_cast<std::size_t>(n_dom), 0.0);
-  std::vector<double> u_dom(static_cast<std::size_t>(n_dom), 0.0);
-  std::vector<double> vx_dom(static_cast<std::size_t>(n_dom), 0.0);
-  std::vector<VxSolution> eq_dom(static_cast<std::size_t>(n_dom));
+  std::vector<double>& beta_dom = ws.beta_dom;
+  std::vector<double>& u_dom = ws.u_dom;
+  std::vector<double>& vx_dom = ws.vx_dom;
+  std::vector<VxSolution>& eq_dom = ws.eq_dom;
+  beta_dom.assign(static_cast<std::size_t>(n_dom), 0.0);
+  u_dom.assign(static_cast<std::size_t>(n_dom), 0.0);
+  vx_dom.assign(static_cast<std::size_t>(n_dom), 0.0);
+  eq_dom.assign(static_cast<std::size_t>(n_dom), VxSolution{});
 
   while (true) {
     // --- Solve each domain's virtual ground for its discharger set.
@@ -227,7 +243,7 @@ VbsResult VbsSimulator::run(const std::vector<bool>& v0, const std::vector<bool>
 
     // --- Slopes.
     for (int g = 0; g < nl_.gate_count(); ++g) {
-      GateState& st = state[static_cast<std::size_t>(g)];
+      detail::GateScratch& st = state[static_cast<std::size_t>(g)];
       switch (st.drive) {
         case Drive::kIdle:
           st.slope = 0.0;
@@ -250,10 +266,10 @@ VbsResult VbsSimulator::run(const std::vector<bool>& v0, const std::vector<bool>
     if (next_input_event < input_events.size()) {
       t_next = std::min(t_next, input_events[next_input_event].t);
     }
-    for (const Pending& p : pending) t_next = std::min(t_next, p.t);
+    for (const detail::PendingEval& p : pending) t_next = std::min(t_next, p.t);
     bool any_active = false;
     for (int g = 0; g < nl_.gate_count(); ++g) {
-      const GateState& st = state[static_cast<std::size_t>(g)];
+      const detail::GateScratch& st = state[static_cast<std::size_t>(g)];
       if (st.drive == Drive::kIdle) continue;
       any_active = true;
       const bool out_logic = logic[static_cast<std::size_t>(nl_.gate(g).output)];
@@ -293,7 +309,7 @@ VbsResult VbsSimulator::run(const std::vector<bool>& v0, const std::vector<bool>
     t_now = t_next;
     ++result.breakpoints;
     for (int g = 0; g < nl_.gate_count(); ++g) {
-      GateState& st = state[static_cast<std::size_t>(g)];
+      detail::GateScratch& st = state[static_cast<std::size_t>(g)];
       if (st.drive == Drive::kIdle) continue;
       const double v_before = st.vout;
       st.vout = std::clamp(st.vout + st.slope * dt, 0.0, vdd);
@@ -323,7 +339,8 @@ VbsResult VbsSimulator::run(const std::vector<bool>& v0, const std::vector<bool>
     record_isleep(t_now, i_total_end);
 
     // --- Process events at t_now.
-    std::vector<int> to_reevaluate;
+    std::vector<int>& to_reevaluate = ws.to_reevaluate;
+    to_reevaluate.clear();
     // `t_tr` is the transition time of the signal that crossed: with the
     // input-slope extension enabled, triggered gates re-evaluate after a
     // slope-proportional lag instead of instantly.
@@ -343,7 +360,7 @@ VbsResult VbsSimulator::run(const std::vector<bool>& v0, const std::vector<bool>
       mark_fanout(ev.net, options_.input_ramp);
     }
     for (int g = 0; g < nl_.gate_count(); ++g) {
-      GateState& st = state[static_cast<std::size_t>(g)];
+      detail::GateScratch& st = state[static_cast<std::size_t>(g)];
       if (st.drive == Drive::kIdle) continue;
       const netlist::NetId out = nl_.gate(g).output;
       const bool out_logic = logic[static_cast<std::size_t>(out)];
@@ -385,7 +402,7 @@ VbsResult VbsSimulator::run(const std::vector<bool>& v0, const std::vector<bool>
     // Reverse conduction: idle-low outputs track their domain's V_x.
     if (options_.reverse_conduction) {
       for (int g = 0; g < nl_.gate_count(); ++g) {
-        GateState& st = state[static_cast<std::size_t>(g)];
+        detail::GateScratch& st = state[static_cast<std::size_t>(g)];
         const double pin =
             std::min(vx_state[static_cast<std::size_t>(gate_domain_[static_cast<std::size_t>(g)])], th);
         if (st.drive == Drive::kIdle &&
@@ -413,7 +430,14 @@ VbsResult VbsSimulator::run(const std::vector<bool>& v0, const std::vector<bool>
 
 double VbsSimulator::delay(const std::vector<bool>& v0, const std::vector<bool>& v1,
                            const std::string& in_name, const std::string& out_name) const {
-  const VbsResult res = run(v0, v1);
+  VbsWorkspace ws;
+  return delay(v0, v1, in_name, out_name, ws);
+}
+
+double VbsSimulator::delay(const std::vector<bool>& v0, const std::vector<bool>& v1,
+                           const std::string& in_name, const std::string& out_name,
+                           VbsWorkspace& ws) const {
+  const VbsResult res = run(v0, v1, ws);
   if (!res.outputs.has(in_name) || !res.outputs.has(out_name)) return -1.0;
   const auto d = propagation_delay(res.outputs.get(in_name), res.outputs.get(out_name),
                                    nl_.tech().vdd, Edge::kAny, Edge::kAny, options_.t_switch);
@@ -422,7 +446,14 @@ double VbsSimulator::delay(const std::vector<bool>& v0, const std::vector<bool>&
 
 double VbsSimulator::critical_delay(const std::vector<bool>& v0, const std::vector<bool>& v1,
                                     const std::vector<std::string>& out_names) const {
-  const VbsResult res = run(v0, v1);
+  VbsWorkspace ws;
+  return critical_delay(v0, v1, out_names, ws);
+}
+
+double VbsSimulator::critical_delay(const std::vector<bool>& v0, const std::vector<bool>& v1,
+                                    const std::vector<std::string>& out_names,
+                                    VbsWorkspace& ws) const {
+  const VbsResult res = run(v0, v1, ws);
   const double t_in = options_.t_switch + 0.5 * options_.input_ramp;
   double worst = -1.0;
   for (const std::string& name : out_names) {

@@ -26,6 +26,7 @@
 //     sleep devices (separate virtual grounds) -- the substrate for
 //     hierarchical sizing with mutually exclusive discharge patterns.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,50 @@ struct VbsOptions {
   /// instead of instantly.  0 = the paper's instant-start model.
   double input_slope_factor = 0.0;
   double t_max = 1e-6;            ///< safety stop [s]
+};
+
+namespace detail {
+
+enum class Drive : std::uint8_t { kIdle, kUp, kDown };
+
+struct GateScratch {
+  Drive drive = Drive::kIdle;
+  double vout = 0.0;
+  double slope = 0.0;
+};
+
+struct InputEvent {
+  double t = 0.0;
+  netlist::NetId net = -1;
+  bool value = false;
+};
+
+struct PendingEval {
+  double t = 0.0;
+  int gate = -1;
+};
+
+}  // namespace detail
+
+/// Reusable scratch buffers for VbsSimulator::run.  A default-constructed
+/// workspace works for any simulator; buffers grow to fit on first use and
+/// are overwritten by every run, so reusing one workspace across a sweep
+/// eliminates the per-call heap churn.  A workspace must not be shared by
+/// two concurrent runs -- give each thread its own (the simulator itself
+/// is immutable and can be shared freely).
+struct VbsWorkspace {
+  std::vector<bool> logic;   ///< per-net boolean state
+  std::vector<bool> pins;    ///< fanin values handed to SpExpr::conducts
+  std::vector<detail::GateScratch> state;
+  std::vector<detail::InputEvent> input_events;
+  std::vector<detail::PendingEval> pending;
+  std::vector<int> to_reevaluate;
+  std::vector<double> vx_state;
+  std::vector<double> beta_dom;
+  std::vector<double> u_dom;
+  std::vector<double> vx_dom;
+  std::vector<double> target_low;
+  std::vector<VxSolution> eq_dom;
 };
 
 struct VbsResult {
@@ -85,17 +130,29 @@ class VbsSimulator {
   /// Simulate the v0 -> v1 input transition from a settled v0 state.
   VbsResult run(const std::vector<bool>& v0, const std::vector<bool>& v1) const;
 
+  /// Same, reusing caller-owned scratch buffers (one workspace per
+  /// thread).  `run` is const and touches no simulator state, so a single
+  /// simulator may be shared by many threads each holding its own
+  /// workspace.
+  VbsResult run(const std::vector<bool>& v0, const std::vector<bool>& v1,
+                VbsWorkspace& ws) const;
+
   /// Propagation delay from the 50% crossing of input net `in_name` to the
   /// 50% crossing of net `out_name` (any edge), using a fresh run.
   /// Returns a negative value if the output never switches.
   double delay(const std::vector<bool>& v0, const std::vector<bool>& v1,
                const std::string& in_name, const std::string& out_name) const;
+  double delay(const std::vector<bool>& v0, const std::vector<bool>& v1,
+               const std::string& in_name, const std::string& out_name,
+               VbsWorkspace& ws) const;
 
   /// Latest 50% output crossing of any net in `out_names` relative to the
   /// input 50% crossing time -- the "circuit delay" used for the adder and
   /// multiplier experiments.  Negative if nothing switches.
   double critical_delay(const std::vector<bool>& v0, const std::vector<bool>& v1,
                         const std::vector<std::string>& out_names) const;
+  double critical_delay(const std::vector<bool>& v0, const std::vector<bool>& v1,
+                        const std::vector<std::string>& out_names, VbsWorkspace& ws) const;
 
   const VbsOptions& options() const { return options_; }
   int domain_count() const { return static_cast<int>(domain_r_.size()); }

@@ -9,9 +9,28 @@
 
 namespace mtcmos::sizing {
 
+namespace {
+
+core::VbsOptions with_resistance(core::VbsOptions opt, double r) {
+  opt.sleep_resistance = r;
+  return opt;
+}
+
+// Per-thread simulator scratch: pool workers reuse their buffers across
+// every run of a sweep instead of reallocating per delay call.
+core::VbsWorkspace& local_workspace() {
+  thread_local core::VbsWorkspace ws;
+  return ws;
+}
+
+}  // namespace
+
 DelayEvaluator::DelayEvaluator(const Netlist& nl, std::vector<std::string> outputs,
                                core::VbsOptions base)
-    : nl_(nl), outputs_(std::move(outputs)), base_(base) {
+    : nl_(nl),
+      outputs_(std::move(outputs)),
+      base_(base),
+      baseline_sim_(nl, with_resistance(base, 0.0)) {
   require(!outputs_.empty(), "DelayEvaluator: need at least one output net");
   for (const std::string& name : outputs_) {
     require(nl_.find_net(name).has_value(), "DelayEvaluator: unknown net " + name);
@@ -19,15 +38,33 @@ DelayEvaluator::DelayEvaluator(const Netlist& nl, std::vector<std::string> outpu
 }
 
 double DelayEvaluator::delay_cmos(const VectorPair& vp) const {
-  core::VbsOptions opt = base_;
-  opt.sleep_resistance = 0.0;
-  return core::VbsSimulator(nl_, opt).critical_delay(vp.v0, vp.v1, outputs_);
+  {
+    const std::lock_guard<std::mutex> lock(cmos_mutex_);
+    const auto it = cmos_cache_.find({vp.v0, vp.v1});
+    if (it != cmos_cache_.end()) return it->second;
+  }
+  // Compute outside the lock; a concurrent duplicate computes the same
+  // deterministic value, so whichever insert wins is equivalent.
+  const double d = baseline_sim_.critical_delay(vp.v0, vp.v1, outputs_, local_workspace());
+  const std::lock_guard<std::mutex> lock(cmos_mutex_);
+  cmos_cache_.try_emplace({vp.v0, vp.v1}, d);
+  return d;
+}
+
+const core::VbsSimulator& DelayEvaluator::simulator_at_wl(double wl) const {
+  const std::lock_guard<std::mutex> lock(sim_mutex_);
+  auto it = sim_cache_.find(wl);
+  if (it == sim_cache_.end()) {
+    const double r = SleepTransistor(nl_.tech(), wl).reff();
+    it = sim_cache_
+             .emplace(wl, std::make_unique<core::VbsSimulator>(nl_, with_resistance(base_, r)))
+             .first;
+  }
+  return *it->second;
 }
 
 double DelayEvaluator::delay_at_wl(const VectorPair& vp, double wl) const {
-  core::VbsOptions opt = base_;
-  opt.sleep_resistance = SleepTransistor(nl_.tech(), wl).reff();
-  return core::VbsSimulator(nl_, opt).critical_delay(vp.v0, vp.v1, outputs_);
+  return simulator_at_wl(wl).critical_delay(vp.v0, vp.v1, outputs_, local_workspace());
 }
 
 double DelayEvaluator::degradation_pct(const VectorPair& vp, double wl) const {
@@ -57,19 +94,24 @@ double measure_peak_current(const Netlist& nl, const VectorPair& vp, core::VbsOp
 
 SizingResult size_for_degradation(const DelayEvaluator& eval,
                                   const std::vector<VectorPair>& vectors, double target_pct,
-                                  double wl_min, double wl_max, double wl_tol) {
+                                  double wl_min, double wl_max, double wl_tol,
+                                  util::ThreadPool* pool) {
   require(!vectors.empty(), "size_for_degradation: need at least one vector");
   require(target_pct > 0.0, "size_for_degradation: target must be positive");
   require(wl_min > 0.0 && wl_max > wl_min, "size_for_degradation: bad W/L bounds");
   require(wl_tol > 0.0, "size_for_degradation: bad tolerance");
+  util::ThreadPool& tp = util::pool_or_global(pool);
 
+  // Parallel map into index-addressed slots, then a serial first-maximum
+  // reduction: identical result to the serial loop for any thread count.
   auto worst_at = [&](double wl) {
+    const std::vector<double> deg = tp.parallel_map(
+        vectors.size(), [&](std::size_t i) { return eval.degradation_pct(vectors[i], wl); });
     double worst = -1.0;
     std::size_t worst_idx = 0;
     for (std::size_t i = 0; i < vectors.size(); ++i) {
-      const double deg = eval.degradation_pct(vectors[i], wl);
-      if (deg > worst) {
-        worst = deg;
+      if (deg[i] > worst) {
+        worst = deg[i];
         worst_idx = i;
       }
     }
@@ -135,17 +177,25 @@ std::vector<VectorPair> sampled_vector_pairs(int n_inputs, int count, Rng& rng) 
 }
 
 std::vector<VectorDelay> rank_vectors(const DelayEvaluator& eval,
-                                      const std::vector<VectorPair>& vectors, double wl) {
-  std::vector<VectorDelay> out;
-  for (const VectorPair& vp : vectors) {
-    VectorDelay vd;
-    vd.pair = vp;
-    vd.delay_cmos = eval.delay_cmos(vp);
-    if (vd.delay_cmos <= 0.0) continue;
-    vd.delay_mtcmos = eval.delay_at_wl(vp, wl);
-    if (vd.delay_mtcmos <= 0.0) continue;
+                                      const std::vector<VectorPair>& vectors, double wl,
+                                      util::ThreadPool* pool) {
+  // Evaluate into per-index slots, then filter in input order and sort:
+  // the sort sees the exact sequence the serial loop produced, so the
+  // ranking is bit-identical for any thread count.
+  std::vector<VectorDelay> measured(vectors.size());
+  util::pool_or_global(pool).parallel_for(vectors.size(), [&](std::size_t i) {
+    VectorDelay& vd = measured[i];
+    vd.pair = vectors[i];
+    vd.delay_cmos = eval.delay_cmos(vectors[i]);
+    if (vd.delay_cmos <= 0.0) return;
+    vd.delay_mtcmos = eval.delay_at_wl(vectors[i], wl);
+    if (vd.delay_mtcmos <= 0.0) return;
     vd.degradation_pct = (vd.delay_mtcmos - vd.delay_cmos) / vd.delay_cmos * 100.0;
-    out.push_back(std::move(vd));
+  });
+  std::vector<VectorDelay> out;
+  out.reserve(measured.size());
+  for (VectorDelay& vd : measured) {
+    if (vd.delay_cmos > 0.0 && vd.delay_mtcmos > 0.0) out.push_back(std::move(vd));
   }
   std::sort(out.begin(), out.end(), [](const VectorDelay& a, const VectorDelay& b) {
     return a.degradation_pct > b.degradation_pct;
@@ -153,7 +203,8 @@ std::vector<VectorDelay> rank_vectors(const DelayEvaluator& eval,
   return out;
 }
 
-VectorDelay search_worst_vector(const DelayEvaluator& eval, double wl, int samples, Rng& rng) {
+VectorDelay search_worst_vector(const DelayEvaluator& eval, double wl, int samples, Rng& rng,
+                                util::ThreadPool* pool) {
   require(samples >= 1, "search_worst_vector: need at least one sample");
   const int n = static_cast<int>(eval.netlist().inputs().size());
 
@@ -162,13 +213,18 @@ VectorDelay search_worst_vector(const DelayEvaluator& eval, double wl, int sampl
     return eval.delay_at_wl(vp, wl);
   };
 
+  // Sample pass: the RNG draws stay serial (reproducible from the seed);
+  // the expensive scoring fans out, and the serial first-maximum
+  // reduction keeps the winner identical for any thread count.
+  const std::vector<VectorPair> sampled = sampled_vector_pairs(n, samples, rng);
+  const std::vector<double> scores = util::pool_or_global(pool).parallel_map(
+      sampled.size(), [&](std::size_t i) { return score(sampled[i]); });
   VectorPair best;
   double best_score = -1.0;
-  for (const VectorPair& vp : sampled_vector_pairs(n, samples, rng)) {
-    const double s = score(vp);
-    if (s > best_score) {
-      best_score = s;
-      best = vp;
+  for (std::size_t i = 0; i < sampled.size(); ++i) {
+    if (scores[i] > best_score) {
+      best_score = scores[i];
+      best = sampled[i];
     }
   }
   require(best_score > 0.0, "search_worst_vector: no sampled vector toggles the outputs");
@@ -217,13 +273,12 @@ double falling_discharge_weight(const Netlist& nl, const VectorPair& vp) {
 }
 
 std::vector<VectorPair> screen_vectors(const Netlist& nl, std::vector<VectorPair> candidates,
-                                       std::size_t keep) {
+                                       std::size_t keep, util::ThreadPool* pool) {
   require(keep >= 1, "screen_vectors: keep must be >= 1");
-  std::vector<std::pair<double, std::size_t>> scored;
-  scored.reserve(candidates.size());
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    scored.emplace_back(falling_discharge_weight(nl, candidates[i]), i);
-  }
+  std::vector<std::pair<double, std::size_t>> scored(candidates.size());
+  util::pool_or_global(pool).parallel_for(candidates.size(), [&](std::size_t i) {
+    scored[i] = {falling_discharge_weight(nl, candidates[i]), i};
+  });
   std::sort(scored.begin(), scored.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
   std::vector<VectorPair> out;

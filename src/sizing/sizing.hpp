@@ -16,13 +16,18 @@
 // and greedy bit-flip refinement for large ones (the 8x8 multiplier of
 // Section 4), and ranked degradation reports (Figure 14).
 
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/vbs.hpp"
 #include "models/technology.hpp"
 #include "netlist/netlist.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mtcmos::sizing {
 
@@ -43,8 +48,19 @@ struct VectorDelay {
 };
 
 /// Measures circuit delay (latest 50% crossing among `outputs`) through
-/// the switch-level simulator, for arbitrary sleep W/L, with a cached
-/// R = 0 baseline.
+/// the switch-level simulator, for arbitrary sleep W/L.
+///
+/// The evaluator is the shared engine behind every sweep, so it caches
+/// aggressively:
+///   * one immutable VbsSimulator per distinct sleep W/L (equivalent-
+///     inverter reduction and topological order are derived once, not per
+///     delay call), plus a dedicated R = 0 baseline simulator;
+///   * the CMOS baseline delay per vector pair -- it is invariant in W/L,
+///     so a sizing bisection probes each vector's baseline exactly once.
+/// All entry points are thread-safe: simulators are immutable after
+/// construction, caches are mutex-guarded, and per-run scratch lives in
+/// thread-local workspaces, so one evaluator can serve a whole thread
+/// pool concurrently.
 class DelayEvaluator {
  public:
   /// `outputs` are net names whose latest crossing defines the delay.
@@ -52,11 +68,19 @@ class DelayEvaluator {
   /// sleep_resistance field is overridden per call.
   DelayEvaluator(const Netlist& nl, std::vector<std::string> outputs, core::VbsOptions base = {});
 
+  DelayEvaluator(const DelayEvaluator&) = delete;
+  DelayEvaluator& operator=(const DelayEvaluator&) = delete;
+
   double delay_cmos(const VectorPair& vp) const;
   double delay_at_wl(const VectorPair& vp, double wl) const;
   /// Convenience: % degradation at `wl` (negative if the outputs never
   /// switch for this pair).
   double degradation_pct(const VectorPair& vp, double wl) const;
+
+  /// Shared simulator for a sleep W/L, constructed on first use and
+  /// reused (including across threads) thereafter.
+  const core::VbsSimulator& simulator_at_wl(double wl) const;
+  const core::VbsSimulator& baseline_simulator() const { return baseline_sim_; }
 
   const Netlist& netlist() const { return nl_; }
   const std::vector<std::string>& outputs() const { return outputs_; }
@@ -65,6 +89,11 @@ class DelayEvaluator {
   const Netlist& nl_;
   std::vector<std::string> outputs_;
   core::VbsOptions base_;
+  core::VbsSimulator baseline_sim_;  ///< R = 0 (ideal ground) reference
+  mutable std::mutex sim_mutex_;
+  mutable std::map<double, std::unique_ptr<core::VbsSimulator>> sim_cache_;
+  mutable std::mutex cmos_mutex_;
+  mutable std::map<std::pair<std::vector<bool>, std::vector<bool>>, double> cmos_cache_;
 };
 
 // --- Baseline estimators ---
@@ -92,11 +121,13 @@ struct SizingResult {
 
 /// Smallest W/L (within [wl_min, wl_max], resolved to `wl_tol`) whose
 /// worst degradation over `vectors` is <= target_pct.  Throws
-/// NumericalError if even wl_max cannot meet the target.
+/// NumericalError if even wl_max cannot meet the target.  Each bisection
+/// probe evaluates the vector set on `pool` (nullptr = the global pool);
+/// results are bit-identical for any thread count.
 SizingResult size_for_degradation(const DelayEvaluator& eval,
                                   const std::vector<VectorPair>& vectors, double target_pct,
                                   double wl_min = 1.0, double wl_max = 4000.0,
-                                  double wl_tol = 0.5);
+                                  double wl_tol = 0.5, util::ThreadPool* pool = nullptr);
 
 // --- Vector-space exploration ---
 
@@ -107,15 +138,21 @@ std::vector<VectorPair> all_vector_pairs(int n_inputs);
 std::vector<VectorPair> sampled_vector_pairs(int n_inputs, int count, Rng& rng);
 
 /// Degradation-ranked report over a vector set at sizing `wl`.  Pairs
-/// whose outputs never switch are dropped.  Sorted worst-first.
+/// whose outputs never switch are dropped.  Sorted worst-first.  Vectors
+/// are evaluated in parallel on `pool` (nullptr = the global pool); the
+/// report is bit-identical for any thread count.
 std::vector<VectorDelay> rank_vectors(const DelayEvaluator& eval,
-                                      const std::vector<VectorPair>& vectors, double wl);
+                                      const std::vector<VectorPair>& vectors, double wl,
+                                      util::ThreadPool* pool = nullptr);
 
 /// Randomized worst-vector search: `samples` random pairs, then greedy
 /// single-bit-flip refinement from the best one.  Returns the worst
 /// VectorDelay found.  This is how the toolkit narrows the 2^32 vector
 /// space of the 8x8 multiplier the way the paper narrows it for SPICE.
-VectorDelay search_worst_vector(const DelayEvaluator& eval, double wl, int samples, Rng& rng);
+/// The sample pass scores candidates in parallel on `pool`; the greedy
+/// refinement is inherently sequential and runs serially.
+VectorDelay search_worst_vector(const DelayEvaluator& eval, double wl, int samples, Rng& rng,
+                                util::ThreadPool* pool = nullptr);
 
 // --- Logic-level screening (a pre-filter before even the fast simulator) ---
 
@@ -129,8 +166,9 @@ double falling_discharge_weight(const Netlist& nl, const VectorPair& vp);
 
 /// Keep the `keep` candidates with the largest falling_discharge_weight.
 /// Used to thin huge vector sets before handing them to the simulator,
-/// mirroring how the paper's tool thins them before SPICE.
+/// mirroring how the paper's tool thins them before SPICE.  Weights are
+/// computed in parallel on `pool`.
 std::vector<VectorPair> screen_vectors(const Netlist& nl, std::vector<VectorPair> candidates,
-                                       std::size_t keep);
+                                       std::size_t keep, util::ThreadPool* pool = nullptr);
 
 }  // namespace mtcmos::sizing
