@@ -1,11 +1,13 @@
 #include "core/vbs.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
 #include "models/level1.hpp"
 #include "util/error.hpp"
+#include "util/faultinject.hpp"
 #include "waveform/measure.hpp"
 
 namespace mtcmos::core {
@@ -48,6 +50,7 @@ VbsSimulator::VbsSimulator(const netlist::Netlist& nl, VbsOptions options,
   require(options_.input_slope_factor >= 0.0 && options_.input_slope_factor <= 1.0,
           "VbsSimulator: input_slope_factor must be in [0, 1]");
   require(options_.t_max > options_.t_switch, "VbsSimulator: t_max must exceed t_switch");
+  require(options_.deadline_s >= 0.0, "VbsSimulator: deadline_s must be non-negative");
   for (int g = 0; g < nl_.gate_count(); ++g) {
     beta_n_.push_back(nl_.beta_n_eff(g));
     beta_p_.push_back(nl_.beta_p_eff(g));
@@ -67,6 +70,8 @@ VbsResult VbsSimulator::run(const std::vector<bool>& v0, const std::vector<bool>
                             VbsWorkspace& ws) const {
   require(v0.size() == nl_.inputs().size() && v1.size() == nl_.inputs().size(),
           "VbsSimulator::run: input vector size mismatch");
+  faultinject::check(faultinject::Site::kVbsRun, "VbsSimulator::run");
+  const auto start_time = std::chrono::steady_clock::now();
   const Technology& tech = nl_.tech();
   const double vdd = tech.vdd;
   const double th = 0.5 * vdd;
@@ -200,6 +205,20 @@ VbsResult VbsSimulator::run(const std::vector<bool>& v0, const std::vector<bool>
   eq_dom.assign(static_cast<std::size_t>(n_dom), VxSolution{});
 
   while (true) {
+    faultinject::check(faultinject::Site::kVbsBreakpoint, "VbsSimulator::run");
+    if (options_.max_breakpoints > 0 && result.breakpoints >= options_.max_breakpoints) {
+      throw NumericalError({FailureCode::kDeadlineExceeded, "VbsSimulator::run",
+                            "breakpoint budget of " + std::to_string(options_.max_breakpoints) +
+                                " exhausted at t=" + std::to_string(t_now)});
+    }
+    if (options_.deadline_s > 0.0) {
+      const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start_time;
+      if (elapsed.count() > options_.deadline_s) {
+        throw NumericalError({FailureCode::kDeadlineExceeded, "VbsSimulator::run",
+                              "wall-clock deadline of " + std::to_string(options_.deadline_s) +
+                                  " s exceeded at t=" + std::to_string(t_now)});
+      }
+    }
     // --- Solve each domain's virtual ground for its discharger set.
     std::fill(beta_dom.begin(), beta_dom.end(), 0.0);
     for (int g = 0; g < nl_.gate_count(); ++g) {
@@ -296,12 +315,16 @@ VbsResult VbsSimulator::run(const std::vector<bool>& v0, const std::vector<bool>
 
     if (!std::isfinite(t_next)) {
       if (any_active) {
-        throw NumericalError("VbsSimulator: active gates are stalled with no future breakpoint");
+        throw NumericalError({FailureCode::kBreakpointRunaway, "VbsSimulator::run",
+                              "active gates are stalled with no future breakpoint at t=" +
+                                  std::to_string(t_now)});
       }
       break;  // quiescent: simulation complete
     }
     if (t_next > options_.t_max) {
-      throw NumericalError("VbsSimulator: breakpoint beyond t_max (possible runaway)");
+      throw NumericalError({FailureCode::kBreakpointRunaway, "VbsSimulator::run",
+                            "breakpoint beyond t_max (possible runaway) at t=" +
+                                std::to_string(t_now)});
     }
 
     // --- Advance all active outputs linearly to the breakpoint.

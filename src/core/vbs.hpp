@@ -53,6 +53,13 @@ struct VbsOptions {
   /// instead of instantly.  0 = the paper's instant-start model.
   double input_slope_factor = 0.0;
   double t_max = 1e-6;            ///< safety stop [s]
+  /// Per-run breakpoint budget; 0 disables.  Exhaustion throws
+  /// NumericalError with FailureCode::kDeadlineExceeded, so a breakpoint
+  /// cascade degrades to a classified failure instead of spinning.
+  std::size_t max_breakpoints = 0;
+  /// Per-run wall-clock budget [s]; 0 disables.  Same kDeadlineExceeded
+  /// semantics as max_breakpoints.
+  double deadline_s = 0.0;
 };
 
 namespace detail {

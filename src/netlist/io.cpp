@@ -4,6 +4,7 @@
 #include <fstream>
 #include <map>
 #include <ostream>
+#include <set>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -16,6 +17,8 @@ double parse_eng(const std::string& token) {
   double value = 0.0;
   try {
     value = std::stod(token, &pos);
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("parse_eng: number out of range: '" + token + "'");
   } catch (const std::exception&) {
     throw std::invalid_argument("parse_eng: not a number: '" + token + "'");
   }
@@ -131,12 +134,21 @@ ParsedNetlist read_netlist(std::istream& in) {
     } else {
       fail(static_cast<int>(i + 1), "unknown technology '" + toks[1] + "'");
     }
-    require(!tech_seen, "netlist: multiple tech lines");
+    if (tech_seen) fail(static_cast<int>(i + 1), "multiple tech lines");
     tech_seen = true;
   }
 
   ParsedNetlist out{Netlist(tech), {}};
   Netlist& nl = out.nl;
+  // Parse-time bookkeeping for the post-parse structural checks: device
+  // names must be unique, and every gate fanin must be driven, an input,
+  // or explicitly declared tie0 (intentionally-constant-0).
+  static const std::set<std::string> kDeviceKeywords = {
+      "inv",  "buf",   "nand2", "nor2",  "and2",  "or2", "xor2",
+      "xnor2", "nand3", "nor3",  "aoi21", "oai21", "fa",  "gate"};
+  std::set<std::string> device_names;
+  std::set<std::string> tie0_nets;
+  std::vector<int> gate_line;  // source line of each added gate
   for (std::size_t i = 0; i < lines.size(); ++i) {
     const int ln = static_cast<int>(i + 1);
     const auto toks = tokenize(lines[i]);
@@ -147,6 +159,12 @@ ParsedNetlist read_netlist(std::istream& in) {
         fail(ln, kw + " takes " + std::to_string(n) + " arguments");
       }
     };
+    if (kDeviceKeywords.count(kw) != 0 && toks.size() >= 2 &&
+        !device_names.insert(toks[1]).second) {
+      fail(ln, "duplicate device name '" + toks[1] + "'");
+    }
+    const int gates_before = nl.gate_count();
+    try {
     if (kw == "tech") {
       continue;  // handled above
     } else if (kw == "input") {
@@ -220,8 +238,38 @@ ParsedNetlist read_netlist(std::istream& in) {
         nl.net(toks[k]);  // ensure it exists
         out.outputs.push_back(toks[k]);
       }
+    } else if (kw == "tie0") {
+      if (toks.size() < 2) fail(ln, "tie0 needs at least one net");
+      for (std::size_t k = 1; k < toks.size(); ++k) {
+        nl.net(toks[k]);  // ensure it exists
+        tie0_nets.insert(toks[k]);
+      }
     } else {
       fail(ln, "unknown keyword '" + kw + "'");
+    }
+    } catch (const std::invalid_argument& e) {
+      // Annotate errors thrown below the dispatch (parse_eng, Netlist
+      // precondition checks) with the source line; fail() messages
+      // already carry one.
+      const std::string what = e.what();
+      if (what.rfind("netlist line", 0) == 0) throw;
+      fail(ln, what);
+    }
+    for (int g = gates_before; g < nl.gate_count(); ++g) gate_line.push_back(ln);
+  }
+
+  // Dangling-net check: a gate input that nothing drives evaluates as a
+  // constant 0, which is almost always a typo.  The intentional case must
+  // be spelled out with tie0.
+  for (int g = 0; g < nl.gate_count(); ++g) {
+    const Gate& gate = nl.gate(g);
+    for (const NetId n : gate.fanins) {
+      if (nl.is_input(n) || nl.driver_of(n) >= 0) continue;
+      if (tie0_nets.count(nl.net_name(n)) != 0) continue;
+      fail(gate_line[static_cast<std::size_t>(g)],
+           "gate '" + gate.name + "' input net '" + nl.net_name(n) +
+               "' is undriven (declare 'tie0 " + nl.net_name(n) +
+               "' if a constant 0 is intended)");
     }
   }
   return out;
@@ -249,6 +297,19 @@ void write_netlist(std::ostream& os, const Netlist& nl, const std::vector<std::s
   if (!nl.inputs().empty()) {
     os << "input";
     for (const NetId n : nl.inputs()) os << ' ' << nl.net_name(n);
+    os << "\n";
+  }
+  // Undriven non-input fanins act as constant 0s; declare them tie0 so
+  // the emitted deck re-reads cleanly under the dangling-net check.
+  std::set<NetId> tie0;
+  for (int g = 0; g < nl.gate_count(); ++g) {
+    for (const NetId n : nl.gate(g).fanins) {
+      if (!nl.is_input(n) && nl.driver_of(n) < 0) tie0.insert(n);
+    }
+  }
+  if (!tie0.empty()) {
+    os << "tie0";
+    for (const NetId n : tie0) os << ' ' << nl.net_name(n);
     os << "\n";
   }
   for (int g = 0; g < nl.gate_count(); ++g) {

@@ -26,12 +26,28 @@
 #include "core/vbs.hpp"
 #include "models/technology.hpp"
 #include "netlist/netlist.hpp"
+#include "util/failure.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mtcmos::sizing {
 
 using netlist::Netlist;
+
+/// How a sweep handles per-item NumericalErrors.
+///
+/// Every sweep entry point runs each item inside a bounded retry loop and
+/// records an Outcome into an index-addressed slot, so one diverging item
+/// cannot tear down a batch of thousands (isolate = true, the default) and
+/// the surviving results stay bit-identical to a serial no-fault run.
+/// With isolate = false the first failure is rethrown after the batch
+/// drains -- the pre-robustness behavior, for callers that want hard
+/// stops.  Precondition errors (std::invalid_argument) always propagate;
+/// only numerical failures are isolated.
+struct SweepPolicy {
+  bool isolate = true;
+  int max_attempts = 2;  ///< per-item attempts (1 = no retry)
+};
 
 /// A v0 -> v1 input transition.
 struct VectorPair {
@@ -129,6 +145,16 @@ SizingResult size_for_degradation(const DelayEvaluator& eval,
                                   double wl_min = 1.0, double wl_max = 4000.0,
                                   double wl_tol = 0.5, util::ThreadPool* pool = nullptr);
 
+/// Fault-isolating variant: failed vectors are skipped in each probe's
+/// worst-degradation reduction and recorded in `report` (one report entry
+/// per vector per probe, so `report.total` is a multiple of the vector
+/// count).  Throws NumericalError only if every vector of a probe fails.
+SizingResult size_for_degradation(const DelayEvaluator& eval,
+                                  const std::vector<VectorPair>& vectors, double target_pct,
+                                  const SweepPolicy& policy, SweepReport& report,
+                                  double wl_min = 1.0, double wl_max = 4000.0,
+                                  double wl_tol = 0.5, util::ThreadPool* pool = nullptr);
+
 // --- Vector-space exploration ---
 
 /// All 2^n * 2^n transitions of an n-input circuit (n <= 8 guard).
@@ -145,6 +171,15 @@ std::vector<VectorDelay> rank_vectors(const DelayEvaluator& eval,
                                       const std::vector<VectorPair>& vectors, double wl,
                                       util::ThreadPool* pool = nullptr);
 
+/// Fault-isolating variant: items that still fail after `policy`'s retry
+/// budget are dropped from the ranking and recorded in `report` with
+/// their FailureInfo; surviving entries are bit-identical to a no-fault
+/// serial run over the surviving subset.
+std::vector<VectorDelay> rank_vectors(const DelayEvaluator& eval,
+                                      const std::vector<VectorPair>& vectors, double wl,
+                                      const SweepPolicy& policy, SweepReport& report,
+                                      util::ThreadPool* pool = nullptr);
+
 /// Randomized worst-vector search: `samples` random pairs, then greedy
 /// single-bit-flip refinement from the best one.  Returns the worst
 /// VectorDelay found.  This is how the toolkit narrows the 2^32 vector
@@ -152,6 +187,14 @@ std::vector<VectorDelay> rank_vectors(const DelayEvaluator& eval,
 /// The sample pass scores candidates in parallel on `pool`; the greedy
 /// refinement is inherently sequential and runs serially.
 VectorDelay search_worst_vector(const DelayEvaluator& eval, double wl, int samples, Rng& rng,
+                                util::ThreadPool* pool = nullptr);
+
+/// Fault-isolating variant: failed samples are skipped in the
+/// first-maximum reduction and failed refinement candidates count as
+/// no-improvement; both are recorded in `report` (sample items use their
+/// sample index, refinement candidates continue the numbering).
+VectorDelay search_worst_vector(const DelayEvaluator& eval, double wl, int samples, Rng& rng,
+                                const SweepPolicy& policy, SweepReport& report,
                                 util::ThreadPool* pool = nullptr);
 
 // --- Logic-level screening (a pre-filter before even the fast simulator) ---
@@ -170,5 +213,11 @@ double falling_discharge_weight(const Netlist& nl, const VectorPair& vp);
 /// computed in parallel on `pool`.
 std::vector<VectorPair> screen_vectors(const Netlist& nl, std::vector<VectorPair> candidates,
                                        std::size_t keep, util::ThreadPool* pool = nullptr);
+
+/// Fault-isolating variant: candidates whose weight computation fails are
+/// excluded from the ranking and recorded in `report`.
+std::vector<VectorPair> screen_vectors(const Netlist& nl, std::vector<VectorPair> candidates,
+                                       std::size_t keep, const SweepPolicy& policy,
+                                       SweepReport& report, util::ThreadPool* pool = nullptr);
 
 }  // namespace mtcmos::sizing

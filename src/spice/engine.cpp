@@ -1,12 +1,14 @@
 #include "spice/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
 
 #include "models/level1.hpp"
 #include "util/error.hpp"
+#include "util/faultinject.hpp"
 
 namespace mtcmos::spice {
 
@@ -51,6 +53,11 @@ MosOp eval_mosfet_op(const Mosfet& m, const std::vector<double>& v) {
 Engine::Engine(const Circuit& circuit, double gmin) : ckt_(circuit), gmin_(gmin) {
   require(gmin > 0.0, "Engine: gmin must be positive");
   build_pattern();
+}
+
+void Engine::set_gmin(double gmin) {
+  require(gmin > 0.0, "Engine::set_gmin: gmin must be positive");
+  gmin_ = gmin;
 }
 
 void Engine::build_pattern() {
@@ -233,6 +240,7 @@ void Engine::assemble(const std::vector<double>& v, bool transient, double dt, b
 int Engine::newton_solve(std::vector<double>& v, bool transient, double dt, bool use_be,
                          const std::vector<CapState>& caps, double extra_gmin, int max_iter,
                          double vtol, double reltol, double dv_clamp) {
+  faultinject::check(faultinject::Site::kNewtonSolve, "Engine::newton_solve");
   static const bool debug = std::getenv("MTCMOS_SPICE_DEBUG") != nullptr;
 
   // Physical voltage window: unknowns are clamped slightly beyond the
@@ -372,8 +380,8 @@ std::vector<double> Engine::dc_operating_point(double at_time,
     apply_sources(at_time, v, scale);
     if (newton_solve(v, /*transient=*/true, dt, /*use_be=*/true, caps, 1e-12, 100, 1e-6, 1e-4,
                      0.3) < 0) {
-      throw NumericalError("Engine::dc_operating_point: pseudo-transient ramp failed at scale=" +
-                           std::to_string(scale));
+      throw NumericalError({FailureCode::kNewtonDiverged, "Engine::dc_operating_point",
+                            "pseudo-transient ramp failed at " + residual_context(v, scale)});
     }
     for (std::size_t i = 0; i < ckt_.capacitors().size(); ++i) {
       const Capacitor& c = ckt_.capacitors()[i];
@@ -384,10 +392,27 @@ std::vector<double> Engine::dc_operating_point(double at_time,
   }
   apply_sources(at_time, v);
   if (newton_solve(v, false, 0.0, false, no_caps, 0.0, 300, 1e-6, 1e-4, 0.3) < 0) {
-    throw NumericalError(
-        "Engine::dc_operating_point: final solve failed after pseudo-transient ramp");
+    throw NumericalError({FailureCode::kNewtonDiverged, "Engine::dc_operating_point",
+                          "final solve failed after pseudo-transient ramp at " +
+                              residual_context(v, 1.0)});
   }
   return v;
+}
+
+std::string Engine::residual_context(const std::vector<double>& v, double scale) {
+  std::vector<double> f(static_cast<std::size_t>(n_unknowns_), 0.0);
+  const std::vector<CapState> no_caps(ckt_.capacitors().size());
+  assemble(v, /*transient=*/false, 0.0, false, no_caps, /*extra_gmin=*/0.0, f);
+  int worst = 0;
+  for (int u = 1; u < n_unknowns_; ++u) {
+    if (std::abs(f[static_cast<std::size_t>(u)]) > std::abs(f[static_cast<std::size_t>(worst)])) {
+      worst = u;
+    }
+  }
+  const NodeId worst_node = unknown_nodes_[static_cast<std::size_t>(worst)];
+  return "scale=" + std::to_string(scale) + ", unknowns=" + std::to_string(n_unknowns_) +
+         ", worst residual " + std::to_string(f[static_cast<std::size_t>(worst)]) +
+         " A at node " + ckt_.node_name(worst_node);
 }
 
 double Engine::mosfet_current(const Mosfet& m, const std::vector<double>& v) const {
@@ -436,8 +461,28 @@ double Engine::dc_device_current(const std::string& name,
 TransientResult Engine::run_transient(const TransientOptions& options) {
   require(options.tstop > 0.0, "run_transient: tstop must be positive");
   require(options.dt > 0.0 && options.dt <= options.tstop, "run_transient: bad dt");
+  require(options.deadline_s >= 0.0, "run_transient: deadline_s must be non-negative");
 
   TransientResult result;
+
+  // Per-run budgets: sample the clock only when a wall-clock deadline is
+  // armed, so budget-free runs stay bit-reproducible and syscall-free.
+  const auto start_time = std::chrono::steady_clock::now();
+  const auto check_deadline = [&](double t_now) {
+    if (options.max_steps > 0 && result.steps >= options.max_steps) {
+      throw NumericalError({FailureCode::kDeadlineExceeded, "Engine::run_transient",
+                            "step budget of " + std::to_string(options.max_steps) +
+                                " exhausted at t=" + std::to_string(t_now)});
+    }
+    if (options.deadline_s > 0.0) {
+      const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start_time;
+      if (elapsed.count() > options.deadline_s) {
+        throw NumericalError({FailureCode::kDeadlineExceeded, "Engine::run_transient",
+                              "wall-clock deadline of " + std::to_string(options.deadline_s) +
+                                  " s exceeded at t=" + std::to_string(t_now)});
+      }
+    }
+  };
 
   // Resolve probes.
   std::vector<NodeId> vprobe_nodes;
@@ -521,8 +566,10 @@ TransientResult Engine::run_transient(const TransientOptions& options) {
 
   // Recursive step with halving on Newton failure.
   const auto advance = [&](auto&& self, double t0, double dt, bool force_be, int depth) -> void {
+    faultinject::check(faultinject::Site::kTransientStep, "Engine::run_transient");
     if (dt < options.dt_min || depth > 48) {
-      throw NumericalError("run_transient: time step underflow at t=" + std::to_string(t0));
+      throw NumericalError({FailureCode::kTimestepUnderflow, "Engine::run_transient",
+                            "time step underflow at t=" + std::to_string(t0)});
     }
     const double t1 = t0 + dt;
     std::vector<double> v_try = v;
@@ -554,8 +601,9 @@ TransientResult Engine::run_transient(const TransientOptions& options) {
     double t = 0.0;
     bool first = true;
     while (t < options.tstop - 1e-18) {
+      check_deadline(t);
       const double dt = std::min(options.dt, options.tstop - t);
-      advance(advance, t, dt, /*force_be=*/first, 0);
+      advance(advance, t, dt, /*force_be=*/first || options.backward_euler, 0);
       first = false;
       t += dt;
     }
@@ -570,13 +618,17 @@ TransientResult Engine::run_transient(const TransientOptions& options) {
   std::vector<double> v_prev;  // previous accepted solution (for the predictor)
   double dt_prev = 0.0;
   while (t < options.tstop - 1e-18) {
+    check_deadline(t);
+    faultinject::check(faultinject::Site::kTransientStep, "Engine::run_transient");
     dt = std::min({dt, options.tstop - t, dt_max});
     if (dt < options.dt_min) {
-      throw NumericalError("run_transient: adaptive step underflow at t=" + std::to_string(t));
+      throw NumericalError({FailureCode::kTimestepUnderflow, "Engine::run_transient",
+                            "adaptive step underflow at t=" + std::to_string(t)});
     }
+    const bool use_be = first || options.backward_euler;
     std::vector<double> v_try = v;
     apply_sources(t + dt, v_try);
-    const int iters = newton_solve(v_try, /*transient=*/true, dt, first, caps, 0.0,
+    const int iters = newton_solve(v_try, /*transient=*/true, dt, use_be, caps, 0.0,
                                    options.max_newton, options.vtol, options.reltol,
                                    options.dv_clamp);
     if (iters < 0) {
@@ -603,8 +655,8 @@ TransientResult Engine::run_transient(const TransientOptions& options) {
       const Capacitor& c = ckt_.capacitors()[i];
       const double vbr =
           v_try[static_cast<std::size_t>(c.a)] - v_try[static_cast<std::size_t>(c.b)];
-      const double geq = (first ? 1.0 : 2.0) * c.capacitance / dt;
-      caps[i].i_branch = geq * (vbr - caps[i].v_branch) - (first ? 0.0 : caps[i].i_branch);
+      const double geq = (use_be ? 1.0 : 2.0) * c.capacitance / dt;
+      caps[i].i_branch = geq * (vbr - caps[i].v_branch) - (use_be ? 0.0 : caps[i].i_branch);
       caps[i].v_branch = vbr;
     }
     v_prev = v;

@@ -47,6 +47,18 @@ struct TransientOptions {
   /// (e.g. rail values from boolean evaluation).  Greatly improves DC
   /// robustness on large logic blocks.
   std::vector<double> dc_initial_guess;
+  /// Integrate every step with backward Euler instead of trapezoidal.
+  /// More damped (no trapezoidal ringing) at the cost of accuracy; the
+  /// recovery ladder's first escalation rung.
+  bool backward_euler = false;
+  /// Per-run wall-clock budget [s]; 0 disables.  When exhausted the run
+  /// throws NumericalError with FailureCode::kDeadlineExceeded, so a
+  /// runaway transient degrades to a classified failure instead of
+  /// hanging a sweep worker.
+  double deadline_s = 0.0;
+  /// Per-run accepted-step budget; 0 disables.  Exhaustion also reports
+  /// kDeadlineExceeded.
+  std::size_t max_steps = 0;
 };
 
 struct TransientResult {
@@ -78,6 +90,12 @@ class Engine {
   double dc_device_current(const std::string& name, const std::vector<double>& voltages) const;
 
   int unknown_count() const { return n_unknowns_; }
+
+  /// Baseline shunt conductance to ground on every unknown node.  The
+  /// recovery ladder raises it between attempts to tame near-singular
+  /// operating points, then restores the original value.
+  double gmin() const { return gmin_; }
+  void set_gmin(double gmin);
 
  private:
   struct MosSlots {
@@ -115,6 +133,10 @@ class Engine {
 
   /// MOSFET drain->source current (declared terminals) at voltages v.
   double mosfet_current(const Mosfet& m, const std::vector<double>& v) const;
+
+  /// Diagnostic context for DC failures: source scale, unknown count, and
+  /// the node carrying the worst KCL residual at voltages `v`.
+  std::string residual_context(const std::vector<double>& v, double scale);
 
   /// Current delivered into the circuit by the grounded source driving
   /// `node` (sum of currents leaving the node through devices).

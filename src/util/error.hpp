@@ -8,14 +8,28 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
+
+#include "util/failure.hpp"
 
 namespace mtcmos {
 
 /// Thrown when an iterative numerical method fails (Newton divergence,
-/// singular pivot, time-step underflow, ...).
+/// singular pivot, time-step underflow, ...).  Carries a structured
+/// FailureInfo so batch drivers can classify the failure without string
+/// matching; the legacy string constructor yields FailureCode::kUnknown.
 class NumericalError : public std::runtime_error {
  public:
-  explicit NumericalError(const std::string& what) : std::runtime_error(what) {}
+  explicit NumericalError(const std::string& what) : std::runtime_error(what) {
+    info_.context = what;
+  }
+  explicit NumericalError(FailureInfo info)
+      : std::runtime_error(info.message()), info_(std::move(info)) {}
+
+  const FailureInfo& info() const { return info_; }
+
+ private:
+  FailureInfo info_;
 };
 
 /// Precondition check: throws std::invalid_argument with `message` when

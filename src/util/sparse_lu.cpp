@@ -5,6 +5,7 @@
 #include <set>
 
 #include "util/error.hpp"
+#include "util/faultinject.hpp"
 
 namespace mtcmos {
 
@@ -174,12 +175,13 @@ void SparseLu::clear_values() {
 
 void SparseLu::factorize() {
   require(finalized_, "SparseLu::factorize: call finalize() first");
+  faultinject::check(faultinject::Site::kSparseLuFactorize, "SparseLu::factorize");
   factor_ = values_;
   for (const ElimStep& s : steps_) {
     const double pivot = factor_[static_cast<std::size_t>(s.pivot_pos)];
     if (std::abs(pivot) < 1e-300) {
-      throw NumericalError("SparseLu::factorize: zero pivot at internal index " +
-                           std::to_string(s.pivot_k));
+      throw NumericalError({FailureCode::kSingularMatrix, "SparseLu::factorize",
+                            "zero pivot at internal index " + std::to_string(s.pivot_k)});
     }
     const double m = factor_[static_cast<std::size_t>(s.lik_pos)] / pivot;
     factor_[static_cast<std::size_t>(s.lik_pos)] = m;

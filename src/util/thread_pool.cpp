@@ -59,11 +59,13 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::run_current_job() {
   while (true) {
+    if (cancel_requested_.load(std::memory_order_relaxed)) return;
     const std::size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
     if (i >= job_n_) return;
     try {
       (*job_fn_)(i);
     } catch (...) {
+      cancel_requested_.store(true, std::memory_order_relaxed);
       std::lock_guard<std::mutex> lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
@@ -87,6 +89,7 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   job_fn_ = &fn;
   job_n_ = n;
   next_index_.store(0, std::memory_order_relaxed);
+  cancel_requested_.store(false, std::memory_order_relaxed);
   first_error_ = nullptr;
   ++generation_;
   lock.unlock();
@@ -100,6 +103,21 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   first_error_ = nullptr;
   lock.unlock();
   if (error) std::rethrow_exception(error);
+}
+
+std::vector<std::exception_ptr> ThreadPool::parallel_for_collect(
+    std::size_t n, const std::function<void(std::size_t)>& fn) {
+  std::vector<std::exception_ptr> errors(n);
+  // The wrapper never lets an exception escape, so the cancellation path
+  // in run_current_job never triggers and every index executes.
+  parallel_for(n, [&](std::size_t i) {
+    try {
+      fn(i);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  });
+  return errors;
 }
 
 }  // namespace mtcmos::util

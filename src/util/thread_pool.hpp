@@ -18,8 +18,12 @@
 // debugging sessions free of threading machinery.
 //
 // The first exception thrown by any iteration is captured and rethrown
-// on the calling thread after the loop drains; remaining iterations may
-// still execute.
+// on the calling thread after the loop drains; once an exception is
+// captured the job is cancelled, so indices not yet started are skipped
+// (iterations already in flight on other workers run to completion).
+// Batch drivers that must never lose the whole job use
+// parallel_for_collect, which records per-index exceptions instead of
+// cancelling.
 
 #include <atomic>
 #include <condition_variable>
@@ -46,11 +50,19 @@ class ThreadPool {
   int thread_count() const { return threads_; }
 
   /// Invoke fn(i) for every i in [0, n), distributed over the pool.  The
-  /// calling thread participates.  Blocks until all n iterations finish;
-  /// rethrows the first exception any iteration threw.  Concurrent calls
+  /// calling thread participates.  Blocks until the job drains; rethrows
+  /// the first exception any iteration threw, and skips indices not yet
+  /// started once an exception has been captured.  Concurrent calls
   /// from different threads serialize; calling parallel_for on the same
   /// pool from inside fn deadlocks (use a separate pool for nesting).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Fault-isolating variant: runs ALL n iterations even if some throw.
+  /// Returns an n-slot vector where slot i holds the exception fn(i)
+  /// threw, or nullptr if it succeeded.  Never cancels and never throws
+  /// from fn's failures, so one bad item cannot tear down the batch.
+  std::vector<std::exception_ptr> parallel_for_collect(
+      std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// parallel_for that collects fn(i) into an index-addressed vector, so
   /// the result order is independent of thread scheduling.
@@ -87,6 +99,7 @@ class ThreadPool {
   const std::function<void(std::size_t)>* job_fn_ = nullptr;
   std::size_t job_n_ = 0;
   std::atomic<std::size_t> next_index_{0};
+  std::atomic<bool> cancel_requested_{false};
   std::exception_ptr first_error_;
 };
 

@@ -13,6 +13,7 @@
 #include "models/sleep_transistor.hpp"
 #include "models/technology.hpp"
 #include "netlist/bits.hpp"
+#include "util/error.hpp"
 #include "util/units.hpp"
 #include "waveform/measure.hpp"
 
@@ -481,6 +482,59 @@ TEST(Vbs, SupplyEnergyCountsRisingSwingsOnly) {
   EXPECT_DOUBLE_EQ(sim.run({false}, {true}).supply_energy, 0.0);
   const double e_rise = sim.run({true}, {false}).supply_energy;
   EXPECT_NEAR(e_rise, nl.output_load(0) * t.vdd * t.vdd, 1e-18);
+}
+
+// --- Failure paths: every throw carries a classified FailureInfo ---
+
+TEST(VbsFailure, StalledGatesReportBreakpointRunaway) {
+  // A PMOS threshold at Vdd zeroes the pull-up drive, so a rising output
+  // has zero slope: the gate is active but can never produce a future
+  // breakpoint.
+  Technology t = tech07();
+  t.pmos_low.vt0 = t.vdd;
+  Netlist nl = single_inverter(t, 50.0 * fF);
+  const VbsSimulator sim(nl, {});
+  try {
+    sim.run({true}, {false});  // input falls -> output tries to rise
+    FAIL() << "expected NumericalError";
+  } catch (const NumericalError& e) {
+    EXPECT_EQ(e.info().code, FailureCode::kBreakpointRunaway);
+    EXPECT_EQ(e.info().site, "VbsSimulator::run");
+    EXPECT_NE(e.info().context.find("stalled"), std::string::npos) << e.what();
+  }
+}
+
+TEST(VbsFailure, BreakpointBeyondTmaxReportsBreakpointRunaway) {
+  // An absurd sleep resistance makes the discharge slope so shallow that
+  // the predicted finish breakpoint lands far beyond t_max.
+  const Technology t = tech07();
+  Netlist nl = single_inverter(t, 50.0 * fF);
+  VbsOptions opt;
+  opt.sleep_resistance = 1e9;
+  opt.t_max = 0.5 * ns;
+  const VbsSimulator sim(nl, opt);
+  try {
+    sim.run({false}, {true});  // input rises -> output falls through the sleep path
+    FAIL() << "expected NumericalError";
+  } catch (const NumericalError& e) {
+    EXPECT_EQ(e.info().code, FailureCode::kBreakpointRunaway);
+    EXPECT_NE(e.info().context.find("t_max"), std::string::npos) << e.what();
+  }
+}
+
+TEST(VbsFailure, BreakpointBudgetReportsDeadlineExceeded) {
+  const Technology t = tech07();
+  Netlist nl = single_inverter(t, 50.0 * fF);
+  VbsOptions opt;
+  opt.max_breakpoints = 1;
+  const VbsSimulator sim(nl, opt);
+  try {
+    sim.run({false}, {true});
+    FAIL() << "expected NumericalError";
+  } catch (const NumericalError& e) {
+    EXPECT_EQ(e.info().code, FailureCode::kDeadlineExceeded);
+    EXPECT_NE(e.info().context.find("breakpoint budget"), std::string::npos) << e.what();
+  }
 }
 
 TEST(Vbs, CriticalDelayPicksLatestOutput) {

@@ -116,6 +116,60 @@ TEST(NetlistIo, RejectsBadInputs) {
   EXPECT_THROW(read_netlist(conflict), std::invalid_argument);
 }
 
+TEST(NetlistIo, TableDrivenBadDecks) {
+  struct Case {
+    const char* label;
+    const char* deck;
+    const char* expect_substring;
+  };
+  const Case cases[] = {
+      {"non-numeric gate width", "input a\ngate g out abc 2u a\n", "not a number"},
+      {"non-numeric load", "input a\ninv g1 a\nload g1.out huge\n", "not a number"},
+      {"out-of-range number", "input a\ngate g out 1e999999 2u a\n", "out of range"},
+      {"duplicate device name", "input a\ninv g1 a\ninv g1 a\n", "duplicate device name"},
+      {"duplicate gate/fa name", "input a b c\nfa u1 a b c\ninv u1 a\n",
+       "duplicate device name"},
+      {"dangling fanin net", "input a\nnand2 g1 a phantom\n", "undriven"},
+      {"multiple tech lines", "tech paper-0.7um\ntech paper-0.7um\ninput a\ninv g1 a\n",
+       "multiple tech lines"},
+  };
+  for (const Case& c : cases) {
+    std::istringstream in(c.deck);
+    try {
+      read_netlist(in);
+      FAIL() << c.label << ": expected parse failure";
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(c.expect_substring), std::string::npos)
+          << c.label << ": message was: " << what;
+      EXPECT_NE(what.find("netlist line"), std::string::npos)
+          << c.label << ": message lacks a line number: " << what;
+    }
+  }
+}
+
+TEST(NetlistIo, BadDeckLineNumbersPointAtOffendingLine) {
+  std::istringstream in("input a\ninv g1 a\nload g1.out nan-sense\n");
+  try {
+    read_netlist(in);
+    FAIL() << "expected parse failure";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(NetlistIo, Tie0DeclaresIntentionalConstantZero) {
+  // Without the declaration the undriven net is a parse error; with it,
+  // the net evaluates as constant 0 (the documented semantics).
+  std::istringstream bad("input a\nnand2 g1 a t\n");
+  EXPECT_THROW(read_netlist(bad), std::invalid_argument);
+  std::istringstream good("input a\ntie0 t\nnand2 g1 a t\n");
+  const ParsedNetlist parsed = read_netlist(good);
+  // NAND with one input stuck at 0 -> output constant 1.
+  const auto vals = parsed.nl.evaluate({true});
+  EXPECT_TRUE(vals[static_cast<std::size_t>(*parsed.nl.find_net("g1.out"))]);
+}
+
 TEST(NetlistIo, RoundTripPreservesStructureAndFunction) {
   // Build a mixed netlist programmatically, write, re-read, compare.
   const auto adder = circuits::make_ripple_adder(tech07(), 2);

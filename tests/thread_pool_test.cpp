@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace mtcmos::util {
@@ -73,6 +75,56 @@ TEST(ThreadPoolTest, PoolIsReusableAfterException) {
   std::atomic<int> sum{0};
   pool.parallel_for(100, [&](std::size_t i) { sum.fetch_add(static_cast<int>(i)); });
   EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPoolTest, ExceptionCancelsRemainingIterations) {
+  // Once index 0 throws, indices that have not yet started must be
+  // skipped.  Each non-throwing iteration sleeps, so the job would take
+  // many seconds if the pool kept draining all 10000 indices.
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(
+      pool.parallel_for(10000,
+                        [&](std::size_t i) {
+                          if (i == 0) throw std::runtime_error("first");
+                          executed.fetch_add(1);
+                          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                        }),
+      std::runtime_error);
+  // A few in-flight iterations may finish after the throw; anything close
+  // to the full range means cancellation did not happen.
+  EXPECT_LT(executed.load(), 100);
+}
+
+TEST(ThreadPoolTest, CollectRunsEveryIndexDespiteFailures) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(512);
+  const auto errors = pool.parallel_for_collect(512, [&](std::size_t i) {
+    hits[i].fetch_add(1);
+    if (i % 7 == 0) throw std::runtime_error("item " + std::to_string(i));
+  });
+  ASSERT_EQ(errors.size(), 512u);
+  for (std::size_t i = 0; i < 512; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    if (i % 7 == 0) {
+      ASSERT_TRUE(errors[i]) << "index " << i;
+      try {
+        std::rethrow_exception(errors[i]);
+      } catch (const std::runtime_error& e) {
+        EXPECT_EQ(std::string(e.what()), "item " + std::to_string(i));
+      }
+    } else {
+      EXPECT_FALSE(errors[i]) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, CollectSerialPool) {
+  ThreadPool pool(1);
+  const auto errors = pool.parallel_for_collect(10, [](std::size_t i) {
+    if (i == 4) throw std::invalid_argument("four");
+  });
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(static_cast<bool>(errors[i]), i == 4);
 }
 
 TEST(ThreadPoolTest, BackToBackJobs) {
