@@ -3,16 +3,19 @@
 // Fig. 13, whose caption vector is (000001) -> (110101), i.e.
 // a: 1 -> 0b101 = 5? The paper packs both operands into one 6-bit label;
 // we use the equivalent "a=1,b=0 -> a=5,b=6" transition that toggles S2).
+//
+// Both engines are driven through the same EvalBackend interface
+// (sizing/backend.hpp): the loop below never knows which fidelity it is
+// talking to, which is the point of the abstraction -- the sizing sweeps
+// run the identical code path.
 
 #include <iostream>
 
 #include "bench_util.hpp"
 #include "circuits/generators.hpp"
-#include "core/vbs.hpp"
-#include "models/sleep_transistor.hpp"
 #include "models/technology.hpp"
 #include "netlist/bits.hpp"
-#include "sizing/spice_ref.hpp"
+#include "sizing/backend.hpp"
 #include "util/units.hpp"
 
 int main() {
@@ -30,20 +33,17 @@ int main() {
   const sizing::VectorPair vp{concat_bits(bits_from_uint(1, 3), bits_from_uint(0, 3)),
                               concat_bits(bits_from_uint(5, 3), bits_from_uint(6, 3))};
 
+  const sizing::VbsBackend vbs(adder.netlist, outs);
+  sizing::SpiceBackendOptions sopt;
+  sopt.tstop = 15.0 * ns;
+  sopt.dt = 2.0 * ps;
+  sopt.max_engines = 16;  // keep every W/L point of the sweep resident
+  const sizing::SpiceBackend spice(adder.netlist, outs, sopt);
+
   Table table({"sleep W/L", "SPICE tpd [ns]", "VBS tpd [ns]", "VBS/SPICE"});
   for (double wl : {3.0, 5.0, 8.0, 10.0, 14.0, 20.0, 30.0, 50.0, 100.0}) {
-    sizing::SpiceRefOptions sopt;
-    sopt.expand.sleep_wl = wl;
-    sopt.tstop = 15.0 * ns;
-    sopt.dt = 2.0 * ps;
-    sizing::SpiceRef ref(adder.netlist, outs, sopt);
-    const double d_spice = ref.measure(vp).delay;
-
-    core::VbsOptions vopt;
-    vopt.sleep_resistance = SleepTransistor(tech07(), wl).reff();
-    const double d_vbs =
-        core::VbsSimulator(adder.netlist, vopt).critical_delay(vp.v0, vp.v1, outs);
-
+    const double d_spice = static_cast<const sizing::EvalBackend&>(spice).delay_at_wl(vp, wl);
+    const double d_vbs = static_cast<const sizing::EvalBackend&>(vbs).delay_at_wl(vp, wl);
     table.add_row({Table::num(wl, 4), Table::num(d_spice / ns, 4), Table::num(d_vbs / ns, 4),
                    Table::num(d_vbs / d_spice, 3)});
   }

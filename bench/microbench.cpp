@@ -4,7 +4,9 @@
 // 4096-vector adder sweep, once on 1 thread and once on --threads N
 // (default: MTCMOS_THREADS or all cores), verifies the two delay arrays
 // are bit-identical, and writes the machine-readable BENCH_sweep.json so
-// the throughput trajectory is tracked across PRs.
+// the throughput trajectory is tracked across PRs.  It then compares the
+// per-vector evaluation cost of the two EvalBackend implementations
+// (switch-level vs transistor-level) and writes BENCH_backend.json.
 //
 //   microbench [--threads N] [--json PATH] [--gbench [gbench args...]]
 //
@@ -197,6 +199,70 @@ int sweep_benchmark(int threads, const std::string& json_path) {
   return identical ? 0 : 1;
 }
 
+// Per-vector evaluation cost of the two EvalBackend implementations over
+// the same adder vector set and the same delay_at_wl code path.  Writes
+// BENCH_backend.json so the fast/accurate cost ratio -- the quantity the
+// paper's methodology trades on -- is tracked across PRs.
+int backend_benchmark(const std::string& json_path) {
+  using Clock = std::chrono::steady_clock;
+  const auto adder = circuits::make_ripple_adder(tech07(), 3);
+  std::vector<std::string> outs;
+  for (const auto s : adder.sum) outs.push_back(adder.netlist.net_name(s));
+  outs.push_back(adder.netlist.net_name(adder.cout));
+  const double wl = 10.0;
+  const auto pairs = sizing::all_vector_pairs(6);
+
+  const sizing::VbsBackend vbs(adder.netlist, outs);
+  sizing::SpiceBackendOptions sopt;
+  sopt.tstop = 10.0 * ns;
+  sopt.dt = 2.0 * ps;
+  const sizing::SpiceBackend spice(adder.netlist, outs, sopt);
+
+  // Evenly spaced sample; prepare_wl first so engine construction is not
+  // billed to the per-vector figure.
+  auto time_backend = [&](const sizing::EvalBackend& backend, std::size_t n) {
+    backend.prepare_wl(wl);
+    const auto t0 = Clock::now();
+    double checksum = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      checksum += backend.delay_at_wl(pairs[s * pairs.size() / n], wl);
+    }
+    benchmark::DoNotOptimize(checksum);
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+  const std::size_t vbs_n = 1024, spice_n = 16;
+  const double vbs_s = time_backend(vbs, vbs_n);
+  const double spice_s = time_backend(spice, spice_n);
+  const double vbs_us = vbs_s / vbs_n * 1e6;
+  const double spice_us = spice_s / spice_n * 1e6;
+  const double ratio = spice_us / vbs_us;
+
+  std::cout << "BACKEND per-vector eval cost (3-bit adder, W/L = " << wl
+            << "):\n  vbs:    " << vbs_us << " us/vector (" << vbs_n
+            << " vectors)\n  spice:  " << spice_us << " us/vector (" << spice_n
+            << " vectors)\n  spice/vbs cost ratio: " << ratio << "x\n";
+
+  std::ofstream json(json_path);
+  if (!json) {
+    std::cerr << "microbench: cannot write " << json_path << "\n";
+    return 1;
+  }
+  json << "{\n"
+       << "  \"bench\": \"backend_eval\",\n"
+       << "  \"circuit\": \"ripple_adder_3bit\",\n"
+       << "  \"sleep_wl\": " << wl << ",\n"
+       << "  \"vbs_vectors\": " << vbs_n << ",\n"
+       << "  \"vbs_seconds\": " << vbs_s << ",\n"
+       << "  \"vbs_us_per_vector\": " << vbs_us << ",\n"
+       << "  \"spice_vectors\": " << spice_n << ",\n"
+       << "  \"spice_seconds\": " << spice_s << ",\n"
+       << "  \"spice_us_per_vector\": " << spice_us << ",\n"
+       << "  \"spice_over_vbs\": " << ratio << "\n"
+       << "}\n";
+  std::cout << "wrote " << json_path << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -223,6 +289,8 @@ int main(int argc, char** argv) {
 
   const int rc = sweep_benchmark(threads, json_path);
   if (rc != 0) return rc;
+  const int brc = backend_benchmark("BENCH_backend.json");
+  if (brc != 0) return brc;
 
   if (gbench) {
     int gargc = static_cast<int>(gbench_args.size());

@@ -1,29 +1,41 @@
 // mtcmos_sizer -- command-line sleep-transistor sizing tool.
 //
-// Reads a gate netlist in the .mtn text format (see src/netlist/io.hpp),
-// explores its input-vector space with the variable-breakpoint simulator,
-// and reports degradation sweeps and the sleep W/L meeting a target.
-// Optionally exports the expanded transistor-level circuit as a SPICE
-// deck for external cross-checking.
+// Reads a gate netlist in the .mtn text format (see src/netlist/io.hpp)
+// or generates a built-in benchmark circuit, explores its input-vector
+// space through the selected evaluation backend, and reports degradation
+// sweeps and the sleep W/L meeting a target.  Optionally re-measures the
+// binding vector on the transistor-level engine (--verify) and exports
+// the expanded circuit as a SPICE deck for external cross-checking.
 //
 // Usage:
-//   mtcmos_sizer <netlist.mtn> [--target PCT] [--vectors N] [--seed S]
-//                [--sweep WL1,WL2,...] [--export-deck out.sp] [--wl X]
-//                [--screen N] [--export-vcd out.vcd]
+//   mtcmos_sizer <netlist.mtn | builtin:adderN> [--target PCT] [--vectors N]
+//                [--seed S] [--sweep WL1,WL2,...] [--backend vbs|spice]
+//                [--verify] [--screen N] [--export-deck out.sp]
+//                [--export-vcd out.vcd] [--wl X]
 //
-// The netlist must declare `input` nets and at least one `output` net.
-// With <= 8 inputs the vector space is enumerated exhaustively; larger
-// blocks are sampled (N transitions) plus greedy worst-vector refinement.
-// --screen thins the vector set to the N transitions with the largest
-// logic-level simultaneous-discharge weight before simulating;
-// --export-vcd dumps the waveforms of the binding vector at the
-// recommended sizing for GTKWave inspection.
+// The netlist must declare `input` nets and at least one `output` net;
+// builtin:adderN generates the paper's N-bit ripple-carry adder instead
+// (Section 6.2 uses N = 3).  With <= 8 inputs the vector space is
+// enumerated exhaustively; larger blocks are sampled (N transitions) plus
+// greedy worst-vector refinement.  --backend picks the evaluation engine:
+// the fast switch-level simulator (vbs, default) or the transistor-level
+// MNA engine (spice; orders of magnitude slower per vector -- pair it
+// with --screen/--vectors).  --verify re-measures the binding vector of
+// the recommended sizing on the transistor-level backend and reports the
+// SPICE-measured degradation next to the fast engine's prediction (the
+// paper's size-fast/verify-accurate methodology).  --screen thins the
+// vector set to the N transitions with the largest logic-level
+// simultaneous-discharge weight before simulating; --export-vcd dumps the
+// waveforms of the binding vector at the recommended sizing for GTKWave
+// inspection.
 
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
+#include "circuits/generators.hpp"
 #include "core/vbs.hpp"
 #include "models/sleep_transistor.hpp"
 #include "netlist/expand.hpp"
@@ -40,8 +52,11 @@ namespace {
 using namespace mtcmos;
 
 int usage() {
-  std::cerr << "usage: mtcmos_sizer <netlist.mtn> [--target PCT] [--vectors N] [--seed S]\n"
-               "                    [--sweep WL1,WL2,...] [--export-deck out.sp] [--wl X]\n";
+  std::cerr
+      << "usage: mtcmos_sizer <netlist.mtn | builtin:adderN> [--target PCT] [--vectors N]\n"
+         "                    [--seed S] [--sweep WL1,WL2,...] [--backend vbs|spice]\n"
+         "                    [--verify] [--screen N] [--export-deck out.sp]\n"
+         "                    [--export-vcd out.vcd] [--wl X]\n";
   return 2;
 }
 
@@ -51,6 +66,28 @@ std::vector<double> parse_list(const std::string& csv) {
   std::string item;
   while (std::getline(ss, item, ',')) out.push_back(std::stod(item));
   return out;
+}
+
+/// Load the named .mtn file, or generate a built-in benchmark circuit
+/// ("builtin:adderN" = the paper's N-bit ripple-carry adder).
+netlist::ParsedNetlist load_circuit(const std::string& path) {
+  if (path.rfind("builtin:", 0) == 0) {
+    const std::string name = path.substr(std::strlen("builtin:"));
+    if (name.rfind("adder", 0) == 0) {
+      const int nbits = std::stoi(name.substr(std::strlen("adder")));
+      if (nbits < 1 || nbits > 4) {
+        throw std::invalid_argument("builtin:adderN supports N = 1..4 (2N inputs)");
+      }
+      auto adder = circuits::make_ripple_adder(tech07(), nbits);
+      std::vector<std::string> outs;
+      for (const auto s : adder.sum) outs.push_back(adder.netlist.net_name(s));
+      outs.push_back(adder.netlist.net_name(adder.cout));
+      return {std::move(adder.netlist), std::move(outs)};
+    }
+    throw std::invalid_argument("unknown builtin circuit '" + name +
+                                "' (supported: adderN)");
+  }
+  return netlist::read_netlist_file(path);
 }
 
 }  // namespace
@@ -65,6 +102,8 @@ int main(int argc, char** argv) {
   std::vector<double> sweep = {5, 10, 20, 40, 80, 160};
   std::string deck_path;
   std::string vcd_path;
+  std::string backend_name = "vbs";
+  bool verify = false;
   double deck_wl = 10.0;
   int screen_keep = 0;
 
@@ -93,7 +132,16 @@ int main(int argc, char** argv) {
       screen_keep = std::stoi(next());
     } else if (arg == "--wl") {
       deck_wl = std::stod(next());
+    } else if (arg == "--backend") {
+      backend_name = next();
+      if (backend_name != "vbs" && backend_name != "spice") {
+        std::cerr << "unknown backend '" << backend_name << "' (expected vbs or spice)\n";
+        return usage();
+      }
+    } else if (arg == "--verify") {
+      verify = true;
     } else if (arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << "\n";
       return usage();
     } else {
       path = arg;
@@ -102,7 +150,7 @@ int main(int argc, char** argv) {
   if (path.empty()) return usage();
 
   try {
-    const netlist::ParsedNetlist parsed = netlist::read_netlist_file(path);
+    const netlist::ParsedNetlist parsed = load_circuit(path);
     const netlist::Netlist& nl = parsed.nl;
     if (parsed.outputs.empty()) {
       std::cerr << "error: netlist declares no `output` nets\n";
@@ -132,11 +180,20 @@ int main(int argc, char** argv) {
                 << " transitions with the largest simultaneous-discharge weight\n";
     }
 
-    const sizing::DelayEvaluator eval(nl, parsed.outputs);
+    // Evaluation backend: every sweep below runs through this interface.
+    std::unique_ptr<sizing::EvalBackend> backend;
+    if (backend_name == "spice") {
+      backend = std::make_unique<sizing::SpiceBackend>(nl, parsed.outputs);
+      std::cout << "Backend: transistor-level MNA engine (expect ~1000x the vbs runtime)\n";
+    } else {
+      backend = std::make_unique<sizing::VbsBackend>(nl, parsed.outputs);
+    }
+    const sizing::EvalBackend& eval = *backend;
 
     // Degradation sweep.
     Table table({"sleep W/L", "R_eff [kOhm]", "worst degr [%]"});
     for (const double wl : sweep) {
+      eval.prepare_wl(wl);
       double worst = -1.0;
       for (const auto& vp : vectors) worst = std::max(worst, eval.degradation_pct(vp, wl));
       table.add_row({Table::num(wl, 4),
@@ -160,6 +217,30 @@ int main(int argc, char** argv) {
     std::cout << "  R_eff " << st.reff() << " Ohm, width " << st.width() / um << " um, area "
               << st.area() / (um * um) << " um^2, sleep-cycle energy " << st.cycle_energy() / 1e-15
               << " fJ\n";
+
+    if (verify) {
+      // Paper Section 6 methodology: size with the fast engine, re-measure
+      // the binding vector on the transistor-level reference.
+      const sizing::SpiceBackend reference(nl, parsed.outputs);
+      const auto vr = sizing::verify_sizing(eval, reference, sized, target);
+      std::cout << "\nCross-backend verification (" << eval.name() << " -> "
+                << reference.name() << ") of the binding vector at W/L = " << vr.wl << ":\n";
+      if (!vr.ok) {
+        std::cout << "  verification failed: " << vr.failure.message() << "\n";
+      } else {
+        std::cout << "  " << eval.name() << ": " << Table::num(vr.fast_delay / ns, 4)
+                  << " ns vs " << Table::num(vr.fast_baseline_delay / ns, 4)
+                  << " ns baseline -> " << Table::num(vr.fast_degradation_pct, 3)
+                  << "% degradation\n"
+                  << "  " << reference.name() << ": "
+                  << Table::num(vr.reference_delay / ns, 4) << " ns vs "
+                  << Table::num(vr.reference_baseline_delay / ns, 4) << " ns baseline -> "
+                  << Table::num(vr.reference_degradation_pct, 3) << "% degradation\n"
+                  << "  reference-minus-fast delta: " << Table::num(vr.delta_pct, 3)
+                  << " pts; target " << target << "% met on " << reference.name() << ": "
+                  << (vr.reference_meets_target ? "yes" : "NO") << "\n";
+      }
+    }
 
     if (!vcd_path.empty()) {
       core::VbsOptions vopt;

@@ -1,0 +1,236 @@
+#include "sizing/backend.hpp"
+
+#include <algorithm>
+
+#include "models/sleep_transistor.hpp"
+#include "util/error.hpp"
+
+namespace mtcmos::sizing {
+
+namespace {
+
+core::VbsOptions with_resistance(core::VbsOptions opt, double r) {
+  opt.sleep_resistance = r;
+  return opt;
+}
+
+// Per-thread simulator scratch: pool workers reuse their buffers across
+// every run of a sweep instead of reallocating per delay call.
+core::VbsWorkspace& local_workspace() {
+  thread_local core::VbsWorkspace ws;
+  return ws;
+}
+
+}  // namespace
+
+// --- VbsBackend ---
+
+VbsBackend::VbsBackend(const Netlist& nl, std::vector<std::string> outputs,
+                       core::VbsOptions base, EvalCacheLimits limits)
+    : nl_(nl),
+      outputs_(std::move(outputs)),
+      base_(base),
+      limits_(limits),
+      baseline_sim_(nl, with_resistance(base, 0.0)) {
+  require(!outputs_.empty(), "VbsBackend: need at least one output net");
+  require(limits_.max_simulators >= 1 && limits_.max_baseline_delays >= 1,
+          "VbsBackend: cache limits must be >= 1");
+  for (const std::string& name : outputs_) {
+    require(nl_.find_net(name).has_value(), "VbsBackend: unknown net " + name);
+  }
+}
+
+double VbsBackend::delay_baseline(const VectorPair& vp) const {
+  {
+    const std::lock_guard<std::mutex> lock(baseline_mutex_);
+    const auto it = baseline_cache_.find({vp.v0, vp.v1});
+    if (it != baseline_cache_.end()) {
+      ++baseline_hits_;
+      return it->second;
+    }
+    ++baseline_misses_;
+  }
+  // Compute outside the lock; a concurrent duplicate computes the same
+  // deterministic value, so whichever insert wins is equivalent.
+  const double d = baseline_sim_.critical_delay(vp.v0, vp.v1, outputs_, local_workspace());
+  const std::lock_guard<std::mutex> lock(baseline_mutex_);
+  if (baseline_cache_.size() >= limits_.max_baseline_delays &&
+      baseline_cache_.find({vp.v0, vp.v1}) == baseline_cache_.end()) {
+    baseline_cache_.erase(baseline_cache_.begin());
+    ++baseline_evictions_;
+  }
+  baseline_cache_.try_emplace({vp.v0, vp.v1}, d);
+  return d;
+}
+
+std::shared_ptr<const core::VbsSimulator> VbsBackend::simulator_at_wl(double wl) const {
+  const std::lock_guard<std::mutex> lock(sim_mutex_);
+  auto it = sim_cache_.find(wl);
+  if (it != sim_cache_.end()) {
+    ++sim_hits_;
+    it->second.last_use = ++sim_clock_;
+    return it->second.sim;
+  }
+  ++sim_misses_;
+  if (sim_cache_.size() >= limits_.max_simulators) {
+    auto victim = sim_cache_.begin();
+    for (auto cand = sim_cache_.begin(); cand != sim_cache_.end(); ++cand) {
+      if (cand->second.last_use < victim->second.last_use) victim = cand;
+    }
+    sim_cache_.erase(victim);
+    ++sim_evictions_;
+  }
+  const double r = SleepTransistor(nl_.tech(), wl).reff();
+  SimEntry entry{std::make_shared<const core::VbsSimulator>(nl_, with_resistance(base_, r)),
+                 ++sim_clock_};
+  return sim_cache_.emplace(wl, std::move(entry)).first->second.sim;
+}
+
+double VbsBackend::delay_at_wl(const VectorPair& vp, double wl) const {
+  // Hold the shared_ptr for the duration of the run: a concurrent
+  // eviction only drops the cache's reference, never the running one.
+  const auto sim = simulator_at_wl(wl);
+  return sim->critical_delay(vp.v0, vp.v1, outputs_, local_workspace());
+}
+
+CacheStats VbsBackend::cache_stats() const {
+  CacheStats s;
+  {
+    const std::lock_guard<std::mutex> lock(sim_mutex_);
+    s.sim_entries = sim_cache_.size();
+    s.sim_capacity = limits_.max_simulators;
+    s.sim_hits = sim_hits_;
+    s.sim_misses = sim_misses_;
+    s.sim_evictions = sim_evictions_;
+  }
+  const std::lock_guard<std::mutex> lock(baseline_mutex_);
+  s.baseline_entries = baseline_cache_.size();
+  s.baseline_capacity = limits_.max_baseline_delays;
+  s.baseline_hits = baseline_hits_;
+  s.baseline_misses = baseline_misses_;
+  s.baseline_evictions = baseline_evictions_;
+  return s;
+}
+
+// --- SpiceBackend ---
+
+SpiceBackend::SpiceBackend(const Netlist& nl, std::vector<std::string> outputs,
+                           SpiceBackendOptions options)
+    : nl_(nl), outputs_(std::move(outputs)), options_(options) {
+  require(!outputs_.empty(), "SpiceBackend: need at least one output net");
+  require(options_.max_engines >= 1 && options_.max_baseline_delays >= 1,
+          "SpiceBackend: cache limits must be >= 1");
+  for (const std::string& name : outputs_) {
+    require(nl_.find_net(name).has_value(), "SpiceBackend: unknown net " + name);
+  }
+  SpiceRefOptions ropt;
+  ropt.expand = options_.expand;
+  ropt.expand.ground = netlist::ExpandOptions::Ground::kIdeal;
+  ropt.tstop = options_.tstop;
+  ropt.dt = options_.dt;
+  ropt.recovery = options_.recovery;
+  auto entry = std::make_shared<Entry>();
+  entry->ref = std::make_unique<SpiceRef>(nl_, outputs_, ropt);
+  baseline_ = std::move(entry);
+}
+
+std::shared_ptr<SpiceBackend::Entry> SpiceBackend::entry_at_wl(double wl) const {
+  std::unique_lock<std::mutex> lock(cache_mutex_);
+  auto it = engines_.find(wl);
+  if (it != engines_.end()) {
+    ++sim_hits_;
+    it->second->last_use = ++clock_;
+    return it->second;
+  }
+  ++sim_misses_;
+  if (engines_.size() >= options_.max_engines) {
+    auto victim = engines_.begin();
+    for (auto cand = engines_.begin(); cand != engines_.end(); ++cand) {
+      if (cand->second->last_use < victim->second->last_use) victim = cand;
+    }
+    // In-flight measurements keep the evicted entry alive through their
+    // shared_ptr; only the cache's reference is dropped here.
+    engines_.erase(victim);
+    ++sim_evictions_;
+  }
+  // Expansion + pattern analysis is expensive; do it outside the cache
+  // lock so concurrent requests for *other* W/L values are not stalled.
+  // A racing duplicate for the same W/L builds twice and first-insert
+  // wins, which is wasteful but correct (prepare_wl avoids the race for
+  // sweeps).
+  lock.unlock();
+  SpiceRefOptions ropt;
+  ropt.expand = options_.expand;
+  if (ropt.expand.ground == netlist::ExpandOptions::Ground::kIdeal) {
+    ropt.expand.ground = netlist::ExpandOptions::Ground::kSleepFet;
+  }
+  ropt.expand.sleep_wl = wl;
+  ropt.tstop = options_.tstop;
+  ropt.dt = options_.dt;
+  ropt.recovery = options_.recovery;
+  auto entry = std::make_shared<Entry>();
+  entry->ref = std::make_unique<SpiceRef>(nl_, outputs_, ropt);
+  lock.lock();
+  const auto pos = engines_.emplace(wl, entry).first;
+  pos->second->last_use = ++clock_;
+  return pos->second;
+}
+
+SpiceRefResult SpiceBackend::measure_at_wl(const VectorPair& vp, double wl) const {
+  const auto entry = entry_at_wl(wl);
+  const std::lock_guard<std::mutex> lock(entry->run_mutex);
+  return entry->ref->measure(vp);
+}
+
+double SpiceBackend::delay_at_wl(const VectorPair& vp, double wl) const {
+  const SpiceRefResult r = measure_at_wl(vp, wl);
+  if (!r.ok()) throw NumericalError(r.failure);
+  return r.delay;
+}
+
+double SpiceBackend::delay_baseline(const VectorPair& vp) const {
+  {
+    const std::lock_guard<std::mutex> lock(baseline_mutex_);
+    const auto it = baseline_cache_.find({vp.v0, vp.v1});
+    if (it != baseline_cache_.end()) {
+      ++baseline_hits_;
+      return it->second;
+    }
+    ++baseline_misses_;
+  }
+  SpiceRefResult r;
+  {
+    const std::lock_guard<std::mutex> lock(baseline_->run_mutex);
+    r = baseline_->ref->measure(vp);
+  }
+  if (!r.ok()) throw NumericalError(r.failure);
+  const std::lock_guard<std::mutex> lock(baseline_mutex_);
+  if (baseline_cache_.size() >= options_.max_baseline_delays &&
+      baseline_cache_.find({vp.v0, vp.v1}) == baseline_cache_.end()) {
+    baseline_cache_.erase(baseline_cache_.begin());
+    ++baseline_evictions_;
+  }
+  baseline_cache_.try_emplace({vp.v0, vp.v1}, r.delay);
+  return r.delay;
+}
+
+CacheStats SpiceBackend::cache_stats() const {
+  CacheStats s;
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    s.sim_entries = engines_.size();
+    s.sim_capacity = options_.max_engines;
+    s.sim_hits = sim_hits_;
+    s.sim_misses = sim_misses_;
+    s.sim_evictions = sim_evictions_;
+  }
+  const std::lock_guard<std::mutex> lock(baseline_mutex_);
+  s.baseline_entries = baseline_cache_.size();
+  s.baseline_capacity = options_.max_baseline_delays;
+  s.baseline_hits = baseline_hits_;
+  s.baseline_misses = baseline_misses_;
+  s.baseline_evictions = baseline_evictions_;
+  return s;
+}
+
+}  // namespace mtcmos::sizing

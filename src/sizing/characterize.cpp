@@ -4,6 +4,7 @@
 
 #include "netlist/netlist.hpp"
 #include "spice/engine.hpp"
+#include "spice/recovery.hpp"
 #include "util/error.hpp"
 #include "waveform/measure.hpp"
 
@@ -125,7 +126,11 @@ CellTable characterize_cell(const Technology& tech, const CharacterizeSpec& spec
           topt.adaptive = true;
           topt.dt_max = 50e-12;
           topt.voltage_probes = {"in" + std::to_string(spec.switch_pin), "out"};
-          const auto res = eng.run_transient(topt);
+          // Recovery ladder first (retimed/regularized re-solves); if the
+          // point still diverges, fall through to the window-x4 retry.
+          const auto run = spice::run_transient_recovered(eng, topt, {});
+          if (!run.ok()) continue;
+          const spice::TransientResult& res = *run.value;
           const Pwl& win = res.voltages.get("in" + std::to_string(spec.switch_pin));
           const Pwl& wout = res.voltages.get("out");
           const bool out_rising = wout.last_value() > 0.5 * tech.vdd;

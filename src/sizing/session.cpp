@@ -1,0 +1,442 @@
+#include "sizing/session.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "sizing/sizing.hpp"
+#include "util/error.hpp"
+#include "util/faultinject.hpp"
+
+namespace mtcmos::sizing {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Wall-clock budget for one entry-point call.  Disarmed (the default) it
+// never samples the clock, keeping default sweeps bit-reproducible.
+struct Deadline {
+  Clock::time_point end = {};
+  bool armed = false;
+
+  static Deadline start(double budget_s) {
+    Deadline d;
+    if (budget_s > 0.0) {
+      d.armed = true;
+      d.end = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(budget_s));
+    }
+    return d;
+  }
+  bool expired() const { return armed && Clock::now() >= end; }
+};
+
+// Run one sweep item under the policy's retry budget, stamping the item
+// index as the fault-injection scope so tests can address "item 37" by
+// name.  Only NumericalError is retried/recorded; precondition errors
+// (std::invalid_argument and friends) propagate -- they indicate caller
+// bugs, not numerical bad luck.  An expired session deadline fails the
+// item up front with kDeadlineExceeded.
+template <typename T, typename Fn>
+Outcome<T> run_item(const SweepPolicy& policy, const Deadline& deadline, std::size_t index,
+                    Fn&& body) {
+  const faultinject::ScopedScope scope(static_cast<std::int64_t>(index));
+  const int max_attempts = std::max(1, policy.max_attempts);
+  FailureInfo last;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (deadline.expired()) {
+      last.code = FailureCode::kDeadlineExceeded;
+      last.site = "sizing::sweep_item";
+      last.context = "session deadline exceeded before item " + std::to_string(index);
+      last.attempts = attempt;
+      return Outcome<T>::fail(last);
+    }
+    try {
+      faultinject::check(faultinject::Site::kSweepItem, "sizing::sweep_item");
+      return Outcome<T>::success(body(), attempt);
+    } catch (const NumericalError& e) {
+      last = e.info();
+      last.attempts = attempt;
+    }
+  }
+  return Outcome<T>::fail(last);
+}
+
+}  // namespace
+
+std::vector<VectorDelay> rank_vectors(const EvalBackend& backend,
+                                      const std::vector<VectorPair>& vectors, double wl,
+                                      const EvalSession& session) {
+  SweepReport scratch;
+  SweepReport& report = session.report != nullptr ? *session.report : scratch;
+  const Deadline deadline = Deadline::start(session.deadline_s);
+  backend.prepare_wl(wl);
+  // Evaluate into per-index Outcome slots, then reduce in input order and
+  // sort: the sort sees the exact sequence the serial loop produced, so
+  // the ranking is bit-identical for any thread count, and a failed item
+  // only removes itself from the ranking.
+  std::vector<Outcome<VectorDelay>> measured(vectors.size());
+  session.pool_ref().parallel_for(vectors.size(), [&](std::size_t i) {
+    measured[i] = run_item<VectorDelay>(session.policy, deadline, i, [&] {
+      VectorDelay vd;
+      vd.pair = vectors[i];
+      vd.delay_cmos = backend.delay_baseline(vectors[i]);
+      if (vd.delay_cmos <= 0.0) return vd;
+      vd.delay_mtcmos = backend.delay_at_wl(vectors[i], wl);
+      if (vd.delay_mtcmos <= 0.0) return vd;
+      vd.degradation_pct = (vd.delay_mtcmos - vd.delay_cmos) / vd.delay_cmos * 100.0;
+      return vd;
+    });
+  });
+  std::vector<VectorDelay> out;
+  out.reserve(measured.size());
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    report.add(i, measured[i]);
+    if (!measured[i].ok()) {
+      if (!session.policy.isolate) throw NumericalError(measured[i].failure);
+      continue;
+    }
+    VectorDelay& vd = *measured[i].value;
+    if (vd.delay_cmos > 0.0 && vd.delay_mtcmos > 0.0) out.push_back(std::move(vd));
+  }
+  std::sort(out.begin(), out.end(), [](const VectorDelay& a, const VectorDelay& b) {
+    return a.degradation_pct > b.degradation_pct;
+  });
+  return out;
+}
+
+SizingResult size_for_degradation(const EvalBackend& backend,
+                                  const std::vector<VectorPair>& vectors, double target_pct,
+                                  const SizingBounds& bounds, const EvalSession& session) {
+  require(!vectors.empty(), "size_for_degradation: need at least one vector");
+  require(target_pct > 0.0, "size_for_degradation: target must be positive");
+  require(bounds.wl_min > 0.0 && bounds.wl_max > bounds.wl_min,
+          "size_for_degradation: bad W/L bounds");
+  require(bounds.wl_tol > 0.0, "size_for_degradation: bad tolerance");
+  SweepReport scratch;
+  SweepReport& report = session.report != nullptr ? *session.report : scratch;
+  const Deadline deadline = Deadline::start(session.deadline_s);
+  util::ThreadPool& tp = session.pool_ref();
+
+  // Parallel map into index-addressed Outcome slots, then a serial
+  // first-maximum reduction that skips failed items: identical result to
+  // the serial loop for any thread count, regardless of which items fail.
+  auto worst_at = [&](double wl) {
+    backend.prepare_wl(wl);
+    std::vector<Outcome<double>> deg(vectors.size());
+    // Plain parallel_for: run_item already absorbs NumericalErrors, so the
+    // only exceptions that reach the pool are precondition bugs, which
+    // should cancel and propagate.
+    tp.parallel_for(vectors.size(), [&](std::size_t i) {
+      deg[i] = run_item<double>(session.policy, deadline, i,
+                                [&] { return backend.degradation_pct(vectors[i], wl); });
+    });
+    double worst = -1.0;
+    std::size_t worst_idx = 0;
+    bool any_ok = false;
+    for (std::size_t i = 0; i < vectors.size(); ++i) {
+      report.add(i, deg[i]);
+      if (!deg[i].ok()) {
+        if (!session.policy.isolate) throw NumericalError(deg[i].failure);
+        continue;
+      }
+      any_ok = true;
+      if (*deg[i].value > worst) {
+        worst = *deg[i].value;
+        worst_idx = i;
+      }
+    }
+    if (!any_ok) {
+      throw NumericalError({FailureCode::kUnknown, "size_for_degradation",
+                            "every vector failed at probe W/L=" + std::to_string(wl) +
+                                " (first: " + deg[0].failure.message() + ")"});
+    }
+    return std::pair<double, std::size_t>{worst, worst_idx};
+  };
+
+  auto [deg_max, idx_max] = worst_at(bounds.wl_max);
+  if (deg_max > target_pct) {
+    throw NumericalError("size_for_degradation: even W/L=" + std::to_string(bounds.wl_max) +
+                         " degrades " + std::to_string(deg_max) + "% > target");
+  }
+  auto [deg_min, idx_min] = worst_at(bounds.wl_min);
+  if (deg_min >= 0.0 && deg_min <= target_pct) {
+    return {bounds.wl_min, deg_min, vectors[idx_min]};
+  }
+
+  // Bisection in log space (degradation is monotone decreasing in W/L).
+  double lo = bounds.wl_min, hi = bounds.wl_max;
+  double hi_deg = deg_max;
+  std::size_t hi_idx = idx_max;
+  while (hi - lo > bounds.wl_tol) {
+    const double mid = std::sqrt(lo * hi);
+    const auto [deg, idx] = worst_at(mid);
+    if (deg >= 0.0 && deg <= target_pct) {
+      hi = mid;
+      hi_deg = deg;
+      hi_idx = idx;
+    } else {
+      lo = mid;
+    }
+  }
+  return {hi, hi_deg, vectors[hi_idx]};
+}
+
+VectorDelay search_worst_vector(const EvalBackend& backend, double wl, int samples, Rng& rng,
+                                const EvalSession& session) {
+  require(samples >= 1, "search_worst_vector: need at least one sample");
+  SweepReport scratch;
+  SweepReport& report = session.report != nullptr ? *session.report : scratch;
+  const Deadline deadline = Deadline::start(session.deadline_s);
+  const int n = static_cast<int>(backend.netlist().inputs().size());
+  backend.prepare_wl(wl);
+
+  auto score = [&](const VectorPair& vp) -> double {
+    // Objective: absolute MTCMOS delay (what the designer must cover).
+    return backend.delay_at_wl(vp, wl);
+  };
+
+  // Sample pass: the RNG draws stay serial (reproducible from the seed);
+  // the expensive scoring fans out, and the serial first-maximum
+  // reduction -- which skips failed samples -- keeps the winner identical
+  // for any thread count.
+  const std::vector<VectorPair> sampled = sampled_vector_pairs(n, samples, rng);
+  std::vector<Outcome<double>> scores(sampled.size());
+  session.pool_ref().parallel_for(sampled.size(), [&](std::size_t i) {
+    scores[i] = run_item<double>(session.policy, deadline, i, [&] { return score(sampled[i]); });
+  });
+  VectorPair best;
+  double best_score = -1.0;
+  for (std::size_t i = 0; i < sampled.size(); ++i) {
+    report.add(i, scores[i]);
+    if (!scores[i].ok()) {
+      if (!session.policy.isolate) throw NumericalError(scores[i].failure);
+      continue;
+    }
+    if (*scores[i].value > best_score) {
+      best_score = *scores[i].value;
+      best = sampled[i];
+    }
+  }
+  require(best_score > 0.0, "search_worst_vector: no sampled vector toggles the outputs");
+
+  // Greedy single-bit-flip refinement on both endpoints of the transition.
+  // Candidates continue the fault-injection scope numbering after the
+  // samples; a failed candidate simply counts as no-improvement.
+  std::size_t cand_index = sampled.size();
+  bool improved = true;
+  int rounds = 0;
+  while (improved && rounds++ < 32) {
+    improved = false;
+    for (int side = 0; side < 2; ++side) {
+      for (int bit = 0; bit < n; ++bit) {
+        VectorPair cand = best;
+        auto& vec = (side == 0) ? cand.v0 : cand.v1;
+        vec[static_cast<std::size_t>(bit)] = !vec[static_cast<std::size_t>(bit)];
+        const Outcome<double> s =
+            run_item<double>(session.policy, deadline, cand_index, [&] { return score(cand); });
+        report.add(cand_index, s);
+        ++cand_index;
+        if (!s.ok()) {
+          if (!session.policy.isolate) throw NumericalError(s.failure);
+          continue;
+        }
+        if (*s.value > best_score) {
+          best_score = *s.value;
+          best = std::move(cand);
+          improved = true;
+        }
+      }
+    }
+  }
+
+  VectorDelay out;
+  out.pair = best;
+  out.delay_mtcmos = best_score;
+  out.delay_cmos = backend.delay_baseline(best);
+  out.degradation_pct = (out.delay_cmos > 0.0)
+                            ? (out.delay_mtcmos - out.delay_cmos) / out.delay_cmos * 100.0
+                            : -1.0;
+  return out;
+}
+
+std::vector<VectorPair> screen_vectors(const netlist::Netlist& nl,
+                                       std::vector<VectorPair> candidates, std::size_t keep,
+                                       const EvalSession& session) {
+  require(keep >= 1, "screen_vectors: keep must be >= 1");
+  SweepReport scratch;
+  SweepReport& report = session.report != nullptr ? *session.report : scratch;
+  const Deadline deadline = Deadline::start(session.deadline_s);
+  std::vector<Outcome<double>> weights(candidates.size());
+  session.pool_ref().parallel_for(candidates.size(), [&](std::size_t i) {
+    weights[i] = run_item<double>(session.policy, deadline, i,
+                                  [&] { return falling_discharge_weight(nl, candidates[i]); });
+  });
+  std::vector<std::pair<double, std::size_t>> scored;
+  scored.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    report.add(i, weights[i]);
+    if (!weights[i].ok()) {
+      if (!session.policy.isolate) throw NumericalError(weights[i].failure);
+      continue;
+    }
+    scored.emplace_back(*weights[i].value, i);
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<VectorPair> out;
+  for (std::size_t i = 0; i < keep && i < scored.size(); ++i) {
+    out.push_back(std::move(candidates[scored[i].second]));
+  }
+  return out;
+}
+
+VerifyResult verify_sizing(const EvalBackend& fast, const EvalBackend& reference,
+                           const SizingResult& result, double target_pct,
+                           const EvalSession& session) {
+  SweepReport scratch;
+  SweepReport& report = session.report != nullptr ? *session.report : scratch;
+  const Deadline deadline = Deadline::start(session.deadline_s);
+  const VectorPair& vp = result.binding_vector;
+  require(!vp.v0.empty() && vp.v0.size() == vp.v1.size(),
+          "verify_sizing: result carries no binding vector");
+
+  VerifyResult out;
+  out.wl = result.wl;
+  out.ok = true;
+
+  // Four measurements, item-indexed 0..3 so fault-injection plans and the
+  // session report can address each one.
+  struct Probe {
+    const EvalBackend* backend;
+    bool baseline;
+    double* slot;
+  };
+  const Probe probes[] = {
+      {&fast, true, &out.fast_baseline_delay},
+      {&fast, false, &out.fast_delay},
+      {&reference, true, &out.reference_baseline_delay},
+      {&reference, false, &out.reference_delay},
+  };
+  for (std::size_t i = 0; i < 4; ++i) {
+    const Probe& p = probes[i];
+    const Outcome<double> o = run_item<double>(session.policy, deadline, i, [&] {
+      return p.baseline ? p.backend->delay_baseline(vp)
+                        : p.backend->delay_at_wl(vp, result.wl);
+    });
+    report.add(i, o);
+    if (!o.ok()) {
+      if (!session.policy.isolate) throw NumericalError(o.failure);
+      if (out.ok) {
+        out.ok = false;
+        out.failure = o.failure;
+      }
+      continue;
+    }
+    *p.slot = *o.value;
+  }
+
+  auto degradation = [](double base, double at_wl) {
+    return (base > 0.0 && at_wl > 0.0) ? (at_wl - base) / base * 100.0 : -1.0;
+  };
+  out.fast_degradation_pct = degradation(out.fast_baseline_delay, out.fast_delay);
+  out.reference_degradation_pct =
+      degradation(out.reference_baseline_delay, out.reference_delay);
+  if (out.ok && (out.fast_degradation_pct < 0.0 || out.reference_degradation_pct < 0.0)) {
+    out.ok = false;
+    out.failure = {FailureCode::kUnknown, "verify_sizing",
+                   "binding vector does not toggle the outputs on both backends"};
+  }
+  if (out.ok) {
+    out.delta_pct = out.reference_degradation_pct - out.fast_degradation_pct;
+    out.reference_meets_target =
+        target_pct > 0.0 && out.reference_degradation_pct <= target_pct;
+  }
+  return out;
+}
+
+// --- Legacy forwarding shims ---
+//
+// The pre-session API: one plain and one fault-isolating overload per
+// sweep, hard-wired to DelayEvaluator.  Each forwards into the session
+// implementation above; results are bit-identical to the historical
+// behavior (the session bodies *are* the old bodies, generalized over
+// EvalBackend).
+
+namespace {
+
+EvalSession make_session(util::ThreadPool* pool) {
+  EvalSession s;
+  s.pool = pool;
+  return s;
+}
+
+EvalSession make_session(util::ThreadPool* pool, const SweepPolicy& policy,
+                         SweepReport& report) {
+  EvalSession s;
+  s.pool = pool;
+  s.policy = policy;
+  s.report = &report;
+  return s;
+}
+
+}  // namespace
+
+std::vector<VectorDelay> rank_vectors(const DelayEvaluator& eval,
+                                      const std::vector<VectorPair>& vectors, double wl,
+                                      util::ThreadPool* pool) {
+  return rank_vectors(static_cast<const EvalBackend&>(eval), vectors, wl, make_session(pool));
+}
+
+std::vector<VectorDelay> rank_vectors(const DelayEvaluator& eval,
+                                      const std::vector<VectorPair>& vectors, double wl,
+                                      const SweepPolicy& policy, SweepReport& report,
+                                      util::ThreadPool* pool) {
+  return rank_vectors(static_cast<const EvalBackend&>(eval), vectors, wl,
+                      make_session(pool, policy, report));
+}
+
+SizingResult size_for_degradation(const DelayEvaluator& eval,
+                                  const std::vector<VectorPair>& vectors, double target_pct,
+                                  double wl_min, double wl_max, double wl_tol,
+                                  util::ThreadPool* pool) {
+  return size_for_degradation(static_cast<const EvalBackend&>(eval), vectors, target_pct,
+                              {wl_min, wl_max, wl_tol}, make_session(pool));
+}
+
+SizingResult size_for_degradation(const DelayEvaluator& eval,
+                                  const std::vector<VectorPair>& vectors, double target_pct,
+                                  const SweepPolicy& policy, SweepReport& report, double wl_min,
+                                  double wl_max, double wl_tol, util::ThreadPool* pool) {
+  return size_for_degradation(static_cast<const EvalBackend&>(eval), vectors, target_pct,
+                              {wl_min, wl_max, wl_tol}, make_session(pool, policy, report));
+}
+
+VectorDelay search_worst_vector(const DelayEvaluator& eval, double wl, int samples, Rng& rng,
+                                util::ThreadPool* pool) {
+  return search_worst_vector(static_cast<const EvalBackend&>(eval), wl, samples, rng,
+                             make_session(pool));
+}
+
+VectorDelay search_worst_vector(const DelayEvaluator& eval, double wl, int samples, Rng& rng,
+                                const SweepPolicy& policy, SweepReport& report,
+                                util::ThreadPool* pool) {
+  return search_worst_vector(static_cast<const EvalBackend&>(eval), wl, samples, rng,
+                             make_session(pool, policy, report));
+}
+
+std::vector<VectorPair> screen_vectors(const Netlist& nl, std::vector<VectorPair> candidates,
+                                       std::size_t keep, util::ThreadPool* pool) {
+  return screen_vectors(nl, std::move(candidates), keep, make_session(pool));
+}
+
+std::vector<VectorPair> screen_vectors(const Netlist& nl, std::vector<VectorPair> candidates,
+                                       std::size_t keep, const SweepPolicy& policy,
+                                       SweepReport& report, util::ThreadPool* pool) {
+  return screen_vectors(nl, std::move(candidates), keep, make_session(pool, policy, report));
+}
+
+}  // namespace mtcmos::sizing

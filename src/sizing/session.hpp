@@ -1,0 +1,130 @@
+#pragma once
+// Session-scoped sweep entry points over EvalBackend.
+//
+// Every sweep used to come in a plain + fault-isolating overload pair,
+// each hard-wired to the switch-level DelayEvaluator.  EvalSession
+// collapses the run context -- thread pool, fault-isolation policy,
+// report sink, wall-clock budget -- into one value, and the four entry
+// points below are the single implementations both legacy overload
+// families (sizing/sizing.hpp) forward to.  Because they are written
+// against EvalBackend, the same ranking / bisection / search code runs on
+// the switch-level simulator (VbsBackend) or the transistor-level engine
+// (SpiceBackend) unchanged.
+//
+// verify_sizing() is the paper's Section 6 methodology as a function:
+// size with the fast backend, then re-measure the binding vector on the
+// accurate backend and report the delta.
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sizing/backend.hpp"
+#include "sizing/eval_types.hpp"
+#include "util/failure.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mtcmos::sizing {
+
+/// Run context shared by every sweep call in a sizing session.
+///
+/// Defaults reproduce the legacy plain overloads: global thread pool,
+/// isolating policy with one retry, per-item outcomes discarded, no
+/// deadline.
+struct EvalSession {
+  util::ThreadPool* pool = nullptr;  ///< nullptr = the process-global pool
+  SweepPolicy policy = {};
+  SweepReport* report = nullptr;  ///< nullptr = per-item outcomes discarded
+  /// Wall-clock budget [s] for one entry-point call; 0 disables.  When
+  /// the budget runs out, items not yet started fail with
+  /// kDeadlineExceeded (isolated like any other per-item failure), so a
+  /// sweep degrades to a partial, classified result instead of running
+  /// long.  Arming a deadline trades the bit-identical-results guarantee
+  /// for bounded latency: which items beat the clock depends on thread
+  /// scheduling.
+  double deadline_s = 0.0;
+
+  util::ThreadPool& pool_ref() const { return util::pool_or_global(pool); }
+};
+
+/// W/L search space for size_for_degradation.
+struct SizingBounds {
+  double wl_min = 1.0;
+  double wl_max = 4000.0;
+  double wl_tol = 0.5;
+};
+
+/// Degradation-ranked report over a vector set at sizing `wl`.  Pairs
+/// whose outputs never switch are dropped.  Sorted worst-first.  Items
+/// that still fail after the session policy's retry budget are dropped
+/// from the ranking and recorded in the session report; surviving entries
+/// are bit-identical to a no-fault serial run over the surviving subset,
+/// for any thread count.
+std::vector<VectorDelay> rank_vectors(const EvalBackend& backend,
+                                      const std::vector<VectorPair>& vectors, double wl,
+                                      const EvalSession& session = {});
+
+/// Smallest W/L (within bounds, resolved to wl_tol) whose worst
+/// degradation over `vectors` is <= target_pct.  Failed vectors are
+/// skipped in each probe's worst-degradation reduction and recorded in
+/// the session report (one entry per vector per probe).  Throws
+/// NumericalError if even wl_max cannot meet the target, or if every
+/// vector of a probe fails.
+SizingResult size_for_degradation(const EvalBackend& backend,
+                                  const std::vector<VectorPair>& vectors, double target_pct,
+                                  const SizingBounds& bounds = {},
+                                  const EvalSession& session = {});
+
+/// Randomized worst-vector search: `samples` random pairs, then greedy
+/// single-bit-flip refinement from the best one.  Returns the worst
+/// VectorDelay found.  The sample pass scores candidates in parallel on
+/// the session pool; the greedy refinement is inherently sequential and
+/// runs serially.  Failed samples are skipped in the first-maximum
+/// reduction and failed refinement candidates count as no-improvement
+/// (sample items use their sample index in the report, refinement
+/// candidates continue the numbering).
+VectorDelay search_worst_vector(const EvalBackend& backend, double wl, int samples, Rng& rng,
+                                const EvalSession& session = {});
+
+/// Keep the `keep` candidates with the largest falling_discharge_weight
+/// (logic-level screening; no backend involved).  Candidates whose weight
+/// computation fails are excluded from the ranking and recorded in the
+/// session report.  No session default here: the legacy overloads in
+/// sizing.hpp cover the default-context spelling.
+std::vector<VectorPair> screen_vectors(const netlist::Netlist& nl,
+                                       std::vector<VectorPair> candidates, std::size_t keep,
+                                       const EvalSession& session);
+
+/// Cross-backend sign-off for one sizing result (paper Section 6.2:
+/// size with the fast tool, verify with the accurate one).
+struct VerifyResult {
+  bool ok = false;      ///< all four re-measurements produced usable delays
+  FailureInfo failure;  ///< first terminal failure when !ok
+  double wl = 0.0;      ///< the verified sizing
+  // Binding-vector re-measurements at `wl` on each backend.
+  double fast_delay = -1.0;
+  double fast_baseline_delay = -1.0;
+  double fast_degradation_pct = -1.0;
+  double reference_delay = -1.0;
+  double reference_baseline_delay = -1.0;
+  double reference_degradation_pct = -1.0;
+  /// reference - fast, in degradation points: how optimistic the fast
+  /// backend was on the vector that bound the sizing.
+  double delta_pct = 0.0;
+  /// Achieved degradation still within the sizing target on the
+  /// reference backend (filled by the caller's target; see verify_sizing).
+  bool reference_meets_target = false;
+};
+
+/// Re-measure `result.binding_vector` at `result.wl` on both backends and
+/// report the fast-vs-reference delta.  `target_pct` (when > 0) also
+/// checks the reference-measured degradation against the original sizing
+/// target.  Measurement failures honor the session policy's retry budget
+/// and are recorded in the session report; a terminal failure yields
+/// ok = false with the FailureInfo instead of throwing.
+VerifyResult verify_sizing(const EvalBackend& fast, const EvalBackend& reference,
+                           const SizingResult& result, double target_pct = 0.0,
+                           const EvalSession& session = {});
+
+}  // namespace mtcmos::sizing

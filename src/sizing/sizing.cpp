@@ -1,102 +1,10 @@
 #include "sizing/sizing.hpp"
 
-#include <algorithm>
-#include <cmath>
-
 #include "models/sleep_transistor.hpp"
 #include "netlist/bits.hpp"
 #include "util/error.hpp"
-#include "util/faultinject.hpp"
 
 namespace mtcmos::sizing {
-
-namespace {
-
-core::VbsOptions with_resistance(core::VbsOptions opt, double r) {
-  opt.sleep_resistance = r;
-  return opt;
-}
-
-// Per-thread simulator scratch: pool workers reuse their buffers across
-// every run of a sweep instead of reallocating per delay call.
-core::VbsWorkspace& local_workspace() {
-  thread_local core::VbsWorkspace ws;
-  return ws;
-}
-
-// Run one sweep item under the policy's retry budget, stamping the item
-// index as the fault-injection scope so tests can address "item 37" by
-// name.  Only NumericalError is retried/recorded; precondition errors
-// (std::invalid_argument and friends) propagate -- they indicate caller
-// bugs, not numerical bad luck.
-template <typename T, typename Fn>
-Outcome<T> run_item(const SweepPolicy& policy, std::size_t index, Fn&& body) {
-  const faultinject::ScopedScope scope(static_cast<std::int64_t>(index));
-  const int max_attempts = std::max(1, policy.max_attempts);
-  FailureInfo last;
-  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-    try {
-      faultinject::check(faultinject::Site::kSweepItem, "sizing::sweep_item");
-      return Outcome<T>::success(body(), attempt);
-    } catch (const NumericalError& e) {
-      last = e.info();
-      last.attempts = attempt;
-    }
-  }
-  return Outcome<T>::fail(last);
-}
-
-}  // namespace
-
-DelayEvaluator::DelayEvaluator(const Netlist& nl, std::vector<std::string> outputs,
-                               core::VbsOptions base)
-    : nl_(nl),
-      outputs_(std::move(outputs)),
-      base_(base),
-      baseline_sim_(nl, with_resistance(base, 0.0)) {
-  require(!outputs_.empty(), "DelayEvaluator: need at least one output net");
-  for (const std::string& name : outputs_) {
-    require(nl_.find_net(name).has_value(), "DelayEvaluator: unknown net " + name);
-  }
-}
-
-double DelayEvaluator::delay_cmos(const VectorPair& vp) const {
-  {
-    const std::lock_guard<std::mutex> lock(cmos_mutex_);
-    const auto it = cmos_cache_.find({vp.v0, vp.v1});
-    if (it != cmos_cache_.end()) return it->second;
-  }
-  // Compute outside the lock; a concurrent duplicate computes the same
-  // deterministic value, so whichever insert wins is equivalent.
-  const double d = baseline_sim_.critical_delay(vp.v0, vp.v1, outputs_, local_workspace());
-  const std::lock_guard<std::mutex> lock(cmos_mutex_);
-  cmos_cache_.try_emplace({vp.v0, vp.v1}, d);
-  return d;
-}
-
-const core::VbsSimulator& DelayEvaluator::simulator_at_wl(double wl) const {
-  const std::lock_guard<std::mutex> lock(sim_mutex_);
-  auto it = sim_cache_.find(wl);
-  if (it == sim_cache_.end()) {
-    const double r = SleepTransistor(nl_.tech(), wl).reff();
-    it = sim_cache_
-             .emplace(wl, std::make_unique<core::VbsSimulator>(nl_, with_resistance(base_, r)))
-             .first;
-  }
-  return *it->second;
-}
-
-double DelayEvaluator::delay_at_wl(const VectorPair& vp, double wl) const {
-  return simulator_at_wl(wl).critical_delay(vp.v0, vp.v1, outputs_, local_workspace());
-}
-
-double DelayEvaluator::degradation_pct(const VectorPair& vp, double wl) const {
-  const double d0 = delay_cmos(vp);
-  if (d0 <= 0.0) return -1.0;
-  const double d1 = delay_at_wl(vp, wl);
-  if (d1 <= 0.0) return -1.0;
-  return (d1 - d0) / d0 * 100.0;
-}
 
 double sum_of_widths_wl(const Netlist& nl) {
   return nl.total_nmos_width() / nl.tech().lmin;
@@ -113,88 +21,6 @@ double measure_peak_current(const Netlist& nl, const VectorPair& vp, core::VbsOp
   base.sleep_resistance = 0.0;
   const core::VbsResult res = core::VbsSimulator(nl, base).run(vp.v0, vp.v1);
   return res.sleep_current.empty() ? 0.0 : res.sleep_current.max_value();
-}
-
-SizingResult size_for_degradation(const DelayEvaluator& eval,
-                                  const std::vector<VectorPair>& vectors, double target_pct,
-                                  double wl_min, double wl_max, double wl_tol,
-                                  util::ThreadPool* pool) {
-  SweepReport report;
-  return size_for_degradation(eval, vectors, target_pct, SweepPolicy{}, report, wl_min, wl_max,
-                              wl_tol, pool);
-}
-
-SizingResult size_for_degradation(const DelayEvaluator& eval,
-                                  const std::vector<VectorPair>& vectors, double target_pct,
-                                  const SweepPolicy& policy, SweepReport& report, double wl_min,
-                                  double wl_max, double wl_tol, util::ThreadPool* pool) {
-  require(!vectors.empty(), "size_for_degradation: need at least one vector");
-  require(target_pct > 0.0, "size_for_degradation: target must be positive");
-  require(wl_min > 0.0 && wl_max > wl_min, "size_for_degradation: bad W/L bounds");
-  require(wl_tol > 0.0, "size_for_degradation: bad tolerance");
-  util::ThreadPool& tp = util::pool_or_global(pool);
-
-  // Parallel map into index-addressed Outcome slots, then a serial
-  // first-maximum reduction that skips failed items: identical result to
-  // the serial loop for any thread count, regardless of which items fail.
-  auto worst_at = [&](double wl) {
-    std::vector<Outcome<double>> deg(vectors.size());
-    // Plain parallel_for: run_item already absorbs NumericalErrors, so the
-    // only exceptions that reach the pool are precondition bugs, which
-    // should cancel and propagate.
-    tp.parallel_for(vectors.size(), [&](std::size_t i) {
-      deg[i] = run_item<double>(policy, i,
-                                [&] { return eval.degradation_pct(vectors[i], wl); });
-    });
-    double worst = -1.0;
-    std::size_t worst_idx = 0;
-    bool any_ok = false;
-    for (std::size_t i = 0; i < vectors.size(); ++i) {
-      report.add(i, deg[i]);
-      if (!deg[i].ok()) {
-        if (!policy.isolate) throw NumericalError(deg[i].failure);
-        continue;
-      }
-      any_ok = true;
-      if (*deg[i].value > worst) {
-        worst = *deg[i].value;
-        worst_idx = i;
-      }
-    }
-    if (!any_ok) {
-      throw NumericalError({FailureCode::kUnknown, "size_for_degradation",
-                            "every vector failed at probe W/L=" + std::to_string(wl) +
-                                " (first: " + deg[0].failure.message() + ")"});
-    }
-    return std::pair<double, std::size_t>{worst, worst_idx};
-  };
-
-  auto [deg_max, idx_max] = worst_at(wl_max);
-  if (deg_max > target_pct) {
-    throw NumericalError("size_for_degradation: even W/L=" + std::to_string(wl_max) +
-                         " degrades " + std::to_string(deg_max) + "% > target");
-  }
-  auto [deg_min, idx_min] = worst_at(wl_min);
-  if (deg_min >= 0.0 && deg_min <= target_pct) {
-    return {wl_min, deg_min, vectors[idx_min]};
-  }
-
-  // Bisection in log space (degradation is monotone decreasing in W/L).
-  double lo = wl_min, hi = wl_max;
-  double hi_deg = deg_max;
-  std::size_t hi_idx = idx_max;
-  while (hi - lo > wl_tol) {
-    const double mid = std::sqrt(lo * hi);
-    const auto [deg, idx] = worst_at(mid);
-    if (deg >= 0.0 && deg <= target_pct) {
-      hi = mid;
-      hi_deg = deg;
-      hi_idx = idx;
-    } else {
-      lo = mid;
-    }
-  }
-  return {hi, hi_deg, vectors[hi_idx]};
 }
 
 std::vector<VectorPair> all_vector_pairs(int n_inputs) {
@@ -227,132 +53,6 @@ std::vector<VectorPair> sampled_vector_pairs(int n_inputs, int count, Rng& rng) 
   return pairs;
 }
 
-std::vector<VectorDelay> rank_vectors(const DelayEvaluator& eval,
-                                      const std::vector<VectorPair>& vectors, double wl,
-                                      util::ThreadPool* pool) {
-  SweepReport report;
-  return rank_vectors(eval, vectors, wl, SweepPolicy{}, report, pool);
-}
-
-std::vector<VectorDelay> rank_vectors(const DelayEvaluator& eval,
-                                      const std::vector<VectorPair>& vectors, double wl,
-                                      const SweepPolicy& policy, SweepReport& report,
-                                      util::ThreadPool* pool) {
-  // Evaluate into per-index Outcome slots, then reduce in input order and
-  // sort: the sort sees the exact sequence the serial loop produced, so
-  // the ranking is bit-identical for any thread count, and a failed item
-  // only removes itself from the ranking.
-  std::vector<Outcome<VectorDelay>> measured(vectors.size());
-  util::pool_or_global(pool).parallel_for(vectors.size(), [&](std::size_t i) {
-    measured[i] = run_item<VectorDelay>(policy, i, [&] {
-      VectorDelay vd;
-      vd.pair = vectors[i];
-      vd.delay_cmos = eval.delay_cmos(vectors[i]);
-      if (vd.delay_cmos <= 0.0) return vd;
-      vd.delay_mtcmos = eval.delay_at_wl(vectors[i], wl);
-      if (vd.delay_mtcmos <= 0.0) return vd;
-      vd.degradation_pct = (vd.delay_mtcmos - vd.delay_cmos) / vd.delay_cmos * 100.0;
-      return vd;
-    });
-  });
-  std::vector<VectorDelay> out;
-  out.reserve(measured.size());
-  for (std::size_t i = 0; i < measured.size(); ++i) {
-    report.add(i, measured[i]);
-    if (!measured[i].ok()) {
-      if (!policy.isolate) throw NumericalError(measured[i].failure);
-      continue;
-    }
-    VectorDelay& vd = *measured[i].value;
-    if (vd.delay_cmos > 0.0 && vd.delay_mtcmos > 0.0) out.push_back(std::move(vd));
-  }
-  std::sort(out.begin(), out.end(), [](const VectorDelay& a, const VectorDelay& b) {
-    return a.degradation_pct > b.degradation_pct;
-  });
-  return out;
-}
-
-VectorDelay search_worst_vector(const DelayEvaluator& eval, double wl, int samples, Rng& rng,
-                                util::ThreadPool* pool) {
-  SweepReport report;
-  return search_worst_vector(eval, wl, samples, rng, SweepPolicy{}, report, pool);
-}
-
-VectorDelay search_worst_vector(const DelayEvaluator& eval, double wl, int samples, Rng& rng,
-                                const SweepPolicy& policy, SweepReport& report,
-                                util::ThreadPool* pool) {
-  require(samples >= 1, "search_worst_vector: need at least one sample");
-  const int n = static_cast<int>(eval.netlist().inputs().size());
-
-  auto score = [&](const VectorPair& vp) -> double {
-    // Objective: absolute MTCMOS delay (what the designer must cover).
-    return eval.delay_at_wl(vp, wl);
-  };
-
-  // Sample pass: the RNG draws stay serial (reproducible from the seed);
-  // the expensive scoring fans out, and the serial first-maximum
-  // reduction -- which skips failed samples -- keeps the winner identical
-  // for any thread count.
-  const std::vector<VectorPair> sampled = sampled_vector_pairs(n, samples, rng);
-  std::vector<Outcome<double>> scores(sampled.size());
-  util::pool_or_global(pool).parallel_for(sampled.size(), [&](std::size_t i) {
-    scores[i] = run_item<double>(policy, i, [&] { return score(sampled[i]); });
-  });
-  VectorPair best;
-  double best_score = -1.0;
-  for (std::size_t i = 0; i < sampled.size(); ++i) {
-    report.add(i, scores[i]);
-    if (!scores[i].ok()) {
-      if (!policy.isolate) throw NumericalError(scores[i].failure);
-      continue;
-    }
-    if (*scores[i].value > best_score) {
-      best_score = *scores[i].value;
-      best = sampled[i];
-    }
-  }
-  require(best_score > 0.0, "search_worst_vector: no sampled vector toggles the outputs");
-
-  // Greedy single-bit-flip refinement on both endpoints of the transition.
-  // Candidates continue the fault-injection scope numbering after the
-  // samples; a failed candidate simply counts as no-improvement.
-  std::size_t cand_index = sampled.size();
-  bool improved = true;
-  int rounds = 0;
-  while (improved && rounds++ < 32) {
-    improved = false;
-    for (int side = 0; side < 2; ++side) {
-      for (int bit = 0; bit < n; ++bit) {
-        VectorPair cand = best;
-        auto& vec = (side == 0) ? cand.v0 : cand.v1;
-        vec[static_cast<std::size_t>(bit)] = !vec[static_cast<std::size_t>(bit)];
-        const Outcome<double> s =
-            run_item<double>(policy, cand_index, [&] { return score(cand); });
-        report.add(cand_index, s);
-        ++cand_index;
-        if (!s.ok()) {
-          if (!policy.isolate) throw NumericalError(s.failure);
-          continue;
-        }
-        if (*s.value > best_score) {
-          best_score = *s.value;
-          best = std::move(cand);
-          improved = true;
-        }
-      }
-    }
-  }
-
-  VectorDelay out;
-  out.pair = best;
-  out.delay_mtcmos = best_score;
-  out.delay_cmos = eval.delay_cmos(best);
-  out.degradation_pct = (out.delay_cmos > 0.0)
-                            ? (out.delay_mtcmos - out.delay_cmos) / out.delay_cmos * 100.0
-                            : -1.0;
-  return out;
-}
-
 double falling_discharge_weight(const Netlist& nl, const VectorPair& vp) {
   require(vp.v0.size() == nl.inputs().size() && vp.v1.size() == nl.inputs().size(),
           "falling_discharge_weight: input vector size mismatch");
@@ -364,40 +64,6 @@ double falling_discharge_weight(const Netlist& nl, const VectorPair& vp) {
     if (before[out] && !after[out]) weight += nl.beta_n_eff(g);
   }
   return weight;
-}
-
-std::vector<VectorPair> screen_vectors(const Netlist& nl, std::vector<VectorPair> candidates,
-                                       std::size_t keep, util::ThreadPool* pool) {
-  SweepReport report;
-  return screen_vectors(nl, std::move(candidates), keep, SweepPolicy{}, report, pool);
-}
-
-std::vector<VectorPair> screen_vectors(const Netlist& nl, std::vector<VectorPair> candidates,
-                                       std::size_t keep, const SweepPolicy& policy,
-                                       SweepReport& report, util::ThreadPool* pool) {
-  require(keep >= 1, "screen_vectors: keep must be >= 1");
-  std::vector<Outcome<double>> weights(candidates.size());
-  util::pool_or_global(pool).parallel_for(candidates.size(), [&](std::size_t i) {
-    weights[i] =
-        run_item<double>(policy, i, [&] { return falling_discharge_weight(nl, candidates[i]); });
-  });
-  std::vector<std::pair<double, std::size_t>> scored;
-  scored.reserve(candidates.size());
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    report.add(i, weights[i]);
-    if (!weights[i].ok()) {
-      if (!policy.isolate) throw NumericalError(weights[i].failure);
-      continue;
-    }
-    scored.emplace_back(*weights[i].value, i);
-  }
-  std::sort(scored.begin(), scored.end(),
-            [](const auto& a, const auto& b) { return a.first > b.first; });
-  std::vector<VectorPair> out;
-  for (std::size_t i = 0; i < keep && i < scored.size(); ++i) {
-    out.push_back(std::move(candidates[scored[i].second]));
-  }
-  return out;
 }
 
 }  // namespace mtcmos::sizing

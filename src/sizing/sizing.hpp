@@ -15,17 +15,21 @@
 // small circuits (the 4096-vector adder of Section 6.2), seeded sampling
 // and greedy bit-flip refinement for large ones (the 8x8 multiplier of
 // Section 4), and ranked degradation reports (Figure 14).
+//
+// The sweep entry points declared here are the legacy overload family:
+// each forwards to the single EvalBackend + EvalSession implementation in
+// sizing/session.hpp, which also runs the same sweeps on the
+// transistor-level SpiceBackend.  New code should target the session API.
 
-#include <map>
-#include <memory>
-#include <mutex>
 #include <string>
-#include <utility>
 #include <vector>
 
 #include "core/vbs.hpp"
 #include "models/technology.hpp"
 #include "netlist/netlist.hpp"
+#include "sizing/backend.hpp"
+#include "sizing/eval_types.hpp"
+#include "sizing/session.hpp"
 #include "util/failure.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -34,82 +38,24 @@ namespace mtcmos::sizing {
 
 using netlist::Netlist;
 
-/// How a sweep handles per-item NumericalErrors.
-///
-/// Every sweep entry point runs each item inside a bounded retry loop and
-/// records an Outcome into an index-addressed slot, so one diverging item
-/// cannot tear down a batch of thousands (isolate = true, the default) and
-/// the surviving results stay bit-identical to a serial no-fault run.
-/// With isolate = false the first failure is rethrown after the batch
-/// drains -- the pre-robustness behavior, for callers that want hard
-/// stops.  Precondition errors (std::invalid_argument) always propagate;
-/// only numerical failures are isolated.
-struct SweepPolicy {
-  bool isolate = true;
-  int max_attempts = 2;  ///< per-item attempts (1 = no retry)
-};
-
-/// A v0 -> v1 input transition.
-struct VectorPair {
-  std::vector<bool> v0;
-  std::vector<bool> v1;
-};
-
-/// Per-vector delay measurement at a given sizing.
-struct VectorDelay {
-  VectorPair pair;
-  double delay_cmos = -1.0;    ///< [s], sleep path ideal (R = 0)
-  double delay_mtcmos = -1.0;  ///< [s], at the evaluated W/L
-  double degradation_pct = 0.0;
-};
-
 /// Measures circuit delay (latest 50% crossing among `outputs`) through
 /// the switch-level simulator, for arbitrary sleep W/L.
 ///
-/// The evaluator is the shared engine behind every sweep, so it caches
-/// aggressively:
-///   * one immutable VbsSimulator per distinct sleep W/L (equivalent-
-///     inverter reduction and topological order are derived once, not per
-///     delay call), plus a dedicated R = 0 baseline simulator;
-///   * the CMOS baseline delay per vector pair -- it is invariant in W/L,
-///     so a sizing bisection probes each vector's baseline exactly once.
-/// All entry points are thread-safe: simulators are immutable after
-/// construction, caches are mutex-guarded, and per-run scratch lives in
-/// thread-local workspaces, so one evaluator can serve a whole thread
-/// pool concurrently.
-class DelayEvaluator {
+/// Historically the concrete engine behind every sweep; now a thin
+/// adapter over VbsBackend (sizing/backend.hpp), which carries the
+/// caching and thread-safety story.  Kept so existing callers compile
+/// unchanged; the only addition is the legacy delay_cmos() spelling of
+/// EvalBackend::delay_baseline().
+class DelayEvaluator : public VbsBackend {
  public:
   /// `outputs` are net names whose latest crossing defines the delay.
   /// `base` carries stimulus timing and model extensions; its
   /// sleep_resistance field is overridden per call.
-  DelayEvaluator(const Netlist& nl, std::vector<std::string> outputs, core::VbsOptions base = {});
+  DelayEvaluator(const Netlist& nl, std::vector<std::string> outputs, core::VbsOptions base = {})
+      : VbsBackend(nl, std::move(outputs), base) {}
 
-  DelayEvaluator(const DelayEvaluator&) = delete;
-  DelayEvaluator& operator=(const DelayEvaluator&) = delete;
-
-  double delay_cmos(const VectorPair& vp) const;
-  double delay_at_wl(const VectorPair& vp, double wl) const;
-  /// Convenience: % degradation at `wl` (negative if the outputs never
-  /// switch for this pair).
-  double degradation_pct(const VectorPair& vp, double wl) const;
-
-  /// Shared simulator for a sleep W/L, constructed on first use and
-  /// reused (including across threads) thereafter.
-  const core::VbsSimulator& simulator_at_wl(double wl) const;
-  const core::VbsSimulator& baseline_simulator() const { return baseline_sim_; }
-
-  const Netlist& netlist() const { return nl_; }
-  const std::vector<std::string>& outputs() const { return outputs_; }
-
- private:
-  const Netlist& nl_;
-  std::vector<std::string> outputs_;
-  core::VbsOptions base_;
-  core::VbsSimulator baseline_sim_;  ///< R = 0 (ideal ground) reference
-  mutable std::mutex sim_mutex_;
-  mutable std::map<double, std::unique_ptr<core::VbsSimulator>> sim_cache_;
-  mutable std::mutex cmos_mutex_;
-  mutable std::map<std::pair<std::vector<bool>, std::vector<bool>>, double> cmos_cache_;
+  /// Legacy name for the R = 0 (ideal ground) baseline delay.
+  double delay_cmos(const VectorPair& vp) const { return delay_baseline(vp); }
 };
 
 // --- Baseline estimators ---
@@ -127,13 +73,7 @@ double peak_current_wl(const Technology& tech, double ipeak, double bounce_budge
 double measure_peak_current(const Netlist& nl, const VectorPair& vp,
                             core::VbsOptions base = {});
 
-// --- Simulator-driven sizing ---
-
-struct SizingResult {
-  double wl = 0.0;                 ///< minimal W/L meeting the target
-  double degradation_pct = 0.0;    ///< achieved worst-vector degradation
-  VectorPair binding_vector;       ///< the vector that binds the sizing
-};
+// --- Simulator-driven sizing (legacy overloads; see sizing/session.hpp) ---
 
 /// Smallest W/L (within [wl_min, wl_max], resolved to `wl_tol`) whose
 /// worst degradation over `vectors` is <= target_pct.  Throws

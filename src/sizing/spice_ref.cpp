@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -27,9 +28,7 @@ SpiceRef::SpiceRef(const netlist::Netlist& nl, std::vector<std::string> outputs,
   }
 }
 
-spice::TransientResult SpiceRef::transient(const VectorPair& vp,
-                                           const std::vector<std::string>& extra_probes) {
-  netlist::set_input_vectors(nl_, options_.expand, ex_.circuit, vp.v0, vp.v1);
+spice::TransientOptions SpiceRef::make_options(const VectorPair& vp) const {
   spice::TransientOptions topt;
   topt.tstop = options_.tstop;
   topt.dt = options_.dt;
@@ -44,7 +43,6 @@ spice::TransientResult SpiceRef::transient(const VectorPair& vp,
     }
   }
   topt.voltage_probes = outputs_;
-  for (const std::string& p : extra_probes) topt.voltage_probes.push_back(p);
   // One input channel for the delay reference.
   if (!nl_.inputs().empty()) {
     topt.voltage_probes.push_back(nl_.net_name(nl_.inputs().front()));
@@ -54,6 +52,19 @@ spice::TransientResult SpiceRef::transient(const VectorPair& vp,
   }
   if (!ex_.sleep_device.empty()) topt.current_probes.push_back(ex_.sleep_device);
   topt.current_probes.push_back("VDD");  // supply current, for energy metering
+  // Deduplicate probes (an output may coincide with the input reference).
+  std::sort(topt.voltage_probes.begin(), topt.voltage_probes.end());
+  topt.voltage_probes.erase(
+      std::unique(topt.voltage_probes.begin(), topt.voltage_probes.end()),
+      topt.voltage_probes.end());
+  return topt;
+}
+
+spice::TransientResult SpiceRef::transient(const VectorPair& vp,
+                                           const std::vector<std::string>& extra_probes) {
+  netlist::set_input_vectors(nl_, options_.expand, ex_.circuit, vp.v0, vp.v1);
+  spice::TransientOptions topt = make_options(vp);
+  for (const std::string& p : extra_probes) topt.voltage_probes.push_back(p);
   // Deduplicate probes (an output may coincide with an extra probe).
   std::sort(topt.voltage_probes.begin(), topt.voltage_probes.end());
   topt.voltage_probes.erase(
@@ -63,8 +74,17 @@ spice::TransientResult SpiceRef::transient(const VectorPair& vp,
 }
 
 SpiceRefResult SpiceRef::measure(const VectorPair& vp) {
-  const spice::TransientResult res = transient(vp);
+  netlist::set_input_vectors(nl_, options_.expand, ex_.circuit, vp.v0, vp.v1);
+  const Outcome<spice::TransientResult> run =
+      spice::run_transient_recovered(engine_, make_options(vp), options_.recovery);
   SpiceRefResult out;
+  out.attempts = run.attempts;
+  if (!run.ok()) {
+    out.failed = true;
+    out.failure = run.failure;
+    return out;
+  }
+  const spice::TransientResult& res = *run.value;
   const double vdd = nl_.tech().vdd;
   const double th = 0.5 * vdd;
   const double t_in = options_.expand.t_switch + 0.5 * options_.expand.ramp;

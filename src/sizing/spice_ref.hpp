@@ -2,18 +2,36 @@
 // Transistor-level reference measurements.
 //
 // Wraps netlist expansion + the MNA engine into the same "delay of a
-// vector transition" interface the switch-level DelayEvaluator offers, so
-// the benches can print SPICE and simulator columns side by side (paper
+// vector transition" interface the switch-level evaluators offer, so the
+// benches can print SPICE and simulator columns side by side (paper
 // Figures 10, 13, 14).  The expanded circuit and its factorization
 // pattern are built once; successive vectors only swap source waveforms.
+//
+// Thread safety: a SpiceRef is NOT thread-safe.  measure() and
+// transient() rewrite the shared circuit's input sources and mutate the
+// engine's factorization workspace, so two concurrent calls on one
+// instance race.  Callers that want concurrent transistor-level
+// evaluation must either give each thread its own SpiceRef or go through
+// sizing::SpiceBackend (sizing/backend.hpp), which serializes access per
+// expanded circuit and is safe to share across a thread pool.
+//
+// Robustness: measure() runs the transient through the
+// spice::run_transient_recovered escalation ladder (SpiceRefOptions::
+// recovery) and reports persistent divergence as a FailureInfo carried in
+// the result (SpiceRefResult::ok()), never as a raw exception -- batch
+// drivers triage the failure code instead of string-matching what().
+// transient() stays on the raw single-attempt path and throws
+// NumericalError, for waveform studies that want the unrecovered run.
 
 #include <string>
 #include <vector>
 
 #include "netlist/expand.hpp"
 #include "netlist/netlist.hpp"
-#include "sizing/sizing.hpp"
+#include "sizing/eval_types.hpp"
 #include "spice/engine.hpp"
+#include "spice/recovery.hpp"
+#include "util/failure.hpp"
 
 namespace mtcmos::sizing {
 
@@ -21,6 +39,9 @@ struct SpiceRefOptions {
   netlist::ExpandOptions expand;  ///< ground style, sleep W/L, stimulus timing
   double tstop = 6e-9;            ///< transient window [s]
   double dt = 2e-12;              ///< nominal step [s]
+  /// Escalation ladder for measure(); RecoveryPolicy::off() gives the
+  /// pre-recovery single-attempt behavior (still reported as FailureInfo).
+  spice::RecoveryPolicy recovery = {};
 };
 
 struct SpiceRefResult {
@@ -29,6 +50,13 @@ struct SpiceRefResult {
   double sleep_ipeak = 0.0;   ///< peak sleep-device current [A]
   double settle_error = 0.0;  ///< worst |final - rail| among outputs [V]
   double supply_energy = 0.0;  ///< Vdd * integral of the VDD source current [J]
+  int attempts = 1;           ///< recovery attempts consumed (1 = first try)
+  bool failed = false;        ///< transient diverged through the whole ladder
+  FailureInfo failure;        ///< meaningful only when failed
+
+  /// False when the transient never produced a usable waveform; the
+  /// measurement fields above are all defaults in that case.
+  bool ok() const { return !failed; }
 };
 
 class SpiceRef {
@@ -38,17 +66,22 @@ class SpiceRef {
   SpiceRef(const SpiceRef&) = delete;
   SpiceRef& operator=(const SpiceRef&) = delete;
 
-  /// Measure one vector transition.
+  /// Measure one vector transition through the recovery ladder.  Numerical
+  /// failure is reported in the result (ok() == false), not thrown.
   SpiceRefResult measure(const VectorPair& vp);
 
   /// Full transient for waveform-level benches: probes every requested
-  /// node plus virtual ground and sleep current.
+  /// node plus virtual ground and sleep current.  Single attempt; throws
+  /// NumericalError on divergence.
   spice::TransientResult transient(const VectorPair& vp,
                                    const std::vector<std::string>& extra_probes = {});
 
   const netlist::Expanded& expanded() const { return ex_; }
 
  private:
+  /// Transient options for vp's transition, shared by measure/transient.
+  spice::TransientOptions make_options(const VectorPair& vp) const;
+
   const netlist::Netlist& nl_;
   std::vector<std::string> outputs_;
   SpiceRefOptions options_;
