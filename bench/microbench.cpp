@@ -8,11 +8,21 @@
 // per-vector evaluation cost of the two EvalBackend implementations
 // (switch-level vs transistor-level) and writes BENCH_backend.json.
 //
-//   microbench [--threads N] [--json PATH] [--gbench [gbench args...]]
+// It then runs the SPICE hot-path benchmark: a sampled adder vector set
+// through the transistor-level SpiceBackend, once with the accelerations
+// off on 1 thread (the pre-pool, pre-bypass configuration) and once with
+// the default accelerations on --threads N, verifies the pooled parallel
+// delays are bit-identical to a 1-thread run of the same configuration,
+// and writes BENCH_spice.json including the EngineStats counters.
 //
-// --gbench additionally runs the google-benchmark micro-suite (Eq. 5
-// solves, switch-level vector evaluations, transistor-level steps);
-// remaining arguments are forwarded to google-benchmark.
+//   microbench [--threads N] [--json PATH] [--only sweep|backend|spice]
+//              [--gbench [gbench args...]]
+//
+// --only restricts the run to one of the three benchmarks (the perf
+// regression ctest uses --only spice).  --gbench additionally runs the
+// google-benchmark micro-suite (Eq. 5 solves, switch-level vector
+// evaluations, transistor-level steps); remaining arguments are forwarded
+// to google-benchmark.
 
 #include <benchmark/benchmark.h>
 
@@ -263,11 +273,109 @@ int backend_benchmark(const std::string& json_path) {
   return 0;
 }
 
+// SPICE hot-path benchmark: a sampled vector set through SpiceBackend's
+// delay_at_wl path (the workload behind `rank_vectors --backend spice`).
+//
+//   legacy    = bypass off, Jacobian reuse off, 1 thread -- the pre-pool
+//               configuration, where same-W/L callers serialized anyway;
+//   optimized = default accelerations, 1 thread and `threads` threads.
+//
+// The optimized serial/parallel delay arrays must be bit-identical (the
+// pool determinism contract); the speedup reported is legacy vs optimized
+// parallel, i.e. what a sweep user actually gains from this PR.  Writes
+// BENCH_spice.json including the aggregated EngineStats counters.
+int spice_benchmark(int threads, const std::string& json_path) {
+  using Clock = std::chrono::steady_clock;
+  const auto adder = circuits::make_ripple_adder(tech07(), 3);
+  std::vector<std::string> outs;
+  for (const auto s : adder.sum) outs.push_back(adder.netlist.net_name(s));
+  outs.push_back(adder.netlist.net_name(adder.cout));
+  const double wl = 10.0;
+  const auto all_pairs = sizing::all_vector_pairs(6);
+  const std::size_t n_sample = 32;
+  std::vector<sizing::VectorPair> pairs;
+  for (std::size_t s = 0; s < n_sample; ++s) {
+    pairs.push_back(all_pairs[s * all_pairs.size() / n_sample]);
+  }
+
+  sizing::SpiceBackendOptions base;
+  base.tstop = 10.0 * ns;
+  base.dt = 2.0 * ps;
+
+  const auto run = [&](const sizing::SpiceBackend& backend, int nthreads) {
+    backend.prepare_wl(wl);
+    util::ThreadPool pool(nthreads);
+    const auto t0 = Clock::now();
+    std::vector<double> delays = pool.parallel_map(pairs.size(), [&](std::size_t i) {
+      return backend.delay_at_wl(pairs[i], wl);
+    });
+    const double seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    return std::pair<std::vector<double>, double>(std::move(delays), seconds);
+  };
+
+  sizing::SpiceBackendOptions legacy_opt = base;
+  legacy_opt.bypass_tol = 0.0;
+  legacy_opt.jacobian_reuse = false;
+  const sizing::SpiceBackend legacy(adder.netlist, outs, legacy_opt);
+  const auto [legacy_delays, legacy_s] = run(legacy, 1);
+
+  const sizing::SpiceBackend fast(adder.netlist, outs, base);
+  const auto [serial_delays, serial_s] = run(fast, 1);
+  const auto [parallel_delays, parallel_s] = run(fast, threads);
+  const bool identical = serial_delays == parallel_delays;
+  const spice::EngineStats stats = fast.engine_stats();
+
+  const double speedup = legacy_s / parallel_s;
+  const double evals = static_cast<double>(stats.device_evals + stats.bypass_hits);
+  const double hit_rate = evals > 0.0 ? static_cast<double>(stats.bypass_hits) / evals : 0.0;
+
+  std::cout << "SPICE hot path, 3-bit adder, " << pairs.size() << " vector pairs, W/L = " << wl
+            << "\n  legacy    (no bypass/reuse, 1 thread): " << legacy_s
+            << " s\n  optimized (1 thread):                  " << serial_s
+            << " s\n  optimized (" << threads << " threads):                 " << parallel_s
+            << " s\n  speedup (legacy -> optimized parallel): " << speedup
+            << "x\n  pooled parallel bit-identical to serial: " << (identical ? "yes" : "NO")
+            << "\n  device_evals=" << stats.device_evals << " bypass_hits=" << stats.bypass_hits
+            << " (hit rate " << hit_rate * 100.0 << "%)\n  factorizations=" << stats.factorizations
+            << " solves=" << stats.solves << " newton_iters=" << stats.newton_iters
+            << " full_newton_fallbacks=" << stats.full_newton_fallbacks
+            << " workspace_bytes=" << stats.workspace_bytes << "\n";
+
+  std::ofstream json(json_path);
+  if (!json) {
+    std::cerr << "microbench: cannot write " << json_path << "\n";
+    return 1;
+  }
+  json << "{\n"
+       << "  \"bench\": \"spice_hotpath\",\n"
+       << "  \"circuit\": \"ripple_adder_3bit\",\n"
+       << "  \"vectors\": " << pairs.size() << ",\n"
+       << "  \"sleep_wl\": " << wl << ",\n"
+       << "  \"threads\": " << threads << ",\n"
+       << "  \"legacy_seconds\": " << legacy_s << ",\n"
+       << "  \"optimized_serial_seconds\": " << serial_s << ",\n"
+       << "  \"optimized_parallel_seconds\": " << parallel_s << ",\n"
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"identical\": " << (identical ? "true" : "false") << ",\n"
+       << "  \"device_evals\": " << stats.device_evals << ",\n"
+       << "  \"bypass_hits\": " << stats.bypass_hits << ",\n"
+       << "  \"bypass_hit_rate\": " << hit_rate << ",\n"
+       << "  \"factorizations\": " << stats.factorizations << ",\n"
+       << "  \"solves\": " << stats.solves << ",\n"
+       << "  \"newton_iters\": " << stats.newton_iters << ",\n"
+       << "  \"full_newton_fallbacks\": " << stats.full_newton_fallbacks << ",\n"
+       << "  \"workspace_bytes\": " << stats.workspace_bytes << "\n"
+       << "}\n";
+  std::cout << "wrote " << json_path << "\n";
+  return identical ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int threads = util::ThreadPool::default_thread_count();
   std::string json_path = "BENCH_sweep.json";
+  std::string only;
   bool gbench = false;
   std::vector<char*> gbench_args = {argv[0]};
   for (int i = 1; i < argc; ++i) {
@@ -277,20 +385,35 @@ int main(int argc, char** argv) {
       if (threads < 1) threads = 1;
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--only" && i + 1 < argc) {
+      only = argv[++i];
+      if (only != "sweep" && only != "backend" && only != "spice") {
+        std::cerr << "microbench: --only expects sweep, backend, or spice\n";
+        return 2;
+      }
     } else if (arg == "--gbench") {
       gbench = true;
     } else if (gbench) {
       gbench_args.push_back(argv[i]);  // forward to google-benchmark
     } else {
-      std::cerr << "usage: microbench [--threads N] [--json PATH] [--gbench [gbench args...]]\n";
+      std::cerr << "usage: microbench [--threads N] [--json PATH] "
+                   "[--only sweep|backend|spice] [--gbench [gbench args...]]\n";
       return 2;
     }
   }
 
-  const int rc = sweep_benchmark(threads, json_path);
-  if (rc != 0) return rc;
-  const int brc = backend_benchmark("BENCH_backend.json");
-  if (brc != 0) return brc;
+  if (only.empty() || only == "sweep") {
+    const int rc = sweep_benchmark(threads, json_path);
+    if (rc != 0) return rc;
+  }
+  if (only.empty() || only == "backend") {
+    const int brc = backend_benchmark("BENCH_backend.json");
+    if (brc != 0) return brc;
+  }
+  if (only.empty() || only == "spice") {
+    const int src = spice_benchmark(threads, "BENCH_spice.json");
+    if (src != 0) return src;
+  }
 
   if (gbench) {
     int gargc = static_cast<int>(gbench_args.size());

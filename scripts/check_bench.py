@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Perf regression gate for the SPICE hot path.
+
+Re-runs `microbench --only spice` in a scratch directory, then compares the
+fresh BENCH_spice.json against the committed baseline
+(bench/baselines/BENCH_spice.json).  The machine running CI is not the
+machine that produced the baseline, so the gate is deliberately generous: a
+failure means the hot path got ~3x slower relative to its own in-binary
+legacy configuration, or the pooled backend stopped being bit-identical --
+both genuine regressions, not noise.
+
+Checks:
+  * the benchmark itself succeeds (it already self-checks pooled results
+    against a serial run and exits nonzero on mismatch);
+  * fresh "identical" is true;
+  * fresh speedup >= baseline speedup / threshold (default threshold 3x);
+  * the bypass is actually firing (bypass_hits > 0).
+
+Usage:
+  check_bench.py --microbench build/bench/microbench \
+                 --baseline bench/baselines/BENCH_spice.json \
+                 [--threshold 3.0] [--threads N]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--microbench", required=True, help="path to the microbench binary")
+    ap.add_argument("--baseline", required=True, help="committed BENCH_spice.json")
+    ap.add_argument("--threshold", type=float, default=3.0,
+                    help="allowed slowdown factor vs the baseline speedup (default 3)")
+    ap.add_argument("--threads", type=int,
+                    default=int(os.environ.get("MTCMOS_THREADS", "8") or "8"),
+                    help="thread count for the parallel leg (default MTCMOS_THREADS or 8)")
+    args = ap.parse_args()
+
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = json.load(f)
+
+    with tempfile.TemporaryDirectory(prefix="bench_spice.") as tmp:
+        proc = subprocess.run(
+            [os.path.abspath(args.microbench), "--only", "spice",
+             "--threads", str(args.threads)],
+            cwd=tmp, capture_output=True, text=True)
+        sys.stdout.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        if proc.returncode != 0:
+            print(f"FAIL: microbench exited {proc.returncode} "
+                  "(pooled results diverged or the run crashed)")
+            return 1
+        with open(os.path.join(tmp, "BENCH_spice.json"), encoding="utf-8") as f:
+            fresh = json.load(f)
+
+    failures = []
+    if not fresh.get("identical", False):
+        failures.append("pooled parallel delays are not bit-identical to serial")
+    if fresh.get("bypass_hits", 0) <= 0:
+        failures.append("bypass_hits == 0: the device-evaluation bypass never fired")
+    floor = baseline["speedup"] / args.threshold
+    if fresh["speedup"] < floor:
+        failures.append(
+            f"speedup {fresh['speedup']:.2f}x fell below {floor:.2f}x "
+            f"(baseline {baseline['speedup']:.2f}x / threshold {args.threshold:g})")
+
+    print(f"speedup: fresh {fresh['speedup']:.2f}x vs baseline {baseline['speedup']:.2f}x "
+          f"(floor {floor:.2f}x); bypass hit rate {fresh.get('bypass_hit_rate', 0.0):.1%}")
+    if failures:
+        for msg in failures:
+            print(f"FAIL: {msg}")
+        return 1
+    print("OK: SPICE hot path within the regression envelope")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

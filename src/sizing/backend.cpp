@@ -120,22 +120,35 @@ SpiceBackend::SpiceBackend(const Netlist& nl, std::vector<std::string> outputs,
   require(!outputs_.empty(), "SpiceBackend: need at least one output net");
   require(options_.max_engines >= 1 && options_.max_baseline_delays >= 1,
           "SpiceBackend: cache limits must be >= 1");
+  require(options_.bypass_tol >= 0.0, "SpiceBackend: bypass_tol must be non-negative");
   for (const std::string& name : outputs_) {
     require(nl_.find_net(name).has_value(), "SpiceBackend: unknown net " + name);
   }
-  SpiceRefOptions ropt;
+  SpiceRefOptions ropt = ref_options_for_wl(/*wl=*/0.0);
   ropt.expand = options_.expand;
   ropt.expand.ground = netlist::ExpandOptions::Ground::kIdeal;
-  ropt.tstop = options_.tstop;
-  ropt.dt = options_.dt;
-  ropt.recovery = options_.recovery;
   auto entry = std::make_shared<Entry>();
-  entry->ref = std::make_unique<SpiceRef>(nl_, outputs_, ropt);
+  entry->ropt = ropt;
   baseline_ = std::move(entry);
 }
 
+SpiceRefOptions SpiceBackend::ref_options_for_wl(double wl) const {
+  SpiceRefOptions ropt;
+  ropt.expand = options_.expand;
+  if (ropt.expand.ground == netlist::ExpandOptions::Ground::kIdeal) {
+    ropt.expand.ground = netlist::ExpandOptions::Ground::kSleepFet;
+  }
+  ropt.expand.sleep_wl = wl;
+  ropt.tstop = options_.tstop;
+  ropt.dt = options_.dt;
+  ropt.recovery = options_.recovery;
+  ropt.bypass_tol = options_.bypass_tol;
+  ropt.jacobian_reuse = options_.jacobian_reuse;
+  return ropt;
+}
+
 std::shared_ptr<SpiceBackend::Entry> SpiceBackend::entry_at_wl(double wl) const {
-  std::unique_lock<std::mutex> lock(cache_mutex_);
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
   auto it = engines_.find(wl);
   if (it != engines_.end()) {
     ++sim_hits_;
@@ -148,38 +161,43 @@ std::shared_ptr<SpiceBackend::Entry> SpiceBackend::entry_at_wl(double wl) const 
     for (auto cand = engines_.begin(); cand != engines_.end(); ++cand) {
       if (cand->second->last_use < victim->second->last_use) victim = cand;
     }
-    // In-flight measurements keep the evicted entry alive through their
-    // shared_ptr; only the cache's reference is dropped here.
+    // In-flight measurements keep the evicted entry (and its pool) alive
+    // through their shared_ptr; only the cache's reference drops here.
     engines_.erase(victim);
     ++sim_evictions_;
   }
-  // Expansion + pattern analysis is expensive; do it outside the cache
-  // lock so concurrent requests for *other* W/L values are not stalled.
-  // A racing duplicate for the same W/L builds twice and first-insert
-  // wins, which is wasteful but correct (prepare_wl avoids the race for
-  // sweeps).
-  lock.unlock();
-  SpiceRefOptions ropt;
-  ropt.expand = options_.expand;
-  if (ropt.expand.ground == netlist::ExpandOptions::Ground::kIdeal) {
-    ropt.expand.ground = netlist::ExpandOptions::Ground::kSleepFet;
-  }
-  ropt.expand.sleep_wl = wl;
-  ropt.tstop = options_.tstop;
-  ropt.dt = options_.dt;
-  ropt.recovery = options_.recovery;
+  // An entry is just the build recipe plus an empty pool, so creating it
+  // is cheap; the expensive expansion happens in acquire(), per instance,
+  // outside any lock.
   auto entry = std::make_shared<Entry>();
-  entry->ref = std::make_unique<SpiceRef>(nl_, outputs_, ropt);
-  lock.lock();
-  const auto pos = engines_.emplace(wl, entry).first;
-  pos->second->last_use = ++clock_;
-  return pos->second;
+  entry->ropt = ref_options_for_wl(wl);
+  entry->last_use = ++clock_;
+  return engines_.emplace(wl, std::move(entry)).first->second;
+}
+
+SpiceBackend::Lease SpiceBackend::acquire(const std::shared_ptr<Entry>& entry) const {
+  {
+    const std::lock_guard<std::mutex> lock(entry->pool_mutex);
+    if (!entry->idle.empty()) {
+      SpiceRef* ref = entry->idle.back();
+      entry->idle.pop_back();
+      return Lease(entry, ref);
+    }
+  }
+  // Pool exhausted: build a fresh instance outside the lock (expansion +
+  // pattern analysis is expensive) and register it.  The pool grows to at
+  // most one instance per concurrent caller and never shrinks until the
+  // entry is evicted and the last lease returns.
+  auto built = std::make_unique<SpiceRef>(nl_, outputs_, entry->ropt);
+  SpiceRef* ref = built.get();
+  const std::lock_guard<std::mutex> lock(entry->pool_mutex);
+  entry->refs.push_back(std::move(built));
+  return Lease(entry, ref);
 }
 
 SpiceRefResult SpiceBackend::measure_at_wl(const VectorPair& vp, double wl) const {
-  const auto entry = entry_at_wl(wl);
-  const std::lock_guard<std::mutex> lock(entry->run_mutex);
-  return entry->ref->measure(vp);
+  const Lease lease = acquire(entry_at_wl(wl));
+  return lease.ref().measure(vp);
 }
 
 double SpiceBackend::delay_at_wl(const VectorPair& vp, double wl) const {
@@ -200,8 +218,8 @@ double SpiceBackend::delay_baseline(const VectorPair& vp) const {
   }
   SpiceRefResult r;
   {
-    const std::lock_guard<std::mutex> lock(baseline_->run_mutex);
-    r = baseline_->ref->measure(vp);
+    const Lease lease = acquire(baseline_);
+    r = lease.ref().measure(vp);
   }
   if (!r.ok()) throw NumericalError(r.failure);
   const std::lock_guard<std::mutex> lock(baseline_mutex_);
@@ -212,6 +230,35 @@ double SpiceBackend::delay_baseline(const VectorPair& vp) const {
   }
   baseline_cache_.try_emplace({vp.v0, vp.v1}, r.delay);
   return r.delay;
+}
+
+spice::EngineStats SpiceBackend::engine_stats() const {
+  spice::EngineStats total;
+  const auto add_pool = [&total](Entry& entry) {
+    const std::lock_guard<std::mutex> lock(entry.pool_mutex);
+    // Only idle instances are read: a leased engine's counters are being
+    // mutated by its worker, and skipping it keeps this accessor safe to
+    // call at any time (the numbers are complete once the pool drains).
+    for (SpiceRef* ref : entry.idle) {
+      const spice::EngineStats& s = ref->engine_stats();
+      total.device_evals += s.device_evals;
+      total.bypass_hits += s.bypass_hits;
+      total.factorizations += s.factorizations;
+      total.solves += s.solves;
+      total.newton_iters += s.newton_iters;
+      total.full_newton_fallbacks += s.full_newton_fallbacks;
+      total.workspace_bytes += s.workspace_bytes;
+    }
+  };
+  std::vector<std::shared_ptr<Entry>> entries;
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    entries.reserve(engines_.size());
+    for (const auto& [wl, entry] : engines_) entries.push_back(entry);
+  }
+  for (const auto& entry : entries) add_pool(*entry);
+  add_pool(*baseline_);
+  return total;
 }
 
 CacheStats SpiceBackend::cache_stats() const {

@@ -179,19 +179,33 @@ struct SpiceBackendOptions {
   /// VbsSimulator, so the per-W/L cap defaults much lower.
   std::size_t max_engines = 8;
   std::size_t max_baseline_delays = 1u << 16;
+  /// Hot-path accelerations forwarded into every engine this backend
+  /// builds (see spice/engine.hpp).  The reference backend enables both:
+  /// the bypass tolerance is an order of magnitude below the engine's own
+  /// voltage tolerances, and recovery rungs strip the accelerations
+  /// anyway.  Set bypass_tol = 0 / jacobian_reuse = false to reproduce
+  /// the plain engine bit-for-bit.
+  double bypass_tol = 5e-5;
+  bool jacobian_reuse = true;
 };
 
 /// Transistor-level backend: the MNA engine behind the same interface.
 ///
-/// Each distinct sleep W/L gets its own expanded circuit + engine
-/// (LRU-bounded), built once and reused across vectors; the baseline uses
-/// a dedicated ideal-ground circuit with a per-vector delay memo.  A
-/// SpiceRef is not thread-safe (it rewires shared source waveforms), so
-/// every entry guards its engine with a mutex: concurrent callers at
-/// *different* W/L values run fully in parallel, concurrent callers at
-/// the *same* W/L serialize on that entry.  Persistent divergence
-/// (through the whole recovery ladder) surfaces as util::NumericalError
-/// carrying the FailureInfo, so session sweeps isolate it per item.
+/// Each distinct sleep W/L owns a *pool* of SpiceRef instances (expanded
+/// circuit + engine), grown on demand up to one per concurrent caller: a
+/// SpiceRef is not thread-safe (it rewires shared source waveforms), so a
+/// caller leases an idle instance from the pool, runs on it exclusively,
+/// and returns it.  Concurrent measurements therefore run fully in
+/// parallel at the same W/L as well as across W/L values -- the pool
+/// replaces the per-entry mutex that used to serialize same-W/L callers.
+/// Results are unchanged by pooling: every instance of a pool is built
+/// from identical options and measure() is deterministic, so an N-thread
+/// sweep is bit-identical to a serial one.  Entries are LRU-bounded;
+/// eviction drops only the cache's reference, in-flight leases keep their
+/// pool alive.  The baseline uses a dedicated ideal-ground pool with a
+/// per-vector delay memo.  Persistent divergence (through the whole
+/// recovery ladder) surfaces as util::NumericalError carrying the
+/// FailureInfo, so session sweeps isolate it per item.
 class SpiceBackend : public EvalBackend {
  public:
   SpiceBackend(const Netlist& nl, std::vector<std::string> outputs,
@@ -206,19 +220,47 @@ class SpiceBackend : public EvalBackend {
   void prepare_wl(double wl) const override { (void)entry_at_wl(wl); }
   CacheStats cache_stats() const override;
 
-  /// Full reference measurement (bounce, peak current, energy) at `wl`,
-  /// serialized on the W/L entry's lock.  Numerical failure is reported
-  /// in the result, not thrown.
+  /// Full reference measurement (bounce, peak current, energy) at `wl` on
+  /// a leased pool instance.  Numerical failure is reported in the
+  /// result, not thrown.
   SpiceRefResult measure_at_wl(const VectorPair& vp, double wl) const;
 
+  /// Aggregate hot-path counters over every *idle* engine in every pool
+  /// (in-flight instances are skipped rather than read racily); includes
+  /// the baseline pool.  Meaningful when the backend is quiescent.
+  spice::EngineStats engine_stats() const;
+
  private:
+  /// One sleep W/L: the recipe for building instances plus the pool.
   struct Entry {
-    std::unique_ptr<SpiceRef> ref;
-    std::mutex run_mutex;  ///< serializes measure() on this circuit
+    SpiceRefOptions ropt;  ///< immutable after construction
+    std::mutex pool_mutex;
+    std::vector<std::unique_ptr<SpiceRef>> refs;  ///< owners, grow-only
+    std::vector<SpiceRef*> idle;                  ///< currently leasable
     std::uint64_t last_use = 0;
+  };
+  /// RAII lease of one pool instance; returns it on destruction.
+  class Lease {
+   public:
+    Lease(std::shared_ptr<Entry> entry, SpiceRef* ref)
+        : entry_(std::move(entry)), ref_(ref) {}
+    ~Lease() {
+      const std::lock_guard<std::mutex> lock(entry_->pool_mutex);
+      entry_->idle.push_back(ref_);
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    SpiceRef& ref() const { return *ref_; }
+
+   private:
+    std::shared_ptr<Entry> entry_;
+    SpiceRef* ref_;
   };
 
   std::shared_ptr<Entry> entry_at_wl(double wl) const;
+  /// Pop an idle instance or build a fresh one (outside the pool lock).
+  Lease acquire(const std::shared_ptr<Entry>& entry) const;
+  SpiceRefOptions ref_options_for_wl(double wl) const;
 
   const Netlist& nl_;
   std::vector<std::string> outputs_;
@@ -227,7 +269,7 @@ class SpiceBackend : public EvalBackend {
   mutable std::map<double, std::shared_ptr<Entry>> engines_;
   mutable std::uint64_t clock_ = 0;
   mutable std::size_t sim_hits_ = 0, sim_misses_ = 0, sim_evictions_ = 0;
-  std::shared_ptr<Entry> baseline_;  ///< ideal-ground reference circuit
+  std::shared_ptr<Entry> baseline_;  ///< ideal-ground reference pool
   mutable std::mutex baseline_mutex_;
   mutable std::map<std::pair<std::vector<bool>, std::vector<bool>>, double> baseline_cache_;
   mutable std::size_t baseline_hits_ = 0, baseline_misses_ = 0, baseline_evictions_ = 0;

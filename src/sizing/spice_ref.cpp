@@ -32,6 +32,8 @@ spice::TransientOptions SpiceRef::make_options(const VectorPair& vp) const {
   spice::TransientOptions topt;
   topt.tstop = options_.tstop;
   topt.dt = options_.dt;
+  topt.bypass_tol = options_.bypass_tol;
+  topt.jacobian_reuse = options_.jacobian_reuse;
   // Seed the t=0 DC solve with rail voltages from boolean evaluation --
   // internal stack nodes stay at 0 and get refined by Newton.
   const auto logic = nl_.evaluate(vp.v0);

@@ -12,8 +12,9 @@
 // engine's factorization workspace, so two concurrent calls on one
 // instance race.  Callers that want concurrent transistor-level
 // evaluation must either give each thread its own SpiceRef or go through
-// sizing::SpiceBackend (sizing/backend.hpp), which serializes access per
-// expanded circuit and is safe to share across a thread pool.
+// sizing::SpiceBackend (sizing/backend.hpp), which leases each caller an
+// exclusive instance from a per-W/L pool and is safe to share across a
+// thread pool.
 //
 // Robustness: measure() runs the transient through the
 // spice::run_transient_recovered escalation ladder (SpiceRefOptions::
@@ -42,6 +43,11 @@ struct SpiceRefOptions {
   /// Escalation ladder for measure(); RecoveryPolicy::off() gives the
   /// pre-recovery single-attempt behavior (still reported as FailureInfo).
   spice::RecoveryPolicy recovery = {};
+  /// Hot-path accelerations forwarded into TransientOptions (see
+  /// spice/engine.hpp).  Defaults keep the reference bit-reproducible with
+  /// the plain engine; SpiceBackend turns both on.
+  double bypass_tol = 0.0;
+  bool jacobian_reuse = false;
 };
 
 struct SpiceRefResult {
@@ -77,6 +83,10 @@ class SpiceRef {
                                    const std::vector<std::string>& extra_probes = {});
 
   const netlist::Expanded& expanded() const { return ex_; }
+
+  /// Cumulative hot-path counters of the wrapped engine; read only while
+  /// no measure()/transient() is in flight on this instance.
+  const spice::EngineStats& engine_stats() const { return engine_.stats(); }
 
  private:
   /// Transient options for vp's transition, shared by measure/transient.

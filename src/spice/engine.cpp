@@ -6,25 +6,12 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "models/level1.hpp"
 #include "util/error.hpp"
 #include "util/faultinject.hpp"
 
 namespace mtcmos::spice {
 
-namespace {
-
-/// Effective operating point of a MOSFET: terminals resolved so the model
-/// sees vds >= 0, with `sign` mapping model current back to real current.
-struct MosOp {
-  NodeId eff_d = kGround;  ///< effective drain (real node id)
-  NodeId eff_s = kGround;  ///< effective source
-  double sign = 1.0;       ///< +1 NMOS, -1 PMOS
-  bool swapped = false;    ///< effective drain == declared source
-  MosEval eval;
-};
-
-MosOp eval_mosfet_op(const Mosfet& m, const std::vector<double>& v) {
+Engine::MosOp Engine::eval_mosfet_op(const Mosfet& m, const std::vector<double>& v) {
   MosOp op;
   op.sign = (m.params.type == MosType::kNmos) ? 1.0 : -1.0;
   const double td = op.sign * v[static_cast<std::size_t>(m.d)];
@@ -47,8 +34,6 @@ MosOp eval_mosfet_op(const Mosfet& m, const std::vector<double>& v) {
   op.eval = mos_level1_eval(m.params, m.w, m.l, vgs, vds, vbs);
   return op;
 }
-
-}  // namespace
 
 Engine::Engine(const Circuit& circuit, double gmin) : ckt_(circuit), gmin_(gmin) {
   require(gmin > 0.0, "Engine: gmin must be positive");
@@ -129,6 +114,32 @@ void Engine::build_pattern() {
   }
   gmin_slots_.clear();
   for (int u = 0; u < n_unknowns_; ++u) gmin_slots_.push_back(lu_.slot(u, u));
+
+  // Newton workspace: sized once, reused by every solve of every run.
+  const std::size_t nu = static_cast<std::size_t>(n_unknowns_);
+  const std::size_t nn = static_cast<std::size_t>(n_nodes);
+  ws_f_.assign(nu, 0.0);
+  ws_f_try_.assign(nu, 0.0);
+  ws_rhs_.assign(nu, 0.0);
+  ws_v_try_.assign(nn, 0.0);
+  ws_v_entry_.assign(nn, 0.0);
+  ws_step_v_.assign(nn, 0.0);
+  ws_zero_caps_.assign(ckt_.capacitors().size(), CapState{});
+  mos_cache_.assign(ckt_.mosfets().size(), MosCache{});
+  stats_.workspace_bytes = workspace_bytes();
+}
+
+std::size_t Engine::workspace_bytes() const {
+  const std::size_t doubles = ws_f_.capacity() + ws_f_try_.capacity() + ws_rhs_.capacity() +
+                              ws_ax_.capacity() + ws_v_try_.capacity() + ws_v_entry_.capacity() +
+                              ws_step_v_.capacity();
+  return doubles * sizeof(double) + ws_zero_caps_.capacity() * sizeof(CapState) +
+         mos_cache_.capacity() * sizeof(MosCache);
+}
+
+void Engine::invalidate_run_caches() {
+  for (MosCache& c : mos_cache_) c.valid = false;
+  factor_valid_ = false;
 }
 
 void Engine::apply_sources(double t, std::vector<double>& v, double scale) const {
@@ -140,7 +151,7 @@ void Engine::apply_sources(double t, std::vector<double>& v, double scale) const
 
 void Engine::assemble(const std::vector<double>& v, bool transient, double dt, bool use_be,
                       const std::vector<CapState>& caps, double extra_gmin,
-                      std::vector<double>& f) {
+                      std::vector<double>& f, bool allow_bypass) {
   lu_.clear_values();
   std::fill(f.begin(), f.end(), 0.0);
 
@@ -200,11 +211,36 @@ void Engine::assemble(const std::vector<double>& v, bool transient, double dt, b
     if (is_unknown(src.to)) f[static_cast<std::size_t>(uidx(src.to))] -= cur;
   }
 
-  // MOSFETs.
+  // MOSFETs.  With bypass active, a device whose four terminal voltages
+  // all moved less than bypass_tol since its last Level-1 evaluation is
+  // restamped from the cached operating point: the exp/sqrt-heavy model
+  // call is skipped, only the (cheap) matrix stamping repeats.
+  const bool bypass = allow_bypass && bypass_tol_ > 0.0;
   for (std::size_t i = 0; i < ckt_.mosfets().size(); ++i) {
     const Mosfet& m = ckt_.mosfets()[i];
     const MosSlots& s = mos_slots_[i];
-    const MosOp op = eval_mosfet_op(m, v);
+    MosCache& bc = mos_cache_[i];
+    const double vd = v[static_cast<std::size_t>(m.d)];
+    const double vg = v[static_cast<std::size_t>(m.g)];
+    const double vs = v[static_cast<std::size_t>(m.s)];
+    const double vb = v[static_cast<std::size_t>(m.b)];
+    const MosOp* op_ptr;
+    if (bypass && bc.valid && std::abs(vd - bc.vd) < bypass_tol_ &&
+        std::abs(vg - bc.vg) < bypass_tol_ && std::abs(vs - bc.vs) < bypass_tol_ &&
+        std::abs(vb - bc.vb) < bypass_tol_) {
+      ++stats_.bypass_hits;
+      op_ptr = &bc.op;
+    } else {
+      ++stats_.device_evals;
+      bc.op = eval_mosfet_op(m, v);
+      bc.vd = vd;
+      bc.vg = vg;
+      bc.vs = vs;
+      bc.vb = vb;
+      bc.valid = true;
+      op_ptr = &bc.op;
+    }
+    const MosOp& op = *op_ptr;
     const double swap_factor = op.swapped ? -1.0 : 1.0;
 
     // Current leaving declared drain / source terminals.
@@ -239,8 +275,32 @@ void Engine::assemble(const std::vector<double>& v, bool transient, double dt, b
 
 int Engine::newton_solve(std::vector<double>& v, bool transient, double dt, bool use_be,
                          const std::vector<CapState>& caps, double extra_gmin, int max_iter,
-                         double vtol, double reltol, double dv_clamp) {
+                         double vtol, double reltol, double dv_clamp, bool allow_bypass,
+                         bool reuse_jacobian) {
   faultinject::check(faultinject::Site::kNewtonSolve, "Engine::newton_solve");
+  if (!allow_bypass && !reuse_jacobian) {
+    return newton_iterate(v, transient, dt, use_be, caps, extra_gmin, max_iter, vtol, reltol,
+                          dv_clamp, false, false);
+  }
+  // Accelerated attempt first; on non-convergence restore the entry state
+  // and retry with plain full Newton, so the step-halving and recovery
+  // ladders above see exactly the failure behavior of the unaccelerated
+  // engine.
+  ws_v_entry_ = v;
+  const int iters = newton_iterate(v, transient, dt, use_be, caps, extra_gmin, max_iter, vtol,
+                                   reltol, dv_clamp, allow_bypass, reuse_jacobian);
+  if (iters >= 0) return iters;
+  ++stats_.full_newton_fallbacks;
+  v = ws_v_entry_;
+  factor_valid_ = false;
+  return newton_iterate(v, transient, dt, use_be, caps, extra_gmin, max_iter, vtol, reltol,
+                        dv_clamp, false, false);
+}
+
+int Engine::newton_iterate(std::vector<double>& v, bool transient, double dt, bool use_be,
+                           const std::vector<CapState>& caps, double extra_gmin, int max_iter,
+                           double vtol, double reltol, double dv_clamp, bool allow_bypass,
+                           bool reuse_jacobian) {
   static const bool debug = std::getenv("MTCMOS_SPICE_DEBUG") != nullptr;
 
   // Physical voltage window: unknowns are clamped slightly beyond the
@@ -262,30 +322,72 @@ int Engine::newton_solve(std::vector<double>& v, bool transient, double dt, bool
     return std::sqrt(acc);
   };
 
-  std::vector<double> f(static_cast<std::size_t>(n_unknowns_), 0.0);
-  std::vector<double> f_try(static_cast<std::size_t>(n_unknowns_), 0.0);
-  assemble(v, transient, dt, use_be, caps, extra_gmin, f);
-  double fnorm = l2(f);
+  assemble(v, transient, dt, use_be, caps, extra_gmin, ws_f_, allow_bypass);
+  double fnorm = l2(ws_f_);
+  const FactorSig sig{transient, dt, use_be, extra_gmin, gmin_};
+  bool refactor_pending = false;
   for (int iter = 1; iter <= max_iter; ++iter) {
-    std::vector<double> rhs = f;
-    for (double& x : rhs) x = -x;
-    lu_.factorize();
-    const std::vector<double> dv = lu_.solve(rhs);
+    ++stats_.newton_iters;
+    for (int u = 0; u < n_unknowns_; ++u) {
+      ws_rhs_[static_cast<std::size_t>(u)] = -ws_f_[static_cast<std::size_t>(u)];
+    }
+    // Modified Newton: keep solving against the last LU snapshot while it
+    // matches this system and the iteration keeps contracting; anything
+    // else (plain Newton, signature change, detected stall) refactorizes
+    // from the freshly stamped Jacobian.
+    bool fresh = false;
+    if (!reuse_jacobian || !factor_valid_ || !(factor_sig_ == sig) || refactor_pending) {
+      lu_.factorize();
+      ++stats_.factorizations;
+      factor_valid_ = true;
+      factor_sig_ = sig;
+      refactor_pending = false;
+      fresh = true;
+    }
+    lu_.solve_inplace(ws_rhs_);  // ws_rhs_ now holds the Newton update dv
+    ++stats_.solves;
+    const std::vector<double>& dv = ws_rhs_;
     double full_step = 0.0;  // undamped step size: the convergence metric
     for (double step : dv) {
       if (!std::isfinite(step)) return -1;
       full_step = std::max(full_step, std::min(std::abs(step), dv_clamp));
     }
+    // Accelerated early accept: when the undamped update is already below
+    // the convergence tolerance, apply it and return without the
+    // line-search verification assemble -- on settled steps this halves
+    // the assembles per solve.  Only under the accelerations; the default
+    // path keeps the plain engine's assemble-then-check arithmetic
+    // bit-for-bit.  A stale-snapshot update still needs the 4x tighter
+    // bar (see the stale-accept comment below).
+    if (allow_bypass || reuse_jacobian) {
+      double scale0 = 0.0;
+      for (const NodeId node : unknown_nodes_) {
+        scale0 = std::max(scale0, std::abs(v[static_cast<std::size_t>(node)]));
+      }
+      const double tol0 = vtol + reltol * scale0;
+      if (full_step <= (fresh ? tol0 : 0.25 * tol0)) {
+        for (int u = 0; u < n_unknowns_; ++u) {
+          const double step =
+              std::clamp(dv[static_cast<std::size_t>(u)], -dv_clamp, dv_clamp);
+          double& vn = v[static_cast<std::size_t>(unknown_nodes_[static_cast<std::size_t>(u)])];
+          vn = std::clamp(vn + step, v_floor, v_ceil);
+        }
+        return iter;
+      }
+    }
     double lu_rel_err = 0.0;
-    if (debug) {
+    const bool diagnose = debug && iter > max_iter - 12;
+    if (diagnose) {
       // LU solve quality against the stamped matrix (before the line
-      // search re-assembles it): ||A dv - rhs|| / ||rhs||.
-      const std::vector<double> ax = lu_.multiply(dv);
+      // search re-assembles it): ||A dv - rhs|| / ||rhs||, where rhs = -f.
+      // Only computed on the diagnostic tail, so the happy path never
+      // pays for the extra multiply.
+      lu_.multiply_into(dv, ws_ax_);
       double lu_err = 0.0, rhs_norm = 0.0;
       for (int u = 0; u < n_unknowns_; ++u) {
-        const double e = ax[static_cast<std::size_t>(u)] - rhs[static_cast<std::size_t>(u)];
+        const double e = ws_ax_[static_cast<std::size_t>(u)] + ws_f_[static_cast<std::size_t>(u)];
         lu_err += e * e;
-        rhs_norm += rhs[static_cast<std::size_t>(u)] * rhs[static_cast<std::size_t>(u)];
+        rhs_norm += ws_f_[static_cast<std::size_t>(u)] * ws_f_[static_cast<std::size_t>(u)];
       }
       lu_rel_err = std::sqrt(lu_err / (rhs_norm + 1e-300));
     }
@@ -293,20 +395,20 @@ int Engine::newton_solve(std::vector<double>& v, bool transient, double dt, bool
     // Damped update with backtracking on the residual norm: accept the
     // first step fraction that does not blow the residual up; always take
     // the smallest fraction if none improves (escapes flat plateaus).
+    const double fnorm_prev = fnorm;
     double max_dv = 0.0;
     double max_scale = 0.0;
     NodeId max_node = kGround;
-    std::vector<double> v_accept;
     const double lambdas[] = {1.0, 0.5, 0.25, 0.1, 0.03};
     for (double lambda : lambdas) {
-      std::vector<double> v_try = v;
+      ws_v_try_ = v;
       max_dv = 0.0;
       max_scale = 0.0;
       for (int u = 0; u < n_unknowns_; ++u) {
         const double step =
             std::clamp(lambda * dv[static_cast<std::size_t>(u)], -dv_clamp, dv_clamp);
         const NodeId node = unknown_nodes_[static_cast<std::size_t>(u)];
-        double& vn = v_try[static_cast<std::size_t>(node)];
+        double& vn = ws_v_try_[static_cast<std::size_t>(node)];
         vn = std::clamp(vn + step, v_floor, v_ceil);
         if (std::abs(step) > max_dv) {
           max_dv = std::abs(step);
@@ -314,22 +416,32 @@ int Engine::newton_solve(std::vector<double>& v, bool transient, double dt, bool
         }
         max_scale = std::max(max_scale, std::abs(vn));
       }
-      assemble(v_try, transient, dt, use_be, caps, extra_gmin, f_try);
-      const double fnorm_try = l2(f_try);
+      assemble(ws_v_try_, transient, dt, use_be, caps, extra_gmin, ws_f_try_, allow_bypass);
+      const double fnorm_try = l2(ws_f_try_);
       if (fnorm_try <= fnorm * 1.01 || lambda == lambdas[std::size(lambdas) - 1]) {
-        v_accept = std::move(v_try);
-        f = f_try;
+        std::swap(v, ws_v_try_);
+        std::swap(ws_f_, ws_f_try_);
         fnorm = fnorm_try;
         break;
       }
     }
-    v = std::move(v_accept);
     if (debug && iter > max_iter - 12) {
       std::cerr << "[newton] iter=" << iter << " full_step=" << full_step << " |f|=" << fnorm
                 << " lu_rel_err=" << lu_rel_err << " node=" << ckt_.node_name(max_node)
                 << " v=" << v[static_cast<std::size_t>(max_node)] << "\n";
     }
-    if (full_step <= vtol + reltol * max_scale) return iter;
+    const double conv_tol = vtol + reltol * max_scale;
+    // A stale-snapshot step must clear a 4x tighter bar: the undamped
+    // step is only an approximate error estimate when J is reused, so
+    // convergence is accepted conservatively.
+    if (full_step <= (fresh ? conv_tol : 0.25 * conv_tol)) return iter;
+    if (!fresh) {
+      if (full_step <= conv_tol) {
+        refactor_pending = true;  // nearly converged: certify with a fresh J
+      } else if (fnorm > 0.7 * fnorm_prev) {
+        refactor_pending = true;  // stalling on a stale J
+      }
+    }
   }
   return -1;
 }
@@ -343,7 +455,7 @@ std::vector<double> Engine::dc_operating_point(double at_time,
     v = *initial_guess;
   }
   apply_sources(at_time, v);
-  const std::vector<CapState> no_caps(ckt_.capacitors().size());
+  const std::vector<CapState>& no_caps = ws_zero_caps_;
 
   if (newton_solve(v, /*transient=*/false, 0.0, false, no_caps, /*extra_gmin=*/0.0,
                    /*max_iter=*/100, 1e-6, 1e-4, 0.5) > 0) {
@@ -401,8 +513,8 @@ std::vector<double> Engine::dc_operating_point(double at_time,
 
 std::string Engine::residual_context(const std::vector<double>& v, double scale) {
   std::vector<double> f(static_cast<std::size_t>(n_unknowns_), 0.0);
-  const std::vector<CapState> no_caps(ckt_.capacitors().size());
-  assemble(v, /*transient=*/false, 0.0, false, no_caps, /*extra_gmin=*/0.0, f);
+  assemble(v, /*transient=*/false, 0.0, false, ws_zero_caps_, /*extra_gmin=*/0.0, f,
+           /*allow_bypass=*/false);
   int worst = 0;
   for (int u = 1; u < n_unknowns_; ++u) {
     if (std::abs(f[static_cast<std::size_t>(u)]) > std::abs(f[static_cast<std::size_t>(worst)])) {
@@ -462,8 +574,16 @@ TransientResult Engine::run_transient(const TransientOptions& options) {
   require(options.tstop > 0.0, "run_transient: tstop must be positive");
   require(options.dt > 0.0 && options.dt <= options.tstop, "run_transient: bad dt");
   require(options.deadline_s >= 0.0, "run_transient: deadline_s must be non-negative");
+  require(options.bypass_tol >= 0.0, "run_transient: bypass_tol must be non-negative");
 
   TransientResult result;
+
+  // A run starts from a clean acceleration state so results depend only
+  // on (circuit, options), never on what a previous run left behind.
+  invalidate_run_caches();
+  bypass_tol_ = options.bypass_tol;
+  const bool allow_bypass = options.bypass_tol > 0.0;
+  const bool reuse_jacobian = options.jacobian_reuse;
 
   // Per-run budgets: sample the clock only when a wall-clock deadline is
   // armed, so budget-free runs stay bit-reproducible and syscall-free.
@@ -564,7 +684,9 @@ TransientResult Engine::run_transient(const TransientOptions& options) {
   };
   record(0.0);
 
-  // Recursive step with halving on Newton failure.
+  // Recursive step with halving on Newton failure.  The per-step trial
+  // voltages live in ws_step_v_; recursion is safe because a parent never
+  // touches its trial after recursing into half steps.
   const auto advance = [&](auto&& self, double t0, double dt, bool force_be, int depth) -> void {
     faultinject::check(faultinject::Site::kTransientStep, "Engine::run_transient");
     if (dt < options.dt_min || depth > 48) {
@@ -572,11 +694,11 @@ TransientResult Engine::run_transient(const TransientOptions& options) {
                             "time step underflow at t=" + std::to_string(t0)});
     }
     const double t1 = t0 + dt;
-    std::vector<double> v_try = v;
-    apply_sources(t1, v_try);
+    ws_step_v_ = v;
+    apply_sources(t1, ws_step_v_);
     const int iters =
-        newton_solve(v_try, /*transient=*/true, dt, force_be, caps, 0.0, options.max_newton,
-                     options.vtol, options.reltol, options.dv_clamp);
+        newton_solve(ws_step_v_, /*transient=*/true, dt, force_be, caps, 0.0, options.max_newton,
+                     options.vtol, options.reltol, options.dv_clamp, allow_bypass, reuse_jacobian);
     if (iters < 0) {
       self(self, t0, 0.5 * dt, /*force_be=*/true, depth + 1);
       self(self, t0 + 0.5 * dt, 0.5 * dt, /*force_be=*/true, depth + 1);
@@ -587,12 +709,12 @@ TransientResult Engine::run_transient(const TransientOptions& options) {
     for (std::size_t i = 0; i < ckt_.capacitors().size(); ++i) {
       const Capacitor& c = ckt_.capacitors()[i];
       const double vbr =
-          v_try[static_cast<std::size_t>(c.a)] - v_try[static_cast<std::size_t>(c.b)];
+          ws_step_v_[static_cast<std::size_t>(c.a)] - ws_step_v_[static_cast<std::size_t>(c.b)];
       const double geq = (force_be ? 1.0 : 2.0) * c.capacitance / dt;
       caps[i].i_branch = geq * (vbr - caps[i].v_branch) - (force_be ? 0.0 : caps[i].i_branch);
       caps[i].v_branch = vbr;
     }
-    v = std::move(v_try);
+    std::swap(v, ws_step_v_);
     result.steps += 1;
     record(t1);
   };
@@ -626,11 +748,11 @@ TransientResult Engine::run_transient(const TransientOptions& options) {
                             "adaptive step underflow at t=" + std::to_string(t)});
     }
     const bool use_be = first || options.backward_euler;
-    std::vector<double> v_try = v;
-    apply_sources(t + dt, v_try);
-    const int iters = newton_solve(v_try, /*transient=*/true, dt, use_be, caps, 0.0,
+    ws_step_v_ = v;
+    apply_sources(t + dt, ws_step_v_);
+    const int iters = newton_solve(ws_step_v_, /*transient=*/true, dt, use_be, caps, 0.0,
                                    options.max_newton, options.vtol, options.reltol,
-                                   options.dv_clamp);
+                                   options.dv_clamp, allow_bypass, reuse_jacobian);
     if (iters < 0) {
       dt *= 0.5;
       continue;
@@ -642,7 +764,7 @@ TransientResult Engine::run_transient(const TransientOptions& options) {
       for (const NodeId n : unknown_nodes_) {
         const std::size_t i = static_cast<std::size_t>(n);
         const double pred = v[i] + (v[i] - v_prev[i]) * dt / dt_prev;
-        err = std::max(err, std::abs(v_try[i] - pred));
+        err = std::max(err, std::abs(ws_step_v_[i] - pred));
       }
       if (err > 4.0 * options.lte_tol && dt > 4.0 * options.dt_min) {
         dt *= std::max(0.3, 0.9 * std::sqrt(options.lte_tol / err));
@@ -654,14 +776,14 @@ TransientResult Engine::run_transient(const TransientOptions& options) {
     for (std::size_t i = 0; i < ckt_.capacitors().size(); ++i) {
       const Capacitor& c = ckt_.capacitors()[i];
       const double vbr =
-          v_try[static_cast<std::size_t>(c.a)] - v_try[static_cast<std::size_t>(c.b)];
+          ws_step_v_[static_cast<std::size_t>(c.a)] - ws_step_v_[static_cast<std::size_t>(c.b)];
       const double geq = (use_be ? 1.0 : 2.0) * c.capacitance / dt;
       caps[i].i_branch = geq * (vbr - caps[i].v_branch) - (use_be ? 0.0 : caps[i].i_branch);
       caps[i].v_branch = vbr;
     }
     v_prev = v;
     dt_prev = dt;
-    v = std::move(v_try);
+    std::swap(v, ws_step_v_);
     t += dt;
     result.steps += 1;
     record(t);

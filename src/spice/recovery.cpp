@@ -56,6 +56,12 @@ Outcome<TransientResult> run_transient_recovered(Engine& engine, const Transient
       attempt_options.dt = options.dt * rung.dt_scale;
       attempt_options.reltol = options.reltol * rung.reltol_scale;
       engine.set_gmin(gmin_guard.original() * rung.gmin_scale);
+      // Escalation rungs run the plain engine: a failure under the
+      // accelerations already fell back to full Newton per solve, so a
+      // whole-run failure means the circuit is genuinely hard -- retry at
+      // maximum robustness, not with speed tricks layered back on.
+      attempt_options.bypass_tol = 0.0;
+      attempt_options.jacobian_reuse = false;
     }
     try {
       return Outcome<TransientResult>::success(engine.run_transient(attempt_options), attempt);

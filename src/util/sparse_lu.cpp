@@ -169,13 +169,16 @@ int SparseLu::slot(int row, int col) const {
 }
 
 void SparseLu::clear_values() {
+  // Deliberately leaves have_factor_ alone: the factorization is a
+  // snapshot in factor_, so restamping values_ does not corrupt it and
+  // modified-Newton callers keep solving against it between refactorizes.
   std::fill(values_.begin(), values_.end(), 0.0);
-  have_factor_ = false;
 }
 
 void SparseLu::factorize() {
   require(finalized_, "SparseLu::factorize: call finalize() first");
   faultinject::check(faultinject::Site::kSparseLuFactorize, "SparseLu::factorize");
+  have_factor_ = false;  // a throwing factorization must not leave a stale snapshot usable
   factor_ = values_;
   for (const ElimStep& s : steps_) {
     const double pivot = factor_[static_cast<std::size_t>(s.pivot_pos)];
@@ -194,10 +197,15 @@ void SparseLu::factorize() {
   have_factor_ = true;
 }
 
-std::vector<double> SparseLu::solve(const std::vector<double>& b) const {
-  require(have_factor_, "SparseLu::solve: call factorize() first");
+void SparseLu::solve_inplace(std::vector<double>& b) const {
+  if (!have_factor_) {
+    throw NumericalError({FailureCode::kSingularMatrix, "SparseLu::solve",
+                          "no valid factorization (factorize() not called, or its last "
+                          "attempt hit a vanishing pivot)"});
+  }
   require(static_cast<int>(b.size()) == n_, "SparseLu::solve: rhs dimension mismatch");
-  std::vector<double> y(static_cast<std::size_t>(n_), 0.0);
+  solve_scratch_.resize(static_cast<std::size_t>(n_));
+  std::vector<double>& y = solve_scratch_;
   for (int i = 0; i < n_; ++i) {
     y[static_cast<std::size_t>(i)] = b[static_cast<std::size_t>(iperm_[static_cast<std::size_t>(i)])];
   }
@@ -217,18 +225,28 @@ std::vector<double> SparseLu::solve(const std::vector<double>& b) const {
     }
     y[static_cast<std::size_t>(i)] = acc / factor_[static_cast<std::size_t>(dp)];
   }
-  // Un-permute.
-  std::vector<double> x(static_cast<std::size_t>(n_), 0.0);
+  // Un-permute into the caller's vector.
   for (int i = 0; i < n_; ++i) {
-    x[static_cast<std::size_t>(iperm_[static_cast<std::size_t>(i)])] = y[static_cast<std::size_t>(i)];
+    b[static_cast<std::size_t>(iperm_[static_cast<std::size_t>(i)])] = y[static_cast<std::size_t>(i)];
   }
+}
+
+std::vector<double> SparseLu::solve(const std::vector<double>& b) const {
+  std::vector<double> x = b;
+  solve_inplace(x);
   return x;
 }
 
 std::vector<double> SparseLu::multiply(const std::vector<double>& x) const {
+  std::vector<double> y;
+  multiply_into(x, y);
+  return y;
+}
+
+void SparseLu::multiply_into(const std::vector<double>& x, std::vector<double>& y) const {
   require(finalized_, "SparseLu::multiply: call finalize() first");
   require(static_cast<int>(x.size()) == n_, "SparseLu::multiply: dimension mismatch");
-  std::vector<double> y(static_cast<std::size_t>(n_), 0.0);
+  y.assign(static_cast<std::size_t>(n_), 0.0);
   for (int i = 0; i < n_; ++i) {
     double acc = 0.0;
     for (int pos = row_begin_[static_cast<std::size_t>(i)];
@@ -239,7 +257,6 @@ std::vector<double> SparseLu::multiply(const std::vector<double>& x) const {
     }
     y[static_cast<std::size_t>(iperm_[static_cast<std::size_t>(i)])] = acc;
   }
-  return y;
 }
 
 }  // namespace mtcmos

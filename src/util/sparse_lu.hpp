@@ -9,8 +9,19 @@
 //   2. Stamping: look up slot(i, j) once per device and cache it; each
 //      Newton iteration calls clear_values() and add(slot, v).
 //   3. Solve:    factorize() runs the precompiled elimination on the
-//      current values; solve(b) does the permuted forward/back
-//      substitution.
+//      current values; solve(b) / solve_inplace(b) do the permuted
+//      forward/back substitution.
+//
+// The factorization is a snapshot: factorize() copies the stamped values
+// into a private working array, so clear_values() + restamping does NOT
+// invalidate it.  Modified-Newton callers exploit this deliberately --
+// they restamp a fresh Jacobian every iteration but refactorize only when
+// the iteration stalls, solving against the snapshot in between.  A
+// failed factorize() *does* invalidate the snapshot; solving with no
+// valid snapshot throws a coded NumericalError (kSingularMatrix).
+//
+// Thread safety: a SparseLu is single-owner (one engine, one thread at a
+// time).  solve_inplace and solve share an internal permutation scratch.
 //
 // No numerical pivoting is performed.  This is safe for the matrices the
 // MNA engine produces because every diagonal carries a strictly positive
@@ -53,12 +64,25 @@ class SparseLu {
   double value(int slot) const { return values_[static_cast<std::size_t>(slot)]; }
 
   /// Numeric LU factorization of the currently stamped values.
-  /// Throws NumericalError on a vanishing pivot.
+  /// Throws NumericalError on a vanishing pivot; a throwing call leaves
+  /// the solver with no valid factorization (solves throw until the next
+  /// successful factorize()).
   void factorize();
+
+  /// True between a successful factorize() and the next factorization
+  /// attempt's failure.  Restamping values does not clear it.
+  bool have_factor() const { return have_factor_; }
 
   /// Solve A x = b with the most recent factorization.  `b` uses external
   /// indexing; the result is returned in external indexing too.
+  /// Throws NumericalError (kSingularMatrix) when no valid factorization
+  /// exists (factorize() never called, or its last attempt failed).
   std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Allocation-free solve: overwrites `b` with the solution x.  Same
+  /// arithmetic and same error contract as solve(); the permutation
+  /// scratch is an internal member, so no per-call vectors are created.
+  void solve_inplace(std::vector<double>& b) const;
 
   /// Number of stored entries including fill (diagnostics).
   std::size_t nnz() const { return values_.size(); }
@@ -67,6 +91,10 @@ class SparseLu {
   /// External indexing.  Used to verify solve quality in diagnostics and
   /// tests.
   std::vector<double> multiply(const std::vector<double>& x) const;
+
+  /// Allocation-free multiply: y = A x into a caller-provided vector
+  /// (resized to n).  Same arithmetic as multiply().
+  void multiply_into(const std::vector<double>& x, std::vector<double>& y) const;
 
  private:
   struct EntryKey {
@@ -110,6 +138,7 @@ class SparseLu {
 
   std::vector<double> factor_;  // working copy holding L\U after factorize()
   bool have_factor_ = false;
+  mutable std::vector<double> solve_scratch_;  // permuted y for solve paths
 };
 
 }  // namespace mtcmos

@@ -252,6 +252,86 @@ TEST(SparseLu, ZeroPivotActuallyThrows) {
   EXPECT_THROW(lu.factorize(), NumericalError);
 }
 
+TEST(SparseLu, SolveBeforeFactorizeThrowsCodedError) {
+  SparseLu lu;
+  lu.reserve_entry(0, 0);
+  lu.finalize(1);
+  lu.clear_values();
+  lu.add(lu.slot(0, 0), 2.0);
+  // No factorize() yet: both solve paths must refuse with a classified
+  // failure instead of reading an empty factor array.
+  try {
+    (void)lu.solve({1.0});
+    FAIL() << "solve() before factorize() did not throw";
+  } catch (const NumericalError& e) {
+    EXPECT_EQ(e.info().code, FailureCode::kSingularMatrix);
+  }
+  std::vector<double> b = {1.0};
+  EXPECT_THROW(lu.solve_inplace(b), NumericalError);
+  EXPECT_FALSE(lu.have_factor());
+}
+
+TEST(SparseLu, FailedFactorizeInvalidatesPreviousSnapshot) {
+  SparseLu lu;
+  lu.reserve_entry(0, 0);
+  lu.reserve_entry(0, 1);
+  lu.reserve_entry(1, 0);
+  lu.reserve_entry(1, 1);
+  lu.finalize(2);
+  lu.clear_values();
+  lu.add(lu.slot(0, 0), 2.0);
+  lu.add(lu.slot(1, 1), 2.0);
+  lu.factorize();
+  EXPECT_TRUE(lu.have_factor());
+  // Restamping alone must NOT invalidate the snapshot (modified-Newton
+  // callers keep solving against it between refactorizes)...
+  lu.clear_values();
+  lu.add(lu.slot(0, 1), 1.0);
+  lu.add(lu.slot(1, 0), 1.0);
+  lu.add(lu.slot(1, 1), 1.0);
+  EXPECT_TRUE(lu.have_factor());
+  EXPECT_NO_THROW((void)lu.solve({1.0, 1.0}));
+  // ...but a failed factorization (zero pivot) must: the partial
+  // elimination it left behind is garbage, not the old snapshot.
+  EXPECT_THROW(lu.factorize(), NumericalError);
+  EXPECT_FALSE(lu.have_factor());
+  try {
+    (void)lu.solve({1.0, 1.0});
+    FAIL() << "solve() after failed factorize() did not throw";
+  } catch (const NumericalError& e) {
+    EXPECT_EQ(e.info().code, FailureCode::kSingularMatrix);
+  }
+}
+
+TEST(SparseLu, InPlaceVariantsMatchAllocatingOnes) {
+  SparseLu lu;
+  lu.reserve_entry(0, 0);
+  lu.reserve_entry(0, 1);
+  lu.reserve_entry(1, 0);
+  lu.reserve_entry(1, 1);
+  lu.reserve_entry(2, 2);
+  lu.finalize(3);
+  lu.clear_values();
+  lu.add(lu.slot(0, 0), 3.0);
+  lu.add(lu.slot(0, 1), -1.0);
+  lu.add(lu.slot(1, 0), -1.0);
+  lu.add(lu.slot(1, 1), 2.5);
+  lu.add(lu.slot(2, 2), 4.0);
+  lu.factorize();
+  const std::vector<double> b = {1.0, -2.0, 3.0};
+  const auto x = lu.solve(b);
+  std::vector<double> x_inplace = b;
+  lu.solve_inplace(x_inplace);
+  ASSERT_EQ(x.size(), x_inplace.size());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(x[i], x_inplace[i]) << i;
+
+  const auto y = lu.multiply(x);
+  std::vector<double> y_into;
+  lu.multiply_into(x, y_into);
+  ASSERT_EQ(y.size(), y_into.size());
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_EQ(y[i], y_into[i]) << i;
+}
+
 TEST(SparseLu, SlotForMissingEntryIsNegative) {
   SparseLu lu;
   lu.reserve_entry(0, 0);
