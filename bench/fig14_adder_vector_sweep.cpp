@@ -10,28 +10,72 @@
 // simulator column covers every vector, exactly as the tool is meant to
 // be used (narrow first, SPICE-verify after).
 //
-// Both columns are produced by EvalBackend::degradation_pct -- the same
-// call on a VbsBackend and a SpiceBackend.  The SpiceBackend manages its
-// own ideal-ground baseline circuit internally, replacing the two
-// hand-wired SpiceRef instances this bench used to juggle.
+// Both columns are produced by sizing::rank_vectors over the abstract
+// EvalBackend -- the same sweep on a VbsBackend and a SpiceBackend -- so
+// they fan out over a thread pool (--threads N), isolate per-vector
+// failures, and optionally journal every completed measurement
+// (--checkpoint DIR): a killed run re-invoked with the same arguments
+// replays journaled items and lands on bit-identical tables.  The
+// per-column wall times are printed so the journal's overhead is directly
+// measurable (run with and without --checkpoint).
 
 #include <algorithm>
+#include <chrono>
 #include <iostream>
+#include <filesystem>
+#include <map>
 
 #include "bench_util.hpp"
 #include "circuits/generators.hpp"
 #include "models/technology.hpp"
 #include "netlist/bits.hpp"
 #include "sizing/backend.hpp"
+#include "sizing/checkpoint.hpp"
+#include "sizing/session.hpp"
 #include "sizing/sizing.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
 int main(int argc, char** argv) {
   using namespace mtcmos;
   using namespace mtcmos::units;
-  const bool quick = (argc > 1 && std::string(argv[1]) == "--quick");
+  using Clock = std::chrono::steady_clock;
+  bool quick = false;
+  int threads = util::ThreadPool::default_thread_count();
+  std::string checkpoint_dir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+      if (threads < 1) threads = 1;
+    } else if (arg == "--checkpoint" && i + 1 < argc) {
+      checkpoint_dir = argv[++i];
+    } else {
+      std::cerr << "usage: fig14_adder_vector_sweep [--quick] [--threads N] "
+                   "[--checkpoint DIR]\n";
+      return 2;
+    }
+  }
   bench::print_header("FIG14", "3-bit adder: % degradation for S2-toggling vectors (W/L = 10)");
+
+  util::ThreadPool pool(threads);
+  SweepReport report;
+  sizing::Checkpoint checkpoint;
+  sizing::EvalSession session;
+  session.pool = &pool;
+  session.report = &report;
+  if (!checkpoint_dir.empty()) {
+    std::filesystem::create_directories(checkpoint_dir);
+    const std::string journal_path =
+        (std::filesystem::path(checkpoint_dir) / "fig14.mtj").string();
+    checkpoint.open(journal_path);
+    session.checkpoint = &checkpoint;
+    std::cout << "Checkpoint: " << journal_path << " ("
+              << checkpoint.journal().replayed_records() << " journaled records replay)\n";
+  }
 
   const auto adder = circuits::make_ripple_adder(tech07(), 3);
   const std::string s2 = adder.netlist.net_name(adder.sum[2]);
@@ -47,22 +91,28 @@ int main(int argc, char** argv) {
   }
   std::cout << "Vector transitions toggling S2: " << toggling.size() << " of 4096\n";
 
-  // Switch-level degradation for every toggling vector (measured on S2).
+  // Switch-level degradation for every toggling vector (measured on S2),
+  // through the session sweep.  rank_vectors drops vectors whose outputs
+  // never switch and returns the rest worst-first.
   const sizing::VbsBackend vbs(adder.netlist, {s2});
   struct Entry {
     sizing::VectorPair vp;
     double vbs_deg = -1.0;
     double spice_deg = -1.0;
   };
+  const auto vbs_t0 = Clock::now();
+  const auto ranked = sizing::rank_vectors(vbs, toggling, wl, session);
+  const double vbs_seconds = std::chrono::duration<double>(Clock::now() - vbs_t0).count();
   std::vector<Entry> entries;
-  for (const auto& vp : toggling) {
-    const double deg = vbs.degradation_pct(vp, wl);
-    if (deg >= 0.0) entries.push_back({vp, deg, -1.0});
-  }
+  entries.reserve(ranked.size());
+  for (const auto& vd : ranked) entries.push_back({vd.pair, vd.degradation_pct, -1.0});
 
   // SPICE reference on a subsample (every vector when --quick is absent
   // would still finish, but ~0.05 s x O(1000) vectors: we default to an
-  // even subsample of 64 and let the user raise it).
+  // even subsample of 64 and let the user raise it).  The subsample is
+  // evenly strided over the vbs-sorted list, so it covers the whole
+  // degradation range; rank_vectors keys items by their transition, so a
+  // checkpointed rerun replays exactly these measurements.
   const std::size_t spice_samples = quick ? 16 : 64;
   sizing::SpiceBackendOptions sopt;
   sopt.tstop = 12.0 * ns;
@@ -70,13 +120,18 @@ int main(int argc, char** argv) {
   const sizing::SpiceBackend spice(adder.netlist, {s2}, sopt);
 
   const std::size_t stride = std::max<std::size_t>(1, entries.size() / spice_samples);
-  for (std::size_t i = 0; i < entries.size(); i += stride) {
-    try {
-      entries[i].spice_deg = spice.degradation_pct(entries[i].vp, wl);
-    } catch (const NumericalError&) {
-      // Sample diverged through the whole recovery ladder: leave its SPICE
-      // column blank, exactly like a non-toggling vector.
-    }
+  std::vector<sizing::VectorPair> subsample;
+  for (std::size_t i = 0; i < entries.size(); i += stride) subsample.push_back(entries[i].vp);
+  const auto spice_t0 = Clock::now();
+  const auto spice_ranked = sizing::rank_vectors(spice, subsample, wl, session);
+  const double spice_seconds = std::chrono::duration<double>(Clock::now() - spice_t0).count();
+  // Match the SPICE measurements back to their entries by transition
+  // content (rank_vectors reordered them).
+  std::map<std::pair<std::vector<bool>, std::vector<bool>>, double> spice_by_vp;
+  for (const auto& vd : spice_ranked) spice_by_vp[{vd.pair.v0, vd.pair.v1}] = vd.degradation_pct;
+  for (Entry& e : entries) {
+    const auto it = spice_by_vp.find({e.vp.v0, e.vp.v1});
+    if (it != spice_by_vp.end()) e.spice_deg = it->second;
   }
 
   // Order worst-to-best by the SPICE degradation where available, else by
@@ -115,5 +170,10 @@ int main(int argc, char** argv) {
               << " pts, max |err| = " << Table::num(max_err, 3)
               << " pts (paper: 'significant spread ... the general trend is correct').\n";
   }
+  std::cout << "Sweep wall time (" << pool.thread_count() << " threads): VBS "
+            << Table::num(vbs_seconds, 4) << " s over " << toggling.size() << " vectors, SPICE "
+            << Table::num(spice_seconds, 4) << " s over " << subsample.size() << " vectors"
+            << (session.checkpoint != nullptr ? " [journaled]" : "") << "\n";
+  if (report.failed > 0) std::cout << "Sweep health: " << report.summary() << "\n";
   return 0;
 }

@@ -15,6 +15,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "circuits/generators.hpp"
 #include "models/technology.hpp"
 #include "sizing/backend.hpp"
+#include "sizing/checkpoint.hpp"
 #include "sizing/sizing.hpp"
 #include "util/thread_pool.hpp"
 #include "util/units.hpp"
@@ -38,15 +40,33 @@ struct SweepRun {
 
 // Time delay_at_wl over `pairs` through the backend interface.  The
 // per-W/L engine is warmed by prepare_wl first, so the timing measures
-// steady-state per-vector cost, not one-time construction.
+// steady-state per-vector cost, not one-time construction.  With a
+// checkpoint armed, every completed delay is journaled (keyed by
+// backend + W/L + transition) and journaled delays replay without
+// simulating -- a killed run resumed with the same arguments reproduces
+// the identical checksum.  The timed region includes the journal
+// traffic, so comparing runs with and without --checkpoint measures its
+// overhead directly.
 SweepRun timed_sweep(const sizing::EvalBackend& backend,
                      const std::vector<sizing::VectorPair>& pairs, double wl,
-                     util::ThreadPool& pool) {
+                     util::ThreadPool& pool, sizing::Checkpoint* ckpt) {
   backend.prepare_wl(wl);
+  std::string prefix;
+  if (ckpt != nullptr && ckpt->armed()) {
+    prefix = sizing::checkpoint_prefix(
+        "sec62-delay", backend.name(),
+        sizing::netlist_fingerprint(backend.netlist(), backend.outputs()), wl);
+  }
   SweepRun out;
   const auto t0 = Clock::now();
   out.delays = pool.parallel_map(pairs.size(), [&](std::size_t i) {
-    return backend.delay_at_wl(pairs[i], wl);
+    if (prefix.empty()) return backend.delay_at_wl(pairs[i], wl);
+    const std::string key = sizing::checkpoint_item_key(prefix, pairs[i]);
+    Outcome<double> cached;
+    if (ckpt->lookup(key, cached) && cached.ok()) return *cached.value;
+    const double d = backend.delay_at_wl(pairs[i], wl);
+    ckpt->record(key, Outcome<double>::success(d));
+    return d;
   });
   out.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
   return out;
@@ -58,6 +78,7 @@ int main(int argc, char** argv) {
   using namespace mtcmos::units;
   bool quick = false;
   int threads = util::ThreadPool::default_thread_count();
+  std::string checkpoint_dir;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
@@ -65,13 +86,26 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads" && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
       if (threads < 1) threads = 1;
+    } else if (arg == "--checkpoint" && i + 1 < argc) {
+      checkpoint_dir = argv[++i];
     } else {
-      std::cerr << "usage: sec62_runtime [--quick] [--threads N]\n";
+      std::cerr << "usage: sec62_runtime [--quick] [--threads N] [--checkpoint DIR]\n";
       return 2;
     }
   }
   util::ThreadPool pool(threads);
   bench::print_header("SEC62", "Exhaustive 3-bit adder vector sweep: runtime comparison");
+
+  sizing::Checkpoint checkpoint;
+  if (!checkpoint_dir.empty()) {
+    std::filesystem::create_directories(checkpoint_dir);
+    const std::string journal_path =
+        (std::filesystem::path(checkpoint_dir) / "sec62.mtj").string();
+    checkpoint.open(journal_path);
+    std::cout << "Checkpoint: " << journal_path << " ("
+              << checkpoint.journal().replayed_records()
+              << " journaled records replay; timings below include journal traffic)\n";
+  }
 
   const auto adder = circuits::make_ripple_adder(tech07(), 3);
   std::vector<std::string> outs;
@@ -86,7 +120,7 @@ int main(int argc, char** argv) {
   // index-addressed slots, so the checksum reduction below is bit-
   // identical to the serial sweep.
   const sizing::VbsBackend vbs(adder.netlist, outs);
-  const SweepRun vbs_run = timed_sweep(vbs, pairs, wl, pool);
+  const SweepRun vbs_run = timed_sweep(vbs, pairs, wl, pool, &checkpoint);
   double vbs_checksum = 0.0;
   std::size_t switched = 0;
   for (const double d : vbs_run.delays) {
@@ -112,7 +146,7 @@ int main(int argc, char** argv) {
   for (std::size_t s = 0; s < sample && s < pairs.size(); ++s) {
     sampled.push_back(pairs[s * pairs.size() / sample]);
   }
-  const SweepRun spice_run = timed_sweep(spice, sampled, wl, pool);
+  const SweepRun spice_run = timed_sweep(spice, sampled, wl, pool, &checkpoint);
   const std::size_t measured = sampled.size();
   const double spice_total_est = spice_run.seconds / static_cast<double>(measured) *
                                  static_cast<double>(pairs.size());

@@ -12,6 +12,7 @@
 //                [--seed S] [--sweep WL1,WL2,...] [--backend vbs|spice]
 //                [--verify] [--screen N] [--export-deck out.sp]
 //                [--export-vcd out.vcd] [--wl X]
+//                [--checkpoint DIR] [--resume] [--watchdog MULT]
 //
 // The netlist must declare `input` nets and at least one `output` net;
 // builtin:adderN generates the paper's N-bit ripple-carry adder instead
@@ -28,8 +29,19 @@
 // simultaneous-discharge weight before simulating; --export-vcd dumps the
 // waveforms of the binding vector at the recommended sizing for GTKWave
 // inspection.
+//
+// Crash safety: --checkpoint DIR journals every completed measurement to
+// DIR/journal.mtj as it lands.  A run killed at any point (Ctrl-C, OOM,
+// power loss) is re-invoked with the same arguments plus --resume: items
+// already journaled replay without simulating and the final results are
+// bit-identical to an uninterrupted run.  SIGINT/SIGTERM drain in-flight
+// items, flush the journal, print the partial sweep health, and exit
+// with code 3 (0 = success, 1 = error, 2 = usage).  --watchdog M flags
+// items slower than M x the running-median item time, requeues them
+// once, then fails them as deadline-exceeded (see docs/robustness.md).
 
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -40,8 +52,12 @@
 #include "models/sleep_transistor.hpp"
 #include "netlist/expand.hpp"
 #include "netlist/io.hpp"
+#include "sizing/checkpoint.hpp"
+#include "sizing/session.hpp"
 #include "sizing/sizing.hpp"
 #include "spice/deck.hpp"
+#include "util/cancel.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -56,8 +72,27 @@ int usage() {
       << "usage: mtcmos_sizer <netlist.mtn | builtin:adderN> [--target PCT] [--vectors N]\n"
          "                    [--seed S] [--sweep WL1,WL2,...] [--backend vbs|spice]\n"
          "                    [--verify] [--screen N] [--export-deck out.sp]\n"
-         "                    [--export-vcd out.vcd] [--wl X]\n";
+         "                    [--export-vcd out.vcd] [--wl X]\n"
+         "                    [--checkpoint DIR] [--resume] [--watchdog MULT]\n"
+         "exit codes: 0 = success, 1 = error, 2 = usage, 3 = interrupted "
+         "(SIGINT/SIGTERM; partial results journaled under --checkpoint)\n";
   return 2;
+}
+
+/// Partial-completion report: sweep health plus the failure-code
+/// histogram, so the user sees what was cancelled vs what genuinely
+/// failed before deciding to resume.
+void print_sweep_health(const mtcmos::SweepReport& report) {
+  if (report.total == 0) return;
+  std::cout << "\nSweep health: " << report.summary() << "\n";
+  const auto histogram = report.code_histogram();
+  if (!histogram.empty()) {
+    std::cout << "  failure codes:";
+    for (const auto& [code, count] : histogram) {
+      std::cout << " " << mtcmos::to_string(code) << "=" << count;
+    }
+    std::cout << "\n";
+  }
 }
 
 std::vector<double> parse_list(const std::string& csv) {
@@ -106,6 +141,9 @@ int main(int argc, char** argv) {
   bool verify = false;
   double deck_wl = 10.0;
   int screen_keep = 0;
+  std::string checkpoint_dir;
+  bool resume = false;
+  double watchdog_multiple = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -140,6 +178,12 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--verify") {
       verify = true;
+    } else if (arg == "--checkpoint") {
+      checkpoint_dir = next();
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--watchdog") {
+      watchdog_multiple = std::stod(next());
     } else if (arg[0] == '-') {
       std::cerr << "unknown option: " << arg << "\n";
       return usage();
@@ -148,6 +192,23 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) return usage();
+  if (resume && checkpoint_dir.empty()) {
+    std::cerr << "--resume requires --checkpoint DIR\n";
+    return usage();
+  }
+
+  // Ctrl-C / SIGTERM raise the process-global cancellation token that
+  // every sweep below polls: in-flight items drain, the journal flushes,
+  // and we exit 3 with partial results instead of dying mid-write.
+  util::install_cancel_signal_handlers();
+
+  // Session shared by every sweep: one report aggregates the whole run's
+  // item outcomes, and the checkpoint (when armed) journals them.
+  SweepReport report;
+  sizing::Checkpoint checkpoint;
+  sizing::EvalSession session;
+  session.report = &report;
+  session.watchdog.multiple = watchdog_multiple;
 
   try {
     const netlist::ParsedNetlist parsed = load_circuit(path);
@@ -159,6 +220,41 @@ int main(int argc, char** argv) {
     std::cout << "Netlist: " << nl.gate_count() << " gates, " << nl.transistor_count()
               << " transistors, " << nl.inputs().size() << " inputs, technology "
               << nl.tech().name << "\n";
+
+    if (!checkpoint_dir.empty()) {
+      std::filesystem::create_directories(checkpoint_dir);
+      const std::string journal_path =
+          (std::filesystem::path(checkpoint_dir) / "journal.mtj").string();
+      checkpoint.open(journal_path);
+      if (checkpoint.journal().size() > 0 && !resume) {
+        std::cerr << "error: " << journal_path << " already holds "
+                  << checkpoint.journal().size()
+                  << " outcomes; pass --resume to continue that run or use a fresh "
+                     "--checkpoint directory\n";
+        return 2;
+      }
+      // Guard the journal against a resume with different arguments:
+      // mixing two runs would merge unrelated measurements.
+      checkpoint.bind_meta("circuit", path);
+      checkpoint.bind_meta("backend", backend_name);
+      checkpoint.bind_meta("target", std::to_string(target));
+      checkpoint.bind_meta("seed", std::to_string(seed));
+      checkpoint.bind_meta("vectors", std::to_string(n_vectors));
+      checkpoint.bind_meta("screen", std::to_string(screen_keep));
+      session.checkpoint = &checkpoint;
+      if (resume) {
+        std::cout << "Resuming from " << journal_path << ": "
+                  << checkpoint.journal().replayed_records()
+                  << " journaled records replay without simulating";
+        if (checkpoint.journal().truncated_bytes() > 0) {
+          std::cout << " (dropped " << checkpoint.journal().truncated_bytes()
+                    << " torn trailing bytes)";
+        }
+        std::cout << "\n";
+      } else {
+        std::cout << "Checkpointing to " << journal_path << "\n";
+      }
+    }
 
     // Vector set.
     const int n_in = static_cast<int>(nl.inputs().size());
@@ -175,7 +271,7 @@ int main(int argc, char** argv) {
 
     if (screen_keep > 0 && static_cast<std::size_t>(screen_keep) < vectors.size()) {
       vectors = sizing::screen_vectors(nl, std::move(vectors),
-                                       static_cast<std::size_t>(screen_keep));
+                                       static_cast<std::size_t>(screen_keep), session);
       std::cout << "Screened to the " << vectors.size()
                 << " transitions with the largest simultaneous-discharge weight\n";
     }
@@ -190,12 +286,13 @@ int main(int argc, char** argv) {
     }
     const sizing::EvalBackend& eval = *backend;
 
-    // Degradation sweep.
+    // Degradation sweep through the session, so the table rows are
+    // parallel, fault-isolated, checkpointed, and cancellable like every
+    // other sweep (rank_vectors returns worst-first).
     Table table({"sleep W/L", "R_eff [kOhm]", "worst degr [%]"});
     for (const double wl : sweep) {
-      eval.prepare_wl(wl);
-      double worst = -1.0;
-      for (const auto& vp : vectors) worst = std::max(worst, eval.degradation_pct(vp, wl));
+      const auto ranked = sizing::rank_vectors(eval, vectors, wl, session);
+      const double worst = ranked.empty() ? -1.0 : ranked.front().degradation_pct;
       table.add_row({Table::num(wl, 4),
                      Table::num(SleepTransistor(nl.tech(), wl).reff() / 1e3, 4),
                      Table::num(worst, 3)});
@@ -204,13 +301,14 @@ int main(int argc, char** argv) {
 
     // Refined worst vector (sampled spaces benefit from the greedy pass).
     if (n_in > 8) {
-      const auto worst = sizing::search_worst_vector(eval, sweep.front(), n_vectors / 2, rng);
+      const auto worst =
+          sizing::search_worst_vector(eval, sweep.front(), n_vectors / 2, rng, session);
       vectors.push_back(worst.pair);
       std::cout << "Greedy-refined worst vector adds " << worst.degradation_pct
                 << "% degradation at W/L = " << sweep.front() << "\n";
     }
 
-    const auto sized = sizing::size_for_degradation(eval, vectors, target);
+    const auto sized = sizing::size_for_degradation(eval, vectors, target, {}, session);
     std::cout << "\nRecommended sleep W/L for <= " << target << "% degradation: " << sized.wl
               << " (achieves " << sized.degradation_pct << "%)\n";
     const SleepTransistor st(nl.tech(), sized.wl);
@@ -222,7 +320,7 @@ int main(int argc, char** argv) {
       // Paper Section 6 methodology: size with the fast engine, re-measure
       // the binding vector on the transistor-level reference.
       const sizing::SpiceBackend reference(nl, parsed.outputs);
-      const auto vr = sizing::verify_sizing(eval, reference, sized, target);
+      const auto vr = sizing::verify_sizing(eval, reference, sized, target, session);
       std::cout << "\nCross-backend verification (" << eval.name() << " -> "
                 << reference.name() << ") of the binding vector at W/L = " << vr.wl << ":\n";
       if (!vr.ok) {
@@ -265,9 +363,38 @@ int main(int argc, char** argv) {
       spice::write_spice_deck(os, ex.circuit, dopt);
       std::cout << "Wrote SPICE deck to " << deck_path << "\n";
     }
+  } catch (const NumericalError& e) {
+    if (e.info().code == FailureCode::kCancelled ||
+        util::CancelToken::global().requested()) {
+      print_sweep_health(report);
+      std::cerr << "interrupted"
+                << (util::last_cancel_signal() != 0
+                        ? " by signal " + std::to_string(util::last_cancel_signal())
+                        : "")
+                << ": " << e.what() << "\n";
+      if (session.checkpoint != nullptr) {
+        std::cerr << "completed items are journaled; rerun with --resume to continue\n";
+      }
+      return 3;
+    }
+    print_sweep_health(report);
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
+  if (util::CancelToken::global().requested()) {
+    // Cancelled late enough that every sweep still returned: the results
+    // above are partial (unstarted items were skipped as kCancelled).
+    print_sweep_health(report);
+    std::cerr << "interrupted; results above are partial";
+    if (session.checkpoint != nullptr) {
+      std::cerr << " -- completed items are journaled; rerun with --resume to continue";
+    }
+    std::cerr << "\n";
+    return 3;
+  }
+  print_sweep_health(report);
   return 0;
 }

@@ -41,8 +41,20 @@ def main() -> int:
                     help="thread count for the parallel leg (default MTCMOS_THREADS or 8)")
     args = ap.parse_args()
 
-    with open(args.baseline, encoding="utf-8") as f:
-        baseline = json.load(f)
+    try:
+        with open(args.baseline, encoding="utf-8") as f:
+            baseline = json.load(f)
+    except FileNotFoundError:
+        print(f"FAIL: baseline {args.baseline} does not exist "
+              "(run microbench once and commit its BENCH_spice.json)")
+        return 1
+    except json.JSONDecodeError as e:
+        print(f"FAIL: baseline {args.baseline} is not valid JSON: {e}")
+        return 1
+    if not isinstance(baseline, dict) or not isinstance(baseline.get("speedup"), (int, float)):
+        print(f"FAIL: baseline {args.baseline} has no numeric 'speedup' field "
+              "(wrong file, or written by an incompatible microbench?)")
+        return 1
 
     with tempfile.TemporaryDirectory(prefix="bench_spice.") as tmp:
         proc = subprocess.run(
@@ -55,8 +67,19 @@ def main() -> int:
             print(f"FAIL: microbench exited {proc.returncode} "
                   "(pooled results diverged or the run crashed)")
             return 1
-        with open(os.path.join(tmp, "BENCH_spice.json"), encoding="utf-8") as f:
-            fresh = json.load(f)
+        fresh_path = os.path.join(tmp, "BENCH_spice.json")
+        try:
+            with open(fresh_path, encoding="utf-8") as f:
+                fresh = json.load(f)
+        except FileNotFoundError:
+            print("FAIL: microbench exited 0 but wrote no BENCH_spice.json")
+            return 1
+        except json.JSONDecodeError as e:
+            print(f"FAIL: fresh BENCH_spice.json is not valid JSON: {e}")
+            return 1
+    if not isinstance(fresh, dict) or not isinstance(fresh.get("speedup"), (int, float)):
+        print("FAIL: fresh BENCH_spice.json has no numeric 'speedup' field")
+        return 1
 
     failures = []
     if not fresh.get("identical", False):

@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <mutex>
+#include <optional>
+#include <set>
 #include <string>
 #include <utility>
 
+#include "sizing/checkpoint.hpp"
 #include "sizing/sizing.hpp"
 #include "util/error.hpp"
 #include "util/faultinject.hpp"
@@ -34,35 +38,149 @@ struct Deadline {
   bool expired() const { return armed && Clock::now() >= end; }
 };
 
+// Running-median latency tracker behind WatchdogConfig.  Two balanced
+// multisets give O(log n) insert and O(1) median; all completed attempts
+// feed the median (a median is robust to the pathological outliers the
+// watchdog exists to flag).
+class Watchdog {
+ public:
+  explicit Watchdog(const WatchdogConfig& config) : config_(config) {}
+
+  /// Record one completed attempt; true when it blew the budget.
+  bool over_budget(double seconds) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const bool flagged = seconds > config_.floor_s && count() >= config_.min_samples &&
+                         seconds > config_.multiple * median_locked();
+    insert_locked(seconds);
+    return flagged;
+  }
+
+ private:
+  std::size_t count() const { return lower_.size() + upper_.size(); }
+
+  double median_locked() const {
+    if (lower_.empty()) return 0.0;
+    if (lower_.size() > upper_.size()) return *lower_.rbegin();
+    return 0.5 * (*lower_.rbegin() + *upper_.begin());
+  }
+
+  void insert_locked(double s) {
+    if (lower_.empty() || s <= *lower_.rbegin()) {
+      lower_.insert(s);
+    } else {
+      upper_.insert(s);
+    }
+    if (lower_.size() > upper_.size() + 1) {
+      upper_.insert(*lower_.rbegin());
+      lower_.erase(std::prev(lower_.end()));
+    } else if (upper_.size() > lower_.size()) {
+      lower_.insert(*upper_.begin());
+      upper_.erase(upper_.begin());
+    }
+  }
+
+  WatchdogConfig config_;
+  std::mutex mutex_;
+  std::multiset<double> lower_, upper_;
+};
+
+// Everything run_item needs, resolved once per entry-point call.
+struct SweepCtx {
+  const SweepPolicy& policy;
+  const Deadline& deadline;
+  util::CancelToken& cancel;
+  Checkpoint* checkpoint;  // nullptr or unarmed-stripped
+  Watchdog* watchdog;      // nullptr = disabled
+};
+
+// Resolve the session checkpoint to "armed or null", so the hot path
+// tests one pointer.
+Checkpoint* armed_checkpoint(const EvalSession& session) {
+  return session.checkpoint != nullptr && session.checkpoint->armed() ? session.checkpoint
+                                                                      : nullptr;
+}
+
 // Run one sweep item under the policy's retry budget, stamping the item
 // index as the fault-injection scope so tests can address "item 37" by
 // name.  Only NumericalError is retried/recorded; precondition errors
 // (std::invalid_argument and friends) propagate -- they indicate caller
-// bugs, not numerical bad luck.  An expired session deadline fails the
-// item up front with kDeadlineExceeded.
+// bugs, not numerical bad luck.
+//
+// Ordering per attempt: checkpoint replay (a journaled outcome skips the
+// work entirely), then cancellation (kCancelled, never journaled), then
+// the session deadline (kDeadlineExceeded), then the body.  With the
+// watchdog armed, a completed attempt slower than the running-median
+// budget is discarded as kDeadlineExceeded and the item requeued exactly
+// once; a second over-budget attempt fails the item.  Completed outcomes
+// (successes and persistable failures) are journaled before being
+// returned, so a crash can lose at most the items still in flight.
 template <typename T, typename Fn>
-Outcome<T> run_item(const SweepPolicy& policy, const Deadline& deadline, std::size_t index,
+Outcome<T> run_item(const SweepCtx& ctx, std::size_t index, const std::string& key,
                     Fn&& body) {
+  if (ctx.checkpoint != nullptr) {
+    Outcome<T> cached;
+    if (ctx.checkpoint->lookup(key, cached)) return cached;
+  }
   const faultinject::ScopedScope scope(static_cast<std::int64_t>(index));
-  const int max_attempts = std::max(1, policy.max_attempts);
+  int budget = std::max(1, ctx.policy.max_attempts);
+  bool requeued = false;
   FailureInfo last;
-  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-    if (deadline.expired()) {
+  for (int attempt = 1; attempt <= budget; ++attempt) {
+    if (ctx.cancel.requested()) {
+      last.code = FailureCode::kCancelled;
+      last.site = "sizing::sweep_item";
+      last.context = "cancelled before item " + std::to_string(index);
+      last.attempts = attempt;
+      return Outcome<T>::fail(last);  // interruption artifact: never journaled
+    }
+    if (ctx.deadline.expired()) {
       last.code = FailureCode::kDeadlineExceeded;
       last.site = "sizing::sweep_item";
       last.context = "session deadline exceeded before item " + std::to_string(index);
       last.attempts = attempt;
       return Outcome<T>::fail(last);
     }
+    std::optional<T> value;
     try {
       faultinject::check(faultinject::Site::kSweepItem, "sizing::sweep_item");
-      return Outcome<T>::success(body(), attempt);
+      if (ctx.watchdog == nullptr) {
+        value = body();
+      } else {
+        const auto t0 = Clock::now();
+        value = body();
+        const double seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+        if (ctx.watchdog->over_budget(seconds)) {
+          last.code = FailureCode::kDeadlineExceeded;
+          last.site = "sizing::watchdog";
+          last.context = "item " + std::to_string(index) + " took " + std::to_string(seconds) +
+                         " s, over the running-median budget";
+          last.attempts = attempt;
+          if (!requeued) {
+            requeued = true;
+            if (attempt == budget) ++budget;  // the single watchdog requeue
+            continue;
+          }
+          break;  // second strike: genuinely pathological, fail the item
+        }
+      }
     } catch (const NumericalError& e) {
       last = e.info();
       last.attempts = attempt;
+      continue;
     }
+    Outcome<T> out = Outcome<T>::success(std::move(*value), attempt);
+    // Outside the catch deliberately: a journal append failure is a crash
+    // of the checkpoint machinery, not numerical bad luck on this item --
+    // it must tear down the sweep (like running out of disk would), not
+    // burn the item's retry budget.
+    if (ctx.checkpoint != nullptr) ctx.checkpoint->record(key, out);
+    return out;
   }
-  return Outcome<T>::fail(last);
+  Outcome<T> out = Outcome<T>::fail(last);
+  // record() filters interruption artifacts itself; terminal numerical
+  // failures replay on resume exactly like successes.
+  if (ctx.checkpoint != nullptr) ctx.checkpoint->record(key, out);
+  return out;
 }
 
 }  // namespace
@@ -73,16 +191,28 @@ std::vector<VectorDelay> rank_vectors(const EvalBackend& backend,
   SweepReport scratch;
   SweepReport& report = session.report != nullptr ? *session.report : scratch;
   const Deadline deadline = Deadline::start(session.deadline_s);
-  backend.prepare_wl(wl);
+  util::CancelToken& cancel = session.cancel_ref();
+  Checkpoint* ckpt = armed_checkpoint(session);
+  std::optional<Watchdog> watchdog;
+  if (session.watchdog.armed()) watchdog.emplace(session.watchdog);
+  const SweepCtx ctx{session.policy, deadline, cancel, ckpt,
+                     watchdog ? &*watchdog : nullptr};
+  std::string prefix;
+  if (ckpt != nullptr) {
+    prefix = checkpoint_prefix("rank", backend.name(),
+                               netlist_fingerprint(backend.netlist(), backend.outputs()), wl);
+  }
+  if (!cancel.requested()) backend.prepare_wl(wl);
   // Evaluate into per-index Outcome slots, then reduce in input order and
   // sort: the sort sees the exact sequence the serial loop produced, so
   // the ranking is bit-identical for any thread count, and a failed item
   // only removes itself from the ranking.
   std::vector<Outcome<VectorDelay>> measured(vectors.size());
   session.pool_ref().parallel_for(vectors.size(), [&](std::size_t i) {
-    measured[i] = run_item<VectorDelay>(session.policy, deadline, i, [&] {
+    const std::string key =
+        ckpt != nullptr ? checkpoint_item_key(prefix, vectors[i]) : std::string();
+    measured[i] = run_item<VectorDelay>(ctx, i, key, [&] {
       VectorDelay vd;
-      vd.pair = vectors[i];
       vd.delay_cmos = backend.delay_baseline(vectors[i]);
       if (vd.delay_cmos <= 0.0) return vd;
       vd.delay_mtcmos = backend.delay_at_wl(vectors[i], wl);
@@ -90,6 +220,9 @@ std::vector<VectorDelay> rank_vectors(const EvalBackend& backend,
       vd.degradation_pct = (vd.delay_mtcmos - vd.delay_cmos) / vd.delay_cmos * 100.0;
       return vd;
     });
+    // The transition itself lives in the checkpoint key, not the record;
+    // re-attach it for computed and replayed outcomes alike.
+    if (measured[i].ok()) measured[i].value->pair = vectors[i];
   });
   std::vector<VectorDelay> out;
   out.reserve(measured.size());
@@ -113,25 +246,70 @@ SizingResult size_for_degradation(const EvalBackend& backend,
                                   const SizingBounds& bounds, const EvalSession& session) {
   require(!vectors.empty(), "size_for_degradation: need at least one vector");
   require(target_pct > 0.0, "size_for_degradation: target must be positive");
-  require(bounds.wl_min > 0.0 && bounds.wl_max > bounds.wl_min,
-          "size_for_degradation: bad W/L bounds");
-  require(bounds.wl_tol > 0.0, "size_for_degradation: bad tolerance");
+  // Degenerate bounds get a *coded* failure: batch drivers and the CLI
+  // classify it (kInvalidArgument) instead of pattern-matching a string,
+  // and a checkpointed run can report it like any other failure.
+  const auto bad_bounds = [&](const std::string& why) {
+    throw NumericalError({FailureCode::kInvalidArgument, "sizing::size_for_degradation",
+                          why + " (wl_min=" + std::to_string(bounds.wl_min) +
+                              ", wl_max=" + std::to_string(bounds.wl_max) +
+                              ", wl_tol=" + std::to_string(bounds.wl_tol) + ")"});
+  };
+  if (!std::isfinite(bounds.wl_min) || !std::isfinite(bounds.wl_max) ||
+      !std::isfinite(bounds.wl_tol)) {
+    bad_bounds("SizingBounds must be finite");
+  }
+  if (!(bounds.wl_min > 0.0)) bad_bounds("wl_min must be positive");
+  if (!(bounds.wl_max > bounds.wl_min)) bad_bounds("need wl_min < wl_max");
+  if (!(bounds.wl_tol > 0.0)) bad_bounds("wl_tol must be positive");
+
   SweepReport scratch;
   SweepReport& report = session.report != nullptr ? *session.report : scratch;
   const Deadline deadline = Deadline::start(session.deadline_s);
+  util::CancelToken& cancel = session.cancel_ref();
+  Checkpoint* ckpt = armed_checkpoint(session);
+  std::optional<Watchdog> watchdog;
+  if (session.watchdog.armed()) watchdog.emplace(session.watchdog);
+  const SweepCtx ctx{session.policy, deadline, cancel, ckpt,
+                     watchdog ? &*watchdog : nullptr};
   util::ThreadPool& tp = session.pool_ref();
+
+  // Bisection-state journaling: one record, overwritten after every
+  // probe, carrying the live W/L interval.  Resume re-derives the same
+  // probe sequence (the item records replay each completed probe without
+  // simulating), so the state record is the run's progress diagnostic --
+  // and its key doubles as the run identity guard.
+  std::uint64_t fp = 0;
+  std::string bisect_key;
+  std::size_t probes = 0;
+  if (ckpt != nullptr) {
+    fp = netlist_fingerprint(backend.netlist(), backend.outputs());
+    bisect_key = checkpoint_prefix_nowl(
+        "bisect", backend.name(),
+        sizing_args_hash(fp, backend.name(), vectors, target_pct, bounds.wl_min, bounds.wl_max,
+                         bounds.wl_tol));
+  }
+  const auto record_state = [&](int phase, double lo, double hi, double hi_deg,
+                                std::size_t hi_idx) {
+    if (ckpt == nullptr) return;
+    ckpt->record_bisect(bisect_key, {phase, lo, hi, hi_deg, hi_idx, probes});
+  };
 
   // Parallel map into index-addressed Outcome slots, then a serial
   // first-maximum reduction that skips failed items: identical result to
   // the serial loop for any thread count, regardless of which items fail.
   auto worst_at = [&](double wl) {
-    backend.prepare_wl(wl);
+    if (!cancel.requested()) backend.prepare_wl(wl);
+    std::string prefix;
+    if (ckpt != nullptr) prefix = checkpoint_prefix("probe", backend.name(), fp, wl);
     std::vector<Outcome<double>> deg(vectors.size());
     // Plain parallel_for: run_item already absorbs NumericalErrors, so the
-    // only exceptions that reach the pool are precondition bugs, which
-    // should cancel and propagate.
+    // only exceptions that reach the pool are precondition bugs (and
+    // journal write failures), which should cancel and propagate.
     tp.parallel_for(vectors.size(), [&](std::size_t i) {
-      deg[i] = run_item<double>(session.policy, deadline, i,
+      const std::string key =
+          ckpt != nullptr ? checkpoint_item_key(prefix, vectors[i]) : std::string();
+      deg[i] = run_item<double>(ctx, i, key,
                                 [&] { return backend.degradation_pct(vectors[i], wl); });
     });
     double worst = -1.0;
@@ -150,19 +328,24 @@ SizingResult size_for_degradation(const EvalBackend& backend,
       }
     }
     if (!any_ok) {
-      throw NumericalError({FailureCode::kUnknown, "size_for_degradation",
+      // Keep the first failure's code: an all-cancelled probe surfaces as
+      // kCancelled so callers distinguish "interrupted" from "diverged".
+      throw NumericalError({deg[0].failure.code, "size_for_degradation",
                             "every vector failed at probe W/L=" + std::to_string(wl) +
                                 " (first: " + deg[0].failure.message() + ")"});
     }
+    ++probes;
     return std::pair<double, std::size_t>{worst, worst_idx};
   };
 
   auto [deg_max, idx_max] = worst_at(bounds.wl_max);
+  record_state(1, bounds.wl_min, bounds.wl_max, deg_max, idx_max);
   if (deg_max > target_pct) {
     throw NumericalError("size_for_degradation: even W/L=" + std::to_string(bounds.wl_max) +
                          " degrades " + std::to_string(deg_max) + "% > target");
   }
   auto [deg_min, idx_min] = worst_at(bounds.wl_min);
+  record_state(2, bounds.wl_min, bounds.wl_max, deg_max, idx_max);
   if (deg_min >= 0.0 && deg_min <= target_pct) {
     return {bounds.wl_min, deg_min, vectors[idx_min]};
   }
@@ -181,6 +364,7 @@ SizingResult size_for_degradation(const EvalBackend& backend,
     } else {
       lo = mid;
     }
+    record_state(3, lo, hi, hi_deg, hi_idx);
   }
   return {hi, hi_deg, vectors[hi_idx]};
 }
@@ -191,12 +375,28 @@ VectorDelay search_worst_vector(const EvalBackend& backend, double wl, int sampl
   SweepReport scratch;
   SweepReport& report = session.report != nullptr ? *session.report : scratch;
   const Deadline deadline = Deadline::start(session.deadline_s);
+  util::CancelToken& cancel = session.cancel_ref();
+  Checkpoint* ckpt = armed_checkpoint(session);
+  std::optional<Watchdog> watchdog;
+  if (session.watchdog.armed()) watchdog.emplace(session.watchdog);
+  const SweepCtx ctx{session.policy, deadline, cancel, ckpt,
+                     watchdog ? &*watchdog : nullptr};
   const int n = static_cast<int>(backend.netlist().inputs().size());
-  backend.prepare_wl(wl);
+  std::string prefix;
+  if (ckpt != nullptr) {
+    prefix = checkpoint_prefix("search", backend.name(),
+                               netlist_fingerprint(backend.netlist(), backend.outputs()), wl);
+  }
+  if (!cancel.requested()) backend.prepare_wl(wl);
 
   auto score = [&](const VectorPair& vp) -> double {
     // Objective: absolute MTCMOS delay (what the designer must cover).
     return backend.delay_at_wl(vp, wl);
+  };
+  // Checkpoint keys are transition-content keys, so a candidate revisited
+  // by the greedy walk (or by a resumed run) replays instead of re-running.
+  auto item_key = [&](const VectorPair& vp) {
+    return ckpt != nullptr ? checkpoint_item_key(prefix, vp) : std::string();
   };
 
   // Sample pass: the RNG draws stay serial (reproducible from the seed);
@@ -206,7 +406,7 @@ VectorDelay search_worst_vector(const EvalBackend& backend, double wl, int sampl
   const std::vector<VectorPair> sampled = sampled_vector_pairs(n, samples, rng);
   std::vector<Outcome<double>> scores(sampled.size());
   session.pool_ref().parallel_for(sampled.size(), [&](std::size_t i) {
-    scores[i] = run_item<double>(session.policy, deadline, i, [&] { return score(sampled[i]); });
+    scores[i] = run_item<double>(ctx, i, item_key(sampled[i]), [&] { return score(sampled[i]); });
   });
   VectorPair best;
   double best_score = -1.0;
@@ -221,6 +421,10 @@ VectorDelay search_worst_vector(const EvalBackend& backend, double wl, int sampl
       best = sampled[i];
     }
   }
+  if (best_score <= 0.0 && cancel.requested()) {
+    throw NumericalError({FailureCode::kCancelled, "sizing::search_worst_vector",
+                          "cancelled before any sample completed"});
+  }
   require(best_score > 0.0, "search_worst_vector: no sampled vector toggles the outputs");
 
   // Greedy single-bit-flip refinement on both endpoints of the transition.
@@ -229,7 +433,7 @@ VectorDelay search_worst_vector(const EvalBackend& backend, double wl, int sampl
   std::size_t cand_index = sampled.size();
   bool improved = true;
   int rounds = 0;
-  while (improved && rounds++ < 32) {
+  while (improved && rounds++ < 32 && !cancel.requested()) {
     improved = false;
     for (int side = 0; side < 2; ++side) {
       for (int bit = 0; bit < n; ++bit) {
@@ -237,7 +441,7 @@ VectorDelay search_worst_vector(const EvalBackend& backend, double wl, int sampl
         auto& vec = (side == 0) ? cand.v0 : cand.v1;
         vec[static_cast<std::size_t>(bit)] = !vec[static_cast<std::size_t>(bit)];
         const Outcome<double> s =
-            run_item<double>(session.policy, deadline, cand_index, [&] { return score(cand); });
+            run_item<double>(ctx, cand_index, item_key(cand), [&] { return score(cand); });
         report.add(cand_index, s);
         ++cand_index;
         if (!s.ok()) {
@@ -270,9 +474,22 @@ std::vector<VectorPair> screen_vectors(const netlist::Netlist& nl,
   SweepReport scratch;
   SweepReport& report = session.report != nullptr ? *session.report : scratch;
   const Deadline deadline = Deadline::start(session.deadline_s);
+  util::CancelToken& cancel = session.cancel_ref();
+  Checkpoint* ckpt = armed_checkpoint(session);
+  std::optional<Watchdog> watchdog;
+  if (session.watchdog.armed()) watchdog.emplace(session.watchdog);
+  const SweepCtx ctx{session.policy, deadline, cancel, ckpt,
+                     watchdog ? &*watchdog : nullptr};
+  std::string prefix;
+  if (ckpt != nullptr) {
+    // Logic-level screening involves no backend: key on the bare netlist.
+    prefix = checkpoint_prefix_nowl("screen", "logic", netlist_fingerprint(nl, {}));
+  }
   std::vector<Outcome<double>> weights(candidates.size());
   session.pool_ref().parallel_for(candidates.size(), [&](std::size_t i) {
-    weights[i] = run_item<double>(session.policy, deadline, i,
+    const std::string key =
+        ckpt != nullptr ? checkpoint_item_key(prefix, candidates[i]) : std::string();
+    weights[i] = run_item<double>(ctx, i, key,
                                   [&] { return falling_discharge_weight(nl, candidates[i]); });
   });
   std::vector<std::pair<double, std::size_t>> scored;
@@ -300,6 +517,12 @@ VerifyResult verify_sizing(const EvalBackend& fast, const EvalBackend& reference
   SweepReport scratch;
   SweepReport& report = session.report != nullptr ? *session.report : scratch;
   const Deadline deadline = Deadline::start(session.deadline_s);
+  util::CancelToken& cancel = session.cancel_ref();
+  Checkpoint* ckpt = armed_checkpoint(session);
+  std::optional<Watchdog> watchdog;
+  if (session.watchdog.armed()) watchdog.emplace(session.watchdog);
+  const SweepCtx ctx{session.policy, deadline, cancel, ckpt,
+                     watchdog ? &*watchdog : nullptr};
   const VectorPair& vp = result.binding_vector;
   require(!vp.v0.empty() && vp.v0.size() == vp.v1.size(),
           "verify_sizing: result carries no binding vector");
@@ -323,7 +546,15 @@ VerifyResult verify_sizing(const EvalBackend& fast, const EvalBackend& reference
   };
   for (std::size_t i = 0; i < 4; ++i) {
     const Probe& p = probes[i];
-    const Outcome<double> o = run_item<double>(session.policy, deadline, i, [&] {
+    std::string key;
+    if (ckpt != nullptr) {
+      key = checkpoint_item_key(
+          checkpoint_prefix(p.baseline ? "verify-baseline" : "verify-wl", p.backend->name(),
+                            netlist_fingerprint(p.backend->netlist(), p.backend->outputs()),
+                            result.wl),
+          vp);
+    }
+    const Outcome<double> o = run_item<double>(ctx, i, key, [&] {
       return p.baseline ? p.backend->delay_baseline(vp)
                         : p.backend->delay_at_wl(vp, result.wl);
     });

@@ -21,17 +21,42 @@
 #include "netlist/netlist.hpp"
 #include "sizing/backend.hpp"
 #include "sizing/eval_types.hpp"
+#include "util/cancel.hpp"
 #include "util/failure.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mtcmos::sizing {
 
+class Checkpoint;  // sizing/checkpoint.hpp
+
+/// Item-latency watchdog.  A sweep over thousands of similar simulations
+/// has a well-defined typical item time; an item that blows past a
+/// multiple of the running median is usually a pathological solve (a
+/// near-singular operating point grinding through every recovery rung),
+/// not representative work.  When armed (multiple > 0), an attempt
+/// slower than `multiple` x the running median of completed attempts is
+/// treated as kDeadlineExceeded: the item is requeued once (transient
+/// slowness -- a cold cache, a scheduling hiccup -- usually clears), and
+/// if the requeue is also over budget the item fails as
+/// kDeadlineExceeded with site "sizing::watchdog".  Like the session
+/// deadline, arming the watchdog trades bit-identical results for
+/// bounded tail latency: verdicts depend on wall-clock timing.  Watchdog
+/// failures are never persisted to a checkpoint -- a resume re-runs them.
+struct WatchdogConfig {
+  double multiple = 0.0;         ///< flag attempts slower than this x median; 0 disables
+  std::size_t min_samples = 16;  ///< completed attempts before the median is trusted
+  double floor_s = 0.01;         ///< never flag attempts faster than this [s]
+
+  bool armed() const { return multiple > 0.0; }
+};
+
 /// Run context shared by every sweep call in a sizing session.
 ///
 /// Defaults reproduce the legacy plain overloads: global thread pool,
 /// isolating policy with one retry, per-item outcomes discarded, no
-/// deadline.
+/// deadline, no checkpoint, no watchdog, cancellation via the
+/// process-global token.
 struct EvalSession {
   util::ThreadPool* pool = nullptr;  ///< nullptr = the process-global pool
   SweepPolicy policy = {};
@@ -44,11 +69,35 @@ struct EvalSession {
   /// for bounded latency: which items beat the clock depends on thread
   /// scheduling.
   double deadline_s = 0.0;
+  /// Crash-safe journal of per-item outcomes (sizing/checkpoint.hpp).
+  /// When armed, every entry point records completed items and skips
+  /// items whose deterministic key is already journaled, so an
+  /// interrupted run resumed against the same journal merges
+  /// bit-identically with an uninterrupted one.  nullptr disables.
+  Checkpoint* checkpoint = nullptr;
+  /// Cooperative cancellation.  nullptr polls the process-global token
+  /// (what SIGINT/SIGTERM raise once util::install_cancel_signal_handlers
+  /// ran), so Ctrl-C drains default sessions gracefully; tests pass their
+  /// own token for isolation.  Once raised, items not yet started fail
+  /// with kCancelled (recorded in the report, never checkpointed),
+  /// in-flight items drain, and the entry point returns its partial
+  /// result instead of dying mid-write.
+  util::CancelToken* cancel_token = nullptr;
+  WatchdogConfig watchdog = {};
 
   util::ThreadPool& pool_ref() const { return util::pool_or_global(pool); }
+  util::CancelToken& cancel_ref() const {
+    return cancel_token != nullptr ? *cancel_token : util::CancelToken::global();
+  }
+  /// Raise this session's cancellation token (thread-safe; callable from
+  /// a signal-watching thread or another worker while a sweep runs).
+  void cancel() const { cancel_ref().request(); }
 };
 
-/// W/L search space for size_for_degradation.
+/// W/L search space for size_for_degradation.  Validated on entry:
+/// bounds must be finite with 0 < wl_min < wl_max and wl_tol > 0, or the
+/// call throws a kInvalidArgument-coded NumericalError instead of
+/// sweeping a degenerate interval.
 struct SizingBounds {
   double wl_min = 1.0;
   double wl_max = 4000.0;

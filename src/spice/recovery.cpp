@@ -46,8 +46,23 @@ Outcome<TransientResult> run_transient_recovered(Engine& engine, const Transient
                       : (policy.rungs.empty() ? default_recovery_rungs() : policy.rungs);
   const int max_attempts = 1 + static_cast<int>(rungs.size());
 
+  const util::CancelToken& cancel =
+      policy.cancel != nullptr ? *policy.cancel : util::CancelToken::global();
+
   FailureInfo last;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (cancel.requested()) {
+      // Report kCancelled even mid-ladder: a partial escalation is an
+      // interruption artifact, not a verdict on the circuit, and must
+      // not be persisted or replayed as one.
+      last.code = FailureCode::kCancelled;
+      last.site = "spice::run_transient_recovered";
+      last.context = attempt == 1 ? "cancelled before the first attempt"
+                                  : "cancelled before escalation attempt " +
+                                        std::to_string(attempt);
+      last.attempts = attempt;
+      return Outcome<TransientResult>::fail(last);
+    }
     TransientOptions attempt_options = options;
     engine.set_gmin(gmin_guard.original());
     if (attempt >= 2) {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "spice/engine.hpp"
+#include "util/cancel.hpp"
 #include "util/failure.hpp"
 
 namespace mtcmos::spice {
@@ -48,6 +49,13 @@ struct RecoveryPolicy {
   /// options leave them unset (0).  See TransientOptions for semantics.
   double deadline_s = 0.0;
   std::size_t max_steps = 0;
+  /// Cooperative cancellation, polled before every attempt: a raised
+  /// token fails the run with kCancelled instead of starting (or
+  /// escalating) a transient that nobody will read.  nullptr polls the
+  /// process-global token, so Ctrl-C also short-circuits recovery
+  /// ladders already in flight.  kCancelled is an interruption artifact:
+  /// checkpoints never persist it, and a rerun re-attempts the item.
+  const util::CancelToken* cancel = nullptr;
 
   /// Ladder disabled: one attempt, structured failure reporting only.
   static RecoveryPolicy off() {

@@ -1,0 +1,41 @@
+#include "util/cancel.hpp"
+
+#include <csignal>
+
+namespace mtcmos::util {
+
+namespace {
+
+std::atomic<int> g_last_signal{0};
+
+extern "C" void cancel_signal_handler(int sig) {
+  // Async-signal-safe: lock-free atomic stores only.  Everything else
+  // (journal flush, report printing) happens on the normal control path
+  // once the pollers observe the flag.
+  g_last_signal.store(sig, std::memory_order_relaxed);
+  CancelToken::global().request();
+}
+
+}  // namespace
+
+CancelToken& CancelToken::global() {
+  static CancelToken token;
+  return token;
+}
+
+void install_cancel_signal_handlers() {
+  // Construct the global token before the handler can observe it: a
+  // function-local static initializing *inside* a signal handler would
+  // not be async-signal-safe.
+  (void)CancelToken::global();
+  struct sigaction sa = {};
+  sa.sa_handler = cancel_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: let blocking syscalls return EINTR
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+int last_cancel_signal() { return g_last_signal.load(std::memory_order_relaxed); }
+
+}  // namespace mtcmos::util

@@ -1,0 +1,46 @@
+#pragma once
+// Cooperative cancellation for long-running sweeps.
+//
+// A CancelToken is a shared flag that long loops poll between items:
+// raising it does not interrupt work already in flight, it tells every
+// poller that no *new* work should start.  The sweep entry points
+// (sizing/session.hpp) poll their session's token before each item and
+// classify items that lost the race as FailureCode::kCancelled, so an
+// interrupted sweep drains to a partial, classified SweepReport instead
+// of dying mid-write.
+//
+// The process-global token (CancelToken::global()) is what SIGINT and
+// SIGTERM raise once install_cancel_signal_handlers() has been called:
+// the handler does nothing but store into lock-free atomics, which is
+// both async-signal-safe and data-race-free under TSan.  Sessions that
+// do not name a token of their own poll the global one, so Ctrl-C stops
+// every default-configured sweep in the process.  Polling a never-raised
+// token costs one relaxed atomic load per item.
+
+#include <atomic>
+
+namespace mtcmos::util {
+
+class CancelToken {
+ public:
+  void request() { requested_.store(true, std::memory_order_relaxed); }
+  bool requested() const { return requested_.load(std::memory_order_relaxed); }
+  /// Re-arm a token for another run (tests; the CLI between phases).
+  void reset() { requested_.store(false, std::memory_order_relaxed); }
+
+  /// The token the signal handlers raise and default sessions poll.
+  static CancelToken& global();
+
+ private:
+  std::atomic<bool> requested_{false};
+};
+
+/// Install SIGINT/SIGTERM handlers that raise CancelToken::global().
+/// Idempotent; the handler only stores into atomics (async-signal-safe).
+void install_cancel_signal_handlers();
+
+/// Signal number (SIGINT/SIGTERM) that last raised the global token via
+/// the installed handlers, or 0 if it was never raised by a signal.
+int last_cancel_signal();
+
+}  // namespace mtcmos::util

@@ -31,6 +31,8 @@ enum class FailureCode : std::uint8_t {
   kBreakpointRunaway,   ///< switch-level breakpoint stalled or beyond t_max
   kDeadlineExceeded,    ///< per-run wall-clock or iteration budget exhausted
   kInjected,            ///< deterministic fault from mtcmos::faultinject
+  kCancelled,           ///< cooperative cancellation (signal or EvalSession::cancel)
+  kInvalidArgument,     ///< coded precondition failure (degenerate bounds, ...)
 };
 
 inline const char* to_string(FailureCode code) {
@@ -42,6 +44,8 @@ inline const char* to_string(FailureCode code) {
     case FailureCode::kBreakpointRunaway: return "breakpoint-runaway";
     case FailureCode::kDeadlineExceeded: return "deadline-exceeded";
     case FailureCode::kInjected: return "injected";
+    case FailureCode::kCancelled: return "cancelled";
+    case FailureCode::kInvalidArgument: return "invalid-argument";
   }
   return "unknown";
 }
@@ -121,6 +125,24 @@ struct SweepReport {
       ++failed;
       failures.emplace_back(index, outcome.failure);
     }
+  }
+
+  /// Failure counts per FailureCode, in enum order, zero-count codes
+  /// omitted.  The shape an interrupted run prints so the user can see
+  /// what was skipped (cancelled vs genuinely failed) before resuming.
+  std::vector<std::pair<FailureCode, std::size_t>> code_histogram() const {
+    std::vector<std::size_t> counts;
+    for (const auto& [index, info] : failures) {
+      (void)index;
+      const auto code = static_cast<std::size_t>(info.code);
+      if (counts.size() <= code) counts.resize(code + 1, 0);
+      ++counts[code];
+    }
+    std::vector<std::pair<FailureCode, std::size_t>> out;
+    for (std::size_t c = 0; c < counts.size(); ++c) {
+      if (counts[c] > 0) out.emplace_back(static_cast<FailureCode>(c), counts[c]);
+    }
+    return out;
   }
 
   std::string summary() const {

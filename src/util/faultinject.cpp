@@ -43,6 +43,7 @@ const char* to_string(Site site) {
     case Site::kVbsRun: return "vbs-run";
     case Site::kVbsBreakpoint: return "vbs-breakpoint";
     case Site::kSweepItem: return "sweep-item";
+    case Site::kJournalAppend: return "journal-append";
   }
   return "unknown-site";
 }

@@ -38,6 +38,7 @@ enum class Site : int {
   kVbsRun,                 ///< VbsSimulator::run entry
   kVbsBreakpoint,          ///< VbsSimulator::run breakpoint loop
   kSweepItem,              ///< sizing sweep per-item runner
+  kJournalAppend,          ///< util::Journal::append (checkpoint write path)
 };
 
 const char* to_string(Site site);

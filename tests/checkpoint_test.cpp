@@ -1,0 +1,619 @@
+// Tests for crash-safe sweep orchestration (sizing/checkpoint.hpp plus
+// the checkpoint/cancellation/watchdog paths of sizing/session.hpp):
+// typed record round-trips at full double precision, the persistence
+// filter for interruption artifacts, the bind_meta run-configuration
+// guard, SizingBounds validation, watchdog requeue semantics, and -- the
+// core guarantee -- kill-and-resume merging bit-identically with an
+// uninterrupted run on both the switch-level and transistor-level
+// backends.
+
+#include "sizing/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuits/generators.hpp"
+#include "sizing/session.hpp"
+#include "sizing/sizing.hpp"
+#include "util/cancel.hpp"
+#include "util/error.hpp"
+#include "util/faultinject.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+namespace mtcmos {
+namespace {
+
+using circuits::make_inverter_tree;
+using circuits::make_ripple_adder;
+using sizing::BisectState;
+using sizing::Checkpoint;
+using sizing::checkpoint_item_key;
+using sizing::checkpoint_prefix;
+using sizing::checkpoint_prefix_nowl;
+using sizing::EvalBackend;
+using sizing::EvalSession;
+using sizing::netlist_fingerprint;
+using sizing::SpiceBackend;
+using sizing::SpiceBackendOptions;
+using sizing::VbsBackend;
+using sizing::VectorDelay;
+using sizing::VectorPair;
+using units::ns;
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("checkpoint_test." +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "." +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    faultinject::disarm_all();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string path(const std::string& name = "ckpt.mtj") const { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+bool same_pair(const VectorPair& a, const VectorPair& b) {
+  return a.v0 == b.v0 && a.v1 == b.v1;
+}
+
+std::vector<std::string> adder_outputs(const circuits::RippleAdder& adder) {
+  std::vector<std::string> outs;
+  for (const auto s : adder.sum) outs.push_back(adder.netlist.net_name(s));
+  outs.push_back(adder.netlist.net_name(adder.cout));
+  return outs;
+}
+
+/// Deterministic pure-function backend with call counters: lets tests
+/// assert that a resumed sweep *replays* instead of re-simulating, and
+/// (via an injectable hook) make chosen items pathologically slow for the
+/// watchdog tests.  The netlist is only identity for fingerprinting.
+class FakeBackend : public EvalBackend {
+ public:
+  FakeBackend(const netlist::Netlist& nl, std::vector<std::string> outputs)
+      : nl_(nl), outputs_(std::move(outputs)) {}
+
+  const char* name() const override { return "fake"; }
+  const netlist::Netlist& netlist() const override { return nl_; }
+  const std::vector<std::string>& outputs() const override { return outputs_; }
+
+  double delay_baseline(const VectorPair& vp) const override {
+    ++baseline_calls;
+    (void)vp;
+    return 1e-9;
+  }
+  double delay_at_wl(const VectorPair& vp, double wl) const override {
+    ++delay_calls;
+    if (hook) hook(vp);
+    double v = 0.0;
+    for (const bool b : vp.v1) v = v * 2.0 + (b ? 1.0 : 0.0);
+    for (const bool b : vp.v0) v = v * 2.0 + (b ? 1.0 : 0.0);
+    return 1e-9 + v * 1e-12 + 1e-10 / wl;
+  }
+
+  mutable std::atomic<int> baseline_calls{0};
+  mutable std::atomic<int> delay_calls{0};
+  std::function<void(const VectorPair&)> hook;
+
+ private:
+  const netlist::Netlist& nl_;
+  std::vector<std::string> outputs_;
+};
+
+/// n-bit vectors where only item `slow` has v1[0] set (the hook's flag
+/// bit); the remaining bits enumerate the index so every key is distinct.
+std::vector<VectorPair> flagged_vectors(std::size_t count, std::size_t slow) {
+  std::vector<VectorPair> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    VectorPair vp;
+    vp.v0.assign(8, false);
+    vp.v1.assign(8, false);
+    vp.v1[0] = i == slow;
+    for (std::size_t b = 0; b < 7; ++b) vp.v1[b + 1] = ((i >> b) & 1u) != 0;
+    out.push_back(std::move(vp));
+  }
+  return out;
+}
+
+// --- Keys and fingerprints ---
+
+TEST_F(CheckpointTest, KeysAreContentDerived) {
+  const auto adder = make_ripple_adder(tech07(), 2);
+  const auto outs = adder_outputs(adder);
+  const std::uint64_t fp = netlist_fingerprint(adder.netlist, outs);
+  EXPECT_EQ(fp, netlist_fingerprint(adder.netlist, outs));  // stable
+  EXPECT_NE(fp, netlist_fingerprint(adder.netlist, {}));    // outputs matter
+
+  const std::string p1 = checkpoint_prefix("rank", "vbs", fp, 10.0);
+  EXPECT_NE(p1, checkpoint_prefix("probe", "vbs", fp, 10.0));
+  EXPECT_NE(p1, checkpoint_prefix("rank", "spice", fp, 10.0));
+  EXPECT_NE(p1, checkpoint_prefix("rank", "vbs", fp, 10.5));
+  EXPECT_NE(p1, checkpoint_prefix_nowl("rank", "vbs", fp));
+
+  const VectorPair a{{false, true}, {true, false}};
+  const VectorPair b{{false, true}, {true, true}};
+  EXPECT_NE(checkpoint_item_key(p1, a), checkpoint_item_key(p1, b));
+  EXPECT_EQ(checkpoint_item_key(p1, a), checkpoint_item_key(p1, a));
+}
+
+// --- Typed record round-trips ---
+
+TEST_F(CheckpointTest, DoubleOutcomeRoundTripsToTheLastUlp) {
+  Checkpoint ckpt;
+  ckpt.open(path());
+  const double values[] = {0.1 + 0.2, 1e-300, -0.0, 3.5e9, 1.0 / 3.0};
+  int i = 0;
+  for (const double v : values) {
+    const std::string key = "k" + std::to_string(i++);
+    ckpt.record(key, Outcome<double>::success(v, 2));
+    Outcome<double> back;
+    ASSERT_TRUE(ckpt.lookup(key, back)) << key;
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(*back.value), std::bit_cast<std::uint64_t>(v));
+    EXPECT_EQ(back.attempts, 2);
+  }
+  // And across a close/reopen cycle (i.e. through the on-disk format).
+  Checkpoint resumed;
+  resumed.open(path());
+  Outcome<double> back;
+  ASSERT_TRUE(resumed.lookup("k0", back));
+  EXPECT_EQ(*back.value, 0.1 + 0.2);
+}
+
+TEST_F(CheckpointTest, VectorDelayOutcomeRoundTrips) {
+  Checkpoint ckpt;
+  ckpt.open(path());
+  VectorDelay vd;
+  vd.pair = {{true, false}, {false, true}};
+  vd.delay_cmos = 1.25e-9;
+  vd.delay_mtcmos = 1.5e-9;
+  vd.degradation_pct = 20.0;
+  ckpt.record("vd", Outcome<VectorDelay>::success(vd, 1));
+  Outcome<VectorDelay> back;
+  ASSERT_TRUE(ckpt.lookup("vd", back));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value->delay_cmos, vd.delay_cmos);
+  EXPECT_EQ(back.value->delay_mtcmos, vd.delay_mtcmos);
+  EXPECT_EQ(back.value->degradation_pct, vd.degradation_pct);
+  // The transition is part of the *key*, not the record: the sweep
+  // re-attaches it after lookup.
+  EXPECT_TRUE(back.value->pair.v0.empty());
+}
+
+TEST_F(CheckpointTest, FailureOutcomeRoundTripsWithSiteAndContext) {
+  Checkpoint ckpt;
+  ckpt.open(path());
+  FailureInfo info;
+  info.code = FailureCode::kNewtonDiverged;
+  info.site = "spice::newton";
+  info.context = "diverged after 40 iterations, with spaces";
+  info.attempts = 2;
+  ckpt.record("f", Outcome<double>::fail(info));
+  Outcome<double> back;
+  ASSERT_TRUE(ckpt.lookup("f", back));
+  EXPECT_FALSE(back.ok());
+  EXPECT_EQ(back.failure.code, FailureCode::kNewtonDiverged);
+  EXPECT_EQ(back.failure.site, info.site);
+  EXPECT_EQ(back.failure.context, info.context);
+  EXPECT_EQ(back.failure.attempts, 2);
+}
+
+TEST_F(CheckpointTest, BisectStateRoundTrips) {
+  Checkpoint ckpt;
+  ckpt.open(path());
+  const BisectState s{3, 1.5, 800.0, 4.75, 17, 9};
+  ckpt.record_bisect("bs", s);
+  BisectState back;
+  ASSERT_TRUE(ckpt.lookup_bisect("bs", back));
+  EXPECT_EQ(back.phase, 3);
+  EXPECT_EQ(back.lo, 1.5);
+  EXPECT_EQ(back.hi, 800.0);
+  EXPECT_EQ(back.hi_deg, 4.75);
+  EXPECT_EQ(back.hi_idx, 17u);
+  EXPECT_EQ(back.probes, 9u);
+  EXPECT_FALSE(ckpt.lookup_bisect("other", back));
+}
+
+TEST_F(CheckpointTest, InterruptionArtifactsAreNeverPersisted) {
+  FailureInfo cancelled{FailureCode::kCancelled, "sizing::sweep_item", "ctrl-c"};
+  FailureInfo session_deadline{FailureCode::kDeadlineExceeded, "sizing::sweep_item", "late"};
+  FailureInfo watchdog{FailureCode::kDeadlineExceeded, "sizing::watchdog", "slow"};
+  FailureInfo engine_deadline{FailureCode::kDeadlineExceeded, "spice::transient", "wall"};
+  FailureInfo diverged{FailureCode::kNewtonDiverged, "spice::newton", "boom"};
+  EXPECT_FALSE(Checkpoint::should_persist(cancelled));
+  EXPECT_FALSE(Checkpoint::should_persist(session_deadline));
+  EXPECT_FALSE(Checkpoint::should_persist(watchdog));
+  EXPECT_TRUE(Checkpoint::should_persist(engine_deadline));
+  EXPECT_TRUE(Checkpoint::should_persist(diverged));
+
+  Checkpoint ckpt;
+  ckpt.open(path());
+  ckpt.record("c", Outcome<double>::fail(cancelled));
+  ckpt.record("w", Outcome<double>::fail(watchdog));
+  ckpt.record("d", Outcome<double>::fail(diverged));
+  Outcome<double> back;
+  EXPECT_FALSE(ckpt.lookup("c", back));
+  EXPECT_FALSE(ckpt.lookup("w", back));
+  EXPECT_TRUE(ckpt.lookup("d", back));
+}
+
+TEST_F(CheckpointTest, UnarmedCheckpointIsInert) {
+  Checkpoint ckpt;  // never opened
+  EXPECT_FALSE(ckpt.armed());
+  ckpt.record("k", Outcome<double>::success(1.0, 1));
+  ckpt.bind_meta("target", "5.0");
+  Outcome<double> back;
+  EXPECT_FALSE(ckpt.lookup("k", back));
+}
+
+// --- Run-configuration guard ---
+
+TEST_F(CheckpointTest, BindMetaRejectsAResumeWithDifferentConfiguration) {
+  {
+    Checkpoint ckpt;
+    ckpt.open(path());
+    ckpt.bind_meta("target", "5.0");
+    ckpt.bind_meta("target", "5.0");  // identical re-bind is fine
+  }
+  Checkpoint resumed;
+  resumed.open(path());
+  resumed.bind_meta("target", "5.0");
+  try {
+    resumed.bind_meta("target", "7.5");
+    FAIL() << "expected NumericalError";
+  } catch (const NumericalError& e) {
+    EXPECT_EQ(e.info().code, FailureCode::kInvalidArgument);
+    EXPECT_NE(e.info().context.find("target"), std::string::npos);
+  }
+}
+
+// --- SizingBounds validation (coded, not stringly) ---
+
+TEST_F(CheckpointTest, DegenerateSizingBoundsFailWithInvalidArgument) {
+  const auto adder = make_ripple_adder(tech07(), 2);
+  const VbsBackend vbs(adder.netlist, adder_outputs(adder));
+  const auto vectors = sizing::all_vector_pairs(4);
+  const sizing::SizingBounds bad[] = {
+      {-1.0, 4000.0, 0.5},                                      // wl_min <= 0
+      {0.0, 4000.0, 0.5},                                       // wl_min == 0
+      {10.0, 10.0, 0.5},                                        // wl_max == wl_min
+      {10.0, 5.0, 0.5},                                         // inverted interval
+      {1.0, 4000.0, 0.0},                                       // wl_tol == 0
+      {1.0, std::numeric_limits<double>::infinity(), 0.5},      // non-finite
+      {std::numeric_limits<double>::quiet_NaN(), 4000.0, 0.5},  // NaN
+  };
+  for (const auto& bounds : bad) {
+    try {
+      sizing::size_for_degradation(vbs, vectors, 5.0, bounds);
+      FAIL() << "expected NumericalError for wl_min=" << bounds.wl_min
+             << " wl_max=" << bounds.wl_max << " wl_tol=" << bounds.wl_tol;
+    } catch (const NumericalError& e) {
+      EXPECT_EQ(e.info().code, FailureCode::kInvalidArgument);
+      EXPECT_EQ(e.info().site, "sizing::size_for_degradation");
+    }
+  }
+}
+
+// --- Replay skips simulation ---
+
+TEST_F(CheckpointTest, ResumedRankReplaysWithoutSimulating) {
+  const auto adder = make_ripple_adder(tech07(), 1);
+  const auto outs = adder_outputs(adder);
+  const auto vectors = flagged_vectors(24, /*slow=*/999);  // no slow item
+
+  std::vector<VectorDelay> first;
+  {
+    FakeBackend fake(adder.netlist, outs);
+    Checkpoint ckpt;
+    ckpt.open(path());
+    EvalSession session;
+    session.checkpoint = &ckpt;
+    first = sizing::rank_vectors(fake, vectors, 10.0, session);
+    EXPECT_EQ(fake.delay_calls.load(), 24);
+    EXPECT_EQ(ckpt.journal().size(), 24u);
+  }
+  FakeBackend fake(adder.netlist, outs);
+  Checkpoint resumed;
+  resumed.open(path());
+  EXPECT_EQ(resumed.journal().replayed_records(), 24u);
+  EvalSession session;
+  session.checkpoint = &resumed;
+  const auto second = sizing::rank_vectors(fake, vectors, 10.0, session);
+  EXPECT_EQ(fake.delay_calls.load(), 0);  // every item replayed from disk
+  EXPECT_EQ(fake.baseline_calls.load(), 0);
+  ASSERT_EQ(second.size(), first.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_TRUE(same_pair(first[i].pair, second[i].pair)) << i;
+    EXPECT_EQ(first[i].delay_cmos, second[i].delay_cmos) << i;
+    EXPECT_EQ(first[i].delay_mtcmos, second[i].delay_mtcmos) << i;
+    EXPECT_EQ(first[i].degradation_pct, second[i].degradation_pct) << i;
+  }
+}
+
+// --- Kill and resume, bit-identically ---
+
+TEST_F(CheckpointTest, KilledRankResumesBitIdenticallyOnVbs) {
+  const auto adder = make_ripple_adder(tech07(), 2);
+  const auto outs = adder_outputs(adder);
+  const VbsBackend vbs(adder.netlist, outs);
+  const auto vectors = sizing::all_vector_pairs(4);
+  const auto reference = sizing::rank_vectors(vbs, vectors, 10.0);
+
+  // "Crash": the journal append of item 100 throws, tearing down the
+  // sweep mid-run exactly where a SIGKILL would leave it -- some items
+  // journaled, the rest not.
+  Checkpoint killed;
+  killed.open(path());
+  EvalSession session;
+  session.checkpoint = &killed;
+  faultinject::arm(faultinject::Site::kJournalAppend, /*scope=*/100, /*fail_hits=*/1);
+  EXPECT_THROW(sizing::rank_vectors(vbs, vectors, 10.0, session), NumericalError);
+  faultinject::disarm_all();
+  EXPECT_LT(killed.journal().size(), vectors.size());
+  killed.journal().close();
+
+  // Resume against the same journal: results and report are bit-identical
+  // to the never-interrupted (and never-checkpointed) run.
+  Checkpoint resumed;
+  resumed.open(path());
+  SweepReport report;
+  EvalSession resume_session;
+  resume_session.checkpoint = &resumed;
+  resume_session.report = &report;
+  const auto merged = sizing::rank_vectors(vbs, vectors, 10.0, resume_session);
+  EXPECT_EQ(report.succeeded + report.recovered, vectors.size());
+  EXPECT_EQ(report.failed, 0u);
+  ASSERT_EQ(merged.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_TRUE(same_pair(merged[i].pair, reference[i].pair)) << i;
+    EXPECT_EQ(merged[i].delay_cmos, reference[i].delay_cmos) << i;
+    EXPECT_EQ(merged[i].delay_mtcmos, reference[i].delay_mtcmos) << i;
+    EXPECT_EQ(merged[i].degradation_pct, reference[i].degradation_pct) << i;
+  }
+}
+
+TEST_F(CheckpointTest, KilledSizingResumesBitIdenticallyOnVbs) {
+  const auto adder = make_ripple_adder(tech07(), 2);
+  const auto outs = adder_outputs(adder);
+  const VbsBackend vbs(adder.netlist, outs);
+  const auto vectors = sizing::all_vector_pairs(4);
+  const auto reference = sizing::size_for_degradation(vbs, vectors, 5.0);
+
+  Checkpoint killed;
+  killed.open(path());
+  EvalSession session;
+  session.checkpoint = &killed;
+  faultinject::arm(faultinject::Site::kJournalAppend, /*scope=*/3, /*fail_hits=*/1);
+  EXPECT_THROW(sizing::size_for_degradation(vbs, vectors, 5.0, {}, session), NumericalError);
+  faultinject::disarm_all();
+  killed.journal().close();
+
+  Checkpoint resumed;
+  resumed.open(path());
+  EvalSession resume_session;
+  resume_session.checkpoint = &resumed;
+  const auto merged = sizing::size_for_degradation(vbs, vectors, 5.0, {}, resume_session);
+  EXPECT_EQ(merged.wl, reference.wl);
+  EXPECT_EQ(merged.degradation_pct, reference.degradation_pct);
+  EXPECT_TRUE(same_pair(merged.binding_vector, reference.binding_vector));
+
+  // The bisection-state record tracked the run to completion.
+  const std::uint64_t fp = netlist_fingerprint(adder.netlist, outs);
+  const sizing::SizingBounds bounds;
+  BisectState state;
+  ASSERT_TRUE(resumed.lookup_bisect(
+      checkpoint_prefix_nowl("bisect", vbs.name(),
+                             sizing::sizing_args_hash(fp, vbs.name(), vectors, 5.0,
+                                                      bounds.wl_min, bounds.wl_max,
+                                                      bounds.wl_tol)),
+      state));
+  EXPECT_EQ(state.phase, 3);
+  EXPECT_LE(state.hi - state.lo, bounds.wl_tol);
+}
+
+TEST_F(CheckpointTest, KilledRankResumesBitIdenticallyOnSpice) {
+  circuits::InverterTreeOptions topt;
+  topt.fanout = 1;
+  topt.stages = 2;
+  const auto chain = make_inverter_tree(tech07(), topt);
+  const std::string leaf = chain.netlist.net_name(chain.leaves[0]);
+  SpiceBackendOptions sopt;
+  sopt.tstop = 8.0 * ns;
+  const SpiceBackend spice(chain.netlist, {leaf}, sopt);
+  const auto vectors = sizing::all_vector_pairs(1);
+  const auto reference = sizing::rank_vectors(spice, vectors, 10.0);
+
+  Checkpoint killed;
+  killed.open(path());
+  EvalSession session;
+  session.checkpoint = &killed;
+  faultinject::arm(faultinject::Site::kJournalAppend, /*scope=*/2, /*fail_hits=*/1);
+  EXPECT_THROW(sizing::rank_vectors(spice, vectors, 10.0, session), NumericalError);
+  faultinject::disarm_all();
+  killed.journal().close();
+
+  Checkpoint resumed;
+  resumed.open(path());
+  SweepReport report;
+  EvalSession resume_session;
+  resume_session.checkpoint = &resumed;
+  resume_session.report = &report;
+  const auto merged = sizing::rank_vectors(spice, vectors, 10.0, resume_session);
+  EXPECT_EQ(report.succeeded + report.recovered, vectors.size());
+  ASSERT_EQ(merged.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_TRUE(same_pair(merged[i].pair, reference[i].pair)) << i;
+    EXPECT_EQ(merged[i].delay_cmos, reference[i].delay_cmos) << i;
+    EXPECT_EQ(merged[i].delay_mtcmos, reference[i].delay_mtcmos) << i;
+    EXPECT_EQ(merged[i].degradation_pct, reference[i].degradation_pct) << i;
+  }
+}
+
+// --- Cancellation ---
+
+TEST_F(CheckpointTest, CancelledItemsAreReportedButNeverJournaled) {
+  const auto adder = make_ripple_adder(tech07(), 2);
+  const VbsBackend vbs(adder.netlist, adder_outputs(adder));
+  const auto vectors = sizing::all_vector_pairs(4);
+
+  util::CancelToken token;
+  token.request();  // raised before the sweep starts
+  Checkpoint ckpt;
+  ckpt.open(path());
+  SweepReport report;
+  EvalSession session;
+  session.cancel_token = &token;
+  session.checkpoint = &ckpt;
+  session.report = &report;
+  const auto ranked = sizing::rank_vectors(vbs, vectors, 10.0, session);
+  EXPECT_TRUE(ranked.empty());
+  EXPECT_EQ(report.failed, vectors.size());
+  for (const auto& [index, failure] : report.failures) {
+    EXPECT_EQ(failure.code, FailureCode::kCancelled) << index;
+  }
+  // Cancellations are interruption artifacts: the journal stays empty, so
+  // a resume re-runs every item instead of replaying the Ctrl-C.
+  EXPECT_EQ(ckpt.journal().size(), 0u);
+}
+
+TEST_F(CheckpointTest, AllCancelledSizingSurfacesKCancelled) {
+  const auto adder = make_ripple_adder(tech07(), 2);
+  const VbsBackend vbs(adder.netlist, adder_outputs(adder));
+  util::CancelToken token;
+  token.request();
+  EvalSession session;
+  session.cancel_token = &token;
+  try {
+    sizing::size_for_degradation(vbs, sizing::all_vector_pairs(4), 5.0, {}, session);
+    FAIL() << "expected NumericalError";
+  } catch (const NumericalError& e) {
+    EXPECT_EQ(e.info().code, FailureCode::kCancelled);
+  }
+}
+
+TEST_F(CheckpointTest, RecoveryLadderHonorsThePolicyToken) {
+  circuits::InverterTreeOptions topt;
+  topt.fanout = 1;
+  topt.stages = 2;
+  const auto chain = make_inverter_tree(tech07(), topt);
+  const std::string leaf = chain.netlist.net_name(chain.leaves[0]);
+  util::CancelToken token;
+  SpiceBackendOptions sopt;
+  sopt.tstop = 8.0 * ns;
+  sopt.recovery.cancel = &token;
+  const SpiceBackend spice(chain.netlist, {leaf}, sopt);
+  const VectorPair vp{{false}, {true}};
+  EXPECT_GT(spice.measure_at_wl(vp, 10.0).delay, 0.0);  // token down: normal
+  token.request();
+  const auto r = spice.measure_at_wl(vp, 20.0);  // uncached W/L
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.failure.code, FailureCode::kCancelled);
+}
+
+// --- Watchdog ---
+
+TEST_F(CheckpointTest, WatchdogFailsAPathologicallySlowItemAfterOneRequeue) {
+  const auto adder = make_ripple_adder(tech07(), 1);
+  const auto outs = adder_outputs(adder);
+  FakeBackend fake(adder.netlist, outs);
+  const std::size_t slow = 17;
+  const auto vectors = flagged_vectors(20, slow);
+  fake.hook = [](const VectorPair& vp) {
+    if (vp.v1[0]) std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  };
+
+  util::ThreadPool serial(1);  // deterministic order: median is warm by item 17
+  SweepReport report;
+  EvalSession session;
+  session.pool = &serial;
+  session.report = &report;
+  session.watchdog.multiple = 3.0;
+  session.watchdog.min_samples = 8;
+  session.watchdog.floor_s = 0.001;
+  const auto ranked = sizing::rank_vectors(fake, vectors, 10.0, session);
+  EXPECT_EQ(ranked.size(), vectors.size() - 1);
+  EXPECT_EQ(report.failed, 1u);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].first, slow);
+  EXPECT_EQ(report.failures[0].second.code, FailureCode::kDeadlineExceeded);
+  EXPECT_EQ(report.failures[0].second.site, "sizing::watchdog");
+  // One requeue: the slow item ran exactly twice before failing.
+  EXPECT_EQ(fake.delay_calls.load(), static_cast<int>(vectors.size() + 1));
+}
+
+TEST_F(CheckpointTest, WatchdogRequeueRecoversATransientlySlowItem) {
+  const auto adder = make_ripple_adder(tech07(), 1);
+  const auto outs = adder_outputs(adder);
+  FakeBackend fake(adder.netlist, outs);
+  const std::size_t slow = 17;
+  const auto vectors = flagged_vectors(20, slow);
+  std::atomic<bool> already_slowed{false};
+  fake.hook = [&already_slowed](const VectorPair& vp) {
+    if (vp.v1[0] && !already_slowed.exchange(true)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }
+  };
+
+  util::ThreadPool serial(1);
+  SweepReport report;
+  EvalSession session;
+  session.pool = &serial;
+  session.report = &report;
+  session.watchdog.multiple = 3.0;
+  session.watchdog.min_samples = 8;
+  session.watchdog.floor_s = 0.001;
+  const auto ranked = sizing::rank_vectors(fake, vectors, 10.0, session);
+  EXPECT_EQ(ranked.size(), vectors.size());  // nothing lost
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.recovered, 1u);  // succeeded on the requeued attempt
+  EXPECT_EQ(report.succeeded, vectors.size() - 1);
+}
+
+TEST_F(CheckpointTest, WatchdogFailuresAreNotJournaled) {
+  const auto adder = make_ripple_adder(tech07(), 1);
+  const auto outs = adder_outputs(adder);
+  FakeBackend fake(adder.netlist, outs);
+  const std::size_t slow = 17;
+  const auto vectors = flagged_vectors(20, slow);
+  fake.hook = [](const VectorPair& vp) {
+    if (vp.v1[0]) std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  };
+
+  util::ThreadPool serial(1);
+  Checkpoint ckpt;
+  ckpt.open(path());
+  SweepReport report;
+  EvalSession session;
+  session.pool = &serial;
+  session.report = &report;
+  session.checkpoint = &ckpt;
+  session.watchdog.multiple = 3.0;
+  session.watchdog.min_samples = 8;
+  session.watchdog.floor_s = 0.001;
+  (void)sizing::rank_vectors(fake, vectors, 10.0, session);
+  ASSERT_EQ(report.failed, 1u);
+  // 19 successes journaled; the watchdog verdict is timing-dependent, so
+  // it is re-run on resume rather than replayed.
+  EXPECT_EQ(ckpt.journal().size(), vectors.size() - 1);
+}
+
+}  // namespace
+}  // namespace mtcmos

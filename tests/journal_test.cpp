@@ -1,0 +1,284 @@
+// Unit tests for util::Journal: append/replay round-trips, torn-tail
+// truncation, update-in-place (last record wins), compaction via atomic
+// replacement, and the failure contract (bad keys, closed journals).
+
+#include "util/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/faultinject.hpp"
+
+namespace {
+
+using mtcmos::util::format_journal_record;
+using mtcmos::util::Journal;
+using mtcmos::util::JournalOptions;
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("journal_test." +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "." +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    mtcmos::faultinject::disarm_all();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string path(const std::string& name = "j.mtj") const { return (dir_ / name).string(); }
+
+  std::string slurp(const std::string& p) const {
+    std::ifstream is(p, std::ios::binary);
+    return {std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>()};
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(JournalTest, AppendFindRoundTrip) {
+  Journal j;
+  j.open(path());
+  EXPECT_TRUE(j.is_open());
+  EXPECT_EQ(j.size(), 0u);
+  j.append("alpha", "1");
+  j.append("beta", "two");
+  ASSERT_NE(j.find("alpha"), nullptr);
+  EXPECT_EQ(*j.find("alpha"), "1");
+  ASSERT_NE(j.find("beta"), nullptr);
+  EXPECT_EQ(*j.find("beta"), "two");
+  EXPECT_EQ(j.find("gamma"), nullptr);
+  EXPECT_EQ(j.size(), 2u);
+}
+
+TEST_F(JournalTest, LaterRecordForSameKeyWins) {
+  Journal j;
+  j.open(path());
+  j.append("k", "first");
+  j.append("k", "second");
+  EXPECT_EQ(*j.find("k"), "second");
+  EXPECT_EQ(j.size(), 1u);
+  j.close();
+
+  Journal replayed;
+  replayed.open(path());
+  EXPECT_EQ(replayed.replayed_records(), 2u);
+  EXPECT_EQ(*replayed.find("k"), "second");
+  EXPECT_EQ(replayed.size(), 1u);
+}
+
+TEST_F(JournalTest, ReplaySurvivesCloseAndReopen) {
+  {
+    Journal j;
+    j.open(path());
+    for (int i = 0; i < 100; ++i) j.append("key" + std::to_string(i), std::to_string(i * i));
+  }
+  Journal j;
+  j.open(path());
+  EXPECT_EQ(j.replayed_records(), 100u);
+  EXPECT_EQ(j.truncated_bytes(), 0u);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_NE(j.find("key" + std::to_string(i)), nullptr) << i;
+    EXPECT_EQ(*j.find("key" + std::to_string(i)), std::to_string(i * i));
+  }
+}
+
+TEST_F(JournalTest, BinaryValuesAndNewlinesRoundTrip) {
+  Journal j;
+  j.open(path());
+  const std::string value("line1\nline2\0binary", 18);
+  j.append("multi\nline\nkey", value);
+  j.close();
+  Journal r;
+  r.open(path());
+  ASSERT_NE(r.find("multi\nline\nkey"), nullptr);
+  EXPECT_EQ(*r.find("multi\nline\nkey"), value);
+}
+
+TEST_F(JournalTest, TornTailIsTruncatedAtEveryOffset) {
+  // Write two good records and one final record, then truncate the file
+  // at every byte offset inside the final record: replay must keep the
+  // two good records and drop the torn tail.
+  {
+    Journal j;
+    j.open(path());
+    j.append("a", "AA");
+    j.append("b", "BB");
+    j.append("victim", "the torn one");
+  }
+  const std::string full = slurp(path());
+  const std::size_t tail = format_journal_record("victim", "the torn one").size();
+  const std::size_t keep = full.size() - tail;
+  for (std::size_t cut = keep; cut < full.size(); ++cut) {
+    const std::string p = path("torn_" + std::to_string(cut) + ".mtj");
+    std::ofstream os(p, std::ios::binary);
+    os.write(full.data(), static_cast<std::streamsize>(cut));
+    os.close();
+    Journal j;
+    j.open(p);
+    EXPECT_EQ(j.replayed_records(), 2u) << "cut at " << cut;
+    EXPECT_EQ(j.truncated_bytes(), cut - keep) << "cut at " << cut;
+    EXPECT_EQ(j.find("victim"), nullptr) << "cut at " << cut;
+    EXPECT_EQ(*j.find("a"), "AA");
+    EXPECT_EQ(*j.find("b"), "BB");
+    // The torn bytes are gone from disk: appends after replay start from
+    // a clean record boundary.
+    j.append("after", "resume");
+    j.close();
+    Journal r;
+    r.open(p);
+    EXPECT_EQ(r.replayed_records(), 3u) << "cut at " << cut;
+    EXPECT_EQ(*r.find("after"), "resume");
+  }
+}
+
+TEST_F(JournalTest, CorruptedInteriorByteStopsReplayThere) {
+  {
+    Journal j;
+    j.open(path());
+    j.append("a", "AA");
+    j.append("b", "BB");
+    j.append("c", "CC");
+  }
+  std::string data = slurp(path());
+  // Flip a payload byte of the second record ("b" -> corrupt): its CRC
+  // fails, so replay keeps only record one and truncates the rest.
+  const std::size_t first = format_journal_record("a", "AA").size();
+  const std::string second = format_journal_record("b", "BB");
+  data[first + second.size() - 2] ^= 0x01;  // inside the "BB" payload
+  {
+    std::ofstream os(path(), std::ios::binary);
+    os.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+  Journal j;
+  j.open(path());
+  EXPECT_EQ(j.replayed_records(), 1u);
+  EXPECT_EQ(*j.find("a"), "AA");
+  EXPECT_EQ(j.find("b"), nullptr);
+  EXPECT_EQ(j.find("c"), nullptr);
+  EXPECT_GT(j.truncated_bytes(), 0u);
+}
+
+TEST_F(JournalTest, CompactKeepsLatestValuesOnly) {
+  Journal j;
+  j.open(path());
+  for (int round = 0; round < 10; ++round) {
+    for (int k = 0; k < 5; ++k) {
+      j.append("key" + std::to_string(k), "round" + std::to_string(round));
+    }
+  }
+  const auto before = std::filesystem::file_size(path());
+  j.compact();
+  const auto after = std::filesystem::file_size(path());
+  EXPECT_LT(after, before);
+  EXPECT_EQ(j.size(), 5u);
+  for (int k = 0; k < 5; ++k) EXPECT_EQ(*j.find("key" + std::to_string(k)), "round9");
+  // Still appendable after the fd swap, and the result replays.
+  j.append("post", "compact");
+  j.close();
+  Journal r;
+  r.open(path());
+  EXPECT_EQ(r.replayed_records(), 6u);
+  EXPECT_EQ(*r.find("post"), "compact");
+  EXPECT_EQ(*r.find("key0"), "round9");
+}
+
+TEST_F(JournalTest, EmptyKeyAndClosedJournalThrow) {
+  Journal j;
+  EXPECT_THROW(j.append("k", "v"), std::runtime_error);  // never opened
+  j.open(path());
+  EXPECT_THROW(j.append("", "v"), std::invalid_argument);
+  j.close();
+  EXPECT_THROW(j.append("k", "v"), std::runtime_error);
+  EXPECT_THROW(j.compact(), std::runtime_error);
+}
+
+TEST_F(JournalTest, FsyncEveryRecordAndNeverBothWork) {
+  JournalOptions every;
+  every.fsync_every = 1;
+  Journal j1;
+  j1.open(path("every.mtj"), every);
+  j1.append("a", "1");
+  j1.append("b", "2");
+  j1.close();
+
+  JournalOptions never;
+  never.fsync_every = 0;
+  never.fsync_interval_s = 0.0;
+  Journal j2;
+  j2.open(path("never.mtj"), never);
+  j2.append("a", "1");
+  j2.flush();
+  j2.close();
+
+  Journal r;
+  r.open(path("every.mtj"));
+  EXPECT_EQ(r.replayed_records(), 2u);
+  r.open(path("never.mtj"));
+  EXPECT_EQ(r.replayed_records(), 1u);
+}
+
+TEST_F(JournalTest, ConcurrentAppendsAllSurvive) {
+  Journal j;
+  j.open(path());
+  constexpr int kThreads = 8, kPerThread = 200;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&j, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        j.append("t" + std::to_string(t) + ":" + std::to_string(i), std::to_string(i));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  j.close();
+  Journal r;
+  r.open(path());
+  EXPECT_EQ(r.replayed_records(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(r.truncated_bytes(), 0u);
+  EXPECT_EQ(r.size(), static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+TEST_F(JournalTest, InjectedAppendFaultLeavesValidJournal) {
+  Journal j;
+  j.open(path());
+  j.append("before", "ok");
+  mtcmos::faultinject::arm(mtcmos::faultinject::Site::kJournalAppend,
+                           mtcmos::faultinject::kAnyScope, 1);
+  EXPECT_THROW(j.append("doomed", "x"), mtcmos::NumericalError);
+  j.append("after", "ok");
+  j.close();
+  Journal r;
+  r.open(path());
+  EXPECT_EQ(r.replayed_records(), 2u);
+  EXPECT_EQ(r.find("doomed"), nullptr);
+  EXPECT_EQ(*r.find("before"), "ok");
+  EXPECT_EQ(*r.find("after"), "ok");
+}
+
+TEST_F(JournalTest, ForEachVisitsLatestPerKey) {
+  Journal j;
+  j.open(path());
+  j.append("x", "old");
+  j.append("x", "new");
+  j.append("y", "only");
+  std::size_t visited = 0;
+  j.for_each([&](const std::string& key, const std::string& value) {
+    ++visited;
+    if (key == "x") EXPECT_EQ(value, "new");
+    if (key == "y") EXPECT_EQ(value, "only");
+  });
+  EXPECT_EQ(visited, 2u);
+}
+
+}  // namespace
