@@ -8,6 +8,12 @@
 // per-vector evaluation cost of the two EvalBackend implementations
 // (switch-level vs transistor-level) and writes BENCH_backend.json.
 //
+// Next comes the batch VBS kernel benchmark: the full 4096-vector adder
+// sweep through the scalar per-vector path and through the SoA batch
+// kernel, both single-threaded, verifying bit-identity and writing
+// BENCH_vbs.json (including the MTCMOS_NATIVE ISA flag, so perf baselines
+// are never compared across instruction sets).
+//
 // It then runs the SPICE hot-path benchmark: a sampled adder vector set
 // through the transistor-level SpiceBackend, once with the accelerations
 // off on 1 thread (the pre-pool, pre-bypass configuration) and once with
@@ -15,14 +21,17 @@
 // delays are bit-identical to a 1-thread run of the same configuration,
 // and writes BENCH_spice.json including the EngineStats counters.
 //
-//   microbench [--threads N] [--json PATH] [--only sweep|backend|spice]
-//              [--gbench [gbench args...]]
+//   microbench [--threads N] [--json PATH] [--only sweep|backend|vbs|spice]
+//              [--batch N] [--gbench [gbench args...]]
 //
-// --only restricts the run to one of the three benchmarks (the perf
-// regression ctest uses --only spice).  --gbench additionally runs the
-// google-benchmark micro-suite (Eq. 5 solves, switch-level vector
-// evaluations, transistor-level steps); remaining arguments are forwarded
-// to google-benchmark.
+// --only restricts the run to one of the four benchmarks (the perf
+// regression ctests use --only spice / --only vbs); it also filters the
+// --gbench micro-suite to the matching BM_* benchmarks unless an explicit
+// --benchmark_filter is forwarded.  --batch sets the batch-kernel chunk
+// size (default 64).  --gbench additionally runs the google-benchmark
+// micro-suite (Eq. 5 solves, switch-level vector evaluations,
+// transistor-level steps); remaining arguments are forwarded to
+// google-benchmark.  See bench/README.md.
 
 #include <benchmark/benchmark.h>
 
@@ -35,6 +44,7 @@
 
 #include "circuits/generators.hpp"
 #include "core/vbs.hpp"
+#include "core/vbs_batch.hpp"
 #include "core/vx_solver.hpp"
 #include "models/sleep_transistor.hpp"
 #include "models/technology.hpp"
@@ -95,6 +105,27 @@ void BM_VbsTreeVector(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VbsTreeVector);
+
+void BM_VbsBatchChunk(benchmark::State& state) {
+  const auto adder = circuits::make_ripple_adder(tech07(), 3);
+  std::vector<std::string> outs;
+  for (const auto s : adder.sum) outs.push_back(adder.netlist.net_name(s));
+  core::VbsOptions opt;
+  opt.sleep_resistance = SleepTransistor(tech07(), 10.0).reff();
+  const core::VbsSimulator sim(adder.netlist, opt);
+  const core::VbsBatchSimulator batch(sim);
+  const auto pairs = sizing::all_vector_pairs(6);
+  std::vector<core::VbsBatchItem> items;
+  for (std::size_t i = 0; i < 64; ++i) items.push_back({&pairs[i].v0, &pairs[i].v1});
+  core::VbsBatchWorkspace ws;
+  std::vector<core::VbsLaneResult> results(items.size());
+  for (auto _ : state) {
+    batch.critical_delays(items.data(), items.size(), outs, ws, results.data());
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(items.size()));
+}
+BENCHMARK(BM_VbsBatchChunk);
 
 void BM_SpiceAdderVector(benchmark::State& state) {
   const auto adder = circuits::make_ripple_adder(tech07(), 3);
@@ -273,6 +304,104 @@ int backend_benchmark(const std::string& json_path) {
   return 0;
 }
 
+// Batch VBS kernel benchmark (ROADMAP item 2): the full 4096-vector adder
+// sweep, single-threaded, once through the scalar per-vector path and
+// once through the SoA batch kernel in chunks of `batch`.  The two delay
+// arrays must be bit-identical (the batch determinism contract).  Each
+// leg is timed best-of-3 so the committed baseline is not hostage to a
+// scheduler hiccup.  Writes BENCH_vbs.json including the MTCMOS_NATIVE
+// flag, so check_bench.py never compares speedups across ISAs.
+int vbs_benchmark(std::size_t batch, const std::string& json_path) {
+  using Clock = std::chrono::steady_clock;
+  const auto adder = circuits::make_ripple_adder(tech07(), 3);
+  std::vector<std::string> outs;
+  for (const auto s : adder.sum) outs.push_back(adder.netlist.net_name(s));
+  outs.push_back(adder.netlist.net_name(adder.cout));
+  const double wl = 10.0;
+  core::VbsOptions opt;
+  opt.sleep_resistance = SleepTransistor(tech07(), wl).reff();
+  const core::VbsSimulator sim(adder.netlist, opt);
+  const core::VbsBatchSimulator batch_sim(sim);
+  const auto pairs = sizing::all_vector_pairs(6);
+  const std::size_t n = pairs.size();
+  if (batch == 0) batch = 64;
+
+  const auto best_of = [](int reps, const auto& leg) {
+    double best = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto t0 = Clock::now();
+      leg();
+      const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+      if (rep == 0 || s < best) best = s;
+    }
+    return best;
+  };
+
+  std::vector<double> scalar_delays(n);
+  core::VbsWorkspace ws;
+  const double scalar_s = best_of(3, [&] {
+    for (std::size_t i = 0; i < n; ++i) {
+      scalar_delays[i] = sim.critical_delay(pairs[i].v0, pairs[i].v1, outs, ws);
+    }
+  });
+
+  std::vector<core::VbsBatchItem> items;
+  items.reserve(n);
+  for (const auto& p : pairs) items.push_back({&p.v0, &p.v1});
+  std::vector<core::VbsLaneResult> lanes(n);
+  core::VbsBatchWorkspace bws;
+  const double batch_s = best_of(3, [&] {
+    for (std::size_t off = 0; off < n; off += batch) {
+      batch_sim.critical_delays(items.data() + off, std::min(batch, n - off), outs, bws,
+                                lanes.data() + off);
+    }
+  });
+
+  bool identical = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!lanes[i].ok || lanes[i].delay != scalar_delays[i]) identical = false;
+  }
+
+#ifdef MTCMOS_NATIVE_BUILD
+  const bool march_native = true;
+#else
+  const bool march_native = false;
+#endif
+  const double speedup = scalar_s / batch_s;
+  const double scalar_us = scalar_s / static_cast<double>(n) * 1e6;
+  const double batch_us = batch_s / static_cast<double>(n) * 1e6;
+
+  std::cout << "VBS batch kernel, 3-bit adder, " << n << " vector pairs, W/L = " << wl
+            << ", batch = " << batch
+            << "\n  scalar (1 thread): " << scalar_s << " s  (" << scalar_us
+            << " us/vector)\n  batch  (1 thread): " << batch_s << " s  (" << batch_us
+            << " us/vector)\n  speedup: " << speedup
+            << "x   results bit-identical: " << (identical ? "yes" : "NO")
+            << "\n  march_native: " << (march_native ? "yes" : "no") << "\n";
+
+  std::ofstream json(json_path);
+  if (!json) {
+    std::cerr << "microbench: cannot write " << json_path << "\n";
+    return 1;
+  }
+  json << "{\n"
+       << "  \"bench\": \"vbs_batch\",\n"
+       << "  \"circuit\": \"ripple_adder_3bit\",\n"
+       << "  \"vectors\": " << n << ",\n"
+       << "  \"sleep_wl\": " << wl << ",\n"
+       << "  \"batch\": " << batch << ",\n"
+       << "  \"scalar_seconds\": " << scalar_s << ",\n"
+       << "  \"batch_seconds\": " << batch_s << ",\n"
+       << "  \"scalar_us_per_vector\": " << scalar_us << ",\n"
+       << "  \"batch_us_per_vector\": " << batch_us << ",\n"
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"identical\": " << (identical ? "true" : "false") << ",\n"
+       << "  \"march_native\": " << (march_native ? "true" : "false") << "\n"
+       << "}\n";
+  std::cout << "wrote " << json_path << "\n";
+  return identical ? 0 : 1;
+}
+
 // SPICE hot-path benchmark: a sampled vector set through SpiceBackend's
 // delay_at_wl path (the workload behind `rank_vectors --backend spice`).
 //
@@ -374,6 +503,7 @@ int spice_benchmark(int threads, const std::string& json_path) {
 
 int main(int argc, char** argv) {
   int threads = util::ThreadPool::default_thread_count();
+  std::size_t batch = 64;
   std::string json_path = "BENCH_sweep.json";
   std::string only;
   bool gbench = false;
@@ -383,12 +513,15 @@ int main(int argc, char** argv) {
     if (arg == "--threads" && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
       if (threads < 1) threads = 1;
+    } else if (arg == "--batch" && i + 1 < argc) {
+      const int b = std::atoi(argv[++i]);
+      batch = b < 1 ? 1 : static_cast<std::size_t>(b);
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
     } else if (arg == "--only" && i + 1 < argc) {
       only = argv[++i];
-      if (only != "sweep" && only != "backend" && only != "spice") {
-        std::cerr << "microbench: --only expects sweep, backend, or spice\n";
+      if (only != "sweep" && only != "backend" && only != "vbs" && only != "spice") {
+        std::cerr << "microbench: --only expects sweep, backend, vbs, or spice\n";
         return 2;
       }
     } else if (arg == "--gbench") {
@@ -397,7 +530,9 @@ int main(int argc, char** argv) {
       gbench_args.push_back(argv[i]);  // forward to google-benchmark
     } else {
       std::cerr << "usage: microbench [--threads N] [--json PATH] "
-                   "[--only sweep|backend|spice] [--gbench [gbench args...]]\n";
+                   "[--only sweep|backend|vbs|spice] [--batch N] "
+                   "[--gbench [gbench args...]]\n"
+                   "  --only also filters the --gbench micro-suite (see bench/README.md)\n";
       return 2;
     }
   }
@@ -410,12 +545,35 @@ int main(int argc, char** argv) {
     const int brc = backend_benchmark("BENCH_backend.json");
     if (brc != 0) return brc;
   }
+  if (only.empty() || only == "vbs") {
+    const int vrc = vbs_benchmark(batch, "BENCH_vbs.json");
+    if (vrc != 0) return vrc;
+  }
   if (only.empty() || only == "spice") {
     const int src = spice_benchmark(threads, "BENCH_spice.json");
     if (src != 0) return src;
   }
 
   if (gbench) {
+    // --only also restricts the micro-suite: map the suite to its BM_*
+    // family unless the caller forwarded an explicit --benchmark_filter.
+    bool has_filter = false;
+    for (const char* a : gbench_args) {
+      if (std::string(a).rfind("--benchmark_filter", 0) == 0) has_filter = true;
+    }
+    std::string filter_arg;
+    if (!only.empty() && !has_filter) {
+      std::string pattern;
+      if (only == "sweep" || only == "vbs") {
+        pattern = "BM_Vbs.*|BM_VxSolve.*";
+      } else if (only == "spice") {
+        pattern = "BM_Spice.*|BM_Engine.*";
+      } else {  // backend: the two per-vector backend paths
+        pattern = "BM_VbsAdderVector|BM_SpiceAdderVector";
+      }
+      filter_arg = "--benchmark_filter=" + pattern;
+      gbench_args.push_back(filter_arg.data());
+    }
     int gargc = static_cast<int>(gbench_args.size());
     benchmark::Initialize(&gargc, gbench_args.data());
     benchmark::RunSpecifiedBenchmarks();

@@ -72,12 +72,41 @@ SweepRun timed_sweep(const sizing::EvalBackend& backend,
   return out;
 }
 
+// Time the same sweep through the backend's batch interface: `batch`
+// vectors per EvalBackend::delay_at_wl_batch call, chunks fanned over the
+// pool.  On the switch-level backend this is the SoA lockstep kernel
+// (core/vbs_batch.hpp); results are bit-identical to timed_sweep's.
+// Failed lanes report -1 like a non-toggling vector would.
+SweepRun timed_batch_sweep(const sizing::EvalBackend& backend,
+                           const std::vector<sizing::VectorPair>& pairs, double wl,
+                           std::size_t batch, util::ThreadPool& pool) {
+  backend.prepare_wl(wl);
+  SweepRun out;
+  out.delays.assign(pairs.size(), -1.0);
+  const std::size_t nchunks = (pairs.size() + batch - 1) / batch;
+  const auto t0 = Clock::now();
+  pool.parallel_for(nchunks, [&](std::size_t c) {
+    const std::size_t begin = c * batch;
+    const std::size_t end = std::min(begin + batch, pairs.size());
+    std::vector<const sizing::VectorPair*> vps(end - begin);
+    for (std::size_t i = begin; i < end; ++i) vps[i - begin] = &pairs[i];
+    std::vector<Outcome<double>> res(end - begin);
+    backend.delay_at_wl_batch(vps.data(), vps.size(), wl, res.data());
+    for (std::size_t i = begin; i < end; ++i) {
+      if (res[i - begin].ok()) out.delays[i] = *res[i - begin].value;
+    }
+  });
+  out.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace mtcmos::units;
   bool quick = false;
   int threads = util::ThreadPool::default_thread_count();
+  std::size_t batch = 64;
   std::string checkpoint_dir;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -88,8 +117,13 @@ int main(int argc, char** argv) {
       if (threads < 1) threads = 1;
     } else if (arg == "--checkpoint" && i + 1 < argc) {
       checkpoint_dir = argv[++i];
+    } else if (arg == "--batch" && i + 1 < argc) {
+      batch = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else {
-      std::cerr << "usage: sec62_runtime [--quick] [--threads N] [--checkpoint DIR]\n";
+      std::cerr << "usage: sec62_runtime [--quick] [--threads N] [--checkpoint DIR] "
+                   "[--batch N]\n"
+                   "  --batch N   chunk size for the batched VBS leg (default 64; "
+                   "1 skips it)\n";
       return 2;
     }
   }
@@ -130,6 +164,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Batched switch-level leg: the same 4096 vectors through the SoA
+  // lockstep kernel, `batch` lanes per call.  No journal traffic here --
+  // this leg times the raw kernel, and its results are checked
+  // bit-for-bit against the scalar leg's.
+  SweepRun vbs_batch_run;
+  bool batch_identical = true;
+  if (batch >= 2) {
+    vbs_batch_run = timed_batch_sweep(vbs, pairs, wl, batch, pool);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if (vbs_batch_run.delays[i] != vbs_run.delays[i]) batch_identical = false;
+    }
+  }
+
   // --- Transistor-level backend: deterministic sample, extrapolated.
   // Exactly `sample` evenly spaced vectors.  Same timed_sweep; the
   // backend leases each worker its own engine from a per-W/L pool, so the
@@ -155,6 +202,11 @@ int main(int argc, char** argv) {
   table.add_row({"switch-level (VBS, " + std::to_string(pool.thread_count()) + " threads)",
                  std::to_string(pairs.size()), Table::num(vbs_run.seconds, 4),
                  Table::num(vbs_run.seconds / pairs.size() * 1e3, 3)});
+  if (batch >= 2) {
+    table.add_row({"switch-level batch (B=" + std::to_string(batch) + ")",
+                   std::to_string(pairs.size()), Table::num(vbs_batch_run.seconds, 4),
+                   Table::num(vbs_batch_run.seconds / pairs.size() * 1e3, 3)});
+  }
   table.add_row({"transistor-level (sampled)", std::to_string(measured),
                  Table::num(spice_run.seconds, 4),
                  Table::num(spice_run.seconds / measured * 1e3, 4)});
@@ -163,6 +215,14 @@ int main(int argc, char** argv) {
                  Table::num(spice_total_est / pairs.size() * 1e3, 4)});
   bench::print_table(table, "sec62");
 
+  if (batch >= 2) {
+    std::cout << "VBS batch kernel (batch=" << batch << "): scalar "
+              << Table::num(vbs_run.seconds / pairs.size() * 1e6, 3) << " us/vector, batch "
+              << Table::num(vbs_batch_run.seconds / pairs.size() * 1e6, 3)
+              << " us/vector, speedup "
+              << Table::num(vbs_run.seconds / vbs_batch_run.seconds, 3)
+              << "x; results bit-identical: " << (batch_identical ? "yes" : "NO") << "\n";
+  }
   std::cout << "Speedup (VBS vs transistor-level, full space): "
             << Table::num(spice_total_est / vbs_run.seconds, 4) << "x\n"
             << "Paper: 13.5 s vs 4.78 h = ~1275x on a Sparc 5.\n"

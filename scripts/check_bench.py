@@ -1,104 +1,139 @@
 #!/usr/bin/env python3
-"""Perf regression gate for the SPICE hot path.
+"""Perf regression gate for the microbench suites.
 
-Re-runs `microbench --only spice` in a scratch directory, then compares the
-fresh BENCH_spice.json against the committed baseline
-(bench/baselines/BENCH_spice.json).  The machine running CI is not the
-machine that produced the baseline, so the gate is deliberately generous: a
-failure means the hot path got ~3x slower relative to its own in-binary
-legacy configuration, or the pooled backend stopped being bit-identical --
-both genuine regressions, not noise.
+Re-runs one microbench suite in a scratch directory, then compares the
+fresh BENCH_<suite>.json against the committed baseline under
+bench/baselines/.  The machine running CI is not the machine that produced
+the baseline, so the gate is deliberately generous: a failure means the hot
+path got ~3x slower relative to its own in-binary reference configuration,
+or the optimized path stopped being bit-identical -- both genuine
+regressions, not noise.
 
-Checks:
-  * the benchmark itself succeeds (it already self-checks pooled results
-    against a serial run and exits nonzero on mismatch);
+Suites:
+  spice  SPICE hot path (BENCH_spice.json).  The in-binary reference is the
+         legacy per-call configuration; also requires the device-evaluation
+         bypass to fire (bypass_hits > 0).
+  vbs    Batch VBS kernel (BENCH_vbs.json).  The in-binary reference is the
+         scalar VbsSimulator sweep; single-threaded on both legs.
+
+Common checks:
+  * the benchmark itself succeeds (each suite self-checks the optimized
+    results bit-for-bit against its reference and exits nonzero on
+    mismatch);
   * fresh "identical" is true;
-  * fresh speedup >= baseline speedup / threshold (default threshold 3x);
-  * the bypass is actually firing (bypass_hits > 0).
+  * fresh speedup >= baseline speedup / threshold (default threshold 3x).
+    Skipped with a warning when the fresh and baseline builds disagree on
+    march_native -- ISA-specific baselines must not gate generic builds or
+    vice versa.
 
 Usage:
   check_bench.py --microbench build/bench/microbench \
                  --baseline bench/baselines/BENCH_spice.json \
-                 [--threshold 3.0] [--threads N]
+                 [--suite spice|vbs] [--threshold 3.0] [--threads N]
+
+--suite defaults from the baseline filename (BENCH_<suite>.json).
 """
 
 import argparse
 import json
 import os
+import re
 import subprocess
 import sys
 import tempfile
 
 
+def load_json(path: str, what: str):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except FileNotFoundError:
+        print(f"FAIL: {what} {path} does not exist")
+        return None
+    except json.JSONDecodeError as e:
+        print(f"FAIL: {what} {path} is not valid JSON: {e}")
+        return None
+    if not isinstance(doc, dict) or not isinstance(doc.get("speedup"), (int, float)):
+        print(f"FAIL: {what} {path} has no numeric 'speedup' field "
+              "(wrong file, or written by an incompatible microbench?)")
+        return None
+    return doc
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--microbench", required=True, help="path to the microbench binary")
-    ap.add_argument("--baseline", required=True, help="committed BENCH_spice.json")
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline (bench/baselines/BENCH_<suite>.json)")
+    ap.add_argument("--suite", choices=["spice", "vbs"],
+                    help="which microbench suite to run (default: from the baseline filename)")
     ap.add_argument("--threshold", type=float, default=3.0,
                     help="allowed slowdown factor vs the baseline speedup (default 3)")
     ap.add_argument("--threads", type=int,
                     default=int(os.environ.get("MTCMOS_THREADS", "8") or "8"),
-                    help="thread count for the parallel leg (default MTCMOS_THREADS or 8)")
+                    help="thread count for the spice parallel leg (default MTCMOS_THREADS or 8)")
     args = ap.parse_args()
 
-    try:
-        with open(args.baseline, encoding="utf-8") as f:
-            baseline = json.load(f)
-    except FileNotFoundError:
-        print(f"FAIL: baseline {args.baseline} does not exist "
-              "(run microbench once and commit its BENCH_spice.json)")
-        return 1
-    except json.JSONDecodeError as e:
-        print(f"FAIL: baseline {args.baseline} is not valid JSON: {e}")
-        return 1
-    if not isinstance(baseline, dict) or not isinstance(baseline.get("speedup"), (int, float)):
-        print(f"FAIL: baseline {args.baseline} has no numeric 'speedup' field "
-              "(wrong file, or written by an incompatible microbench?)")
+    suite = args.suite
+    if suite is None:
+        m = re.search(r"BENCH_(\w+)\.json$", os.path.basename(args.baseline))
+        if not m or m.group(1) not in ("spice", "vbs"):
+            print(f"FAIL: cannot infer --suite from baseline name "
+                  f"'{os.path.basename(args.baseline)}'; pass --suite explicitly")
+            return 1
+        suite = m.group(1)
+
+    baseline = load_json(args.baseline, "baseline")
+    if baseline is None:
+        print("(run microbench once and commit the BENCH json it writes)")
         return 1
 
-    with tempfile.TemporaryDirectory(prefix="bench_spice.") as tmp:
-        proc = subprocess.run(
-            [os.path.abspath(args.microbench), "--only", "spice",
-             "--threads", str(args.threads)],
-            cwd=tmp, capture_output=True, text=True)
+    cmd = [os.path.abspath(args.microbench), "--only", suite]
+    if suite == "spice":
+        cmd += ["--threads", str(args.threads)]
+    bench_name = f"BENCH_{suite}.json"
+    with tempfile.TemporaryDirectory(prefix=f"bench_{suite}.") as tmp:
+        proc = subprocess.run(cmd, cwd=tmp, capture_output=True, text=True)
         sys.stdout.write(proc.stdout)
         sys.stderr.write(proc.stderr)
         if proc.returncode != 0:
             print(f"FAIL: microbench exited {proc.returncode} "
-                  "(pooled results diverged or the run crashed)")
+                  "(optimized results diverged or the run crashed)")
             return 1
-        fresh_path = os.path.join(tmp, "BENCH_spice.json")
-        try:
-            with open(fresh_path, encoding="utf-8") as f:
-                fresh = json.load(f)
-        except FileNotFoundError:
-            print("FAIL: microbench exited 0 but wrote no BENCH_spice.json")
+        fresh = load_json(os.path.join(tmp, bench_name), "fresh")
+        if fresh is None:
             return 1
-        except json.JSONDecodeError as e:
-            print(f"FAIL: fresh BENCH_spice.json is not valid JSON: {e}")
-            return 1
-    if not isinstance(fresh, dict) or not isinstance(fresh.get("speedup"), (int, float)):
-        print("FAIL: fresh BENCH_spice.json has no numeric 'speedup' field")
-        return 1
 
     failures = []
     if not fresh.get("identical", False):
-        failures.append("pooled parallel delays are not bit-identical to serial")
-    if fresh.get("bypass_hits", 0) <= 0:
+        failures.append("optimized results are not bit-identical to the reference run")
+    if suite == "spice" and fresh.get("bypass_hits", 0) <= 0:
         failures.append("bypass_hits == 0: the device-evaluation bypass never fired")
-    floor = baseline["speedup"] / args.threshold
-    if fresh["speedup"] < floor:
-        failures.append(
-            f"speedup {fresh['speedup']:.2f}x fell below {floor:.2f}x "
-            f"(baseline {baseline['speedup']:.2f}x / threshold {args.threshold:g})")
 
-    print(f"speedup: fresh {fresh['speedup']:.2f}x vs baseline {baseline['speedup']:.2f}x "
-          f"(floor {floor:.2f}x); bypass hit rate {fresh.get('bypass_hit_rate', 0.0):.1%}")
+    fresh_native = bool(fresh.get("march_native", False))
+    base_native = bool(baseline.get("march_native", False))
+    if fresh_native != base_native:
+        # An -march=native binary vs a generic baseline (or vice versa) is an
+        # ISA change, not a regression: check only the invariants above.
+        print(f"NOTE: march_native mismatch (fresh {fresh_native}, baseline {base_native}); "
+              "skipping the speedup comparison -- regenerate the baseline on this build "
+              "to re-arm it")
+    else:
+        floor = baseline["speedup"] / args.threshold
+        if fresh["speedup"] < floor:
+            failures.append(
+                f"speedup {fresh['speedup']:.2f}x fell below {floor:.2f}x "
+                f"(baseline {baseline['speedup']:.2f}x / threshold {args.threshold:g})")
+        print(f"speedup: fresh {fresh['speedup']:.2f}x vs baseline "
+              f"{baseline['speedup']:.2f}x (floor {floor:.2f}x)")
+    if suite == "spice":
+        print(f"bypass hit rate {fresh.get('bypass_hit_rate', 0.0):.1%}")
+
     if failures:
         for msg in failures:
             print(f"FAIL: {msg}")
         return 1
-    print("OK: SPICE hot path within the regression envelope")
+    print(f"OK: {suite} hot path within the regression envelope")
     return 0
 
 

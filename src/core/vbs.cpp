@@ -14,9 +14,9 @@ namespace mtcmos::core {
 
 namespace {
 
-constexpr double kInf = std::numeric_limits<double>::infinity();
-constexpr double kEpsT = 1e-18;  // event coincidence window [s]
-constexpr double kEpsV = 1e-9;   // rail/threshold arrival tolerance [V]
+using detail::kEpsT;
+using detail::kEpsV;
+using detail::kInf;
 
 using detail::Drive;
 using detail::InputEvent;
@@ -34,23 +34,41 @@ VbsSimulator::VbsSimulator(const netlist::Netlist& nl, VbsOptions options,
       gate_domain_(std::move(gate_domain)),
       domain_r_(std::move(domain_resistance)) {
   require(!domain_r_.empty(), "VbsSimulator: need at least one sleep domain");
-  for (const double r : domain_r_) {
-    require(r >= 0.0, "VbsSimulator: negative sleep resistance");
-  }
   require(static_cast<int>(gate_domain_.size()) == nl_.gate_count(),
           "VbsSimulator: gate_domain size must equal the gate count");
   for (const int d : gate_domain_) {
     require(d >= 0 && d < static_cast<int>(domain_r_.size()),
             "VbsSimulator: gate domain index out of range");
   }
-  require(options_.input_ramp >= 0.0, "VbsSimulator: negative input ramp");
-  require(options_.virtual_ground_cap >= 0.0, "VbsSimulator: negative C_x");
-  require(options_.alpha >= 1.0 && options_.alpha <= 2.0,
-          "VbsSimulator: alpha must be in [1, 2]");
-  require(options_.input_slope_factor >= 0.0 && options_.input_slope_factor <= 1.0,
-          "VbsSimulator: input_slope_factor must be in [0, 1]");
-  require(options_.t_max > options_.t_switch, "VbsSimulator: t_max must exceed t_switch");
-  require(options_.deadline_s >= 0.0, "VbsSimulator: deadline_s must be non-negative");
+  // Option-value validation is coded (kInvalidArgument) so batch drivers
+  // can classify a misconfigured sweep without string matching, mirroring
+  // the SizingBounds validation in sizing::size_for_degradation.
+  const auto bad_option = [](const std::string& why) {
+    throw NumericalError({FailureCode::kInvalidArgument, "core::VbsSimulator", why});
+  };
+  for (const double r : domain_r_) {
+    if (!(r >= 0.0)) bad_option("negative sleep resistance " + std::to_string(r));
+  }
+  if (!(options_.input_ramp >= 0.0)) {
+    bad_option("negative input_ramp " + std::to_string(options_.input_ramp));
+  }
+  if (!(options_.virtual_ground_cap >= 0.0)) {
+    bad_option("negative virtual_ground_cap " + std::to_string(options_.virtual_ground_cap));
+  }
+  if (!(options_.alpha >= 1.0 && options_.alpha <= 2.0)) {
+    bad_option("alpha " + std::to_string(options_.alpha) + " outside [1, 2]");
+  }
+  if (!(options_.input_slope_factor >= 0.0 && options_.input_slope_factor <= 1.0)) {
+    bad_option("input_slope_factor " + std::to_string(options_.input_slope_factor) +
+               " outside [0, 1]");
+  }
+  if (!(options_.t_max > options_.t_switch)) {
+    bad_option("t_max " + std::to_string(options_.t_max) + " must exceed t_switch " +
+               std::to_string(options_.t_switch));
+  }
+  if (!(options_.deadline_s >= 0.0)) {
+    bad_option("negative deadline_s " + std::to_string(options_.deadline_s));
+  }
   for (int g = 0; g < nl_.gate_count(); ++g) {
     beta_n_.push_back(nl_.beta_n_eff(g));
     beta_p_.push_back(nl_.beta_p_eff(g));

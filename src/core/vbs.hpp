@@ -27,6 +27,7 @@
 //     hierarchical sizing with mutually exclusive discharge patterns.
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,14 @@ struct VbsOptions {
 };
 
 namespace detail {
+
+// Numerical constants shared by the scalar kernel (vbs.cpp) and the batch
+// kernel (vbs_batch.cpp).  The batch kernel replays the scalar
+// floating-point sequence bit-for-bit, so both translation units must
+// agree on these.
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+inline constexpr double kEpsT = 1e-18;  ///< event coincidence window [s]
+inline constexpr double kEpsV = 1e-9;   ///< rail/threshold arrival tolerance [V]
 
 enum class Drive : std::uint8_t { kIdle, kUp, kDown };
 
@@ -125,7 +134,10 @@ struct VbsResult {
 class VbsSimulator {
  public:
   /// Single sleep domain with options.sleep_resistance.  The netlist must
-  /// outlive the simulator.
+  /// outlive the simulator.  Malformed VbsOptions (negative resistance,
+  /// ramp or C_x, alpha or input_slope_factor out of range, ...) throw
+  /// NumericalError with FailureCode::kInvalidArgument; structural
+  /// netlist/domain mismatches remain std::invalid_argument.
   VbsSimulator(const netlist::Netlist& nl, VbsOptions options);
 
   /// Multi-domain constructor: `gate_domain[g]` assigns gate g to a sleep
@@ -165,6 +177,8 @@ class VbsSimulator {
   int domain_count() const { return static_cast<int>(domain_r_.size()); }
 
  private:
+  friend class VbsBatchSimulator;  // SoA batch kernel (vbs_batch.hpp)
+
   const netlist::Netlist& nl_;
   VbsOptions options_;
   std::vector<int> gate_domain_;

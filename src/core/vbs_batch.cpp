@@ -1,0 +1,634 @@
+#include "core/vbs_batch.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <optional>
+
+#include "models/level1.hpp"
+#include "util/error.hpp"
+#include "util/faultinject.hpp"
+
+// Lockstep SoA replay of VbsSimulator::run (vbs.cpp).  Every stage below
+// names the scalar passage it mirrors; the per-lane floating-point
+// sequence must stay operation-for-operation identical, because the
+// determinism contract (vbs_batch.hpp) promises bit-identical delays.
+// When editing vbs.cpp, edit the matching stage here.
+
+namespace mtcmos::core {
+
+namespace {
+
+using detail::Drive;
+using detail::InputEvent;
+using detail::kEpsT;
+using detail::kEpsV;
+using detail::kInf;
+
+}  // namespace
+
+std::vector<VbsLaneResult> VbsBatchSimulator::critical_delays(
+    const std::vector<VbsBatchItem>& items, const std::vector<std::string>& out_names,
+    VbsBatchWorkspace& ws) const {
+  std::vector<VbsLaneResult> results(items.size());
+  critical_delays(items.data(), items.size(), out_names, ws, results.data());
+  return results;
+}
+
+void VbsBatchSimulator::critical_delays(const VbsBatchItem* items, std::size_t count,
+                                        const std::vector<std::string>& out_names,
+                                        VbsBatchWorkspace& ws, VbsLaneResult* results) const {
+  if (count == 0) return;
+  const netlist::Netlist& nl = sim_.nl_;
+  const VbsOptions& opt = sim_.options_;
+  const std::size_t n_in = nl.inputs().size();
+  for (std::size_t i = 0; i < count; ++i) {
+    require(items[i].v0 != nullptr && items[i].v1 != nullptr &&
+                items[i].v0->size() == n_in && items[i].v1->size() == n_in,
+            "VbsSimulator::run: input vector size mismatch");
+  }
+
+  const auto start_time = std::chrono::steady_clock::now();
+  const Technology& tech = nl.tech();
+  const double vdd = tech.vdd;
+  const double th = 0.5 * vdd;
+  const double cx = opt.virtual_ground_cap;
+  const double vtp = tech.pmos_low.vt0;
+  const double pull_up_drive = std::max(vdd - vtp, 0.0);
+  const double alpha = opt.alpha;
+  const int n_dom = static_cast<int>(sim_.domain_r_.size());
+  const int n_gate = nl.gate_count();
+  const int n_net = nl.net_count();
+  const std::size_t B = count;
+
+  const auto gidx = [B](int g, std::size_t l) { return static_cast<std::size_t>(g) * B + l; };
+
+  // --- Resolve out_names once per call (scalar: Trace channel lookups in
+  // critical_delay).  A name maps to a gate-output tracker, a circuit
+  // input evaluated analytically, or nothing (no channel in the scalar
+  // result either).
+  ws.mon_of_gate.assign(static_cast<std::size_t>(n_gate), -1);
+  ws.mon_gate.clear();
+  ws.out_refs.clear();
+  for (const std::string& name : out_names) {
+    VbsBatchWorkspace::OutRef ref;
+    const auto net = nl.find_net(name);
+    if (net) {
+      if (nl.is_input(*net)) {
+        ref.kind = 2;
+        for (std::size_t i = 0; i < n_in; ++i) {
+          if (nl.inputs()[i] == *net) ref.input = static_cast<int>(i);
+        }
+      } else if (nl.driver_of(*net) >= 0) {
+        const int g = nl.driver_of(*net);
+        if (ws.mon_of_gate[static_cast<std::size_t>(g)] < 0) {
+          ws.mon_of_gate[static_cast<std::size_t>(g)] = static_cast<int>(ws.mon_gate.size());
+          ws.mon_gate.push_back(g);
+        }
+        ref.kind = 1;
+        ref.mon = ws.mon_of_gate[static_cast<std::size_t>(g)];
+      }
+    }
+    ws.out_refs.push_back(ref);
+  }
+  const std::size_t n_mon = ws.mon_gate.size();
+
+  // --- Allocate / reset SoA state.
+  ws.drive.assign(static_cast<std::size_t>(n_gate) * B, Drive::kIdle);
+  ws.vout.assign(static_cast<std::size_t>(n_gate) * B, 0.0);
+  ws.slope.assign(static_cast<std::size_t>(n_gate) * B, 0.0);
+  ws.logic.assign(static_cast<std::size_t>(n_net) * B, 0);
+  ws.beta_dom.assign(static_cast<std::size_t>(n_dom) * B, 0.0);
+  ws.u_dom.assign(static_cast<std::size_t>(n_dom) * B, 0.0);
+  ws.vx_dom.assign(static_cast<std::size_t>(n_dom) * B, 0.0);
+  ws.vx_state.assign(static_cast<std::size_t>(n_dom) * B, 0.0);
+  ws.eq_vx.assign(static_cast<std::size_t>(n_dom) * B, 0.0);
+  ws.target_low.assign(static_cast<std::size_t>(n_dom) * B, 0.0);
+  ws.t_now.assign(B, 0.0);
+  ws.t_next.assign(B, kInf);
+  ws.dt.assign(B, 0.0);
+  ws.running.assign(B, 0);
+  ws.failed.assign(B, 0);
+  ws.any_active.assign(B, 0);
+  ws.breakpoints.assign(B, 0);
+  ws.failure.assign(B, FailureInfo{});
+  ws.events.clear();
+  ws.next_event.assign(B, 0);
+  ws.event_begin.assign(B, 0);
+  ws.event_end.assign(B, 0);
+  if (ws.pending.size() < B) ws.pending.resize(B);
+  for (std::size_t l = 0; l < B; ++l) ws.pending[l].clear();
+  ws.mon_ta.assign(n_mon * B, 0.0);
+  ws.mon_va.assign(n_mon * B, 0.0);
+  ws.mon_tb.assign(n_mon * B, 0.0);
+  ws.mon_vb.assign(n_mon * B, 0.0);
+  ws.mon_cross.assign(n_mon * B, 0.0);
+  ws.mon_npts.assign(n_mon * B, 0);
+  ws.mon_has.assign(n_mon * B, 0);
+
+  // Online Pwl::last_crossing replay for one monitored channel: the
+  // segment (ta,va)-(tb,vb) is final once a strictly later point arrives
+  // (or at end of run); a same-time append replaces vb, Pwl::append's
+  // vertical-step rule.
+  const auto mon_finalize = [&](std::size_t k) {
+    const double v0 = ws.mon_va[k];
+    const double v1 = ws.mon_vb[k];
+    if (v1 == v0) return;  // edge_matches(kAny) is false
+    const double lo = std::min(v0, v1);
+    const double hi = std::max(v0, v1);
+    if (th < lo || th > hi) return;
+    const double frac = (th - v0) / (v1 - v0);
+    ws.mon_cross[k] = ws.mon_ta[k] + frac * (ws.mon_tb[k] - ws.mon_ta[k]);
+    ws.mon_has[k] = 1;
+  };
+  const auto mon_append = [&](int mon, std::size_t l, double t, double v) {
+    const std::size_t k = static_cast<std::size_t>(mon) * B + l;
+    if (ws.mon_npts[k] == 0) {
+      ws.mon_tb[k] = t;
+      ws.mon_vb[k] = v;
+      ws.mon_npts[k] = 1;
+      return;
+    }
+    if (t == ws.mon_tb[k]) {
+      ws.mon_vb[k] = v;
+      return;
+    }
+    if (ws.mon_npts[k] >= 2) mon_finalize(k);
+    ws.mon_ta[k] = ws.mon_tb[k];
+    ws.mon_va[k] = ws.mon_vb[k];
+    ws.mon_tb[k] = t;
+    ws.mon_vb[k] = v;
+    ws.mon_npts[k] = 2;
+  };
+  // Scalar record_gate equivalent: only monitored channels are kept.
+  const auto record_gate = [&](int g, std::size_t l) {
+    const int mon = ws.mon_of_gate[static_cast<std::size_t>(g)];
+    if (mon >= 0) mon_append(mon, l, ws.t_now[l], ws.vout[gidx(g, l)]);
+  };
+
+  std::size_t lanes_running = 0;
+  const auto fail_lane = [&](std::size_t l, FailureInfo info) {
+    if (ws.running[l]) --lanes_running;
+    ws.running[l] = 0;
+    ws.failed[l] = 1;
+    ws.failure[l] = std::move(info);
+    // Idle drives keep the failed lane inert in the unconditional SoA
+    // stages below (zero beta, zero slope, no breakpoint candidates).
+    for (int g = 0; g < n_gate; ++g) ws.drive[gidx(g, l)] = Drive::kIdle;
+  };
+
+  // --- Per-lane initialization (scalar: run() up to the main loop).
+  const double t_cross_in = opt.t_switch + 0.5 * opt.input_ramp;
+  ws.settled_logic.clear();
+  ws.settled_rep.clear();
+  for (std::size_t l = 0; l < B; ++l) {
+    try {
+      faultinject::check(faultinject::Site::kVbsRun, "VbsSimulator::run");
+    } catch (const NumericalError& e) {
+      ws.failure[l] = e.info();
+      ws.failed[l] = 1;
+      continue;
+    }
+    const std::vector<bool>& v0 = *items[l].v0;
+    const std::vector<bool>& v1 = *items[l].v1;
+    // Shared-prefix reuse: settle each distinct v0 once per batch.
+    std::size_t group = ws.settled_rep.size();
+    for (std::size_t k = 0; k < ws.settled_rep.size(); ++k) {
+      if (*items[ws.settled_rep[k]].v0 == v0) {
+        group = k;
+        break;
+      }
+    }
+    if (group == ws.settled_rep.size()) {
+      ws.settled_rep.push_back(l);
+      const std::size_t base = ws.settled_logic.size();
+      ws.settled_logic.resize(base + static_cast<std::size_t>(n_net), 0);
+      std::uint8_t* settled = ws.settled_logic.data() + base;
+      for (std::size_t i = 0; i < n_in; ++i) {
+        settled[static_cast<std::size_t>(nl.inputs()[i])] = v0[i] ? 1 : 0;
+      }
+      for (const int g : sim_.topo_) {
+        const netlist::Gate& gate = nl.gate(g);
+        ws.pins.resize(gate.fanins.size());
+        for (std::size_t p = 0; p < gate.fanins.size(); ++p) {
+          ws.pins[p] = settled[static_cast<std::size_t>(gate.fanins[p])] != 0;
+        }
+        settled[static_cast<std::size_t>(gate.output)] = gate.pulldown.conducts(ws.pins) ? 0 : 1;
+      }
+    }
+    const std::uint8_t* settled =
+        ws.settled_logic.data() + group * static_cast<std::size_t>(n_net);
+    for (int n = 0; n < n_net; ++n) {
+      ws.logic[static_cast<std::size_t>(n) * B + l] = settled[static_cast<std::size_t>(n)];
+    }
+    for (int g = 0; g < n_gate; ++g) {
+      ws.vout[gidx(g, l)] =
+          settled[static_cast<std::size_t>(nl.gate(g).output)] != 0 ? vdd : 0.0;
+    }
+    // Gate channels open with the settled value at t = 0 (scalar lines
+    // that seed result.outputs before the loop).
+    for (std::size_t m = 0; m < n_mon; ++m) {
+      mon_append(static_cast<int>(m), l, 0.0, ws.vout[gidx(ws.mon_gate[m], l)]);
+    }
+    // Input threshold-crossing events, in input order, then the same
+    // std::sort call the scalar path makes on its (identical) sequence.
+    ws.event_begin[l] = ws.events.size();
+    for (std::size_t i = 0; i < n_in; ++i) {
+      if (v0[i] != v1[i]) ws.events.push_back({t_cross_in, nl.inputs()[i], v1[i]});
+    }
+    ws.event_end[l] = ws.events.size();
+    ws.next_event[l] = ws.event_begin[l];
+    std::sort(ws.events.begin() + static_cast<std::ptrdiff_t>(ws.event_begin[l]),
+              ws.events.begin() + static_cast<std::ptrdiff_t>(ws.event_end[l]),
+              [](const InputEvent& a, const InputEvent& b) { return a.t < b.t; });
+    ws.running[l] = 1;
+    ++lanes_running;
+  }
+
+  const auto drive_current = [alpha](double beta, double u) {
+    if (u <= 0.0) return 0.0;
+    if (alpha == 2.0) return 0.5 * beta * u * u;
+    return 0.5 * beta * std::pow(u, alpha);
+  };
+
+  // Scalar reevaluate(): drive direction from current net logic, with the
+  // domain-dependent low rest level (reverse conduction).
+  const auto reevaluate = [&](int g, std::size_t l) {
+    const netlist::Gate& gate = nl.gate(g);
+    ws.pins.resize(gate.fanins.size());
+    for (std::size_t p = 0; p < gate.fanins.size(); ++p) {
+      ws.pins[p] = ws.logic[static_cast<std::size_t>(gate.fanins[p]) * B + l] != 0;
+    }
+    const bool target = !gate.pulldown.conducts(ws.pins);
+    const std::size_t k = gidx(g, l);
+    const Drive before = ws.drive[k];
+    const double low =
+        ws.target_low[static_cast<std::size_t>(
+                          sim_.gate_domain_[static_cast<std::size_t>(g)]) *
+                          B +
+                      l];
+    if (target && ws.vout[k] < vdd - kEpsV) {
+      ws.drive[k] = Drive::kUp;
+    } else if (!target && ws.vout[k] > low + kEpsV) {
+      ws.drive[k] = Drive::kDown;
+    } else {
+      ws.drive[k] = Drive::kIdle;
+    }
+    if (ws.drive[k] != before) record_gate(g, l);
+  };
+
+  // --- Lockstep breakpoint rounds.  Each live lane advances to its own
+  // next breakpoint; finished and failed lanes stay inert (idle drives)
+  // so the lane-inner loops can run unconditionally and vectorize.
+  while (lanes_running > 0) {
+    // Scalar loop top: fault injection and budget guards.
+    double elapsed_s = 0.0;
+    if (opt.deadline_s > 0.0) {
+      const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start_time;
+      elapsed_s = elapsed.count();
+    }
+    for (std::size_t l = 0; l < B; ++l) {
+      if (!ws.running[l]) continue;
+      try {
+        faultinject::check(faultinject::Site::kVbsBreakpoint, "VbsSimulator::run");
+        if (opt.max_breakpoints > 0 && ws.breakpoints[l] >= opt.max_breakpoints) {
+          throw NumericalError({FailureCode::kDeadlineExceeded, "VbsSimulator::run",
+                                "breakpoint budget of " + std::to_string(opt.max_breakpoints) +
+                                    " exhausted at t=" + std::to_string(ws.t_now[l])});
+        }
+        if (opt.deadline_s > 0.0 && elapsed_s > opt.deadline_s) {
+          throw NumericalError({FailureCode::kDeadlineExceeded, "VbsSimulator::run",
+                                "wall-clock deadline of " + std::to_string(opt.deadline_s) +
+                                    " s exceeded at t=" + std::to_string(ws.t_now[l])});
+        }
+      } catch (const NumericalError& e) {
+        fail_lane(l, e.info());
+      }
+    }
+    if (lanes_running == 0) break;
+
+    // --- Solve each domain's virtual ground for its discharger set.
+    std::fill(ws.beta_dom.begin(), ws.beta_dom.end(), 0.0);
+    for (int g = 0; g < n_gate; ++g) {
+      const double bg = sim_.beta_n_[static_cast<std::size_t>(g)];
+      double* beta_row =
+          ws.beta_dom.data() + static_cast<std::size_t>(sim_.gate_domain_[static_cast<std::size_t>(g)]) * B;
+      const Drive* drive_row = ws.drive.data() + gidx(g, 0);
+      for (std::size_t l = 0; l < B; ++l) {
+        beta_row[l] += (drive_row[l] == Drive::kDown) ? bg : 0.0;
+      }
+    }
+    for (int d = 0; d < n_dom; ++d) {
+      const double r = sim_.domain_r_[static_cast<std::size_t>(d)];
+      const std::size_t base = static_cast<std::size_t>(d) * B;
+      for (std::size_t l = 0; l < B; ++l) {
+        const VxSolution eq =
+            solve_vx(r, vdd, tech.nmos_low, ws.beta_dom[base + l], opt.body_effect, alpha);
+        ws.eq_vx[base + l] = eq.vx;
+        if (cx <= 0.0 || r <= 0.0) {
+          ws.vx_state[base + l] = eq.vx;
+          ws.vx_dom[base + l] = eq.vx;
+          ws.u_dom[base + l] = eq.gate_drive;
+        } else {
+          // RC mode: V_x is state; gate drive follows the instantaneous V_x.
+          ws.vx_dom[base + l] = ws.vx_state[base + l];
+          const double vtn = opt.body_effect
+                                 ? threshold_voltage(tech.nmos_low, ws.vx_dom[base + l])
+                                 : tech.nmos_low.vt0;
+          ws.u_dom[base + l] = std::max(vdd - vtn - ws.vx_dom[base + l], 0.0);
+        }
+        ws.target_low[base + l] =
+            opt.reverse_conduction ? std::min(ws.vx_dom[base + l], th) : 0.0;
+      }
+    }
+
+    // --- Slopes.
+    for (int g = 0; g < n_gate; ++g) {
+      const double cl = sim_.cload_[static_cast<std::size_t>(g)];
+      const double bn = sim_.beta_n_[static_cast<std::size_t>(g)];
+      const double slope_up = drive_current(sim_.beta_p_[static_cast<std::size_t>(g)],
+                                            pull_up_drive) /
+                              cl;
+      const double* u_row =
+          ws.u_dom.data() + static_cast<std::size_t>(sim_.gate_domain_[static_cast<std::size_t>(g)]) * B;
+      const Drive* drive_row = ws.drive.data() + gidx(g, 0);
+      double* slope_row = ws.slope.data() + gidx(g, 0);
+      for (std::size_t l = 0; l < B; ++l) {
+        double s = 0.0;
+        if (drive_row[l] == Drive::kDown) {
+          s = -drive_current(bn, u_row[l]) / cl;
+        } else if (drive_row[l] == Drive::kUp) {
+          s = slope_up;
+        }
+        slope_row[l] = s;
+      }
+    }
+
+    // --- Next breakpoint per lane (paper Eq. 6/7 estimates; scalar t_next
+    // min-chain, in the same candidate order).
+    for (std::size_t l = 0; l < B; ++l) {
+      double tn = kInf;
+      if (ws.next_event[l] < ws.event_end[l]) {
+        tn = std::min(tn, ws.events[ws.next_event[l]].t);
+      }
+      for (const detail::PendingEval& p : ws.pending[l]) tn = std::min(tn, p.t);
+      ws.t_next[l] = tn;
+      ws.any_active[l] = 0;
+    }
+    for (int g = 0; g < n_gate; ++g) {
+      const netlist::NetId out = nl.gate(g).output;
+      const std::uint8_t* logic_row = ws.logic.data() + static_cast<std::size_t>(out) * B;
+      const double* low_row =
+          ws.target_low.data() +
+          static_cast<std::size_t>(sim_.gate_domain_[static_cast<std::size_t>(g)]) * B;
+      const Drive* drive_row = ws.drive.data() + gidx(g, 0);
+      const double* vout_row = ws.vout.data() + gidx(g, 0);
+      const double* slope_row = ws.slope.data() + gidx(g, 0);
+      for (std::size_t l = 0; l < B; ++l) {
+        if (drive_row[l] == Drive::kIdle) continue;
+        ws.any_active[l] = 1;
+        const bool out_logic = logic_row[l] != 0;
+        const double low = low_row[l];
+        const double vo = vout_row[l];
+        const double sl = slope_row[l];
+        double tn = ws.t_next[l];
+        if (drive_row[l] == Drive::kDown && sl < 0.0) {
+          if (out_logic && vo > th) tn = std::min(tn, ws.t_now[l] + (vo - th) / -sl);
+          if (vo > low) tn = std::min(tn, ws.t_now[l] + (vo - low) / -sl);
+        } else if (drive_row[l] == Drive::kUp && sl > 0.0) {
+          if (!out_logic && vo < th) tn = std::min(tn, ws.t_now[l] + (th - vo) / sl);
+          if (vo < vdd) tn = std::min(tn, ws.t_now[l] + (vdd - vo) / sl);
+        }
+        ws.t_next[l] = tn;
+      }
+    }
+    // RC-mode refinement breakpoints while any V_x is far from equilibrium.
+    if (cx > 0.0) {
+      for (int d = 0; d < n_dom; ++d) {
+        const double r = sim_.domain_r_[static_cast<std::size_t>(d)];
+        if (r <= 0.0) continue;
+        const std::size_t base = static_cast<std::size_t>(d) * B;
+        for (std::size_t l = 0; l < B; ++l) {
+          if (std::abs(ws.vx_state[base + l] - ws.eq_vx[base + l]) > 0.002 * vdd) {
+            ws.t_next[l] = std::min(ws.t_next[l], ws.t_now[l] + 0.25 * r * cx);
+          }
+        }
+      }
+    }
+
+    // --- Per-lane termination (scalar: quiescent break / runaway throws).
+    for (std::size_t l = 0; l < B; ++l) {
+      if (!ws.running[l]) {
+        ws.dt[l] = 0.0;
+        continue;
+      }
+      if (!std::isfinite(ws.t_next[l])) {
+        if (ws.any_active[l]) {
+          fail_lane(l, {FailureCode::kBreakpointRunaway, "VbsSimulator::run",
+                        "active gates are stalled with no future breakpoint at t=" +
+                            std::to_string(ws.t_now[l])});
+        } else {
+          ws.running[l] = 0;  // quiescent: simulation complete
+          --lanes_running;
+        }
+        ws.dt[l] = 0.0;
+        continue;
+      }
+      if (ws.t_next[l] > opt.t_max) {
+        fail_lane(l, {FailureCode::kBreakpointRunaway, "VbsSimulator::run",
+                      "breakpoint beyond t_max (possible runaway) at t=" +
+                          std::to_string(ws.t_now[l])});
+        ws.dt[l] = 0.0;
+        continue;
+      }
+      ws.dt[l] = ws.t_next[l] - ws.t_now[l];
+      ws.t_now[l] = ws.t_next[l];
+      ++ws.breakpoints[l];
+    }
+    if (lanes_running == 0) break;
+
+    // --- Advance all active outputs linearly to the breakpoint.  Inert
+    // lanes have slope == 0 and dt == 0, so the unconditional update is a
+    // bit-exact no-op for them and the loop stays branch-free.
+    {
+      const double* dt = ws.dt.data();
+      for (int g = 0; g < n_gate; ++g) {
+        double* vout_row = ws.vout.data() + gidx(g, 0);
+        const double* slope_row = ws.slope.data() + gidx(g, 0);
+        for (std::size_t l = 0; l < B; ++l) {
+          vout_row[l] = std::clamp(vout_row[l] + slope_row[l] * dt[l], 0.0, vdd);
+        }
+      }
+    }
+    for (std::size_t m = 0; m < n_mon; ++m) {
+      const int g = ws.mon_gate[m];
+      const Drive* drive_row = ws.drive.data() + gidx(g, 0);
+      for (std::size_t l = 0; l < B; ++l) {
+        if (drive_row[l] != Drive::kIdle) record_gate(g, l);
+      }
+    }
+    if (cx > 0.0) {
+      for (int d = 0; d < n_dom; ++d) {
+        const double r = sim_.domain_r_[static_cast<std::size_t>(d)];
+        if (r <= 0.0) continue;
+        const double tau = r * cx;
+        const std::size_t base = static_cast<std::size_t>(d) * B;
+        for (std::size_t l = 0; l < B; ++l) {
+          if (!ws.running[l]) continue;  // exp(-0/tau) would still perturb bits
+          ws.vx_state[base + l] =
+              ws.eq_vx[base + l] +
+              (ws.vx_state[base + l] - ws.eq_vx[base + l]) * std::exp(-ws.dt[l] / tau);
+        }
+      }
+    }
+
+    // --- Process events at each advanced lane's t_now (scalar event
+    // block, one lane at a time -- this cost scales with real events, not
+    // with the lockstep round count).
+    for (std::size_t l = 0; l < B; ++l) {
+      if (!ws.running[l]) continue;  // still-running lanes advanced this round
+      const double t_now = ws.t_now[l];
+      ws.to_reevaluate.clear();
+      auto mark_fanout = [&](netlist::NetId n, double t_tr) {
+        for (int g : nl.fanout_of(n)) {
+          if (opt.input_slope_factor > 0.0 && t_tr > 0.0) {
+            ws.pending[l].push_back({t_now + opt.input_slope_factor * t_tr, g});
+          } else {
+            ws.to_reevaluate.push_back(g);
+          }
+        }
+      };
+      while (ws.next_event[l] < ws.event_end[l] &&
+             ws.events[ws.next_event[l]].t <= t_now + kEpsT) {
+        const InputEvent& ev = ws.events[ws.next_event[l]++];
+        ws.logic[static_cast<std::size_t>(ev.net) * B + l] = ev.value ? 1 : 0;
+        mark_fanout(ev.net, opt.input_ramp);
+      }
+      for (int g = 0; g < n_gate; ++g) {
+        const std::size_t k = gidx(g, l);
+        if (ws.drive[k] == Drive::kIdle) continue;
+        const netlist::NetId out = nl.gate(g).output;
+        const std::size_t out_k = static_cast<std::size_t>(out) * B + l;
+        const bool out_logic = ws.logic[out_k] != 0;
+        const double t_tr = (ws.slope[k] != 0.0) ? vdd / std::abs(ws.slope[k]) : 0.0;
+        const double low =
+            ws.target_low[static_cast<std::size_t>(
+                              sim_.gate_domain_[static_cast<std::size_t>(g)]) *
+                              B +
+                          l];
+        if (ws.drive[k] == Drive::kDown) {
+          if (out_logic && ws.vout[k] <= th + kEpsV) {
+            ws.logic[out_k] = 0;
+            mark_fanout(out, t_tr);
+          }
+          if (ws.vout[k] <= low + kEpsV) {
+            ws.vout[k] = low;
+            ws.drive[k] = Drive::kIdle;
+            record_gate(g, l);
+          }
+        } else if (ws.drive[k] == Drive::kUp) {
+          if (!out_logic && ws.vout[k] >= th - kEpsV) {
+            ws.logic[out_k] = 1;
+            mark_fanout(out, t_tr);
+          }
+          if (ws.vout[k] >= vdd - kEpsV) {
+            ws.vout[k] = vdd;
+            ws.drive[k] = Drive::kIdle;
+            record_gate(g, l);
+          }
+        }
+      }
+      // Due pending activations (input-slope extension).
+      for (auto it = ws.pending[l].begin(); it != ws.pending[l].end();) {
+        if (it->t <= t_now + kEpsT) {
+          ws.to_reevaluate.push_back(it->gate);
+          it = ws.pending[l].erase(it);
+        } else {
+          ++it;
+        }
+      }
+      // Reverse conduction: idle-low outputs track their domain's V_x.
+      if (opt.reverse_conduction) {
+        for (int g = 0; g < n_gate; ++g) {
+          const std::size_t k = gidx(g, l);
+          const double pin = std::min(
+              ws.vx_state[static_cast<std::size_t>(
+                              sim_.gate_domain_[static_cast<std::size_t>(g)]) *
+                              B +
+                          l],
+              th);
+          if (ws.drive[k] == Drive::kIdle &&
+              ws.logic[static_cast<std::size_t>(nl.gate(g).output) * B + l] == 0 &&
+              std::abs(ws.vout[k] - pin) > kEpsV) {
+            ws.vout[k] = pin;
+            record_gate(g, l);
+          }
+        }
+      }
+      // Re-evaluate fanout of every net whose logic changed (gate index
+      // order, scalar determinism rule).
+      std::sort(ws.to_reevaluate.begin(), ws.to_reevaluate.end());
+      ws.to_reevaluate.erase(std::unique(ws.to_reevaluate.begin(), ws.to_reevaluate.end()),
+                             ws.to_reevaluate.end());
+      for (int g : ws.to_reevaluate) reevaluate(g, l);
+    }
+  }
+
+  // --- Finish: flush the last pending segment of every tracker (scalar
+  // last_crossing also scans the final segment) and reduce to delays.
+  for (std::size_t k = 0; k < n_mon * B; ++k) {
+    if (ws.mon_npts[k] >= 2) mon_finalize(k);
+  }
+  // Analytic replay of Pwl::step + last_crossing for a toggling input
+  // (same-time appends replace, then the scalar segment scan).
+  const auto input_last_crossing = [&](double a, double b) -> std::optional<double> {
+    double ts[3];
+    double vs[3];
+    int np = 0;
+    const auto app = [&](double t, double v) {
+      if (np > 0 && t == ts[np - 1]) {
+        vs[np - 1] = v;
+        return;
+      }
+      ts[np] = t;
+      vs[np] = v;
+      ++np;
+    };
+    app(0.0, a);
+    if (opt.t_switch > 0.0) app(opt.t_switch, a);
+    app(opt.t_switch + opt.input_ramp, b);
+    std::optional<double> found;
+    for (int i = 0; i + 1 < np; ++i) {
+      if (vs[i + 1] == vs[i]) continue;
+      const double lo = std::min(vs[i], vs[i + 1]);
+      const double hi = std::max(vs[i], vs[i + 1]);
+      if (th < lo || th > hi) continue;
+      const double frac = (th - vs[i]) / (vs[i + 1] - vs[i]);
+      found = ts[i] + frac * (ts[i + 1] - ts[i]);
+    }
+    return found;
+  };
+  const double t_in = opt.t_switch + 0.5 * opt.input_ramp;
+  for (std::size_t l = 0; l < B; ++l) {
+    if (ws.failed[l]) {
+      results[l] = {-1.0, false, ws.failure[l]};
+      continue;
+    }
+    double worst = -1.0;
+    for (const VbsBatchWorkspace::OutRef& ref : ws.out_refs) {
+      std::optional<double> t;
+      if (ref.kind == 1) {
+        const std::size_t k = static_cast<std::size_t>(ref.mon) * B + l;
+        if (ws.mon_has[k]) t = ws.mon_cross[k];
+      } else if (ref.kind == 2) {
+        const bool a = (*items[l].v0)[static_cast<std::size_t>(ref.input)];
+        const bool b = (*items[l].v1)[static_cast<std::size_t>(ref.input)];
+        if (a != b) t = input_last_crossing(a ? vdd : 0.0, b ? vdd : 0.0);
+      }
+      if (t && *t > t_in) worst = std::max(worst, *t - t_in);
+    }
+    results[l] = {worst, true, FailureInfo{}};
+  }
+}
+
+}  // namespace mtcmos::core

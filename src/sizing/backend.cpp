@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/vbs_batch.hpp"
 #include "models/sleep_transistor.hpp"
 #include "util/error.hpp"
 
@@ -21,7 +22,51 @@ core::VbsWorkspace& local_workspace() {
   return ws;
 }
 
+core::VbsBatchWorkspace& local_batch_workspace() {
+  thread_local core::VbsBatchWorkspace ws;
+  return ws;
+}
+
+// Run the lockstep kernel over `vps` and convert lane results to the
+// Outcome shape the batch interface promises.
+void run_vbs_batch(const core::VbsSimulator& sim, const std::vector<std::string>& outputs,
+                   const VectorPair* const* vps, std::size_t n, Outcome<double>* out) {
+  std::vector<core::VbsBatchItem> items(n);
+  for (std::size_t i = 0; i < n; ++i) items[i] = {&vps[i]->v0, &vps[i]->v1};
+  std::vector<core::VbsLaneResult> lanes(n);
+  const core::VbsBatchSimulator batch(sim);
+  batch.critical_delays(items.data(), n, outputs, local_batch_workspace(), lanes.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = lanes[i].ok ? Outcome<double>::success(lanes[i].delay)
+                         : Outcome<double>::fail(lanes[i].failure);
+  }
+}
+
 }  // namespace
+
+// --- EvalBackend batch defaults ---
+
+void EvalBackend::delay_at_wl_batch(const VectorPair* const* vps, std::size_t n, double wl,
+                                    Outcome<double>* out) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    try {
+      out[i] = Outcome<double>::success(delay_at_wl(*vps[i], wl));
+    } catch (const NumericalError& e) {
+      out[i] = Outcome<double>::fail(e.info());
+    }
+  }
+}
+
+void EvalBackend::delay_baseline_batch(const VectorPair* const* vps, std::size_t n,
+                                       Outcome<double>* out) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    try {
+      out[i] = Outcome<double>::success(delay_baseline(*vps[i]));
+    } catch (const NumericalError& e) {
+      out[i] = Outcome<double>::fail(e.info());
+    }
+  }
+}
 
 // --- VbsBackend ---
 
@@ -91,6 +136,54 @@ double VbsBackend::delay_at_wl(const VectorPair& vp, double wl) const {
   // eviction only drops the cache's reference, never the running one.
   const auto sim = simulator_at_wl(wl);
   return sim->critical_delay(vp.v0, vp.v1, outputs_, local_workspace());
+}
+
+void VbsBackend::delay_at_wl_batch(const VectorPair* const* vps, std::size_t n, double wl,
+                                   Outcome<double>* out) const {
+  const auto sim = simulator_at_wl(wl);
+  run_vbs_batch(*sim, outputs_, vps, n, out);
+}
+
+void VbsBackend::delay_baseline_batch(const VectorPair* const* vps, std::size_t n,
+                                      Outcome<double>* out) const {
+  // Resolve memo hits under the lock, then run the kernel over the
+  // misses only -- on the second and later probes of a bisection the
+  // whole batch typically hits.
+  std::vector<std::size_t> miss;
+  {
+    const std::lock_guard<std::mutex> lock(baseline_mutex_);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto it = baseline_cache_.find({vps[i]->v0, vps[i]->v1});
+      if (it != baseline_cache_.end()) {
+        ++baseline_hits_;
+        out[i] = Outcome<double>::success(it->second);
+      } else {
+        ++baseline_misses_;
+        miss.push_back(i);
+      }
+    }
+  }
+  if (miss.empty()) return;
+  std::vector<const VectorPair*> miss_vps(miss.size());
+  std::vector<Outcome<double>> miss_out(miss.size());
+  for (std::size_t k = 0; k < miss.size(); ++k) miss_vps[k] = vps[miss[k]];
+  run_vbs_batch(baseline_sim_, outputs_, miss_vps.data(), miss.size(), miss_out.data());
+  const std::lock_guard<std::mutex> lock(baseline_mutex_);
+  for (std::size_t k = 0; k < miss.size(); ++k) {
+    // Failures are reported, never cached -- exactly like the scalar
+    // call, which throws before touching the memo.
+    if (miss_out[k].ok()) {
+      const std::pair<std::vector<bool>, std::vector<bool>> key{vps[miss[k]]->v0,
+                                                                vps[miss[k]]->v1};
+      if (baseline_cache_.size() >= limits_.max_baseline_delays &&
+          baseline_cache_.find(key) == baseline_cache_.end()) {
+        baseline_cache_.erase(baseline_cache_.begin());
+        ++baseline_evictions_;
+      }
+      baseline_cache_.try_emplace(key, *miss_out[k].value);
+    }
+    out[miss[k]] = std::move(miss_out[k]);
+  }
 }
 
 CacheStats VbsBackend::cache_stats() const {

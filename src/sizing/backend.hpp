@@ -40,6 +40,7 @@
 #include "netlist/netlist.hpp"
 #include "sizing/eval_types.hpp"
 #include "sizing/spice_ref.hpp"
+#include "util/failure.hpp"
 
 namespace mtcmos::sizing {
 
@@ -97,6 +98,22 @@ class EvalBackend {
   virtual void prepare_wl(double wl) const { (void)wl; }
   virtual CacheStats cache_stats() const { return {}; }
 
+  /// True when the delay_*_batch overrides are faster than a loop of
+  /// scalar calls; the session sweeps only take the batch path then.
+  virtual bool supports_batch() const { return false; }
+  /// Batched delay_at_wl over `n` pairs: out[i] receives the value
+  /// delay_at_wl(*vps[i], wl) would return, or the failure it would
+  /// throw, bit-identically.  Per-item failures never abort the batch.
+  /// The default is the scalar loop; backends with a real batch kernel
+  /// override it.  Thread-safe like the scalar entry points.
+  virtual void delay_at_wl_batch(const VectorPair* const* vps, std::size_t n, double wl,
+                                 Outcome<double>* out) const;
+  /// Batched delay_baseline with the same contract (and the same
+  /// per-vector memoization as the scalar call, where the backend has
+  /// one).
+  virtual void delay_baseline_batch(const VectorPair* const* vps, std::size_t n,
+                                    Outcome<double>* out) const;
+
   /// % degradation at `wl` relative to the backend's own baseline
   /// (negative if the outputs never switch for this pair).
   double degradation_pct(const VectorPair& vp, double wl) const {
@@ -140,6 +157,16 @@ class VbsBackend : public EvalBackend {
   double delay_at_wl(const VectorPair& vp, double wl) const override;
   void prepare_wl(double wl) const override { (void)simulator_at_wl(wl); }
   CacheStats cache_stats() const override;
+
+  /// Batch fast path: the SoA lockstep kernel (core/vbs_batch.hpp),
+  /// bit-identical to the scalar calls.  The baseline variant resolves
+  /// memo hits first and runs the kernel over the misses only, inserting
+  /// results through the same eviction path as the scalar call.
+  bool supports_batch() const override { return true; }
+  void delay_at_wl_batch(const VectorPair* const* vps, std::size_t n, double wl,
+                         Outcome<double>* out) const override;
+  void delay_baseline_batch(const VectorPair* const* vps, std::size_t n,
+                            Outcome<double>* out) const override;
 
   /// Shared simulator for a sleep W/L, constructed on first use and
   /// reused (including across threads) thereafter.  The shared_ptr pins

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "sizing/checkpoint.hpp"
 #include "sizing/sizing.hpp"
@@ -183,6 +185,104 @@ Outcome<T> run_item(const SweepCtx& ctx, std::size_t index, const std::string& k
   return out;
 }
 
+// --- Batch fast path (EvalSession::batch) ---
+
+constexpr std::size_t kDefaultBatch = 64;
+
+// Chunk size for this entry-point call, or 0 when the batch precompute
+// must stand down: the backend has no batch kernel, the caller forced
+// scalar (batch == 1), the watchdog is armed (it times individual item
+// bodies, which a precomputed memo would reduce to nothing), or a
+// fault-injection plan targets a VBS site (such plans address per-item
+// scopes, which a batch-wide kernel run cannot honor).
+std::size_t batch_chunk(const EvalSession& session, const EvalBackend& backend) {
+  if (session.batch == 1 || !backend.supports_batch()) return 0;
+  if (session.watchdog.armed()) return 0;
+  if (faultinject::armed(faultinject::Site::kVbsRun) ||
+      faultinject::armed(faultinject::Site::kVbsBreakpoint)) {
+    return 0;
+  }
+  return session.batch == 0 ? kDefaultBatch : session.batch;
+}
+
+// Per-index delays precomputed through the backend's batch path and
+// consumed (once) by the run_item bodies in place of the scalar backend
+// call.  A consumed failure is rethrown as the NumericalError the scalar
+// call would have thrown; because slots are consume-once, retry attempts
+// fall back to the live backend, which reproduces the same deterministic
+// outcome -- so attempt counts, failure records and checkpoint contents
+// match the scalar path exactly.  Workers touch disjoint indices only.
+class BatchMemo {
+ public:
+  void reset(std::size_t n) {
+    slots_.assign(n, {});
+    has_.assign(n, 0);
+  }
+  void put(std::size_t i, Outcome<double> o) {
+    slots_[i] = std::move(o);
+    has_[i] = 1;
+  }
+  bool ok_positive(std::size_t i) const {
+    return i < has_.size() && has_[i] != 0 && slots_[i].ok() && *slots_[i].value > 0.0;
+  }
+  template <typename Fn>
+  double take(std::size_t i, Fn&& fallback) {
+    if (i < has_.size() && has_[i] != 0) {
+      has_[i] = 0;
+      const Outcome<double> o = std::move(slots_[i]);
+      if (!o.ok()) throw NumericalError(o.failure);
+      return *o.value;
+    }
+    return fallback();
+  }
+
+ private:
+  std::vector<Outcome<double>> slots_;
+  std::vector<std::uint8_t> has_;
+};
+
+// Indices of `vectors` whose item key is not already journaled: only
+// these form batches, so checkpoint keys and records are untouched by
+// batching and a resumed run re-forms batches from the remaining items.
+template <typename T>
+std::vector<std::size_t> batch_todo(Checkpoint* ckpt, const std::string& prefix,
+                                    const std::vector<VectorPair>& vectors) {
+  std::vector<std::size_t> todo;
+  todo.reserve(vectors.size());
+  for (std::size_t i = 0; i < vectors.size(); ++i) {
+    if (ckpt != nullptr) {
+      Outcome<T> cached;
+      if (ckpt->lookup(checkpoint_item_key(prefix, vectors[i]), cached)) continue;
+    }
+    todo.push_back(i);
+  }
+  return todo;
+}
+
+// Fan one batched evaluation over the pool: indices in `idx` (into
+// `vectors`) run in `chunk`-sized groups, one backend batch call each,
+// results landing in `memo`.  Chunks not yet started when the session is
+// cancelled or the deadline expires are skipped; run_item classifies
+// those items normally when it reaches them.
+template <typename BatchFn>
+void batch_precompute(util::ThreadPool& tp, const Deadline& deadline,
+                      util::CancelToken& cancel, const std::vector<VectorPair>& vectors,
+                      const std::vector<std::size_t>& idx, std::size_t chunk, BatchMemo& memo,
+                      const BatchFn& call) {
+  if (idx.empty()) return;
+  const std::size_t nchunks = (idx.size() + chunk - 1) / chunk;
+  tp.parallel_for(nchunks, [&](std::size_t c) {
+    if (cancel.requested() || deadline.expired()) return;
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(begin + chunk, idx.size());
+    std::vector<const VectorPair*> vps(end - begin);
+    for (std::size_t k = begin; k < end; ++k) vps[k - begin] = &vectors[idx[k]];
+    std::vector<Outcome<double>> out(end - begin);
+    call(vps.data(), vps.size(), out.data());
+    for (std::size_t k = begin; k < end; ++k) memo.put(idx[k], std::move(out[k - begin]));
+  });
+}
+
 }  // namespace
 
 std::vector<VectorDelay> rank_vectors(const EvalBackend& backend,
@@ -203,6 +303,30 @@ std::vector<VectorDelay> rank_vectors(const EvalBackend& backend,
                                netlist_fingerprint(backend.netlist(), backend.outputs()), wl);
   }
   if (!cancel.requested()) backend.prepare_wl(wl);
+  // Batch fast path: precompute chunk-batched delays for every item not
+  // already journaled; the bodies below consume the memo.  Stage 2
+  // evaluates the sized delay only where the baseline toggled the
+  // outputs, mirroring the scalar body's early return.
+  const std::size_t chunk = batch_chunk(session, backend);
+  BatchMemo base_memo, wl_memo;
+  if (chunk > 0 && !cancel.requested()) {
+    const std::vector<std::size_t> todo = batch_todo<VectorDelay>(ckpt, prefix, vectors);
+    base_memo.reset(vectors.size());
+    wl_memo.reset(vectors.size());
+    batch_precompute(session.pool_ref(), deadline, cancel, vectors, todo, chunk, base_memo,
+                     [&](const VectorPair* const* vps, std::size_t n, Outcome<double>* out) {
+                       backend.delay_baseline_batch(vps, n, out);
+                     });
+    std::vector<std::size_t> sized;
+    sized.reserve(todo.size());
+    for (const std::size_t i : todo) {
+      if (base_memo.ok_positive(i)) sized.push_back(i);
+    }
+    batch_precompute(session.pool_ref(), deadline, cancel, vectors, sized, chunk, wl_memo,
+                     [&](const VectorPair* const* vps, std::size_t n, Outcome<double>* out) {
+                       backend.delay_at_wl_batch(vps, n, wl, out);
+                     });
+  }
   // Evaluate into per-index Outcome slots, then reduce in input order and
   // sort: the sort sees the exact sequence the serial loop produced, so
   // the ranking is bit-identical for any thread count, and a failed item
@@ -213,9 +337,9 @@ std::vector<VectorDelay> rank_vectors(const EvalBackend& backend,
         ckpt != nullptr ? checkpoint_item_key(prefix, vectors[i]) : std::string();
     measured[i] = run_item<VectorDelay>(ctx, i, key, [&] {
       VectorDelay vd;
-      vd.delay_cmos = backend.delay_baseline(vectors[i]);
+      vd.delay_cmos = base_memo.take(i, [&] { return backend.delay_baseline(vectors[i]); });
       if (vd.delay_cmos <= 0.0) return vd;
-      vd.delay_mtcmos = backend.delay_at_wl(vectors[i], wl);
+      vd.delay_mtcmos = wl_memo.take(i, [&] { return backend.delay_at_wl(vectors[i], wl); });
       if (vd.delay_mtcmos <= 0.0) return vd;
       vd.degradation_pct = (vd.delay_mtcmos - vd.delay_cmos) / vd.delay_cmos * 100.0;
       return vd;
@@ -298,10 +422,34 @@ SizingResult size_for_degradation(const EvalBackend& backend,
   // Parallel map into index-addressed Outcome slots, then a serial
   // first-maximum reduction that skips failed items: identical result to
   // the serial loop for any thread count, regardless of which items fail.
+  const std::size_t chunk = batch_chunk(session, backend);
   auto worst_at = [&](double wl) {
     if (!cancel.requested()) backend.prepare_wl(wl);
     std::string prefix;
     if (ckpt != nullptr) prefix = checkpoint_prefix("probe", backend.name(), fp, wl);
+    // Batch fast path: baseline batch first (after the first probe it is
+    // all backend-memo hits), then the sized delay where the outputs
+    // toggled.  The body below unrolls degradation_pct so each stage can
+    // consume its memo.
+    BatchMemo base_memo, wl_memo;
+    if (chunk > 0 && !cancel.requested()) {
+      const std::vector<std::size_t> todo = batch_todo<double>(ckpt, prefix, vectors);
+      base_memo.reset(vectors.size());
+      wl_memo.reset(vectors.size());
+      batch_precompute(tp, deadline, cancel, vectors, todo, chunk, base_memo,
+                       [&](const VectorPair* const* vps, std::size_t n, Outcome<double>* out) {
+                         backend.delay_baseline_batch(vps, n, out);
+                       });
+      std::vector<std::size_t> sized;
+      sized.reserve(todo.size());
+      for (const std::size_t i : todo) {
+        if (base_memo.ok_positive(i)) sized.push_back(i);
+      }
+      batch_precompute(tp, deadline, cancel, vectors, sized, chunk, wl_memo,
+                       [&](const VectorPair* const* vps, std::size_t n, Outcome<double>* out) {
+                         backend.delay_at_wl_batch(vps, n, wl, out);
+                       });
+    }
     std::vector<Outcome<double>> deg(vectors.size());
     // Plain parallel_for: run_item already absorbs NumericalErrors, so the
     // only exceptions that reach the pool are precondition bugs (and
@@ -309,8 +457,14 @@ SizingResult size_for_degradation(const EvalBackend& backend,
     tp.parallel_for(vectors.size(), [&](std::size_t i) {
       const std::string key =
           ckpt != nullptr ? checkpoint_item_key(prefix, vectors[i]) : std::string();
-      deg[i] = run_item<double>(ctx, i, key,
-                                [&] { return backend.degradation_pct(vectors[i], wl); });
+      deg[i] = run_item<double>(ctx, i, key, [&] {
+        // degradation_pct unrolled over the memos; identical arithmetic.
+        const double d0 = base_memo.take(i, [&] { return backend.delay_baseline(vectors[i]); });
+        if (d0 <= 0.0) return -1.0;
+        const double d1 = wl_memo.take(i, [&] { return backend.delay_at_wl(vectors[i], wl); });
+        if (d1 <= 0.0) return -1.0;
+        return (d1 - d0) / d0 * 100.0;
+      });
     });
     double worst = -1.0;
     std::size_t worst_idx = 0;
@@ -402,11 +556,25 @@ VectorDelay search_worst_vector(const EvalBackend& backend, double wl, int sampl
   // Sample pass: the RNG draws stay serial (reproducible from the seed);
   // the expensive scoring fans out, and the serial first-maximum
   // reduction -- which skips failed samples -- keeps the winner identical
-  // for any thread count.
+  // for any thread count.  The batch fast path precomputes the sample
+  // scores; the greedy refinement below stays scalar, because each
+  // candidate is derived from the current best and so depends on the
+  // previous candidate's verdict.
   const std::vector<VectorPair> sampled = sampled_vector_pairs(n, samples, rng);
+  const std::size_t chunk = batch_chunk(session, backend);
+  BatchMemo score_memo;
+  if (chunk > 0 && !cancel.requested()) {
+    const std::vector<std::size_t> todo = batch_todo<double>(ckpt, prefix, sampled);
+    score_memo.reset(sampled.size());
+    batch_precompute(session.pool_ref(), deadline, cancel, sampled, todo, chunk, score_memo,
+                     [&](const VectorPair* const* vps, std::size_t n2, Outcome<double>* out) {
+                       backend.delay_at_wl_batch(vps, n2, wl, out);
+                     });
+  }
   std::vector<Outcome<double>> scores(sampled.size());
   session.pool_ref().parallel_for(sampled.size(), [&](std::size_t i) {
-    scores[i] = run_item<double>(ctx, i, item_key(sampled[i]), [&] { return score(sampled[i]); });
+    scores[i] = run_item<double>(ctx, i, item_key(sampled[i]),
+                                 [&] { return score_memo.take(i, [&] { return score(sampled[i]); }); });
   });
   VectorPair best;
   double best_score = -1.0;
@@ -485,12 +653,23 @@ std::vector<VectorPair> screen_vectors(const netlist::Netlist& nl,
     // Logic-level screening involves no backend: key on the bare netlist.
     prefix = checkpoint_prefix_nowl("screen", "logic", netlist_fingerprint(nl, {}));
   }
+  // Chunked dispatch: falling_discharge_weight is cheap relative to a
+  // pool task handoff, so workers claim session.batch candidates per
+  // pool index instead of one.  Slots stay index-addressed and run_item
+  // still runs per item (scope stamps, checkpoint keys unchanged), so
+  // the ranking is identical for any thread count or chunk size.
   std::vector<Outcome<double>> weights(candidates.size());
-  session.pool_ref().parallel_for(candidates.size(), [&](std::size_t i) {
-    const std::string key =
-        ckpt != nullptr ? checkpoint_item_key(prefix, candidates[i]) : std::string();
-    weights[i] = run_item<double>(ctx, i, key,
-                                  [&] { return falling_discharge_weight(nl, candidates[i]); });
+  const std::size_t chunk =
+      std::max<std::size_t>(1, session.batch == 0 ? kDefaultBatch : session.batch);
+  const std::size_t nchunks = (candidates.size() + chunk - 1) / chunk;
+  session.pool_ref().parallel_for(nchunks, [&](std::size_t c) {
+    const std::size_t end = std::min((c + 1) * chunk, candidates.size());
+    for (std::size_t i = c * chunk; i < end; ++i) {
+      const std::string key =
+          ckpt != nullptr ? checkpoint_item_key(prefix, candidates[i]) : std::string();
+      weights[i] = run_item<double>(ctx, i, key,
+                                    [&] { return falling_discharge_weight(nl, candidates[i]); });
+    }
   });
   std::vector<std::pair<double, std::size_t>> scored;
   scored.reserve(candidates.size());

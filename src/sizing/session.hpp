@@ -84,6 +84,20 @@ struct EvalSession {
   /// result instead of dying mid-write.
   util::CancelToken* cancel_token = nullptr;
   WatchdogConfig watchdog = {};
+  /// Chunk size for the backend's batch fast path (EvalBackend::
+  /// delay_*_batch, the SoA lockstep kernel on VbsBackend).  0 = auto:
+  /// chunks of 64 when the backend supports batching; 1 forces the
+  /// scalar per-item path; any other value is used as the chunk size.
+  /// Batched sweeps are bit-identical to scalar ones for any thread
+  /// count: the kernel replays the scalar floating-point sequence,
+  /// checkpoint keys and records are untouched (journaled items replay
+  /// before batches form, so a resumed run batches only the remaining
+  /// items), and per-item retries fall back to the scalar backend.  The
+  /// batch path stands down automatically when it would change
+  /// observable behavior: when the watchdog is armed (it times
+  /// individual item bodies) or while a fault-injection plan targets a
+  /// VBS site (those plans address per-item scopes).
+  std::size_t batch = 0;
 
   util::ThreadPool& pool_ref() const { return util::pool_or_global(pool); }
   util::CancelToken& cancel_ref() const {

@@ -65,6 +65,15 @@ void disarm_all() {
   detail::g_armed_plans.store(0, std::memory_order_relaxed);
 }
 
+bool armed(Site site) {
+  if (detail::g_armed_plans.load(std::memory_order_relaxed) == 0) return false;
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  for (const Plan& plan : g_plans) {
+    if (plan.site == site && plan.remaining != 0) return true;
+  }
+  return false;
+}
+
 std::size_t injected_count() { return g_injected.load(std::memory_order_relaxed); }
 
 std::int64_t current_scope() { return t_scope; }

@@ -57,6 +57,13 @@ void arm(Site site, std::int64_t scope, int fail_hits, FailureCode code);
 /// Remove every plan and reset the fired-injection counter.
 void disarm_all();
 
+/// True when at least one non-exhausted plan targets `site` (any scope).
+/// Batch sweep paths consult this to stand down to the scalar per-item
+/// path while a test is addressing a site they would visit with the
+/// wrong (batch-wide) scope, so scoped plans keep firing against their
+/// item index.  Disarmed cost is one relaxed atomic load.
+bool armed(Site site);
+
 /// Total injections fired since the last disarm_all() (test diagnostics).
 std::size_t injected_count();
 

@@ -436,7 +436,14 @@ TEST(Vbs, InputValidation) {
   Netlist nl = single_inverter(t, 50.0 * fF);
   VbsOptions opt;
   opt.sleep_resistance = -1.0;
-  EXPECT_THROW(VbsSimulator(nl, opt), std::invalid_argument);
+  // Option-value failures are coded (kInvalidArgument) so sweep drivers
+  // can classify them; structural misuse stays std::invalid_argument.
+  try {
+    const VbsSimulator bad(nl, opt);
+    FAIL() << "expected NumericalError for a negative sleep resistance";
+  } catch (const NumericalError& e) {
+    EXPECT_EQ(static_cast<int>(e.info().code), static_cast<int>(FailureCode::kInvalidArgument));
+  }
   const VbsSimulator sim(nl, {});
   EXPECT_THROW(sim.run({false, true}, {true, false}), std::invalid_argument);
 }

@@ -9,6 +9,7 @@
 #include "models/technology.hpp"
 #include "netlist/bits.hpp"
 #include "sizing/hierarchical.hpp"
+#include "util/error.hpp"
 #include "util/units.hpp"
 
 namespace mtcmos::sizing {
@@ -93,7 +94,8 @@ TEST(MultiDomainVbs, ConstructorValidation) {
   EXPECT_THROW(core::VbsSimulator(nl, opt, {0, 0, 0}, {0.0}), std::invalid_argument);
   EXPECT_THROW(core::VbsSimulator(nl, opt, {0, 2}, {0.0, 0.0}), std::invalid_argument);
   EXPECT_THROW(core::VbsSimulator(nl, opt, {0, 0}, {}), std::invalid_argument);
-  EXPECT_THROW(core::VbsSimulator(nl, opt, {0, 0}, {-1.0}), std::invalid_argument);
+  // Negative resistance is an option *value* failure: coded kInvalidArgument.
+  EXPECT_THROW(core::VbsSimulator(nl, opt, {0, 0}, {-1.0}), NumericalError);
 }
 
 TEST(DischargeOverlap, SimultaneousBlocksScoreLow) {

@@ -1,0 +1,383 @@
+// Tests for the SoA batch kernel (core/vbs_batch.hpp): bit-identity with
+// the scalar VbsSimulator across every VbsOptions extension, multi-domain
+// partitions and batch sizes, per-lane failure isolation, coded option
+// validation, and (through EvalSession) parallel sweeps and checkpoint
+// kill-and-resume with the batch path enabled.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "circuits/generators.hpp"
+#include "core/vbs.hpp"
+#include "core/vbs_batch.hpp"
+#include "models/sleep_transistor.hpp"
+#include "models/technology.hpp"
+#include "sizing/checkpoint.hpp"
+#include "sizing/session.hpp"
+#include "sizing/sizing.hpp"
+#include "util/error.hpp"
+#include "util/faultinject.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mtcmos::core {
+namespace {
+
+using circuits::make_ripple_adder;
+using sizing::VectorPair;
+
+struct AdderFixture {
+  circuits::RippleAdder adder;
+  std::vector<std::string> outs;
+  std::vector<VectorPair> pairs;
+
+  explicit AdderFixture(int nbits = 3) : adder(make_ripple_adder(tech07(), nbits)) {
+    for (const auto s : adder.sum) outs.push_back(adder.netlist.net_name(s));
+    outs.push_back(adder.netlist.net_name(adder.cout));
+    pairs = sizing::all_vector_pairs(2 * nbits);
+  }
+};
+
+std::vector<VbsBatchItem> make_items(const std::vector<VectorPair>& pairs) {
+  std::vector<VbsBatchItem> items;
+  items.reserve(pairs.size());
+  for (const VectorPair& p : pairs) items.push_back({&p.v0, &p.v1});
+  return items;
+}
+
+/// Runs the batch kernel in chunks of `batch` and requires every lane to
+/// equal the scalar critical_delay bit-for-bit.
+void expect_bit_identical(const VbsSimulator& sim, const std::vector<VectorPair>& pairs,
+                          const std::vector<std::string>& outs, std::size_t batch) {
+  const VbsBatchSimulator batch_sim(sim);
+  const std::vector<VbsBatchItem> items = make_items(pairs);
+  std::vector<VbsLaneResult> results(items.size());
+  VbsBatchWorkspace bws;
+  for (std::size_t off = 0; off < items.size(); off += batch) {
+    const std::size_t n = std::min(batch, items.size() - off);
+    batch_sim.critical_delays(items.data() + off, n, outs, bws, results.data() + off);
+  }
+  VbsWorkspace ws;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const double scalar = sim.critical_delay(pairs[i].v0, pairs[i].v1, outs, ws);
+    ASSERT_TRUE(results[i].ok) << "lane " << i << ": " << results[i].failure.message();
+    // Bit-identity, not near-equality: the batch kernel replays the
+    // scalar floating-point sequence exactly.
+    EXPECT_EQ(results[i].delay, scalar) << "lane " << i;
+  }
+}
+
+TEST(VbsBatch, BitIdenticalAcrossBatchSizes) {
+  const AdderFixture fx;
+  VbsOptions opt;
+  opt.sleep_resistance = SleepTransistor(tech07(), 8.0).reff();
+  const VbsSimulator sim(fx.adder.netlist, opt);
+  // Subsample for the small sizes; the full sweep runs once at 64.
+  std::vector<VectorPair> sample;
+  for (std::size_t i = 0; i < fx.pairs.size(); i += 17) sample.push_back(fx.pairs[i]);
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{7}}) {
+    expect_bit_identical(sim, sample, fx.outs, batch);
+  }
+  expect_bit_identical(sim, fx.pairs, fx.outs, 64);
+  expect_bit_identical(sim, fx.pairs, fx.outs, fx.pairs.size());  // full sweep, one batch
+}
+
+TEST(VbsBatch, BitIdenticalForEveryExtension) {
+  const AdderFixture fx;
+  std::vector<VectorPair> sample;
+  for (std::size_t i = 0; i < fx.pairs.size(); i += 13) sample.push_back(fx.pairs[i]);
+
+  const double r = SleepTransistor(tech07(), 6.0).reff();
+  std::vector<std::pair<std::string, VbsOptions>> variants;
+  {
+    VbsOptions o;
+    o.sleep_resistance = r;
+    o.body_effect = true;
+    variants.emplace_back("body_effect", o);
+  }
+  {
+    VbsOptions o;
+    o.sleep_resistance = r;
+    o.virtual_ground_cap = 20e-12;
+    variants.emplace_back("virtual_ground_cap", o);
+  }
+  {
+    VbsOptions o;
+    o.sleep_resistance = r;
+    o.reverse_conduction = true;
+    variants.emplace_back("reverse_conduction", o);
+  }
+  {
+    VbsOptions o;
+    o.sleep_resistance = r;
+    o.alpha = 1.3;
+    variants.emplace_back("alpha_1.3", o);
+  }
+  {
+    VbsOptions o;
+    o.sleep_resistance = r;
+    o.input_slope_factor = 0.3;
+    variants.emplace_back("input_slope", o);
+  }
+  {
+    VbsOptions o;  // everything on at once
+    o.sleep_resistance = r;
+    o.body_effect = true;
+    o.virtual_ground_cap = 5e-12;
+    o.reverse_conduction = true;
+    o.alpha = 1.5;
+    o.input_slope_factor = 0.2;
+    variants.emplace_back("all_extensions", o);
+  }
+  for (const auto& [name, opt] : variants) {
+    SCOPED_TRACE(name);
+    const VbsSimulator sim(fx.adder.netlist, opt);
+    expect_bit_identical(sim, sample, fx.outs, 32);
+  }
+}
+
+TEST(VbsBatch, BitIdenticalOnMultiDomainNetlists) {
+  const AdderFixture fx;
+  std::vector<VectorPair> sample;
+  for (std::size_t i = 0; i < fx.pairs.size(); i += 13) sample.push_back(fx.pairs[i]);
+  // Alternate gates across two sleep devices with distinct resistances.
+  std::vector<int> gate_domain(static_cast<std::size_t>(fx.adder.netlist.gate_count()));
+  for (std::size_t g = 0; g < gate_domain.size(); ++g) gate_domain[g] = static_cast<int>(g % 2);
+  VbsOptions opt;
+  opt.reverse_conduction = true;  // exercise per-domain target_low too
+  const VbsSimulator sim(fx.adder.netlist, opt, gate_domain,
+                         {SleepTransistor(tech07(), 5.0).reff(),
+                          SleepTransistor(tech07(), 11.0).reff()});
+  expect_bit_identical(sim, sample, fx.outs, 32);
+}
+
+TEST(VbsBatch, OutNameHandlingMatchesScalar) {
+  const AdderFixture fx;
+  VbsOptions opt;
+  opt.sleep_resistance = 1500.0;
+  const VbsSimulator sim(fx.adder.netlist, opt);
+  // Inputs, an unknown name, and a duplicate all behave exactly as the
+  // scalar Trace-based path: inputs contribute their ramp crossing,
+  // unknown names are skipped.
+  std::vector<std::string> outs = fx.outs;
+  outs.push_back(fx.adder.netlist.net_name(fx.adder.netlist.inputs()[0]));
+  outs.push_back("no_such_net");
+  outs.push_back(fx.outs.front());
+  std::vector<VectorPair> sample;
+  for (std::size_t i = 0; i < fx.pairs.size(); i += 97) sample.push_back(fx.pairs[i]);
+  expect_bit_identical(sim, sample, fx.outs, 16);
+  expect_bit_identical(sim, sample, outs, 16);
+}
+
+TEST(VbsBatch, PerLaneFailuresMatchScalarThrows) {
+  const AdderFixture fx;
+  VbsOptions opt;
+  opt.sleep_resistance = 2000.0;
+  opt.max_breakpoints = 12;  // enough for short transitions, not for long ones
+  const VbsSimulator sim(fx.adder.netlist, opt);
+  const VbsBatchSimulator batch_sim(sim);
+  std::vector<VectorPair> sample;
+  for (std::size_t i = 0; i < fx.pairs.size(); i += 11) sample.push_back(fx.pairs[i]);
+  const auto items = make_items(sample);
+  VbsBatchWorkspace bws;
+  std::vector<VbsLaneResult> results(items.size());
+  batch_sim.critical_delays(items.data(), items.size(), fx.outs, bws, results.data());
+
+  VbsWorkspace ws;
+  std::size_t failures = 0;
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    double scalar = 0.0;
+    bool threw = false;
+    FailureInfo info;
+    try {
+      scalar = sim.critical_delay(sample[i].v0, sample[i].v1, fx.outs, ws);
+    } catch (const NumericalError& e) {
+      threw = true;
+      info = e.info();
+    }
+    if (threw) {
+      ++failures;
+      ASSERT_FALSE(results[i].ok) << "lane " << i << " should fail like the scalar path";
+      EXPECT_EQ(static_cast<int>(results[i].failure.code), static_cast<int>(info.code));
+      EXPECT_EQ(results[i].failure.context, info.context);
+    } else {
+      ASSERT_TRUE(results[i].ok) << "lane " << i << ": " << results[i].failure.message();
+      EXPECT_EQ(results[i].delay, scalar) << "lane " << i;
+    }
+  }
+  // The budget must actually bite somewhere, and not everywhere, or this
+  // test proves nothing about isolation.
+  EXPECT_GT(failures, 0u);
+  EXPECT_LT(failures, sample.size());
+}
+
+TEST(VbsBatch, OptionValidationIsCoded) {
+  const AdderFixture fx;
+  const auto expect_invalid = [&](VbsOptions opt) {
+    try {
+      const VbsSimulator sim(fx.adder.netlist, opt);
+      FAIL() << "expected NumericalError(kInvalidArgument)";
+    } catch (const NumericalError& e) {
+      EXPECT_EQ(static_cast<int>(e.info().code),
+                static_cast<int>(FailureCode::kInvalidArgument));
+      EXPECT_EQ(e.info().site, "core::VbsSimulator");
+    }
+  };
+  VbsOptions opt;
+  opt.sleep_resistance = -1.0;
+  expect_invalid(opt);
+  opt = VbsOptions{};
+  opt.virtual_ground_cap = -1e-12;
+  expect_invalid(opt);
+  opt = VbsOptions{};
+  opt.input_ramp = -1e-12;
+  expect_invalid(opt);
+  opt = VbsOptions{};
+  opt.alpha = 0.0;
+  expect_invalid(opt);
+  opt = VbsOptions{};
+  opt.alpha = 2.5;
+  expect_invalid(opt);
+  opt = VbsOptions{};
+  opt.input_slope_factor = -0.1;
+  expect_invalid(opt);
+  opt = VbsOptions{};
+  opt.deadline_s = -1.0;
+  expect_invalid(opt);
+}
+
+// --- EvalSession integration: batched sweeps vs scalar sweeps ---
+
+using mtcmos::Rng;
+using mtcmos::SweepReport;
+using sizing::EvalSession;
+using sizing::VbsBackend;
+using sizing::VectorDelay;
+
+bool same_pair(const VectorPair& a, const VectorPair& b) {
+  return a.v0 == b.v0 && a.v1 == b.v1;
+}
+
+void expect_same_ranking(const std::vector<VectorDelay>& a, const std::vector<VectorDelay>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(same_pair(a[i].pair, b[i].pair)) << i;
+    EXPECT_EQ(a[i].delay_cmos, b[i].delay_cmos) << i;
+    EXPECT_EQ(a[i].delay_mtcmos, b[i].delay_mtcmos) << i;
+    EXPECT_EQ(a[i].degradation_pct, b[i].degradation_pct) << i;
+  }
+}
+
+TEST(VbsBatchSession, MultiThreadedSweepsAreBitIdenticalToScalar) {
+  // A 4-thread pool drives the batch precompute and the per-item pass;
+  // every entry point must reproduce the scalar (batch = 1) results
+  // bit-for-bit, for a chunk size that does not divide the sweep too.
+  const AdderFixture fx(2);
+  const VbsBackend backend(fx.adder.netlist, fx.outs);
+  util::ThreadPool pool(4);
+
+  EvalSession scalar;
+  scalar.pool = &pool;
+  scalar.batch = 1;
+
+  for (const std::size_t batch : {std::size_t{0}, std::size_t{7}}) {
+    EvalSession batched;
+    batched.pool = &pool;
+    batched.batch = batch;
+    SCOPED_TRACE(batch);
+
+    SweepReport scalar_report, batched_report;
+    scalar.report = &scalar_report;
+    batched.report = &batched_report;
+    expect_same_ranking(sizing::rank_vectors(backend, fx.pairs, 10.0, scalar),
+                        sizing::rank_vectors(backend, fx.pairs, 10.0, batched));
+    EXPECT_EQ(scalar_report.succeeded, batched_report.succeeded);
+    EXPECT_EQ(scalar_report.failed, batched_report.failed);
+    scalar.report = nullptr;
+    batched.report = nullptr;
+
+    const auto s_sz = sizing::size_for_degradation(backend, fx.pairs, 5.0, {}, scalar);
+    const auto b_sz = sizing::size_for_degradation(backend, fx.pairs, 5.0, {}, batched);
+    EXPECT_EQ(s_sz.wl, b_sz.wl);
+    EXPECT_EQ(s_sz.degradation_pct, b_sz.degradation_pct);
+    EXPECT_TRUE(same_pair(s_sz.binding_vector, b_sz.binding_vector));
+
+    Rng rng_s(42), rng_b(42);
+    const VectorDelay s_worst = sizing::search_worst_vector(backend, 8.0, 40, rng_s, scalar);
+    const VectorDelay b_worst = sizing::search_worst_vector(backend, 8.0, 40, rng_b, batched);
+    EXPECT_TRUE(same_pair(s_worst.pair, b_worst.pair));
+    EXPECT_EQ(s_worst.delay_mtcmos, b_worst.delay_mtcmos);
+    EXPECT_EQ(s_worst.degradation_pct, b_worst.degradation_pct);
+  }
+}
+
+TEST(VbsBatchSession, KilledBatchedRankResumesBitIdentically) {
+  // Kill a *batched* checkpointed sweep mid-journal, then resume with the
+  // batch path still enabled: the resume re-forms batches from the items
+  // the journal does not hold, and the merged results and report must be
+  // bit-identical to an uninterrupted scalar run.
+  const AdderFixture fx(2);
+  const VbsBackend backend(fx.adder.netlist, fx.outs);
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("vbs_batch_session." +
+                    std::to_string(::testing::UnitTest::GetInstance()->random_seed()));
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "rank.mtj").string();
+
+  SweepReport ref_report;
+  EvalSession scalar;
+  scalar.batch = 1;
+  scalar.report = &ref_report;
+  const auto reference = sizing::rank_vectors(backend, fx.pairs, 10.0, scalar);
+
+  {
+    sizing::Checkpoint killed;
+    killed.open(path);
+    EvalSession session;
+    session.batch = 32;
+    session.checkpoint = &killed;
+    faultinject::arm(faultinject::Site::kJournalAppend, /*scope=*/5, /*fail_hits=*/1);
+    EXPECT_THROW(sizing::rank_vectors(backend, fx.pairs, 10.0, session), NumericalError);
+    faultinject::disarm_all();
+    EXPECT_LT(killed.journal().size(), fx.pairs.size());
+    killed.journal().close();
+  }
+
+  sizing::Checkpoint resumed;
+  resumed.open(path);
+  SweepReport report;
+  EvalSession resume_session;
+  resume_session.batch = 32;
+  resume_session.checkpoint = &resumed;
+  resume_session.report = &report;
+  const auto merged = sizing::rank_vectors(backend, fx.pairs, 10.0, resume_session);
+  expect_same_ranking(merged, reference);
+  EXPECT_EQ(report.total, ref_report.total);
+  EXPECT_EQ(report.succeeded + report.recovered, ref_report.succeeded + ref_report.recovered);
+  EXPECT_EQ(report.failed, ref_report.failed);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(VbsBatchSession, VbsSiteFaultPlansForceTheScalarPath) {
+  // A plan against a VBS site addresses a per-item scope, which the
+  // batch kernel cannot honor; the sweep must stand down to the scalar
+  // path so the plan fires against exactly its item and the retry
+  // recovers it.
+  const AdderFixture fx(2);
+  const VbsBackend backend(fx.adder.netlist, fx.outs);
+  EvalSession session;  // batch = 0: auto, but the armed plan disables it
+  SweepReport report;
+  session.report = &report;
+  faultinject::arm(faultinject::Site::kVbsRun, /*scope=*/3, /*fail_hits=*/1);
+  const auto ranked = sizing::rank_vectors(backend, fx.pairs, 10.0, session);
+  faultinject::disarm_all();
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.recovered, 1u);  // item 3 failed once, retried, succeeded
+  EXPECT_EQ(ranked.size(), sizing::rank_vectors(backend, fx.pairs, 10.0).size());
+}
+
+}  // namespace
+}  // namespace mtcmos::core
