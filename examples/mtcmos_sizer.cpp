@@ -13,6 +13,7 @@
 //                [--verify] [--screen N] [--export-deck out.sp]
 //                [--export-vcd out.vcd] [--wl X]
 //                [--checkpoint DIR] [--resume] [--watchdog MULT]
+//                [--shards N]
 //
 // The netlist must declare `input` nets and at least one `output` net;
 // builtin:adderN generates the paper's N-bit ripple-carry adder instead
@@ -39,6 +40,17 @@
 // with code 3 (0 = success, 1 = error, 2 = usage).  --watchdog M flags
 // items slower than M x the running-median item time, requeues them
 // once, then fails them as deadline-exceeded (see docs/robustness.md).
+//
+// Process-level fault tolerance: --shards N (requires --checkpoint) runs
+// each degradation-sweep row across N supervised worker *processes*,
+// each journaling to a private shard journal that is merged back into
+// DIR/journal.mtj by content key.  Dead workers are restarted with
+// exponential backoff, hung workers are detected by heartbeat and
+// killed, and items that repeatedly kill workers are quarantined as
+// poisoned-item failures instead of looping.  Results are bit-identical
+// to a single-process run (quarantined items excepted).  Exit code 4 =
+// the run completed but quarantined items were recorded.  See
+// docs/robustness.md section 9 for the full contract.
 
 #include <cstring>
 #include <filesystem>
@@ -55,6 +67,7 @@
 #include "sizing/checkpoint.hpp"
 #include "sizing/session.hpp"
 #include "sizing/sizing.hpp"
+#include "sizing/supervisor.hpp"
 #include "spice/deck.hpp"
 #include "util/cancel.hpp"
 #include "util/error.hpp"
@@ -74,8 +87,11 @@ int usage() {
          "                    [--verify] [--screen N] [--export-deck out.sp]\n"
          "                    [--export-vcd out.vcd] [--wl X]\n"
          "                    [--checkpoint DIR] [--resume] [--watchdog MULT]\n"
-         "exit codes: 0 = success, 1 = error, 2 = usage, 3 = interrupted "
-         "(SIGINT/SIGTERM; partial results journaled under --checkpoint)\n";
+         "                    [--shards N]\n"
+         "exit codes: 0 = success, 1 = error (failure-code histogram distinguishes a\n"
+         "completed sweep whose items all failed from an orchestration error),\n"
+         "2 = usage, 3 = interrupted (SIGINT/SIGTERM; partial results journaled under\n"
+         "--checkpoint), 4 = completed with quarantined (poisoned) items\n";
   return 2;
 }
 
@@ -144,6 +160,7 @@ int main(int argc, char** argv) {
   std::string checkpoint_dir;
   bool resume = false;
   double watchdog_multiple = 0.0;
+  int shards = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -184,6 +201,8 @@ int main(int argc, char** argv) {
       resume = true;
     } else if (arg == "--watchdog") {
       watchdog_multiple = std::stod(next());
+    } else if (arg == "--shards") {
+      shards = std::stoi(next());
     } else if (arg[0] == '-') {
       std::cerr << "unknown option: " << arg << "\n";
       return usage();
@@ -194,6 +213,10 @@ int main(int argc, char** argv) {
   if (path.empty()) return usage();
   if (resume && checkpoint_dir.empty()) {
     std::cerr << "--resume requires --checkpoint DIR\n";
+    return usage();
+  }
+  if (shards > 1 && checkpoint_dir.empty()) {
+    std::cerr << "--shards requires --checkpoint DIR (shard journals merge into it)\n";
     return usage();
   }
 
@@ -288,10 +311,28 @@ int main(int argc, char** argv) {
 
     // Degradation sweep through the session, so the table rows are
     // parallel, fault-isolated, checkpointed, and cancellable like every
-    // other sweep (rank_vectors returns worst-first).
+    // other sweep (rank_vectors returns worst-first).  With --shards the
+    // row's items run in supervised worker processes whose journals merge
+    // back into the session checkpoint; everything downstream replays
+    // from it in-process.
     Table table({"sleep W/L", "R_eff [kOhm]", "worst degr [%]"});
     for (const double wl : sweep) {
-      const auto ranked = sizing::rank_vectors(eval, vectors, wl, session);
+      std::vector<sizing::VectorDelay> ranked;
+      if (shards > 1) {
+        sizing::SupervisorOptions sopt;
+        sopt.shards = shards;
+        sopt.dir = (std::filesystem::path(checkpoint_dir) / "shards").string();
+        auto sharded = sizing::sharded_rank_vectors(eval, vectors, wl, sopt, &checkpoint);
+        report.merge(sharded.report);
+        std::cout << "W/L " << wl << " supervision: " << sharded.stats.workers_spawned
+                  << " workers, " << sharded.stats.restarts << " restarts, "
+                  << sharded.stats.stall_kills << " stall kills, "
+                  << sharded.stats.quarantined << " quarantined, " << sharded.stats.abandoned
+                  << " abandoned\n";
+        ranked = std::move(sharded.ranked);
+      } else {
+        ranked = sizing::rank_vectors(eval, vectors, wl, session);
+      }
       const double worst = ranked.empty() ? -1.0 : ranked.front().degradation_pct;
       table.add_row({Table::num(wl, 4),
                      Table::num(SleepTransistor(nl.tech(), wl).reff() / 1e3, 4),
@@ -378,10 +419,20 @@ int main(int argc, char** argv) {
       return 3;
     }
     print_sweep_health(report);
+    if (report.total > 0 && report.failed == report.total) {
+      // Completed-with-failures, not an orchestration error: the sweep
+      // machinery worked, every item's numerics failed (see histogram).
+      std::cerr << "every sweep item failed; the histogram above classifies them "
+                   "(completed-with-failures exit, not an orchestration error)\n";
+    }
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
+    // Infrastructure death (I/O, fork, bad configuration) -- the sweep
+    // itself did not run to completion.  Still print whatever item
+    // health accumulated so the two exit-1 flavors are distinguishable.
+    print_sweep_health(report);
+    std::cerr << "orchestration error: " << e.what() << "\n";
     return 1;
   }
   if (util::CancelToken::global().requested()) {
@@ -396,5 +447,18 @@ int main(int argc, char** argv) {
     return 3;
   }
   print_sweep_health(report);
+  if (report.total > 0 && report.failed == report.total) {
+    std::cerr << "every sweep item failed; the histogram above classifies them "
+                 "(completed-with-failures exit, not an orchestration error)\n";
+    return 1;
+  }
+  for (const auto& [index, info] : report.failures) {
+    (void)index;
+    if (info.code == FailureCode::kPoisonedItem) {
+      std::cerr << "completed with quarantined (poisoned) items -- each killed a worker "
+                << "process repeatedly and was excluded; see docs/robustness.md section 9\n";
+      return 4;
+    }
+  }
   return 0;
 }

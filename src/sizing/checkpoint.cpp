@@ -174,6 +174,10 @@ void Checkpoint::record(const std::string& key, const Outcome<VectorDelay>& outc
   }
 }
 
+void Checkpoint::record_failure(const std::string& key, const FailureInfo& info) {
+  record(key, Outcome<double>::fail(info));
+}
+
 bool Checkpoint::lookup_bisect(const std::string& key, BisectState& out) const {
   if (!armed()) return false;
   const std::string* value = journal_.find(key);

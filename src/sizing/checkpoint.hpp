@@ -73,6 +73,13 @@ class Checkpoint {
   void record(const std::string& key, const Outcome<double>& outcome);
   void record(const std::string& key, const Outcome<VectorDelay>& outcome);
 
+  /// Journal a bare failure under `key` without an Outcome type: the
+  /// encoded form is shared by both lookup() overloads, so any sweep
+  /// replays it as that item's failure.  The supervisor uses this to
+  /// stamp quarantined (kPoisonedItem) items into the merged journal.
+  /// Honors should_persist like record().
+  void record_failure(const std::string& key, const FailureInfo& info);
+
   bool lookup_bisect(const std::string& key, BisectState& out) const;
   void record_bisect(const std::string& key, const BisectState& state);
 

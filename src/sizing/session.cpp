@@ -49,10 +49,13 @@ class Watchdog {
   explicit Watchdog(const WatchdogConfig& config) : config_(config) {}
 
   /// Record one completed attempt; true when it blew the budget.
-  bool over_budget(double seconds) {
+  /// `median_out` receives the running median the verdict compared
+  /// against (pre-insert), so failure entries can carry the evidence.
+  bool over_budget(double seconds, double& median_out) {
     const std::lock_guard<std::mutex> lock(mutex_);
+    median_out = median_locked();
     const bool flagged = seconds > config_.floor_s && count() >= config_.min_samples &&
-                         seconds > config_.multiple * median_locked();
+                         seconds > config_.multiple * median_out;
     insert_locked(seconds);
     return flagged;
   }
@@ -151,12 +154,16 @@ Outcome<T> run_item(const SweepCtx& ctx, std::size_t index, const std::string& k
         const auto t0 = Clock::now();
         value = body();
         const double seconds = std::chrono::duration<double>(Clock::now() - t0).count();
-        if (ctx.watchdog->over_budget(seconds)) {
+        double median = 0.0;
+        if (ctx.watchdog->over_budget(seconds, median)) {
           last.code = FailureCode::kDeadlineExceeded;
           last.site = "sizing::watchdog";
           last.context = "item " + std::to_string(index) + " took " + std::to_string(seconds) +
-                         " s, over the running-median budget";
+                         " s, over the running-median budget (median " +
+                         std::to_string(median) + " s)";
           last.attempts = attempt;
+          last.elapsed_s = seconds;
+          last.median_s = median;
           if (!requeued) {
             requeued = true;
             if (attempt == budget) ++budget;  // the single watchdog requeue

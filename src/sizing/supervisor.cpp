@@ -1,0 +1,469 @@
+#include "sizing/supervisor.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/faultinject.hpp"
+#include "util/subprocess.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mtcmos::sizing {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::chrono::nanoseconds to_duration(double seconds) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(seconds));
+}
+
+/// Append the front half of a valid record to the journal file, so the
+/// file ends mid-record exactly as a crash between write() and return
+/// would leave it.  Replay must truncate it away.
+void write_torn_tail(const std::string& journal_path) {
+  const std::string record =
+      util::format_journal_record("torn:injected", "partial-record-payload");
+  const int fd = ::open(journal_path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd < 0) return;
+  const std::string half = record.substr(0, record.size() / 2);
+  ssize_t ignored = ::write(fd, half.data(), half.size());
+  (void)ignored;
+  ::close(fd);
+}
+
+/// Worker body, run in the forked child.  Walks its (item, strikes)
+/// assignment serially, skipping items its shard journal already holds,
+/// announcing "S <idx>" / "F <idx>" around each and heartbeating from a
+/// side thread ("H" on the pipe + an hb:<slot> journal record).  The
+/// kWorker* fault sites are consulted between "S" and the item body,
+/// under the item's scope and with the item's prior strike count as the
+/// process generation, so tests can script "die on this item's first
+/// two attempts" deterministically.
+int worker_main(int wfd, std::size_t slot_index, const std::string& journal_path,
+                const std::vector<std::pair<std::size_t, int>>& items,
+                const SupervisorOptions& options, const Supervisor::ItemFn& run_one,
+                const Supervisor::KeyFn& key_of) {
+  util::install_cancel_signal_handlers();
+  util::CancelToken& cancel = util::CancelToken::global();
+
+  Checkpoint ckpt;
+  ckpt.open(journal_path, options.journal);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> stalled{false};
+  std::atomic<bool> parent_gone{false};
+  std::thread heartbeat([&] {
+    std::uint64_t beats = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (!stalled.load(std::memory_order_relaxed)) {
+        if (!util::write_line(wfd, "H")) {
+          parent_gone.store(true, std::memory_order_relaxed);
+          break;
+        }
+        try {
+          ckpt.journal().append("hb:" + std::to_string(slot_index), std::to_string(++beats));
+        } catch (...) {
+          // Heartbeat records are best-effort liveness breadcrumbs; the
+          // item loop will hit the same journal error and die visibly.
+        }
+      }
+      std::this_thread::sleep_for(to_duration(options.heartbeat_interval_s));
+    }
+  });
+  const auto finish = [&](int code) {
+    stop.store(true, std::memory_order_relaxed);
+    heartbeat.join();
+    return code;  // ckpt destructor flushes + closes the journal
+  };
+
+  for (const auto& [idx, strikes] : items) {
+    if (cancel.requested() || parent_gone.load(std::memory_order_relaxed)) return finish(3);
+    const std::string key = key_of(idx);
+    if (ckpt.journal().find(key) != nullptr) continue;  // replayed from a prior life
+    if (!util::write_line(wfd, "S " + std::to_string(idx))) return finish(3);
+
+    faultinject::set_generation(strikes);
+    const faultinject::ScopedScope scope(static_cast<std::int64_t>(idx));
+    if (faultinject::fired(faultinject::Site::kWorkerAbort)) std::abort();
+    if (faultinject::fired(faultinject::Site::kWorkerKill)) ::raise(SIGKILL);
+    if (faultinject::fired(faultinject::Site::kWorkerTornTail)) {
+      ckpt.journal().flush();
+      write_torn_tail(journal_path);
+      ::raise(SIGKILL);
+    }
+    if (faultinject::fired(faultinject::Site::kWorkerStall)) {
+      // Go silent: no heartbeats, no progress.  The parent's liveness
+      // timeout must SIGKILL us; the self-exit below is a backstop so a
+      // supervisor-less test leak cannot hang forever.
+      stalled.store(true, std::memory_order_relaxed);
+      const auto give_up = Clock::now() + to_duration(options.liveness_timeout_s * 4.0 + 1.0);
+      while (Clock::now() < give_up && !cancel.requested()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      return finish(2);
+    }
+
+    run_one(idx, ckpt);
+    if (ckpt.journal().find(key) == nullptr) {
+      // The item completed nothing durable -- a cancellation drained it
+      // mid-body.  Report the drain instead of claiming completion.
+      return finish(3);
+    }
+    if (!util::write_line(wfd, "F " + std::to_string(idx))) return finish(3);
+  }
+  return finish(cancel.requested() ? 3 : 0);
+}
+
+/// Parent-side view of one worker slot.
+struct Slot {
+  enum class State { Live, Backoff, Done };
+  State state = State::Done;
+  std::vector<std::size_t> assigned;  ///< current item assignment
+  std::string journal_path;
+  pid_t pid = -1;
+  int fd = -1;
+  std::unique_ptr<util::LineReader> reader;
+  Clock::time_point last_beat = {};
+  Clock::time_point respawn_at = {};
+  double backoff_s = 0.0;
+  int restarts = 0;
+  std::int64_t current = -1;  ///< "S"-announced, not yet "F"-finished
+};
+
+}  // namespace
+
+std::vector<std::pair<std::size_t, std::size_t>> plan_shards(std::size_t n_items, int shards) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  if (n_items == 0) return out;
+  const std::size_t k =
+      std::min<std::size_t>(static_cast<std::size_t>(std::max(1, shards)), n_items);
+  const std::size_t base = n_items / k;
+  const std::size_t extra = n_items % k;
+  std::size_t begin = 0;
+  for (std::size_t s = 0; s < k; ++s) {
+    const std::size_t len = base + (s < extra ? 1 : 0);
+    out.emplace_back(begin, begin + len);
+    begin += len;
+  }
+  return out;
+}
+
+Supervisor::Supervisor(SupervisorOptions options, std::size_t n_items, ItemFn run_one,
+                       KeyFn key_of)
+    : options_(std::move(options)),
+      n_items_(n_items),
+      run_one_(std::move(run_one)),
+      key_of_(std::move(key_of)) {}
+
+SupervisorStats Supervisor::run(Checkpoint& merged) {
+  if (options_.dir.empty()) {
+    throw std::invalid_argument("supervisor: options.dir must name a journal directory");
+  }
+  if (!merged.armed()) {
+    throw std::invalid_argument("supervisor: the merged checkpoint must be armed");
+  }
+  if (options_.shards < 1) throw std::invalid_argument("supervisor: shards must be >= 1");
+  std::filesystem::create_directories(options_.dir);
+
+  SupervisorStats stats;
+  util::CancelToken& cancel =
+      options_.cancel_token != nullptr ? *options_.cancel_token : util::CancelToken::global();
+
+  const auto ranges = plan_shards(n_items_, options_.shards);
+  std::vector<Slot> slots(ranges.size());
+  std::unordered_map<std::size_t, int> strikes;
+  std::unordered_set<std::size_t> quarantined;
+  std::vector<std::size_t> orphans;
+  // Global fork backstop: even a pathological restart ladder (every
+  // worker dying immediately, orphans bouncing between finishers) ends.
+  const int spawn_cap =
+      static_cast<int>(ranges.size()) * (std::max(0, options_.max_restarts) + 2);
+
+  const auto spawn = [&](std::size_t s) {
+    Slot& slot = slots[s];
+    std::vector<std::pair<std::size_t, int>> items;
+    items.reserve(slot.assigned.size());
+    for (const std::size_t idx : slot.assigned) {
+      const auto it = strikes.find(idx);
+      items.emplace_back(idx, it == strikes.end() ? 0 : it->second);
+    }
+    const util::ChildProcess child = util::spawn_child([&, s, items](int wfd) {
+      return worker_main(wfd, s, slots[s].journal_path, items, options_, run_one_, key_of_);
+    });
+    slot.pid = child.pid;
+    slot.fd = child.pipe_fd;
+    slot.reader = std::make_unique<util::LineReader>(child.pipe_fd);
+    slot.last_beat = Clock::now();
+    slot.current = -1;
+    slot.state = Slot::State::Live;
+    ++stats.workers_spawned;
+  };
+
+  for (std::size_t s = 0; s < ranges.size(); ++s) {
+    Slot& slot = slots[s];
+    slot.journal_path = options_.dir + "/shard" + std::to_string(s) + ".mtj";
+    slot.assigned.clear();
+    for (std::size_t i = ranges[s].first; i < ranges[s].second; ++i) slot.assigned.push_back(i);
+    spawn(s);
+  }
+
+  const auto process_lines = [&](Slot& slot) {
+    std::vector<std::string> lines;
+    slot.reader->poll(lines);
+    for (const std::string& line : lines) {
+      slot.last_beat = Clock::now();
+      if (line.empty()) continue;
+      if (line[0] == 'S' || line[0] == 'F') {
+        const long long idx = std::atoll(line.c_str() + 1);
+        slot.current = line[0] == 'S' ? idx : -1;
+      }
+      // 'H' only refreshes last_beat.
+    }
+  };
+
+  bool cancel_seen = false;
+  bool drain_killed = false;
+  Clock::time_point drain_deadline = {};
+
+  const auto on_death = [&](std::size_t s, const util::ExitStatus& st) {
+    Slot& slot = slots[s];
+    process_lines(slot);  // drain the pipe's final lines
+    util::close_fd(slot.fd);
+    slot.fd = -1;
+    slot.reader.reset();
+    slot.pid = -1;
+
+    const bool clean = st.exited && !st.signaled && st.exit_code == 0;
+    const bool drained = st.exited && !st.signaled && st.exit_code == 3;
+    if (clean) {
+      slot.assigned.clear();
+      // A clean finisher adopts the orphan queue (abandoned shards'
+      // leftovers) if the fork budget still allows another worker.
+      if (!cancel_seen && !orphans.empty() && stats.workers_spawned < spawn_cap) {
+        slot.assigned.clear();
+        for (const std::size_t idx : orphans) {
+          if (quarantined.count(idx) == 0) slot.assigned.push_back(idx);
+        }
+        orphans.clear();
+        if (!slot.assigned.empty()) {
+          spawn(s);
+          return;
+        }
+      }
+      slot.state = Slot::State::Done;
+      return;
+    }
+    if (drained || cancel_seen) {
+      slot.state = Slot::State::Done;
+      return;
+    }
+
+    // Crash (abort, SIGKILL, stall self-exit, body exception).  Blame
+    // the in-flight item unless its outcome actually reached the
+    // journal (death between journaling and the "F" line).
+    util::Journal done_log;
+    done_log.open(slot.journal_path);
+    done_log.close();
+    if (slot.current >= 0) {
+      const std::size_t idx = static_cast<std::size_t>(slot.current);
+      if (done_log.find(key_of_(idx)) == nullptr) {
+        const int s_count = ++strikes[idx];
+        if (s_count >= options_.poison_strikes && quarantined.insert(idx).second) {
+          ++stats.quarantined;
+        }
+      }
+    }
+    std::vector<std::size_t> pending;
+    for (const std::size_t idx : slot.assigned) {
+      if (quarantined.count(idx) != 0) continue;
+      if (done_log.find(key_of_(idx)) != nullptr) continue;
+      pending.push_back(idx);
+    }
+    if (pending.empty()) {
+      slot.state = Slot::State::Done;
+      return;
+    }
+    if (slot.restarts < options_.max_restarts && stats.workers_spawned < spawn_cap) {
+      slot.assigned = std::move(pending);
+      ++slot.restarts;
+      ++stats.restarts;
+      slot.backoff_s = slot.backoff_s <= 0.0
+                           ? options_.backoff_initial_s
+                           : std::min(slot.backoff_s * 2.0, options_.backoff_max_s);
+      slot.respawn_at = Clock::now() + to_duration(slot.backoff_s);
+      slot.state = Slot::State::Backoff;
+      return;
+    }
+    // Restart budget exhausted: abandon the shard, queue its leftovers
+    // for the next clean finisher.
+    orphans.insert(orphans.end(), pending.begin(), pending.end());
+    slot.state = Slot::State::Done;
+  };
+
+  while (true) {
+    const auto now = Clock::now();
+
+    // Cancellation: propagate once, then enforce the drain window.
+    if (!cancel_seen && cancel.requested()) {
+      cancel_seen = true;
+      stats.cancelled = true;
+      drain_deadline = now + to_duration(options_.drain_timeout_s);
+      for (Slot& slot : slots) {
+        if (slot.state == Slot::State::Live) util::send_signal(slot.pid, SIGTERM);
+        if (slot.state == Slot::State::Backoff) slot.state = Slot::State::Done;
+      }
+    }
+    if (cancel_seen && !drain_killed && now >= drain_deadline) {
+      drain_killed = true;
+      for (Slot& slot : slots) {
+        if (slot.state == Slot::State::Live) util::send_signal(slot.pid, SIGKILL);
+      }
+    }
+
+    // Respawn slots whose backoff expired.
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      if (slots[s].state == Slot::State::Backoff && now >= slots[s].respawn_at) spawn(s);
+    }
+
+    // Wait for pipe traffic (or just sleep while every slot backs off).
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> fd_slots;
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      if (slots[s].state == Slot::State::Live) {
+        fds.push_back({slots[s].fd, POLLIN, 0});
+        fd_slots.push_back(s);
+      }
+    }
+    if (::poll(fds.empty() ? nullptr : fds.data(), fds.size(), 10) < 0 && errno != EINTR) {
+      break;  // poll failure: fall through to reaping, then exit
+    }
+
+    bool any_open = false;
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      Slot& slot = slots[s];
+      if (slot.state != Slot::State::Live) continue;
+      process_lines(slot);
+      util::ExitStatus st;
+      if (util::try_reap(slot.pid, st)) {
+        on_death(s, st);
+        continue;
+      }
+      // Liveness: a worker silent past the timeout is hung -- kill it
+      // and let the reap path restart it like any other death.
+      if (options_.liveness_timeout_s > 0.0 &&
+          Clock::now() - slot.last_beat > to_duration(options_.liveness_timeout_s)) {
+        ++stats.stall_kills;
+        util::send_signal(slot.pid, SIGKILL);
+        slot.last_beat = Clock::now();  // one kill per timeout window
+      }
+      any_open = true;
+    }
+    bool any_backoff = false;
+    for (const Slot& slot : slots) any_backoff |= slot.state == Slot::State::Backoff;
+    if (!any_open && !any_backoff) break;
+  }
+
+  // Give-up policy for items no worker completed: an orphan that already
+  // drew blood (>= 1 strike) is quarantined rather than handed to the
+  // caller's in-process pass -- the whole point of process isolation is
+  // that the parent never runs a suspected killer.  Clean orphans are
+  // merely abandoned; the caller's pass re-runs them in-process.
+  if (!cancel_seen) {
+    for (const std::size_t idx : orphans) {
+      if (quarantined.count(idx) != 0) continue;
+      const auto it = strikes.find(idx);
+      if (it != strikes.end() && it->second > 0) {
+        if (quarantined.insert(idx).second) ++stats.quarantined;
+      } else {
+        ++stats.abandoned;
+      }
+    }
+  }
+
+  // Merge: every shard journal's records (minus heartbeats) into the
+  // campaign checkpoint, then stamp quarantined items so replay shows a
+  // classified failure instead of re-running the killer.
+  for (const Slot& slot : slots) {
+    if (!std::filesystem::exists(slot.journal_path)) continue;
+    util::merge_journal_file(merged.journal(), slot.journal_path, [](const std::string& key) {
+      return key.rfind("hb:", 0) == 0;
+    });
+  }
+  for (const std::size_t idx : quarantined) {
+    const std::string key = key_of_(idx);
+    if (merged.journal().find(key) != nullptr) continue;
+    FailureInfo info;
+    info.code = FailureCode::kPoisonedItem;
+    info.site = "sizing::supervisor";
+    const auto it = strikes.find(idx);
+    info.attempts = it == strikes.end() ? options_.poison_strikes : it->second;
+    info.context = "item " + std::to_string(idx) + " killed " +
+                   std::to_string(info.attempts) + " worker(s); quarantined";
+    merged.record_failure(key, info);
+  }
+  merged.journal().flush();
+  return stats;
+}
+
+ShardedRankResult sharded_rank_vectors(const EvalBackend& backend,
+                                       const std::vector<VectorPair>& vectors, double wl,
+                                       const SupervisorOptions& options, Checkpoint* merged) {
+  Checkpoint local;
+  if (merged == nullptr) {
+    std::filesystem::create_directories(options.dir);
+    local.open(options.dir + "/merged.mtj", options.journal);
+    merged = &local;
+  }
+  const std::string prefix = checkpoint_prefix(
+      "rank", backend.name(), netlist_fingerprint(backend.netlist(), backend.outputs()), wl);
+  const auto key_of = [prefix, &vectors](std::size_t i) {
+    return checkpoint_item_key(prefix, vectors[i]);
+  };
+  const auto run_one = [&backend, &vectors, wl](std::size_t i, Checkpoint& ckpt) {
+    // One item per call, on an inline pool (a forked worker must not
+    // spawn sweep threads), scalar path (a 1-item batch gains nothing).
+    util::ThreadPool inline_pool(1);
+    SweepReport discard;
+    EvalSession session;
+    session.pool = &inline_pool;
+    session.report = &discard;
+    session.checkpoint = &ckpt;
+    session.batch = 1;
+    rank_vectors(backend, {vectors[i]}, wl, session);
+  };
+
+  ShardedRankResult out;
+  Supervisor supervisor(options, vectors.size(), run_one, key_of);
+  out.stats = supervisor.run(*merged);
+
+  // Final in-process pass over the merged checkpoint: worker-completed
+  // items replay, quarantined items replay as kPoisonedItem failures,
+  // abandoned items run here.  Serial scalar execution makes the result
+  // bit-identical to a single-process, single-thread rank_vectors.
+  util::ThreadPool serial(1);
+  EvalSession session;
+  session.pool = &serial;
+  session.report = &out.report;
+  session.checkpoint = merged;
+  session.cancel_token = options.cancel_token;
+  session.batch = 1;
+  out.ranked = rank_vectors(backend, vectors, wl, session);
+  return out;
+}
+
+}  // namespace mtcmos::sizing

@@ -1,0 +1,147 @@
+#pragma once
+// Fault-tolerant sharded sweep supervision.
+//
+// A characterization campaign at library scale outlives any single
+// process: solvers crash on pathological operating points, the OOM
+// killer reaps workers, and one poisoned vector must never cost more
+// than itself.  The Supervisor runs a sweep's item range across worker
+// *processes* -- crash isolation the thread pool cannot give -- and
+// merges their journals back into one campaign checkpoint:
+//
+//   plan_shards() splits [0, n) into contiguous near-equal shards; one
+//   worker process per shard journals outcomes to a private
+//   shard<k>.mtj checkpoint under SupervisorOptions::dir, using the
+//   same content-derived item keys as a single-process sweep.
+//
+//   Workers speak a line protocol on a pipe -- "H" heartbeats,
+//   "S <idx>" before an item, "F <idx>" after journaling it -- and
+//   append hb:<slot> heartbeat records to their journal.  The parent
+//   polls the pipes: a worker silent past liveness_timeout_s is
+//   SIGKILLed; a dead worker (crash, signal, stall-kill) is restarted
+//   on the same shard with exponential backoff under a per-slot restart
+//   budget.  Restarted workers replay their shard journal, so a death
+//   costs at most the one in-flight item.
+//
+//   Blame and quarantine: the item a dead worker started ("S") but
+//   never finished ("F") gets a strike.  An item with poison_strikes
+//   strikes is quarantined -- excluded from every later assignment and
+//   stamped into the merged journal as a kPoisonedItem failure (site
+//   "sizing::supervisor") -- so a deterministic worker-killer shows up
+//   as one classified failure instead of an infinite restart loop.
+//
+//   When a slot exhausts its restart budget its remaining items move to
+//   an orphan queue, reassigned to the next worker slot that finishes
+//   its own shard cleanly; items still orphaned at the end are left to
+//   the caller's in-process pass (SupervisorStats::abandoned).
+//
+//   Cancellation (SIGINT/SIGTERM raising the session's CancelToken)
+//   SIGTERMs every worker, waits drain_timeout_s for graceful exits
+//   (workers drain like any cancelled sweep), then SIGKILLs stragglers.
+//
+//   run() finally merges every shard journal into the caller's
+//   checkpoint by key (util::merge_journal_file, heartbeat records
+//   dropped).  Because keys are content-derived and workers are
+//   deterministic, duplicated records agree and the merged journal
+//   replays into results and a SweepReport bit-identical to a
+//   single-process, single-thread run.
+//
+// Fork-safety: workers are forked directly (no exec) and must not touch
+// threads or locks created before the fork -- they run their sweep on a
+// 1-thread ThreadPool (inline, spawns nothing) and open their journal
+// after the fork.  Spawn only while the parent's pools are quiescent.
+// Worker deaths are injectable via the faultinject kWorker* sites with
+// generation addressing (a worker stamps each item's prior strike count
+// as the process generation), so restart-vs-quarantine ladders are
+// deterministic in tests.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sizing/checkpoint.hpp"
+#include "sizing/eval_types.hpp"
+#include "sizing/session.hpp"
+#include "util/cancel.hpp"
+#include "util/failure.hpp"
+#include "util/journal.hpp"
+
+namespace mtcmos::sizing {
+
+struct SupervisorOptions {
+  int shards = 2;                   ///< worker process count (>= 1)
+  std::string dir;                  ///< REQUIRED: directory for shard<k>.mtj journals
+  double heartbeat_interval_s = 0.05;
+  /// A worker with no pipe traffic (heartbeat or item line) for this
+  /// long is declared hung and SIGKILLed (then restarted like any other
+  /// death).  Must comfortably exceed the slowest single item.
+  double liveness_timeout_s = 5.0;
+  int max_restarts = 3;             ///< per worker slot
+  double backoff_initial_s = 0.05;  ///< doubles per restart, capped below
+  double backoff_max_s = 1.0;
+  int poison_strikes = 2;           ///< strikes before an item is quarantined
+  double drain_timeout_s = 5.0;     ///< graceful-exit window after SIGTERM
+  util::CancelToken* cancel_token = nullptr;  ///< nullptr = global token
+  util::JournalOptions journal = {};          ///< worker journal durability
+};
+
+struct SupervisorStats {
+  int workers_spawned = 0;  ///< total forks (initial + restarts + reassignments)
+  int restarts = 0;         ///< respawns after a worker death
+  int stall_kills = 0;      ///< workers SIGKILLed for missed heartbeats
+  std::size_t quarantined = 0;  ///< items stamped kPoisonedItem
+  std::size_t abandoned = 0;    ///< items no worker completed (caller re-runs)
+  bool cancelled = false;       ///< the run was cancelled while supervising
+};
+
+/// Contiguous near-equal [begin, end) shards covering [0, n); at most
+/// `shards` entries, empty shards dropped (n < shards yields n shards).
+std::vector<std::pair<std::size_t, std::size_t>> plan_shards(std::size_t n_items, int shards);
+
+class Supervisor {
+ public:
+  /// `run_one(idx, ckpt)` evaluates item `idx` inside a worker process,
+  /// journaling its outcome into `ckpt` under `key_of(idx)`; it runs on
+  /// a 1-thread pool and must be deterministic.  `key_of` must match
+  /// the keys `run_one` journals (used for replay skips and quarantine
+  /// stamps).
+  using ItemFn = std::function<void(std::size_t idx, Checkpoint& ckpt)>;
+  using KeyFn = std::function<std::string(std::size_t idx)>;
+
+  Supervisor(SupervisorOptions options, std::size_t n_items, ItemFn run_one, KeyFn key_of);
+
+  /// Supervise the sharded sweep to completion (or cancellation), then
+  /// merge every shard journal into `merged` and stamp quarantined
+  /// items as kPoisonedItem records.  `merged` must be armed.  Throws
+  /// std::invalid_argument on an unusable configuration (empty dir,
+  /// shards < 1, unarmed checkpoint) and std::runtime_error on
+  /// fork/pipe failure.
+  SupervisorStats run(Checkpoint& merged);
+
+ private:
+  SupervisorOptions options_;
+  std::size_t n_items_;
+  ItemFn run_one_;
+  KeyFn key_of_;
+};
+
+/// Sharded counterpart of rank_vectors(): supervise `options.shards`
+/// worker processes over the vector range, merge their journals into
+/// `merged` (or a fresh merged.mtj under options.dir when nullptr), then
+/// replay the merged checkpoint through an in-process rank_vectors to
+/// produce the ranking and report.  Results are bit-identical to a
+/// single-process, single-thread rank_vectors over the same inputs,
+/// except that quarantined items appear as kPoisonedItem failures.
+struct ShardedRankResult {
+  std::vector<VectorDelay> ranked;
+  SweepReport report;
+  SupervisorStats stats;
+};
+
+ShardedRankResult sharded_rank_vectors(const EvalBackend& backend,
+                                       const std::vector<VectorPair>& vectors, double wl,
+                                       const SupervisorOptions& options,
+                                       Checkpoint* merged = nullptr);
+
+}  // namespace mtcmos::sizing

@@ -33,6 +33,7 @@ enum class FailureCode : std::uint8_t {
   kInjected,            ///< deterministic fault from mtcmos::faultinject
   kCancelled,           ///< cooperative cancellation (signal or EvalSession::cancel)
   kInvalidArgument,     ///< coded precondition failure (degenerate bounds, ...)
+  kPoisonedItem,        ///< item quarantined after repeatedly killing worker processes
 };
 
 inline const char* to_string(FailureCode code) {
@@ -46,6 +47,7 @@ inline const char* to_string(FailureCode code) {
     case FailureCode::kInjected: return "injected";
     case FailureCode::kCancelled: return "cancelled";
     case FailureCode::kInvalidArgument: return "invalid-argument";
+    case FailureCode::kPoisonedItem: return "poisoned-item";
   }
   return "unknown";
 }
@@ -56,6 +58,14 @@ struct FailureInfo {
   std::string site;     ///< where it happened, e.g. "Engine::newton_solve"
   std::string context;  ///< free-form detail (scale, node, budget, ...)
   int attempts = 1;     ///< attempts consumed when this failure became final
+  /// Timing audit for deadline/watchdog verdicts, so a SweepReport entry
+  /// shows *how far* over budget the item was, not just that it was
+  /// flagged.  elapsed_s is the attempt's wall time; median_s the running
+  /// median the watchdog compared against.  0 = not a timed verdict.
+  /// These fields are in-memory diagnostics only: watchdog failures are
+  /// never persisted to a checkpoint, so the journal encoding ignores them.
+  double elapsed_s = 0.0;
+  double median_s = 0.0;
 
   /// One-line rendering used as the NumericalError what() string.
   std::string message() const {
@@ -125,6 +135,24 @@ struct SweepReport {
       ++failed;
       failures.emplace_back(index, outcome.failure);
     }
+  }
+
+  /// Fold another report into this one (a driver aggregating several
+  /// sweep calls -- e.g. one sharded sweep per W/L row -- into one
+  /// campaign health report).  Failure indices keep their per-call
+  /// meaning, exactly as when one report is reused across calls.
+  void merge(const SweepReport& other) {
+    total += other.total;
+    succeeded += other.succeeded;
+    recovered += other.recovered;
+    failed += other.failed;
+    if (rung_histogram.size() < other.rung_histogram.size()) {
+      rung_histogram.resize(other.rung_histogram.size(), 0);
+    }
+    for (std::size_t r = 0; r < other.rung_histogram.size(); ++r) {
+      rung_histogram[r] += other.rung_histogram[r];
+    }
+    failures.insert(failures.end(), other.failures.begin(), other.failures.end());
   }
 
   /// Failure counts per FailureCode, in enum order, zero-count codes

@@ -39,12 +39,21 @@ enum class Site : int {
   kVbsBreakpoint,          ///< VbsSimulator::run breakpoint loop
   kSweepItem,              ///< sizing sweep per-item runner
   kJournalAppend,          ///< util::Journal::append (checkpoint write path)
+  // Process-level sites consumed by sharded-sweep workers via fired()
+  // (they kill the process instead of throwing; see supervisor.hpp).
+  kWorkerAbort,            ///< worker calls abort() before running the item
+  kWorkerKill,             ///< worker raises SIGKILL before running the item
+  kWorkerStall,            ///< worker stops heartbeating and hangs
+  kWorkerTornTail,         ///< worker writes a torn journal tail, then SIGKILL
 };
 
 const char* to_string(Site site);
 
 /// Matches every scope (see the header comment for determinism caveats).
 inline constexpr std::int64_t kAnyScope = -1;
+
+/// Matches every process generation (see set_generation below).
+inline constexpr int kAnyGeneration = -1;
 
 /// Fail the next `fail_hits` visits of `site` whose thread-local scope
 /// matches `scope` (kAnyScope = all scopes).  `fail_hits` < 0 installs a
@@ -53,6 +62,23 @@ inline constexpr std::int64_t kAnyScope = -1;
 /// non-exhausted plan fires.
 void arm(Site site, std::int64_t scope, int fail_hits);
 void arm(Site site, std::int64_t scope, int fail_hits, FailureCode code);
+
+/// Like arm(), but the plan additionally only matches while the
+/// process-wide generation equals `generation` (kAnyGeneration = any).
+///
+/// Rationale: a supervisor worker inherits the parent's plan table at
+/// fork, and a *restarted* worker inherits it again -- so a plain
+/// "kill at item 7" plan would re-fire forever and every kill plan
+/// would look like a poisoned item.  Workers stamp set_generation()
+/// with the item's prior strike count before running it; a plan pinned
+/// to generation 0 then fires on the first attempt only, and a plan
+/// armed for generations 0 and 1 models a deterministic worker-killer
+/// that must be quarantined.
+void arm_generation(Site site, std::int64_t scope, int generation, int fail_hits);
+
+/// Process-wide generation stamp consulted by generation-pinned plans.
+void set_generation(int generation);
+int generation();
 
 /// Remove every plan and reset the fired-injection counter.
 void disarm_all();
@@ -66,6 +92,12 @@ bool armed(Site site);
 
 /// Total injections fired since the last disarm_all() (test diagnostics).
 std::size_t injected_count();
+
+/// Non-throwing injection point for process-level sites: consumes one
+/// matching hit and returns true if a plan fired.  The caller is expected
+/// to die (abort, SIGKILL, hang) rather than unwind, so this never
+/// throws.  Disarmed cost is one relaxed atomic load.
+bool fired(Site site);
 
 /// Thread-local scope the sweep drivers stamp with the item index.
 std::int64_t current_scope();

@@ -3,10 +3,12 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
+#include <utility>
 
 #include "util/faultinject.hpp"
 
@@ -38,13 +40,22 @@ void fsync_retry(int fd, const std::string& path) {
   }
 }
 
-/// fsync the containing directory so a freshly renamed file is durable.
+/// fsync the containing directory so a freshly created or renamed file is
+/// durable: the rename in compact() only persists once the *directory*
+/// entry reaches disk, and a crash between the rename and the directory
+/// sync can lose the whole journal on some filesystems.  EINTR is retried
+/// (the cancel signal handlers install without SA_RESTART); other errors
+/// stay best-effort since not every filesystem supports directory fsync.
 void fsync_parent_dir(const std::string& path) {
   const std::size_t slash = path.find_last_of('/');
   const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
-  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  int dfd;
+  do {
+    dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  } while (dfd < 0 && errno == EINTR);
   if (dfd < 0) return;  // best effort: not all filesystems allow it
-  ::fsync(dfd);
+  while (::fsync(dfd) != 0 && errno == EINTR) {
+  }
   ::close(dfd);
 }
 
@@ -126,8 +137,13 @@ void Journal::open(const std::string& path, JournalOptions options) {
   appended_since_sync_ = 0;
   last_sync_ = std::chrono::steady_clock::now();
 
+  // O_EXCL-free create-or-open, then probe whether we made the file: a
+  // brand-new journal's directory entry must be fsynced too, or a crash
+  // shortly after open() can make the first appends vanish with the file.
+  const bool existed = ::access(path.c_str(), F_OK) == 0;
   fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
   if (fd_ < 0) throw_errno("cannot open", path);
+  if (!existed) fsync_parent_dir(path_);
 
   // Replay: slurp the file, parse records until the first torn one.
   std::string data;
@@ -249,6 +265,35 @@ void Journal::compact() {
   if (fd_ < 0) throw_errno("cannot reopen", path_);
   if (::lseek(fd_, 0, SEEK_END) < 0) throw_errno("seek failed", path_);
   appended_since_sync_ = 0;
+}
+
+std::size_t merge_journal_file(Journal& dest, const std::string& source_path,
+                               const std::function<bool(const std::string& key)>& skip) {
+  // Journal::open O_CREATs; probe first so a missing source is an error
+  // instead of a silently-created empty journal.
+  if (::access(source_path.c_str(), F_OK) != 0) {
+    throw std::runtime_error("merge_journal_file: no such journal: " + source_path);
+  }
+  Journal source;
+  source.open(source_path);
+  source.close();
+  // Sorted visit: the merged file's byte contents depend only on the
+  // record *sets*, not on hash-map iteration order.
+  std::vector<std::pair<std::string, std::string>> records;
+  records.reserve(source.size());
+  source.for_each([&](const std::string& key, const std::string& value) {
+    if (skip && skip(key)) return;
+    records.emplace_back(key, value);
+  });
+  std::sort(records.begin(), records.end());
+  std::size_t appended = 0;
+  for (const auto& [key, value] : records) {
+    const std::string* existing = dest.find(key);
+    if (existing != nullptr && *existing == value) continue;
+    dest.append(key, value);
+    ++appended;
+  }
+  return appended;
 }
 
 }  // namespace mtcmos::util

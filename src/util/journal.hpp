@@ -113,4 +113,17 @@ class Journal {
 /// can compute offsets when simulating torn tails.
 std::string format_journal_record(const std::string& key, const std::string& value);
 
+/// Merge every record of the journal file at `source_path` into `dest`
+/// (latest value per key; keys whose latest value already matches in
+/// `dest` are not re-appended).  `skip`, when set, drops matching keys
+/// entirely -- the sharded sweep supervisor uses it to exclude worker
+/// heartbeat records from the merged campaign journal.  The source is
+/// replayed with the same torn-tail truncation as open(), so a journal
+/// left behind by a SIGKILLed worker merges cleanly.  Keys are visited
+/// in sorted order, making the merged file's contents deterministic.
+/// Returns the number of records appended to `dest`.  Throws
+/// std::runtime_error if the source cannot be read.
+std::size_t merge_journal_file(Journal& dest, const std::string& source_path,
+                               const std::function<bool(const std::string& key)>& skip = {});
+
 }  // namespace mtcmos::util

@@ -1,0 +1,152 @@
+#include "util/subprocess.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace mtcmos::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string("subprocess: ") + what + ": " + std::strerror(errno));
+}
+
+ExitStatus decode_status(int raw) {
+  ExitStatus st;
+  st.exited = true;
+  if (WIFSIGNALED(raw)) {
+    st.signaled = true;
+    st.term_signal = WTERMSIG(raw);
+  } else if (WIFEXITED(raw)) {
+    st.exit_code = WEXITSTATUS(raw);
+  }
+  return st;
+}
+
+}  // namespace
+
+ChildProcess spawn_child(const std::function<int(int write_fd)>& body) {
+  int fds[2];
+  if (::pipe2(fds, O_CLOEXEC) != 0) throw_errno("pipe2 failed");
+
+  // Flush stdio so buffered output is not replayed from the child's copy
+  // of the buffers when it writes to stdout/stderr.
+  std::fflush(stdout);
+  std::fflush(stderr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    throw_errno("fork failed");
+  }
+  if (pid == 0) {
+    // Child: keep only the write end.  Die on SIGPIPE-free EPIPE via
+    // write_line's return value instead of the signal.
+    ::close(fds[0]);
+    ::signal(SIGPIPE, SIG_IGN);
+    int code = 125;
+    try {
+      code = body(fds[1]);
+    } catch (...) {
+      code = 125;
+    }
+    ::close(fds[1]);
+    ::_exit(code);
+  }
+
+  // Parent: keep only the nonblocking read end.
+  ::close(fds[1]);
+  const int flags = ::fcntl(fds[0], F_GETFL);
+  if (flags >= 0) ::fcntl(fds[0], F_SETFL, flags | O_NONBLOCK);
+  ChildProcess child;
+  child.pid = pid;
+  child.pipe_fd = fds[0];
+  return child;
+}
+
+bool try_reap(pid_t pid, ExitStatus& out) {
+  int raw = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(pid, &raw, WNOHANG);
+  } while (r < 0 && errno == EINTR);
+  if (r == pid) {
+    out = decode_status(raw);
+    return true;
+  }
+  return false;
+}
+
+ExitStatus reap(pid_t pid) {
+  int raw = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(pid, &raw, 0);
+  } while (r < 0 && errno == EINTR);
+  if (r != pid) throw_errno("waitpid failed");
+  return decode_status(raw);
+}
+
+void send_signal(pid_t pid, int sig) {
+  if (pid <= 0) return;
+  if (::kill(pid, sig) != 0 && errno != ESRCH) throw_errno("kill failed");
+}
+
+void close_fd(int fd) {
+  if (fd < 0) return;
+  int r;
+  do {
+    r = ::close(fd);
+  } while (r != 0 && errno == EINTR);
+}
+
+bool write_line(int fd, const std::string& line) {
+  std::string buf = line;
+  buf += '\n';
+  std::size_t done = 0;
+  while (done < buf.size()) {
+    const ssize_t n = ::write(fd, buf.data() + done, buf.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // EPIPE: reader is gone
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool LineReader::poll(std::vector<std::string>& lines) {
+  if (eof_) return false;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN: drained for now
+    }
+    if (n == 0) {
+      eof_ = true;
+      break;
+    }
+    partial_.append(buf, static_cast<std::size_t>(n));
+  }
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t nl = partial_.find('\n', start);
+    if (nl == std::string::npos) break;
+    lines.emplace_back(partial_, start, nl - start);
+    start = nl + 1;
+  }
+  if (start > 0) partial_.erase(0, start);
+  return !eof_;
+}
+
+}  // namespace mtcmos::util

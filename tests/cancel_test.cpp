@@ -10,13 +10,19 @@
 #include <gtest/gtest.h>
 
 #include <csignal>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "circuits/generators.hpp"
+#include "sizing/checkpoint.hpp"
 #include "sizing/session.hpp"
 #include "sizing/sizing.hpp"
+#include "util/error.hpp"
+#include "util/faultinject.hpp"
+#include "util/journal.hpp"
 #include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
@@ -34,7 +40,10 @@ using units::ns;
 // leak into later tests (default sessions poll it).
 class Cancel : public ::testing::Test {
  protected:
-  void TearDown() override { util::CancelToken::global().reset(); }
+  void TearDown() override {
+    util::CancelToken::global().reset();
+    faultinject::disarm_all();
+  }
 };
 
 std::vector<std::string> adder_outputs(const circuits::RippleAdder& adder) {
@@ -132,6 +141,105 @@ TEST_F(Cancel, SigintDuringMultiThreadedSpiceSweepDrainsCleanly) {
     EXPECT_GT(vd.delay_cmos, 0.0);
     EXPECT_GT(vd.delay_mtcmos, 0.0);
   }
+}
+
+TEST_F(Cancel, SigtermDuringCompactLeavesAValidJournal) {
+  // Compaction replaces the journal by atomic rename, and the cancel
+  // handlers install WITHOUT SA_RESTART, so a SIGTERM landing mid-compact
+  // can EINTR one of its syscalls.  Whatever happens -- compact finishes,
+  // or aborts with an exception -- the journal on disk must replay with
+  // every latest value intact.  Loop several compaction rounds with a
+  // concurrent SIGTERM to give the signal a window.
+  util::install_cancel_signal_handlers();
+  util::CancelToken::global().reset();
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("cancel_compact." +
+                    std::to_string(::testing::UnitTest::GetInstance()->random_seed()));
+  std::filesystem::create_directories(dir);
+  const std::string jpath = (dir / "compact.mtj").string();
+  {
+    util::Journal j;
+    j.open(jpath);
+    for (int i = 0; i < 200; ++i) {
+      j.append("key" + std::to_string(i % 50), "v" + std::to_string(i));
+    }
+    std::thread signaller([] {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      std::raise(SIGTERM);
+    });
+    for (int round = 0; round < 20; ++round) {
+      try {
+        j.compact();
+      } catch (const std::exception&) {
+        // An EINTR-aborted compact is acceptable; corruption is not.
+      }
+    }
+    signaller.join();
+    j.close();
+  }
+  EXPECT_TRUE(util::CancelToken::global().requested());
+  util::Journal replay;
+  replay.open(jpath);
+  EXPECT_EQ(replay.size(), 50u);
+  for (int k = 0; k < 50; ++k) {
+    const std::string* value = replay.find("key" + std::to_string(k));
+    ASSERT_NE(value, nullptr) << "key" << k;
+    EXPECT_EQ(*value, "v" + std::to_string(150 + k)) << "latest update must survive compaction";
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(Cancel, KillDuringBindMetaWriteIsResumable) {
+  // A worker dying inside Checkpoint::bind_meta leaves either no meta
+  // record (the injected-kill half) or a torn one (the sheared-tail
+  // half).  Reopening must truncate the torn tail, rebind the meta
+  // cleanly, and resume the sweep to the uninterrupted result.
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("cancel_bind_meta." +
+                    std::to_string(::testing::UnitTest::GetInstance()->random_seed()));
+  std::filesystem::create_directories(dir);
+  const std::string cpath = (dir / "meta.mtj").string();
+
+  {
+    sizing::Checkpoint ckpt;
+    ckpt.open(cpath);
+    // Death before the record reaches the journal: the append fault fires
+    // ahead of the write, exactly like a SIGKILL between the decision to
+    // bind and the disk write.
+    faultinject::arm(faultinject::Site::kJournalAppend, faultinject::kAnyScope, 1);
+    EXPECT_THROW(ckpt.bind_meta("backend", "vbs"), NumericalError);
+    faultinject::disarm_all();
+  }
+  {
+    // Death mid-write: shear the record so only a torn prefix remains.
+    const std::string record = util::format_journal_record("meta:backend", "vbs");
+    std::ofstream os(cpath, std::ios::binary | std::ios::app);
+    os.write(record.data(), static_cast<std::streamsize>(record.size() / 2));
+  }
+
+  const auto adder = make_ripple_adder(tech07(), 2);
+  const VbsBackend vbs(adder.netlist, adder_outputs(adder));
+  const auto vectors = sizing::all_vector_pairs(4);
+  const auto reference = sizing::rank_vectors(vbs, vectors, 10.0);
+
+  sizing::Checkpoint resumed;
+  resumed.open(cpath);
+  EXPECT_NO_THROW(resumed.bind_meta("backend", "vbs"));  // torn tail truncated, clean rebind
+  EXPECT_THROW(resumed.bind_meta("backend", "spice"), NumericalError);  // guard still guards
+
+  SweepReport report;
+  EvalSession session;
+  session.checkpoint = &resumed;
+  session.report = &report;
+  const auto ranked = sizing::rank_vectors(vbs, vectors, 10.0, session);
+  EXPECT_EQ(report.failed, 0u);
+  ASSERT_EQ(ranked.size(), reference.size());
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    EXPECT_EQ(ranked[i].delay_cmos, reference[i].delay_cmos) << i;
+    EXPECT_EQ(ranked[i].delay_mtcmos, reference[i].delay_mtcmos) << i;
+    EXPECT_EQ(ranked[i].degradation_pct, reference[i].degradation_pct) << i;
+  }
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -21,6 +21,7 @@
 #include "sizing/checkpoint.hpp"
 #include "sizing/session.hpp"
 #include "sizing/sizing.hpp"
+#include "sizing/supervisor.hpp"
 #include "util/error.hpp"
 #include "util/faultinject.hpp"
 #include "util/units.hpp"
@@ -229,6 +230,119 @@ TEST_F(CrashResumeSoak, KilledSizingBisectionResumesToTheSameResult) {
     EXPECT_EQ(merged.degradation_pct, reference.degradation_pct) << "round " << round;
     EXPECT_EQ(merged.binding_vector.v0, reference.binding_vector.v0) << "round " << round;
     EXPECT_EQ(merged.binding_vector.v1, reference.binding_vector.v1) << "round " << round;
+  }
+}
+
+TEST_F(CrashResumeSoak, CompactionBetweenKillsDoesNotDisturbResume) {
+  // Interleave crash/resume with journal compaction: kill a sweep, compact
+  // the survivor journal (atomic-rename replacement), shear a random tail
+  // chunk off the NEXT kill, and keep going.  Compaction must never lose a
+  // journaled item or disturb the final bit-identical merge.
+  const auto adder = circuits::make_ripple_adder(tech07(), 2);
+  const VbsBackend vbs(adder.netlist, adder_outputs(adder));
+  const auto vectors = sizing::all_vector_pairs(4);
+  const auto reference = sizing::rank_vectors(vbs, vectors, 10.0);
+
+  std::mt19937 rng(31u);
+  std::uniform_int_distribution<std::int64_t> scope_of(0,
+                                                       static_cast<std::int64_t>(vectors.size()) -
+                                                           1);
+  std::uniform_int_distribution<std::uintmax_t> shear_of(1, 120);
+  const std::string journal = journal_path(0);
+  for (int kill = 0; kill < 5; ++kill) {
+    (void)killed_rank(vbs, vectors, 10.0, journal, scope_of(rng));
+    if (kill % 2 == 1) shear_tail(journal, shear_of(rng));
+    Checkpoint survivor;
+    survivor.open(journal);
+    const std::size_t before = survivor.journal().size();
+    survivor.journal().compact();
+    EXPECT_EQ(survivor.journal().size(), before) << "kill " << kill;
+  }
+  SweepReport report;
+  const auto merged = resumed_rank(vbs, vectors, 10.0, journal, &report);
+  EXPECT_EQ(report.failed, 0u);
+  expect_rank_identical(merged, reference, "compaction between kills");
+}
+
+// ---------------------------------------------------------------------------
+// Supervised (multi-process) rounds: the PR7 acceptance scenario.  Worker
+// processes are SIGKILLed at randomized item offsets via the kWorkerKill
+// fault site; the supervisor restarts them, merges the shard journals, and
+// the result must be bit-identical to a single-process single-thread run.
+
+TEST_F(CrashResumeSoak, SupervisedSweepSurvivesRandomizedWorkerSigkills) {
+  const auto adder = circuits::make_ripple_adder(tech07(), 2);
+  const VbsBackend vbs(adder.netlist, adder_outputs(adder));
+  const auto vectors = sizing::all_vector_pairs(4);
+  const auto reference = sizing::rank_vectors(vbs, vectors, 10.0);
+
+  std::mt19937 rng(20260807u);
+  std::uniform_int_distribution<std::int64_t> scope_of(0,
+                                                       static_cast<std::int64_t>(vectors.size()) -
+                                                           1);
+  std::uniform_int_distribution<int> shard_of(2, 4);
+  for (int round = 0; round < 12; ++round) {
+    // One to three distinct items whose first attempt SIGKILLs its worker
+    // (generation 0 only, so restarts survive -- the restarted worker runs
+    // at generation = strike count 1).
+    const int kills = 1 + round % 3;
+    for (int k = 0; k < kills; ++k) {
+      faultinject::arm_generation(faultinject::Site::kWorkerKill, scope_of(rng),
+                                  /*generation=*/0, /*fail_hits=*/1);
+    }
+    sizing::SupervisorOptions options;
+    options.shards = shard_of(rng);
+    options.dir = (dir_ / ("supervised" + std::to_string(round))).string();
+    options.heartbeat_interval_s = 0.01;
+    options.backoff_initial_s = 0.01;
+    options.backoff_max_s = 0.05;
+    const sizing::ShardedRankResult sharded =
+        sizing::sharded_rank_vectors(vbs, vectors, 10.0, options);
+    faultinject::disarm_all();
+    EXPECT_EQ(sharded.stats.quarantined, 0u) << "round " << round;
+    EXPECT_EQ(sharded.report.failed, 0u) << "round " << round;
+    expect_rank_identical(sharded.ranked, reference, "supervised round " + std::to_string(round));
+  }
+}
+
+TEST_F(CrashResumeSoak, SupervisedSweepQuarantinesDeterministicKillers) {
+  const auto adder = circuits::make_ripple_adder(tech07(), 2);
+  const VbsBackend vbs(adder.netlist, adder_outputs(adder));
+  const auto vectors = sizing::all_vector_pairs(4);
+
+  std::mt19937 rng(43u);
+  std::uniform_int_distribution<std::int64_t> scope_of(0,
+                                                       static_cast<std::int64_t>(vectors.size()) -
+                                                           1);
+  for (int round = 0; round < 6; ++round) {
+    // An item that kills its worker on every attempt: strikes at
+    // generations 0 and 1 cross the default poison threshold, so the
+    // supervisor must quarantine it instead of looping restarts.
+    const std::int64_t killer = scope_of(rng);
+    faultinject::arm_generation(faultinject::Site::kWorkerKill, killer, /*generation=*/0,
+                                /*fail_hits=*/1);
+    faultinject::arm_generation(faultinject::Site::kWorkerKill, killer, /*generation=*/1,
+                                /*fail_hits=*/1);
+    sizing::SupervisorOptions options;
+    options.shards = 3;
+    options.dir = (dir_ / ("poison" + std::to_string(round))).string();
+    options.heartbeat_interval_s = 0.01;
+    options.backoff_initial_s = 0.01;
+    options.backoff_max_s = 0.05;
+    const sizing::ShardedRankResult sharded =
+        sizing::sharded_rank_vectors(vbs, vectors, 10.0, options);
+    faultinject::disarm_all();
+    EXPECT_EQ(sharded.stats.quarantined, 1u) << "round " << round;
+    ASSERT_EQ(sharded.report.failed, 1u) << "round " << round;
+    EXPECT_EQ(sharded.report.failures[0].first, static_cast<std::size_t>(killer))
+        << "round " << round;
+    EXPECT_EQ(sharded.report.failures[0].second.code, FailureCode::kPoisonedItem)
+        << "round " << round;
+    // Bit-identity with a single-process run over the same surviving set.
+    std::vector<VectorPair> pruned = vectors;
+    pruned.erase(pruned.begin() + static_cast<std::ptrdiff_t>(killer));
+    const auto expected = sizing::rank_vectors(vbs, pruned, 10.0);
+    expect_rank_identical(sharded.ranked, expected, "poison round " + std::to_string(round));
   }
 }
 

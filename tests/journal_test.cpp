@@ -281,4 +281,103 @@ TEST_F(JournalTest, ForEachVisitsLatestPerKey) {
   EXPECT_EQ(visited, 2u);
 }
 
+// Durability regression (PR7): a crash right after creating a journal
+// must not lose the file itself.  open() O_CREATs the file and then
+// fsyncs the PARENT DIRECTORY, so the new directory entry is on disk
+// before the first append -- without it, a power cut after open() could
+// roll back the file's existence even though appends were fsynced.
+// (compact() has the matching ordering: fsync temp file, rename, fsync
+// parent dir; and fsync_parent_dir retries EINTR on open and fsync.)
+// The durable-ordering side is not observable in a unit test; what is
+// observable -- the file existing immediately after open(), before any
+// append -- is pinned here.
+TEST_F(JournalTest, OpenCreatesTheFileEagerly) {
+  const std::string p = path("fresh.mtj");
+  ASSERT_FALSE(std::filesystem::exists(p));
+  Journal j;
+  j.open(p);
+  EXPECT_TRUE(std::filesystem::exists(p)) << "directory entry must exist before first append";
+  j.append("k", "v");
+  j.close();
+  Journal again;
+  again.open(p);
+  ASSERT_NE(again.find("k"), nullptr);
+  EXPECT_EQ(*again.find("k"), "v");
+}
+
+TEST_F(JournalTest, MergeJournalFileDedupsSkipsAndCounts) {
+  Journal source;
+  source.open(path("source.mtj"));
+  source.append("shared-same", "1");
+  source.append("shared-stale", "old");
+  source.append("shared-stale", "new");  // latest per key wins
+  source.append("hb:0", "beat");
+  source.append("fresh", "f");
+  source.close();
+
+  Journal dest;
+  dest.open(path("dest.mtj"));
+  dest.append("shared-same", "1");    // identical -> not re-appended
+  dest.append("shared-stale", "old");  // differs -> source's latest appended
+  const std::size_t appended = mtcmos::util::merge_journal_file(
+      dest, path("source.mtj"),
+      [](const std::string& key) { return key.rfind("hb:", 0) == 0; });
+  EXPECT_EQ(appended, 2u);  // shared-stale + fresh
+  EXPECT_EQ(dest.size(), 3u);
+  EXPECT_EQ(*dest.find("shared-same"), "1");
+  EXPECT_EQ(*dest.find("shared-stale"), "new");
+  EXPECT_EQ(*dest.find("fresh"), "f");
+  EXPECT_EQ(dest.find("hb:0"), nullptr);
+}
+
+TEST_F(JournalTest, MergeJournalFileAppendsInSortedKeyOrder) {
+  Journal source;
+  source.open(path("source.mtj"));
+  source.append("zeta", "z");
+  source.append("alpha", "a");
+  source.append("mid", "m");
+  source.close();
+
+  Journal dest;
+  dest.open(path("dest.mtj"));
+  EXPECT_EQ(mtcmos::util::merge_journal_file(dest, path("source.mtj"), {}), 3u);
+  dest.close();
+  // Sorted visitation makes the merged bytes deterministic regardless of
+  // the source's (insertion-ordered) record sequence.
+  const std::string bytes = slurp(path("dest.mtj"));
+  const auto pos_a = bytes.find(format_journal_record("alpha", "a"));
+  const auto pos_m = bytes.find(format_journal_record("mid", "m"));
+  const auto pos_z = bytes.find(format_journal_record("zeta", "z"));
+  ASSERT_NE(pos_a, std::string::npos);
+  ASSERT_NE(pos_m, std::string::npos);
+  ASSERT_NE(pos_z, std::string::npos);
+  EXPECT_LT(pos_a, pos_m);
+  EXPECT_LT(pos_m, pos_z);
+}
+
+TEST_F(JournalTest, MergeJournalFileTruncatesTornSourceTail) {
+  Journal source;
+  source.open(path("source.mtj"));
+  source.append("whole", "w");
+  source.close();
+  {
+    // Half a record: what a SIGKILL mid-append leaves behind.
+    const std::string torn = format_journal_record("torn", "lost");
+    std::ofstream os(path("source.mtj"), std::ios::binary | std::ios::app);
+    os.write(torn.data(), static_cast<std::streamsize>(torn.size() / 2));
+  }
+  Journal dest;
+  dest.open(path("dest.mtj"));
+  EXPECT_EQ(mtcmos::util::merge_journal_file(dest, path("source.mtj"), {}), 1u);
+  EXPECT_EQ(*dest.find("whole"), "w");
+  EXPECT_EQ(dest.find("torn"), nullptr);
+}
+
+TEST_F(JournalTest, MergeJournalFileMissingSourceThrows) {
+  Journal dest;
+  dest.open(path("dest.mtj"));
+  EXPECT_THROW(mtcmos::util::merge_journal_file(dest, path("no-such.mtj"), {}),
+               std::runtime_error);
+}
+
 }  // namespace

@@ -1,0 +1,363 @@
+// Sharded sweep supervisor: shard planning, the worker line protocol,
+// deterministic process-level fault injection (SIGKILL, abort, stalled
+// heartbeat, torn journal tail), restart/backoff, poisoned-item
+// quarantine, cancellation drain, and the journal merge -- all asserted
+// against the single-process result, which the merged run must match
+// bit for bit.
+//
+// These tests fork real worker processes, so they carry the
+// `faultinject` ctest label rather than `tsan`: ThreadSanitizer cannot
+// follow threads started after a multi-threaded fork.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "circuits/generators.hpp"
+#include "sizing/checkpoint.hpp"
+#include "sizing/session.hpp"
+#include "sizing/sizing.hpp"
+#include "sizing/supervisor.hpp"
+#include "util/cancel.hpp"
+#include "util/faultinject.hpp"
+#include "util/subprocess.hpp"
+
+namespace mtcmos {
+namespace {
+
+using sizing::Checkpoint;
+using sizing::EvalSession;
+using sizing::ShardedRankResult;
+using sizing::SupervisorOptions;
+using sizing::VbsBackend;
+using sizing::VectorDelay;
+using sizing::VectorPair;
+
+class SupervisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("supervisor_test." +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "." +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    faultinject::disarm_all();
+    std::filesystem::remove_all(dir_);
+  }
+
+  SupervisorOptions fast_options(int shards) const {
+    SupervisorOptions o;
+    o.shards = shards;
+    o.dir = (dir_ / "shards").string();
+    o.heartbeat_interval_s = 0.01;
+    o.backoff_initial_s = 0.01;
+    o.backoff_max_s = 0.05;
+    return o;
+  }
+
+  std::filesystem::path dir_;
+};
+
+std::vector<std::string> adder_outputs(const circuits::RippleAdder& adder) {
+  std::vector<std::string> outs;
+  for (const auto s : adder.sum) outs.push_back(adder.netlist.net_name(s));
+  outs.push_back(adder.netlist.net_name(adder.cout));
+  return outs;
+}
+
+void expect_rank_identical(const std::vector<VectorDelay>& got,
+                           const std::vector<VectorDelay>& want, const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].pair.v0, want[i].pair.v0) << what << " item " << i;
+    EXPECT_EQ(got[i].pair.v1, want[i].pair.v1) << what << " item " << i;
+    EXPECT_EQ(got[i].delay_cmos, want[i].delay_cmos) << what << " item " << i;
+    EXPECT_EQ(got[i].delay_mtcmos, want[i].delay_mtcmos) << what << " item " << i;
+    EXPECT_EQ(got[i].degradation_pct, want[i].degradation_pct) << what << " item " << i;
+  }
+}
+
+TEST(PlanShards, ContiguousNearEqualCoverage) {
+  const auto shards = sizing::plan_shards(10, 3);
+  ASSERT_EQ(shards.size(), 3u);
+  EXPECT_EQ(shards[0], (std::pair<std::size_t, std::size_t>{0, 4}));
+  EXPECT_EQ(shards[1], (std::pair<std::size_t, std::size_t>{4, 7}));
+  EXPECT_EQ(shards[2], (std::pair<std::size_t, std::size_t>{7, 10}));
+}
+
+TEST(PlanShards, MoreShardsThanItemsCollapses) {
+  const auto shards = sizing::plan_shards(2, 8);
+  ASSERT_EQ(shards.size(), 2u);
+  EXPECT_EQ(shards[0], (std::pair<std::size_t, std::size_t>{0, 1}));
+  EXPECT_EQ(shards[1], (std::pair<std::size_t, std::size_t>{1, 2}));
+}
+
+TEST(PlanShards, EmptyAndDegenerate) {
+  EXPECT_TRUE(sizing::plan_shards(0, 4).empty());
+  const auto one = sizing::plan_shards(5, 0);  // shards < 1 clamps to 1
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], (std::pair<std::size_t, std::size_t>{0, 5}));
+}
+
+TEST(FaultinjectGeneration, PlansPinnedToAGenerationFireOnlyThere) {
+  faultinject::disarm_all();
+  faultinject::arm_generation(faultinject::Site::kWorkerKill, faultinject::kAnyScope,
+                              /*generation=*/1, /*fail_hits=*/1);
+  faultinject::set_generation(0);
+  EXPECT_FALSE(faultinject::fired(faultinject::Site::kWorkerKill));
+  faultinject::set_generation(1);
+  EXPECT_TRUE(faultinject::fired(faultinject::Site::kWorkerKill));
+  EXPECT_FALSE(faultinject::fired(faultinject::Site::kWorkerKill)) << "hit must be consumed";
+  faultinject::disarm_all();
+  EXPECT_EQ(faultinject::generation(), 0) << "disarm_all resets the generation";
+}
+
+TEST(FaultinjectGeneration, FiredIsScopedLikeCheck) {
+  faultinject::disarm_all();
+  faultinject::arm_generation(faultinject::Site::kWorkerAbort, /*scope=*/7,
+                              faultinject::kAnyGeneration, /*fail_hits=*/1);
+  {
+    const faultinject::ScopedScope scope(3);
+    EXPECT_FALSE(faultinject::fired(faultinject::Site::kWorkerAbort));
+  }
+  {
+    const faultinject::ScopedScope scope(7);
+    EXPECT_TRUE(faultinject::fired(faultinject::Site::kWorkerAbort));
+  }
+  faultinject::disarm_all();
+}
+
+TEST(Subprocess, SpawnLineProtocolAndReap) {
+  const util::ChildProcess child = util::spawn_child([](int wfd) {
+    if (!util::write_line(wfd, "hello")) return 9;
+    if (!util::write_line(wfd, "world")) return 9;
+    return 42;
+  });
+  ASSERT_GT(child.pid, 0);
+  const util::ExitStatus st = util::reap(child.pid);
+  EXPECT_TRUE(st.exited);
+  EXPECT_FALSE(st.signaled);
+  EXPECT_EQ(st.exit_code, 42);
+  util::LineReader reader(child.pipe_fd);
+  std::vector<std::string> lines;
+  while (reader.poll(lines)) {
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "hello");
+  EXPECT_EQ(lines[1], "world");
+  util::close_fd(child.pipe_fd);
+}
+
+TEST_F(SupervisorTest, NoFaultShardedRankMatchesSingleProcess) {
+  const auto adder = circuits::make_ripple_adder(tech07(), 2);
+  const VbsBackend vbs(adder.netlist, adder_outputs(adder));
+  const auto vectors = sizing::all_vector_pairs(4);
+  const auto reference = sizing::rank_vectors(vbs, vectors, 10.0);
+
+  const ShardedRankResult sharded =
+      sizing::sharded_rank_vectors(vbs, vectors, 10.0, fast_options(3));
+  EXPECT_EQ(sharded.stats.workers_spawned, 3);
+  EXPECT_EQ(sharded.stats.restarts, 0);
+  EXPECT_EQ(sharded.stats.quarantined, 0u);
+  EXPECT_EQ(sharded.stats.abandoned, 0u);
+  EXPECT_FALSE(sharded.stats.cancelled);
+  EXPECT_EQ(sharded.report.failed, 0u);
+  EXPECT_EQ(sharded.report.total, vectors.size());
+  expect_rank_identical(sharded.ranked, reference, "3 shards, no faults");
+}
+
+TEST_F(SupervisorTest, SigkilledWorkerRestartsAndMergesBitIdentically) {
+  const auto adder = circuits::make_ripple_adder(tech07(), 2);
+  const VbsBackend vbs(adder.netlist, adder_outputs(adder));
+  const auto vectors = sizing::all_vector_pairs(4);
+  const auto reference = sizing::rank_vectors(vbs, vectors, 10.0);
+
+  // Kill the worker that reaches item 5, on that item's first attempt
+  // only: the restarted worker (strike count 1 -> generation 1) must not
+  // match the generation-0 plan it re-inherits at fork.
+  faultinject::arm_generation(faultinject::Site::kWorkerKill, /*scope=*/5, /*generation=*/0,
+                              /*fail_hits=*/1);
+  const ShardedRankResult sharded =
+      sizing::sharded_rank_vectors(vbs, vectors, 10.0, fast_options(3));
+  EXPECT_GE(sharded.stats.restarts, 1);
+  EXPECT_EQ(sharded.stats.quarantined, 0u);
+  EXPECT_EQ(sharded.report.failed, 0u);
+  expect_rank_identical(sharded.ranked, reference, "SIGKILL at item 5");
+}
+
+TEST_F(SupervisorTest, AbortedWorkerRestartsAndMergesBitIdentically) {
+  const auto adder = circuits::make_ripple_adder(tech07(), 2);
+  const VbsBackend vbs(adder.netlist, adder_outputs(adder));
+  const auto vectors = sizing::all_vector_pairs(4);
+  const auto reference = sizing::rank_vectors(vbs, vectors, 10.0);
+
+  faultinject::arm_generation(faultinject::Site::kWorkerAbort, /*scope=*/3, /*generation=*/0,
+                              /*fail_hits=*/1);
+  const ShardedRankResult sharded =
+      sizing::sharded_rank_vectors(vbs, vectors, 10.0, fast_options(2));
+  EXPECT_GE(sharded.stats.restarts, 1);
+  EXPECT_EQ(sharded.stats.quarantined, 0u);
+  EXPECT_EQ(sharded.report.failed, 0u);
+  expect_rank_identical(sharded.ranked, reference, "abort at item 3");
+}
+
+TEST_F(SupervisorTest, TornJournalTailIsTruncatedOnRestart) {
+  const auto adder = circuits::make_ripple_adder(tech07(), 2);
+  const VbsBackend vbs(adder.netlist, adder_outputs(adder));
+  const auto vectors = sizing::all_vector_pairs(4);
+  const auto reference = sizing::rank_vectors(vbs, vectors, 10.0);
+
+  // The worker appends half a record to its shard journal, then SIGKILLs
+  // itself: the restart's replay must truncate the torn tail and re-run
+  // only the unjournaled items.
+  faultinject::arm_generation(faultinject::Site::kWorkerTornTail, /*scope=*/9,
+                              /*generation=*/0, /*fail_hits=*/1);
+  const ShardedRankResult sharded =
+      sizing::sharded_rank_vectors(vbs, vectors, 10.0, fast_options(3));
+  EXPECT_GE(sharded.stats.restarts, 1);
+  EXPECT_EQ(sharded.report.failed, 0u);
+  expect_rank_identical(sharded.ranked, reference, "torn tail at item 9");
+}
+
+TEST_F(SupervisorTest, StalledWorkerIsKilledByLivenessTimeoutAndRestarted) {
+  const auto adder = circuits::make_ripple_adder(tech07(), 2);
+  const VbsBackend vbs(adder.netlist, adder_outputs(adder));
+  const auto vectors = sizing::all_vector_pairs(4);
+  const auto reference = sizing::rank_vectors(vbs, vectors, 10.0);
+
+  faultinject::arm_generation(faultinject::Site::kWorkerStall, /*scope=*/2, /*generation=*/0,
+                              /*fail_hits=*/1);
+  SupervisorOptions options = fast_options(2);
+  options.liveness_timeout_s = 0.3;  // the stalled worker goes silent; kill it fast
+  const ShardedRankResult sharded = sizing::sharded_rank_vectors(vbs, vectors, 10.0, options);
+  EXPECT_GE(sharded.stats.stall_kills, 1);
+  EXPECT_GE(sharded.stats.restarts, 1);
+  EXPECT_EQ(sharded.stats.quarantined, 0u);
+  EXPECT_EQ(sharded.report.failed, 0u);
+  expect_rank_identical(sharded.ranked, reference, "stall at item 2");
+}
+
+TEST_F(SupervisorTest, DeterministicKillerIsQuarantinedNotLooped) {
+  const auto adder = circuits::make_ripple_adder(tech07(), 2);
+  const VbsBackend vbs(adder.netlist, adder_outputs(adder));
+  const auto vectors = sizing::all_vector_pairs(4);
+  const std::size_t killer = 6;
+  // The contract is bit-identity with a single-process run in which the
+  // quarantined item fails -- i.e. a rank over the input list minus the
+  // killer.  (Filtering the killer out of a full-list ranking is NOT
+  // equivalent: rank_vectors' sort is unstable on degradation ties, so
+  // tie order depends on the sequence fed to the sort.)
+  std::vector<VectorPair> pruned = vectors;
+  pruned.erase(pruned.begin() + static_cast<std::ptrdiff_t>(killer));
+  const auto expected = sizing::rank_vectors(vbs, pruned, 10.0);
+
+  // Item 6 kills its worker on the first attempt (generation 0) and on
+  // the restart (generation 1): two strikes = quarantine under the
+  // default poison_strikes.
+  faultinject::arm_generation(faultinject::Site::kWorkerKill, static_cast<std::int64_t>(killer),
+                              /*generation=*/0, /*fail_hits=*/1);
+  faultinject::arm_generation(faultinject::Site::kWorkerKill, static_cast<std::int64_t>(killer),
+                              /*generation=*/1, /*fail_hits=*/1);
+
+  Checkpoint merged;
+  merged.open((dir_ / "merged.mtj").string());
+  const ShardedRankResult sharded =
+      sizing::sharded_rank_vectors(vbs, vectors, 10.0, fast_options(3), &merged);
+  EXPECT_EQ(sharded.stats.quarantined, 1u);
+  ASSERT_EQ(sharded.report.failed, 1u);
+  EXPECT_EQ(sharded.report.failures[0].first, killer);
+  EXPECT_EQ(sharded.report.failures[0].second.code, FailureCode::kPoisonedItem);
+  EXPECT_EQ(sharded.report.failures[0].second.site, "sizing::supervisor");
+  expect_rank_identical(sharded.ranked, expected, "quarantined killer");
+
+  // The quarantine is durable: a fresh in-process pass over the merged
+  // journal replays the kPoisonedItem failure without executing the item
+  // (the armed kill plans would fire if anything re-ran it in-process --
+  // fired() is only consulted by workers, and no worker runs here).
+  SweepReport replay_report;
+  EvalSession session;
+  session.checkpoint = &merged;
+  session.report = &replay_report;
+  const auto replayed = sizing::rank_vectors(vbs, vectors, 10.0, session);
+  ASSERT_EQ(replay_report.failed, 1u);
+  EXPECT_EQ(replay_report.failures[0].second.code, FailureCode::kPoisonedItem);
+  expect_rank_identical(replayed, expected, "replay after quarantine");
+}
+
+TEST_F(SupervisorTest, CancellationDrainsWorkersGracefully) {
+  const auto adder = circuits::make_ripple_adder(tech07(), 2);
+  const VbsBackend vbs(adder.netlist, adder_outputs(adder));
+  const auto vectors = sizing::all_vector_pairs(4);
+
+  util::CancelToken token;
+  token.request();  // cancelled before supervision starts
+  SupervisorOptions options = fast_options(2);
+  options.cancel_token = &token;
+  const ShardedRankResult sharded = sizing::sharded_rank_vectors(vbs, vectors, 10.0, options);
+  EXPECT_TRUE(sharded.stats.cancelled);
+  EXPECT_EQ(sharded.stats.quarantined, 0u);
+  // The final pass classifies unjournaled items as kCancelled; whatever
+  // the workers journaled before draining replays normally.
+  EXPECT_EQ(sharded.report.total, vectors.size());
+  for (const auto& [index, info] : sharded.report.failures) {
+    (void)index;
+    EXPECT_EQ(info.code, FailureCode::kCancelled);
+  }
+}
+
+TEST_F(SupervisorTest, MergedJournalDropsHeartbeatRecords) {
+  const auto adder = circuits::make_ripple_adder(tech07(), 2);
+  const VbsBackend vbs(adder.netlist, adder_outputs(adder));
+  const auto vectors = sizing::all_vector_pairs(4);
+
+  Checkpoint merged;
+  merged.open((dir_ / "merged.mtj").string());
+  (void)sizing::sharded_rank_vectors(vbs, vectors, 10.0, fast_options(2), &merged);
+  std::size_t heartbeat_keys = 0;
+  merged.journal().for_each([&](const std::string& key, const std::string&) {
+    if (key.rfind("hb:", 0) == 0) ++heartbeat_keys;
+  });
+  EXPECT_EQ(heartbeat_keys, 0u);
+  // The shard journals themselves DO hold heartbeat breadcrumbs.
+  bool shard_has_heartbeat = false;
+  for (int s = 0; s < 2; ++s) {
+    util::Journal shard;
+    shard.open((dir_ / "shards" / ("shard" + std::to_string(s) + ".mtj")).string());
+    shard.for_each([&](const std::string& key, const std::string&) {
+      if (key.rfind("hb:", 0) == 0) shard_has_heartbeat = true;
+    });
+  }
+  EXPECT_TRUE(shard_has_heartbeat);
+}
+
+TEST_F(SupervisorTest, ResumingAMergedCampaignSkipsAllWork) {
+  const auto adder = circuits::make_ripple_adder(tech07(), 2);
+  const VbsBackend vbs(adder.netlist, adder_outputs(adder));
+  const auto vectors = sizing::all_vector_pairs(4);
+  const auto reference = sizing::rank_vectors(vbs, vectors, 10.0);
+
+  const std::string merged_path = (dir_ / "merged.mtj").string();
+  {
+    Checkpoint merged;
+    merged.open(merged_path);
+    (void)sizing::sharded_rank_vectors(vbs, vectors, 10.0, fast_options(3), &merged);
+  }
+  // A second sharded run against the same merged journal finds every item
+  // journaled: workers spawn, replay, and exit without re-simulating.
+  Checkpoint merged;
+  merged.open(merged_path);
+  const std::size_t before = merged.journal().size();
+  const ShardedRankResult again =
+      sizing::sharded_rank_vectors(vbs, vectors, 10.0, fast_options(3), &merged);
+  EXPECT_EQ(merged.journal().size(), before);
+  EXPECT_EQ(again.report.failed, 0u);
+  expect_rank_identical(again.ranked, reference, "resumed campaign");
+}
+
+}  // namespace
+}  // namespace mtcmos
