@@ -51,6 +51,20 @@
 // to a single-process run (quarantined items excepted).  Exit code 4 =
 // the run completed but quarantined items were recorded.  See
 // docs/robustness.md section 9 for the full contract.
+//
+// Characterization campaigns: --campaign spec.json (requires
+// --checkpoint DIR; the positional netlist argument is replaced by the
+// spec's "circuit" field) crosses operating corners x a W/L grid x the
+// vector set into one streamed run: rows spill to DIR/campaign.mtc as
+// they are measured, chunk completions journal to DIR/campaign.mtj, and
+// the final table -- written to --table PATH (default DIR/table.json,
+// "-" = stdout) -- is aggregated by a single scan, so peak RAM stays
+// bounded regardless of row count.  --resume and --shards N compose
+// with it; fresh, resumed, and sharded campaigns of the same spec emit
+// byte-identical tables.  Exit codes keep their meanings: 3 =
+// interrupted (re-run with --resume to continue), 4 = completed but
+// some chunks were quarantined as poisoned.  See
+// docs/architecture.md "Result pipeline".
 
 #include <cstring>
 #include <filesystem>
@@ -61,6 +75,7 @@
 
 #include "circuits/generators.hpp"
 #include "core/vbs.hpp"
+#include "sizing/campaign.hpp"
 #include "models/sleep_transistor.hpp"
 #include "netlist/expand.hpp"
 #include "netlist/io.hpp"
@@ -88,6 +103,8 @@ int usage() {
          "                    [--export-vcd out.vcd] [--wl X]\n"
          "                    [--checkpoint DIR] [--resume] [--watchdog MULT]\n"
          "                    [--shards N]\n"
+         "       mtcmos_sizer --campaign spec.json --checkpoint DIR [--table PATH]\n"
+         "                    [--resume] [--shards N]\n"
          "exit codes: 0 = success, 1 = error (failure-code histogram distinguishes a\n"
          "completed sweep whose items all failed from an orchestration error),\n"
          "2 = usage, 3 = interrupted (SIGINT/SIGTERM; partial results journaled under\n"
@@ -141,6 +158,58 @@ netlist::ParsedNetlist load_circuit(const std::string& path) {
   return netlist::read_netlist_file(path);
 }
 
+/// --campaign mode: stream a corner-crossed characterization campaign
+/// through the columnar result pipeline and emit the aggregated table.
+int run_campaign(const std::string& spec_path, const std::string& dir, bool resume, int shards,
+                 const std::string& table_path, mtcmos::SweepReport& report) {
+  const sizing::CampaignSpec spec = sizing::CampaignSpec::parse_file(spec_path);
+  sizing::CampaignDriver driver(spec, dir, resume);
+  std::cout << "Campaign: " << spec.circuit << " on " << spec.backend << ", "
+            << spec.corners.size() << " corners x " << spec.wl_grid.size() << " W/L x "
+            << driver.n_vectors() << " vectors = "
+            << spec.corners.size() * spec.wl_grid.size() * driver.n_vectors() << " rows in "
+            << driver.n_chunks() << " chunks (chunk " << spec.chunk << ")\n";
+  if (resume) {
+    std::cout << "Resuming from " << driver.journal_path() << ": " << driver.chunks_done()
+              << " chunks already journaled\n";
+  }
+
+  const sizing::CampaignStats stats = driver.run(shards, &report);
+  std::cout << "Chunks: " << stats.chunks_replayed << " replayed, " << stats.chunks_run
+            << " run (" << stats.rows_emitted << " rows spilled)";
+  if (stats.chunks_poisoned > 0) std::cout << ", " << stats.chunks_poisoned << " poisoned";
+  std::cout << " of " << stats.chunks_total << "\n";
+  if (shards > 1) {
+    std::cout << "Supervision: " << stats.supervisor.workers_spawned << " workers, "
+              << stats.supervisor.restarts << " restarts, " << stats.supervisor.stall_kills
+              << " stall kills, " << stats.supervisor.quarantined << " quarantined, "
+              << stats.supervisor.abandoned << " abandoned\n";
+  }
+  print_sweep_health(report);
+
+  if (!stats.complete) {
+    std::cerr << (stats.cancelled ? "interrupted" : "incomplete") << ": " << driver.chunks_done()
+              << "/" << driver.n_chunks()
+              << " chunks journaled; rerun with --resume to continue\n";
+    return 3;
+  }
+
+  if (table_path == "-") {
+    driver.write_table(std::cout);
+  } else {
+    std::ofstream os(table_path, std::ios::binary);
+    if (!os) throw std::runtime_error("cannot open " + table_path + " for writing");
+    driver.write_table(os);
+    std::cout << "Wrote characterization table to " << table_path << "\n";
+  }
+  if (stats.chunks_poisoned > 0) {
+    std::cerr << "completed with quarantined (poisoned) chunks -- their rows are absent from "
+                 "the table; see docs/robustness.md section 9\n";
+    return 4;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -161,6 +230,8 @@ int main(int argc, char** argv) {
   bool resume = false;
   double watchdog_multiple = 0.0;
   int shards = 1;
+  std::string campaign_path;
+  std::string table_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -203,6 +274,10 @@ int main(int argc, char** argv) {
       watchdog_multiple = std::stod(next());
     } else if (arg == "--shards") {
       shards = std::stoi(next());
+    } else if (arg == "--campaign") {
+      campaign_path = next();
+    } else if (arg == "--table") {
+      table_path = next();
     } else if (arg[0] == '-') {
       std::cerr << "unknown option: " << arg << "\n";
       return usage();
@@ -210,7 +285,24 @@ int main(int argc, char** argv) {
       path = arg;
     }
   }
-  if (path.empty()) return usage();
+  if (!campaign_path.empty()) {
+    if (!path.empty()) {
+      std::cerr << "--campaign takes its circuit from the spec's \"circuit\" field; drop the "
+                   "positional netlist argument\n";
+      return usage();
+    }
+    if (checkpoint_dir.empty()) {
+      std::cerr << "--campaign requires --checkpoint DIR (the campaign journal, columnar row "
+                   "store, and default table all live there)\n";
+      return usage();
+    }
+  } else {
+    if (path.empty()) return usage();
+    if (!table_path.empty()) {
+      std::cerr << "--table only applies to --campaign mode\n";
+      return usage();
+    }
+  }
   if (resume && checkpoint_dir.empty()) {
     std::cerr << "--resume requires --checkpoint DIR\n";
     return usage();
@@ -232,6 +324,29 @@ int main(int argc, char** argv) {
   sizing::EvalSession session;
   session.report = &report;
   session.watchdog.multiple = watchdog_multiple;
+
+  if (!campaign_path.empty()) {
+    try {
+      const std::string table_out =
+          table_path.empty() ? (std::filesystem::path(checkpoint_dir) / "table.json").string()
+                             : table_path;
+      return run_campaign(campaign_path, checkpoint_dir, resume, shards, table_out, report);
+    } catch (const NumericalError& e) {
+      print_sweep_health(report);
+      if (e.info().code == FailureCode::kCancelled ||
+          util::CancelToken::global().requested()) {
+        std::cerr << "interrupted: " << e.what()
+                  << "\ncompleted chunks are journaled; rerun with --resume to continue\n";
+        return 3;
+      }
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    } catch (const std::exception& e) {
+      print_sweep_health(report);
+      std::cerr << "orchestration error: " << e.what() << "\n";
+      return 1;
+    }
+  }
 
   try {
     const netlist::ParsedNetlist parsed = load_circuit(path);

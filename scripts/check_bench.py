@@ -15,13 +15,20 @@ Suites:
          bypass to fire (bypass_hits > 0).
   vbs    Batch VBS kernel (BENCH_vbs.json).  The in-binary reference is the
          scalar VbsSimulator sweep; single-threaded on both legs.
+  campaign
+         Streaming columnar campaign (BENCH_campaign.json, produced by the
+         campaign_bench binary -- pass it as --microbench).  Gates on
+         throughput (rows_per_second) instead of a speedup ratio, and
+         additionally requires rss_bounded: the ~1.18M-row acceptance
+         campaign must finish with bounded peak-RSS growth.
 
 Common checks:
   * the benchmark itself succeeds (each suite self-checks the optimized
     results bit-for-bit against its reference and exits nonzero on
     mismatch);
   * fresh "identical" is true;
-  * fresh speedup >= baseline speedup / threshold (default threshold 3x).
+  * the fresh figure of merit (speedup, or rows_per_second for the
+    campaign suite) >= baseline / threshold (default threshold 3x).
     Skipped with a warning when the fresh and baseline builds disagree on
     march_native -- ISA-specific baselines must not gate generic builds or
     vice versa.
@@ -29,7 +36,7 @@ Common checks:
 Usage:
   check_bench.py --microbench build/bench/microbench \
                  --baseline bench/baselines/BENCH_spice.json \
-                 [--suite spice|vbs] [--threshold 3.0] [--threads N]
+                 [--suite spice|vbs|campaign] [--threshold 3.0] [--threads N]
 
 --suite defaults from the baseline filename (BENCH_<suite>.json).
 """
@@ -43,7 +50,7 @@ import sys
 import tempfile
 
 
-def load_json(path: str, what: str):
+def load_json(path: str, what: str, merit: str):
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -53,8 +60,8 @@ def load_json(path: str, what: str):
     except json.JSONDecodeError as e:
         print(f"FAIL: {what} {path} is not valid JSON: {e}")
         return None
-    if not isinstance(doc, dict) or not isinstance(doc.get("speedup"), (int, float)):
-        print(f"FAIL: {what} {path} has no numeric 'speedup' field "
+    if not isinstance(doc, dict) or not isinstance(doc.get(merit), (int, float)):
+        print(f"FAIL: {what} {path} has no numeric '{merit}' field "
               "(wrong file, or written by an incompatible microbench?)")
         return None
     return doc
@@ -65,7 +72,7 @@ def main() -> int:
     ap.add_argument("--microbench", required=True, help="path to the microbench binary")
     ap.add_argument("--baseline", required=True,
                     help="committed baseline (bench/baselines/BENCH_<suite>.json)")
-    ap.add_argument("--suite", choices=["spice", "vbs"],
+    ap.add_argument("--suite", choices=["spice", "vbs", "campaign"],
                     help="which microbench suite to run (default: from the baseline filename)")
     ap.add_argument("--threshold", type=float, default=3.0,
                     help="allowed slowdown factor vs the baseline speedup (default 3)")
@@ -77,13 +84,14 @@ def main() -> int:
     suite = args.suite
     if suite is None:
         m = re.search(r"BENCH_(\w+)\.json$", os.path.basename(args.baseline))
-        if not m or m.group(1) not in ("spice", "vbs"):
+        if not m or m.group(1) not in ("spice", "vbs", "campaign"):
             print(f"FAIL: cannot infer --suite from baseline name "
                   f"'{os.path.basename(args.baseline)}'; pass --suite explicitly")
             return 1
         suite = m.group(1)
+    merit = "rows_per_second" if suite == "campaign" else "speedup"
 
-    baseline = load_json(args.baseline, "baseline")
+    baseline = load_json(args.baseline, "baseline", merit)
     if baseline is None:
         print("(run microbench once and commit the BENCH json it writes)")
         return 1
@@ -100,7 +108,7 @@ def main() -> int:
             print(f"FAIL: microbench exited {proc.returncode} "
                   "(optimized results diverged or the run crashed)")
             return 1
-        fresh = load_json(os.path.join(tmp, bench_name), "fresh")
+        fresh = load_json(os.path.join(tmp, bench_name), "fresh", merit)
         if fresh is None:
             return 1
 
@@ -109,6 +117,10 @@ def main() -> int:
         failures.append("optimized results are not bit-identical to the reference run")
     if suite == "spice" and fresh.get("bypass_hits", 0) <= 0:
         failures.append("bypass_hits == 0: the device-evaluation bypass never fired")
+    if suite == "campaign" and not fresh.get("rss_bounded", False):
+        failures.append(
+            f"rss_bounded is false: peak RSS grew {fresh.get('rss_delta_mb', 0.0):.1f} MB "
+            "over the streaming campaign (or the campaign did not complete)")
 
     fresh_native = bool(fresh.get("march_native", False))
     base_native = bool(baseline.get("march_native", False))
@@ -116,18 +128,22 @@ def main() -> int:
         # An -march=native binary vs a generic baseline (or vice versa) is an
         # ISA change, not a regression: check only the invariants above.
         print(f"NOTE: march_native mismatch (fresh {fresh_native}, baseline {base_native}); "
-              "skipping the speedup comparison -- regenerate the baseline on this build "
+              f"skipping the {merit} comparison -- regenerate the baseline on this build "
               "to re-arm it")
     else:
-        floor = baseline["speedup"] / args.threshold
-        if fresh["speedup"] < floor:
+        unit = " rows/s" if suite == "campaign" else "x"
+        floor = baseline[merit] / args.threshold
+        if fresh[merit] < floor:
             failures.append(
-                f"speedup {fresh['speedup']:.2f}x fell below {floor:.2f}x "
-                f"(baseline {baseline['speedup']:.2f}x / threshold {args.threshold:g})")
-        print(f"speedup: fresh {fresh['speedup']:.2f}x vs baseline "
-              f"{baseline['speedup']:.2f}x (floor {floor:.2f}x)")
+                f"{merit} {fresh[merit]:.2f}{unit} fell below {floor:.2f}{unit} "
+                f"(baseline {baseline[merit]:.2f}{unit} / threshold {args.threshold:g})")
+        print(f"{merit}: fresh {fresh[merit]:.2f}{unit} vs baseline "
+              f"{baseline[merit]:.2f}{unit} (floor {floor:.2f}{unit})")
     if suite == "spice":
         print(f"bypass hit rate {fresh.get('bypass_hit_rate', 0.0):.1%}")
+    if suite == "campaign":
+        print(f"peak RSS growth {fresh.get('rss_delta_mb', 0.0):.1f} MB "
+              f"(bounded: {fresh.get('rss_bounded', False)})")
 
     if failures:
         for msg in failures:

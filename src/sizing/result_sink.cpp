@@ -1,0 +1,50 @@
+#include "sizing/result_sink.hpp"
+
+#include <stdexcept>
+
+namespace mtcmos::sizing {
+
+ResultSink::~ResultSink() = default;
+
+bool parse_item_key_transition(const std::string& key, VectorPair& out) {
+  // The transition suffix is the final ":<v0bits>-<v1bits>" segment; walk
+  // back from the end so prefixes containing '-' can never confuse it.
+  const std::size_t colon = key.find_last_of(':');
+  if (colon == std::string::npos || colon + 1 >= key.size()) return false;
+  const std::size_t dash = key.find('-', colon + 1);
+  if (dash == std::string::npos || dash + 1 >= key.size()) return false;
+  const std::size_t n0 = dash - (colon + 1);
+  const std::size_t n1 = key.size() - (dash + 1);
+  if (n0 == 0 || n0 != n1) return false;
+  VectorPair vp;
+  vp.v0.reserve(n0);
+  vp.v1.reserve(n1);
+  for (std::size_t i = colon + 1; i < dash; ++i) {
+    if (key[i] != '0' && key[i] != '1') return false;
+    vp.v0.push_back(key[i] == '1');
+  }
+  for (std::size_t i = dash + 1; i < key.size(); ++i) {
+    if (key[i] != '0' && key[i] != '1') return false;
+    vp.v1.push_back(key[i] == '1');
+  }
+  out = std::move(vp);
+  return true;
+}
+
+VectorDelay ColumnarSpillSink::decode_delay(const util::ColumnarRow& row) {
+  if (row.n_cols != kDelayCols) {
+    throw std::runtime_error("result_sink: not a delay row (" + std::to_string(row.n_cols) +
+                             " columns)");
+  }
+  VectorDelay vd;
+  if (!parse_item_key_transition(std::string(row.key), vd.pair)) {
+    throw std::runtime_error("result_sink: delay row key has no transition suffix: " +
+                             std::string(row.key));
+  }
+  vd.delay_cmos = row.values[0];
+  vd.delay_mtcmos = row.values[1];
+  vd.degradation_pct = row.values[2];
+  return vd;
+}
+
+}  // namespace mtcmos::sizing

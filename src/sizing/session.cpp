@@ -7,11 +7,13 @@
 #include <mutex>
 #include <optional>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "sizing/checkpoint.hpp"
+#include "sizing/result_sink.hpp"
 #include "sizing/sizing.hpp"
 #include "util/error.hpp"
 #include "util/faultinject.hpp"
@@ -290,11 +292,14 @@ void batch_precompute(util::ThreadPool& tp, const Deadline& deadline,
   });
 }
 
-}  // namespace
-
-std::vector<VectorDelay> rank_vectors(const EvalBackend& backend,
-                                      const std::vector<VectorPair>& vectors, double wl,
-                                      const EvalSession& session) {
+// Streaming core shared by the materializing and streaming rank_vectors
+// fronts: evaluate, then emit every successfully measured row (computed
+// or checkpoint-replayed alike) into `sink` during the serial
+// input-order reduction.  Rows live only in the per-call Outcome slots;
+// what persists beyond the call is whatever the sink keeps.
+std::size_t rank_vectors_into(const EvalBackend& backend,
+                              const std::vector<VectorPair>& vectors, double wl,
+                              const EvalSession& session, ResultSink& sink) {
   SweepReport scratch;
   SweepReport& report = session.report != nullptr ? *session.report : scratch;
   const Deadline deadline = Deadline::start(session.deadline_s);
@@ -304,8 +309,12 @@ std::vector<VectorDelay> rank_vectors(const EvalBackend& backend,
   if (session.watchdog.armed()) watchdog.emplace(session.watchdog);
   const SweepCtx ctx{session.policy, deadline, cancel, ckpt,
                      watchdog ? &*watchdog : nullptr};
+  // Keys are formatted when anyone consumes them -- the checkpoint for
+  // replay/record, or a key-carrying sink (columnar spill) for row
+  // identity.  The plain in-RAM path skips the formatting entirely.
+  const bool need_keys = ckpt != nullptr || sink.wants_keys();
   std::string prefix;
-  if (ckpt != nullptr) {
+  if (need_keys) {
     prefix = checkpoint_prefix("rank", backend.name(),
                                netlist_fingerprint(backend.netlist(), backend.outputs()), wl);
   }
@@ -334,10 +343,10 @@ std::vector<VectorDelay> rank_vectors(const EvalBackend& backend,
                        backend.delay_at_wl_batch(vps, n, wl, out);
                      });
   }
-  // Evaluate into per-index Outcome slots, then reduce in input order and
-  // sort: the sort sees the exact sequence the serial loop produced, so
-  // the ranking is bit-identical for any thread count, and a failed item
-  // only removes itself from the ranking.
+  // Evaluate into per-index Outcome slots, then reduce in input order:
+  // the sink sees the exact sequence the serial loop produced, so the
+  // emission stream is bit-identical for any thread count, and a failed
+  // item only removes itself from the stream.
   std::vector<Outcome<VectorDelay>> measured(vectors.size());
   session.pool_ref().parallel_for(vectors.size(), [&](std::size_t i) {
     const std::string key =
@@ -355,21 +364,55 @@ std::vector<VectorDelay> rank_vectors(const EvalBackend& backend,
     // re-attach it for computed and replayed outcomes alike.
     if (measured[i].ok()) measured[i].value->pair = vectors[i];
   });
-  std::vector<VectorDelay> out;
-  out.reserve(measured.size());
+  std::size_t emitted = 0;
   for (std::size_t i = 0; i < measured.size(); ++i) {
     report.add(i, measured[i]);
     if (!measured[i].ok()) {
       if (!session.policy.isolate) throw NumericalError(measured[i].failure);
       continue;
     }
-    VectorDelay& vd = *measured[i].value;
-    if (vd.delay_cmos > 0.0 && vd.delay_mtcmos > 0.0) out.push_back(std::move(vd));
+    sink.on_delay(need_keys ? checkpoint_item_key(prefix, vectors[i]) : std::string(),
+                  *measured[i].value);
+    ++emitted;
+  }
+  sink.flush();
+  return emitted;
+}
+
+}  // namespace
+
+std::vector<VectorDelay> rank_vectors(const EvalBackend& backend,
+                                      const std::vector<VectorPair>& vectors, double wl,
+                                      const EvalSession& session) {
+  // Materializing front: collect the emission stream in RAM, then apply
+  // the legacy contract -- drop non-switching rows, sort worst-first.
+  // The filter and sort see the exact row sequence the pre-sink reduction
+  // produced, so the returned vector is bit-identical to it.
+  MemorySink mem;
+  if (session.sink != nullptr) {
+    TeeSink tee(mem, *session.sink);
+    rank_vectors_into(backend, vectors, wl, session, tee);
+  } else {
+    rank_vectors_into(backend, vectors, wl, session, mem);
+  }
+  std::vector<VectorDelay> out;
+  out.reserve(mem.delays.size());
+  for (MemorySink::DelayRow& d : mem.delays) {
+    if (d.row.delay_cmos > 0.0 && d.row.delay_mtcmos > 0.0) out.push_back(std::move(d.row));
   }
   std::sort(out.begin(), out.end(), [](const VectorDelay& a, const VectorDelay& b) {
     return a.degradation_pct > b.degradation_pct;
   });
   return out;
+}
+
+std::size_t rank_vectors_stream(const EvalBackend& backend,
+                                const std::vector<VectorPair>& vectors, double wl,
+                                const EvalSession& session) {
+  if (session.sink == nullptr) {
+    throw std::invalid_argument("rank_vectors_stream: session.sink must be set");
+  }
+  return rank_vectors_into(backend, vectors, wl, session, *session.sink);
 }
 
 SizingResult size_for_degradation(const EvalBackend& backend,
@@ -410,11 +453,13 @@ SizingResult size_for_degradation(const EvalBackend& backend,
   // probe sequence (the item records replay each completed probe without
   // simulating), so the state record is the run's progress diagnostic --
   // and its key doubles as the run identity guard.
+  ResultSink* sink = session.sink;
+  const bool sink_keys = sink != nullptr && sink->wants_keys();
   std::uint64_t fp = 0;
   std::string bisect_key;
   std::size_t probes = 0;
+  if (ckpt != nullptr || sink_keys) fp = netlist_fingerprint(backend.netlist(), backend.outputs());
   if (ckpt != nullptr) {
-    fp = netlist_fingerprint(backend.netlist(), backend.outputs());
     bisect_key = checkpoint_prefix_nowl(
         "bisect", backend.name(),
         sizing_args_hash(fp, backend.name(), vectors, target_pct, bounds.wl_min, bounds.wl_max,
@@ -433,7 +478,7 @@ SizingResult size_for_degradation(const EvalBackend& backend,
   auto worst_at = [&](double wl) {
     if (!cancel.requested()) backend.prepare_wl(wl);
     std::string prefix;
-    if (ckpt != nullptr) prefix = checkpoint_prefix("probe", backend.name(), fp, wl);
+    if (ckpt != nullptr || sink_keys) prefix = checkpoint_prefix("probe", backend.name(), fp, wl);
     // Batch fast path: baseline batch first (after the first probe it is
     // all backend-memo hits), then the sized delay where the outputs
     // toggled.  The body below unrolls degradation_pct so each stage can
@@ -482,12 +527,19 @@ SizingResult size_for_degradation(const EvalBackend& backend,
         if (!session.policy.isolate) throw NumericalError(deg[i].failure);
         continue;
       }
+      if (sink != nullptr) {
+        sink->on_value(sink_keys || ckpt != nullptr
+                           ? checkpoint_item_key(prefix, vectors[i])
+                           : std::string(),
+                       *deg[i].value);
+      }
       any_ok = true;
       if (*deg[i].value > worst) {
         worst = *deg[i].value;
         worst_idx = i;
       }
     }
+    if (sink != nullptr) sink->flush();
     if (!any_ok) {
       // Keep the first failure's code: an all-cancelled probe surfaces as
       // kCancelled so callers distinguish "interrupted" from "diverged".
@@ -543,8 +595,10 @@ VectorDelay search_worst_vector(const EvalBackend& backend, double wl, int sampl
   const SweepCtx ctx{session.policy, deadline, cancel, ckpt,
                      watchdog ? &*watchdog : nullptr};
   const int n = static_cast<int>(backend.netlist().inputs().size());
+  ResultSink* sink = session.sink;
+  const bool need_keys = ckpt != nullptr || (sink != nullptr && sink->wants_keys());
   std::string prefix;
-  if (ckpt != nullptr) {
+  if (need_keys) {
     prefix = checkpoint_prefix("search", backend.name(),
                                netlist_fingerprint(backend.netlist(), backend.outputs()), wl);
   }
@@ -557,7 +611,7 @@ VectorDelay search_worst_vector(const EvalBackend& backend, double wl, int sampl
   // Checkpoint keys are transition-content keys, so a candidate revisited
   // by the greedy walk (or by a resumed run) replays instead of re-running.
   auto item_key = [&](const VectorPair& vp) {
-    return ckpt != nullptr ? checkpoint_item_key(prefix, vp) : std::string();
+    return need_keys ? checkpoint_item_key(prefix, vp) : std::string();
   };
 
   // Sample pass: the RNG draws stay serial (reproducible from the seed);
@@ -591,6 +645,7 @@ VectorDelay search_worst_vector(const EvalBackend& backend, double wl, int sampl
       if (!session.policy.isolate) throw NumericalError(scores[i].failure);
       continue;
     }
+    if (sink != nullptr) sink->on_value(item_key(sampled[i]), *scores[i].value);
     if (*scores[i].value > best_score) {
       best_score = *scores[i].value;
       best = sampled[i];
@@ -623,6 +678,7 @@ VectorDelay search_worst_vector(const EvalBackend& backend, double wl, int sampl
           if (!session.policy.isolate) throw NumericalError(s.failure);
           continue;
         }
+        if (sink != nullptr) sink->on_value(item_key(cand), *s.value);
         if (*s.value > best_score) {
           best_score = *s.value;
           best = std::move(cand);
@@ -639,6 +695,7 @@ VectorDelay search_worst_vector(const EvalBackend& backend, double wl, int sampl
   out.degradation_pct = (out.delay_cmos > 0.0)
                             ? (out.delay_mtcmos - out.delay_cmos) / out.delay_cmos * 100.0
                             : -1.0;
+  if (sink != nullptr) sink->flush();
   return out;
 }
 
@@ -655,8 +712,10 @@ std::vector<VectorPair> screen_vectors(const netlist::Netlist& nl,
   if (session.watchdog.armed()) watchdog.emplace(session.watchdog);
   const SweepCtx ctx{session.policy, deadline, cancel, ckpt,
                      watchdog ? &*watchdog : nullptr};
+  ResultSink* sink = session.sink;
+  const bool need_keys = ckpt != nullptr || (sink != nullptr && sink->wants_keys());
   std::string prefix;
-  if (ckpt != nullptr) {
+  if (need_keys) {
     // Logic-level screening involves no backend: key on the bare netlist.
     prefix = checkpoint_prefix_nowl("screen", "logic", netlist_fingerprint(nl, {}));
   }
@@ -686,8 +745,13 @@ std::vector<VectorPair> screen_vectors(const netlist::Netlist& nl,
       if (!session.policy.isolate) throw NumericalError(weights[i].failure);
       continue;
     }
+    if (sink != nullptr) {
+      sink->on_value(need_keys ? checkpoint_item_key(prefix, candidates[i]) : std::string(),
+                     *weights[i].value);
+    }
     scored.emplace_back(*weights[i].value, i);
   }
+  if (sink != nullptr) sink->flush();
   std::sort(scored.begin(), scored.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
   std::vector<VectorPair> out;
@@ -730,10 +794,12 @@ VerifyResult verify_sizing(const EvalBackend& fast, const EvalBackend& reference
       {&reference, true, &out.reference_baseline_delay},
       {&reference, false, &out.reference_delay},
   };
+  ResultSink* sink = session.sink;
+  const bool need_keys = ckpt != nullptr || (sink != nullptr && sink->wants_keys());
   for (std::size_t i = 0; i < 4; ++i) {
     const Probe& p = probes[i];
     std::string key;
-    if (ckpt != nullptr) {
+    if (need_keys) {
       key = checkpoint_item_key(
           checkpoint_prefix(p.baseline ? "verify-baseline" : "verify-wl", p.backend->name(),
                             netlist_fingerprint(p.backend->netlist(), p.backend->outputs()),
@@ -753,8 +819,10 @@ VerifyResult verify_sizing(const EvalBackend& fast, const EvalBackend& reference
       }
       continue;
     }
+    if (sink != nullptr) sink->on_value(key, *o.value);
     *p.slot = *o.value;
   }
+  if (sink != nullptr) sink->flush();
 
   auto degradation = [](double base, double at_wl) {
     return (base > 0.0 && at_wl > 0.0) ? (at_wl - base) / base * 100.0 : -1.0;

@@ -28,7 +28,8 @@
 
 namespace mtcmos::sizing {
 
-class Checkpoint;  // sizing/checkpoint.hpp
+class Checkpoint;   // sizing/checkpoint.hpp
+class ResultSink;   // sizing/result_sink.hpp
 
 /// Item-latency watchdog.  A sweep over thousands of similar simulations
 /// has a well-defined typical item time; an item that blows past a
@@ -84,6 +85,14 @@ struct EvalSession {
   /// result instead of dying mid-write.
   util::CancelToken* cancel_token = nullptr;
   WatchdogConfig watchdog = {};
+  /// Streaming row sink (sizing/result_sink.hpp).  When set, every entry
+  /// point emits each successfully measured row -- computed or replayed
+  /// from the checkpoint alike -- into the sink during its serial
+  /// input-order reduction, keyed by the item's content-derived
+  /// checkpoint key.  Emission order is deterministic for any thread
+  /// count.  nullptr disables (the legacy return values are unchanged
+  /// either way: internally they are built from a MemorySink).
+  ResultSink* sink = nullptr;
   /// Chunk size for the backend's batch fast path (EvalBackend::
   /// delay_*_batch, the SoA lockstep kernel on VbsBackend).  0 = auto:
   /// chunks of 64 when the backend supports batching; 1 forces the
@@ -127,6 +136,17 @@ struct SizingBounds {
 std::vector<VectorDelay> rank_vectors(const EvalBackend& backend,
                                       const std::vector<VectorPair>& vectors, double wl,
                                       const EvalSession& session = {});
+
+/// Streaming rank_vectors: identical evaluation, but rows are emitted
+/// into session.sink (required) instead of materialized, so memory stays
+/// bounded by the sink for any vector-set size.  Every successfully
+/// measured row is emitted -- including non-switching ones, which the
+/// materializing overload filters from its return value -- and the
+/// emission count is returned.  Throws std::invalid_argument when
+/// session.sink is null.
+std::size_t rank_vectors_stream(const EvalBackend& backend,
+                                const std::vector<VectorPair>& vectors, double wl,
+                                const EvalSession& session);
 
 /// Smallest W/L (within bounds, resolved to wl_tol) whose worst
 /// degradation over `vectors` is <= target_pct.  Failed vectors are

@@ -55,14 +55,24 @@ void write_torn_tail(const std::string& journal_path) {
 /// process generation, so tests can script "die on this item's first
 /// two attempts" deterministically.
 int worker_main(int wfd, std::size_t slot_index, const std::string& journal_path,
+                const std::string& columnar_path,
                 const std::vector<std::pair<std::size_t, int>>& items,
-                const SupervisorOptions& options, const Supervisor::ItemFn& run_one,
+                const SupervisorOptions& options, const Supervisor::SinkItemFn& run_one,
                 const Supervisor::KeyFn& key_of) {
   util::install_cancel_signal_handlers();
   util::CancelToken& cancel = util::CancelToken::global();
 
   Checkpoint ckpt;
   ckpt.open(journal_path, options.journal);
+  // Shard columnar store, append-reopened so blocks flushed by a prior
+  // life of this slot survive the restart (a torn tail from a mid-write
+  // SIGKILL is sheared off by open()).
+  util::ColumnarWriter columnar;
+  if (!columnar_path.empty()) {
+    util::ColumnarOptions copts;
+    copts.rows_per_block = options.columnar_rows_per_block;
+    columnar.open(columnar_path, copts);
+  }
 
   std::atomic<bool> stop{false};
   std::atomic<bool> stalled{false};
@@ -118,7 +128,7 @@ int worker_main(int wfd, std::size_t slot_index, const std::string& journal_path
       return finish(2);
     }
 
-    run_one(idx, ckpt);
+    run_one(idx, ckpt, columnar.is_open() ? &columnar : nullptr);
     if (ckpt.journal().find(key) == nullptr) {
       // The item completed nothing durable -- a cancellation drained it
       // mid-body.  Report the drain instead of claiming completion.
@@ -135,6 +145,7 @@ struct Slot {
   State state = State::Done;
   std::vector<std::size_t> assigned;  ///< current item assignment
   std::string journal_path;
+  std::string columnar_path;  ///< empty = columnar shard store disabled
   pid_t pid = -1;
   int fd = -1;
   std::unique_ptr<util::LineReader> reader;
@@ -167,10 +178,18 @@ Supervisor::Supervisor(SupervisorOptions options, std::size_t n_items, ItemFn ru
                        KeyFn key_of)
     : options_(std::move(options)),
       n_items_(n_items),
+      run_one_([inner = std::move(run_one)](std::size_t idx, Checkpoint& ckpt,
+                                            util::ColumnarWriter*) { inner(idx, ckpt); }),
+      key_of_(std::move(key_of)) {}
+
+Supervisor::Supervisor(SupervisorOptions options, std::size_t n_items, SinkItemFn run_one,
+                       KeyFn key_of)
+    : options_(std::move(options)),
+      n_items_(n_items),
       run_one_(std::move(run_one)),
       key_of_(std::move(key_of)) {}
 
-SupervisorStats Supervisor::run(Checkpoint& merged) {
+SupervisorStats Supervisor::run(Checkpoint& merged, util::ColumnarWriter* columnar) {
   if (options_.dir.empty()) {
     throw std::invalid_argument("supervisor: options.dir must name a journal directory");
   }
@@ -178,6 +197,10 @@ SupervisorStats Supervisor::run(Checkpoint& merged) {
     throw std::invalid_argument("supervisor: the merged checkpoint must be armed");
   }
   if (options_.shards < 1) throw std::invalid_argument("supervisor: shards must be >= 1");
+  if (options_.columnar_shards && (columnar == nullptr || !columnar->is_open())) {
+    throw std::invalid_argument(
+        "supervisor: columnar_shards requires an open columnar merge destination");
+  }
   std::filesystem::create_directories(options_.dir);
 
   SupervisorStats stats;
@@ -203,7 +226,8 @@ SupervisorStats Supervisor::run(Checkpoint& merged) {
       items.emplace_back(idx, it == strikes.end() ? 0 : it->second);
     }
     const util::ChildProcess child = util::spawn_child([&, s, items](int wfd) {
-      return worker_main(wfd, s, slots[s].journal_path, items, options_, run_one_, key_of_);
+      return worker_main(wfd, s, slots[s].journal_path, slots[s].columnar_path, items, options_,
+                         run_one_, key_of_);
     });
     slot.pid = child.pid;
     slot.fd = child.pipe_fd;
@@ -217,6 +241,9 @@ SupervisorStats Supervisor::run(Checkpoint& merged) {
   for (std::size_t s = 0; s < ranges.size(); ++s) {
     Slot& slot = slots[s];
     slot.journal_path = options_.dir + "/shard" + std::to_string(s) + ".mtj";
+    if (options_.columnar_shards) {
+      slot.columnar_path = options_.dir + "/shard" + std::to_string(s) + ".mtc";
+    }
     slot.assigned.clear();
     for (std::size_t i = ranges[s].first; i < ranges[s].second; ++i) slot.assigned.push_back(i);
     spawn(s);
@@ -403,6 +430,17 @@ SupervisorStats Supervisor::run(Checkpoint& merged) {
     util::merge_journal_file(merged.journal(), slot.journal_path, [](const std::string& key) {
       return key.rfind("hb:", 0) == 0;
     });
+  }
+  // Shard columnar stores merge like the shard journals: by identity,
+  // first block per tag wins (a tag re-flushed by a restarted worker or
+  // duplicated across an orphan reassignment holds bit-identical rows).
+  if (options_.columnar_shards && columnar != nullptr) {
+    std::vector<std::uint64_t> seen_tags;
+    for (const Slot& slot : slots) {
+      if (slot.columnar_path.empty() || !std::filesystem::exists(slot.columnar_path)) continue;
+      util::merge_columnar_file(*columnar, slot.columnar_path, &seen_tags);
+    }
+    columnar->flush();
   }
   for (const std::size_t idx : quarantined) {
     const std::string key = key_of_(idx);

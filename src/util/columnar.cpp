@@ -1,0 +1,387 @@
+#include "util/columnar.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/journal.hpp"  // crc32
+
+namespace mtcmos::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+  throw std::runtime_error("columnar: " + what + " '" + path + "': " + std::strerror(errno));
+}
+
+void write_all(int fd, const char* data, std::size_t size, const std::string& path) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write failed", path);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+/// read() exactly `size` bytes unless EOF lands first; returns bytes read.
+std::size_t read_upto(int fd, char* data, std::size_t size, const std::string& path) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::read(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("read failed", path);
+    }
+    if (n == 0) break;
+    done += static_cast<std::size_t>(n);
+  }
+  return done;
+}
+
+// Little-endian field codec: the store must scan identically wherever a
+// shard file is merged, independent of host byte order.
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+}
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+}
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  return v;
+}
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  return v;
+}
+
+constexpr char kMagic[6] = {'M', 'T', 'C', 'B', '1', '\n'};
+// magic + header crc + payload crc + n_rows/n_cols/tag/key_bytes/payload_bytes
+constexpr std::size_t kHeaderSize = 6 + 4 + 4 + 5 * 8;
+// The header crc covers everything after itself: payload crc + the five
+// size fields.  A crc-valid header therefore has trustworthy sizes.
+constexpr std::size_t kHeaderCrcSpan = 4 + 5 * 8;
+// Allocation guard for the 2^-32 corrupt-header-with-matching-crc case.
+constexpr std::uint64_t kMaxPayloadBytes = 1ull << 31;
+
+struct BlockInfo {
+  std::uint64_t n_rows = 0;
+  std::uint64_t n_cols = 0;
+  std::uint64_t tag = 0;
+  std::uint64_t key_bytes = 0;
+  std::uint64_t payload_bytes = 0;
+};
+
+std::string encode_header(const BlockInfo& info, std::uint32_t payload_crc) {
+  std::string tail;
+  tail.reserve(kHeaderCrcSpan);
+  put_u32(tail, payload_crc);
+  put_u64(tail, info.n_rows);
+  put_u64(tail, info.n_cols);
+  put_u64(tail, info.tag);
+  put_u64(tail, info.key_bytes);
+  put_u64(tail, info.payload_bytes);
+  std::string header(kMagic, sizeof(kMagic));
+  put_u32(header, crc32(tail.data(), tail.size()));
+  header += tail;
+  return header;
+}
+
+/// Parse + validate a header buffer.  Returns false on any mismatch
+/// (magic, crc, or internally inconsistent sizes) -- a torn/corrupt tail.
+bool decode_header(const char* buf, BlockInfo& info, std::uint32_t& payload_crc) {
+  if (std::memcmp(buf, kMagic, sizeof(kMagic)) != 0) return false;
+  const std::uint32_t header_crc = get_u32(buf + 6);
+  if (crc32(buf + 10, kHeaderCrcSpan) != header_crc) return false;
+  payload_crc = get_u32(buf + 10);
+  info.n_rows = get_u64(buf + 14);
+  info.n_cols = get_u64(buf + 22);
+  info.tag = get_u64(buf + 30);
+  info.key_bytes = get_u64(buf + 38);
+  info.payload_bytes = get_u64(buf + 46);
+  if (info.payload_bytes > kMaxPayloadBytes) return false;
+  const std::uint64_t expected =
+      4 * info.n_rows + info.key_bytes + 8 * info.n_rows * info.n_cols;
+  return info.payload_bytes == expected;
+}
+
+/// Walk the block sequence at `fd` from its current offset.  For each
+/// structurally valid block, `on_block` receives the decoded info plus the
+/// raw header+payload bytes (so callers can re-emit blocks verbatim).
+/// Stops at the first torn/corrupt block; returns the byte offset of the
+/// end of the last valid block.  `tail_bytes`, when non-null, receives the
+/// count of unreadable bytes left after that offset.
+std::size_t walk_blocks(int fd, const std::string& path,
+                        const std::function<void(const BlockInfo&, const std::string& raw)>& on_block,
+                        std::size_t* tail_bytes) {
+  std::size_t offset = 0;
+  std::string raw;
+  while (true) {
+    char header_buf[kHeaderSize];
+    const std::size_t got = read_upto(fd, header_buf, kHeaderSize, path);
+    if (got < kHeaderSize) {
+      if (tail_bytes != nullptr) *tail_bytes = got;
+      return offset;
+    }
+    BlockInfo info;
+    std::uint32_t payload_crc = 0;
+    if (!decode_header(header_buf, info, payload_crc)) {
+      // Header bytes are unreadable; everything from here to EOF is tail.
+      if (tail_bytes != nullptr) {
+        const off_t end = ::lseek(fd, 0, SEEK_END);
+        if (end < 0) throw_errno("seek failed", path);
+        *tail_bytes = static_cast<std::size_t>(end) - offset;
+      }
+      return offset;
+    }
+    raw.assign(header_buf, kHeaderSize);
+    raw.resize(kHeaderSize + info.payload_bytes);
+    const std::size_t payload_got =
+        read_upto(fd, raw.data() + kHeaderSize, info.payload_bytes, path);
+    if (payload_got < info.payload_bytes ||
+        crc32(raw.data() + kHeaderSize, info.payload_bytes) != payload_crc) {
+      if (tail_bytes != nullptr) *tail_bytes = payload_got + kHeaderSize;
+      return offset;
+    }
+    if (on_block) on_block(info, raw);
+    offset += raw.size();
+  }
+}
+
+int open_readonly(const std::string& path) {
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) throw_errno("cannot open", path);
+  return fd;
+}
+
+/// Decode one raw block into per-row callbacks.
+void emit_rows(const BlockInfo& info, const std::string& raw,
+               const std::function<void(const ColumnarRow&)>& fn) {
+  const char* payload = raw.data() + kHeaderSize;
+  const char* key_lens = payload;
+  const char* key_blob = payload + 4 * info.n_rows;
+  const char* columns = key_blob + info.key_bytes;
+  std::vector<double> values(info.n_cols);
+  std::size_t key_off = 0;
+  for (std::uint64_t r = 0; r < info.n_rows; ++r) {
+    const std::uint32_t key_len = get_u32(key_lens + 4 * r);
+    for (std::uint64_t c = 0; c < info.n_cols; ++c) {
+      const std::uint64_t bits = get_u64(columns + 8 * (c * info.n_rows + r));
+      std::memcpy(&values[c], &bits, sizeof(double));
+    }
+    ColumnarRow row;
+    row.tag = info.tag;
+    row.key = std::string_view(key_blob + key_off, key_len);
+    row.values = values.data();
+    row.n_cols = info.n_cols;
+    fn(row);
+    key_off += key_len;
+  }
+}
+
+}  // namespace
+
+ColumnarWriter::~ColumnarWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw; flushed blocks are intact.
+  }
+}
+
+void ColumnarWriter::open(const std::string& path, ColumnarOptions options) {
+  close();
+  path_ = path;
+  options_ = options;
+  truncated_bytes_ = 0;
+  rows_appended_ = 0;
+  blocks_written_ = 0;
+  if (options_.rows_per_block == 0) {
+    throw std::invalid_argument("columnar: rows_per_block must be positive");
+  }
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) throw_errno("cannot open", path);
+  // Append-reopen: walk the existing block sequence and shear off any torn
+  // tail so new blocks extend a clean file (same discipline as Journal).
+  std::size_t tail = 0;
+  const std::size_t valid_end = walk_blocks(fd_, path_, nullptr, &tail);
+  if (tail > 0) {
+    truncated_bytes_ = tail;
+    if (::ftruncate(fd_, static_cast<off_t>(valid_end)) != 0) throw_errno("truncate failed", path);
+  }
+  if (::lseek(fd_, static_cast<off_t>(valid_end), SEEK_SET) < 0) throw_errno("seek failed", path);
+}
+
+void ColumnarWriter::append(const std::string& key, const double* values, std::size_t n) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) throw std::runtime_error("columnar: append on a closed writer");
+  if (n == 0) throw std::invalid_argument("columnar: rows need at least one value column");
+  if (key.size() > 0xFFFFFFFFull) throw std::invalid_argument("columnar: key too long");
+  if (key_lens_.empty()) {
+    block_cols_ = n;
+  } else if (n != block_cols_) {
+    // Blocks are fixed-width; a width change starts a new block.
+    flush_locked();
+    block_cols_ = n;
+  }
+  key_lens_.push_back(static_cast<std::uint32_t>(key.size()));
+  key_blob_ += key;
+  for (std::size_t c = 0; c < n; ++c) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &values[c], sizeof(double));
+    value_bits_.push_back(bits);
+  }
+  ++rows_appended_;
+  if (key_lens_.size() >= options_.rows_per_block) flush_locked();
+}
+
+void ColumnarWriter::set_tag(std::uint64_t tag) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (tag == tag_) return;
+  flush_locked();
+  tag_ = tag;
+}
+
+void ColumnarWriter::flush() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  flush_locked();
+}
+
+void ColumnarWriter::discard() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  rows_appended_ -= key_lens_.size();
+  key_lens_.clear();
+  key_blob_.clear();
+  value_bits_.clear();
+  block_cols_ = 0;
+}
+
+void ColumnarWriter::flush_locked() {
+  if (key_lens_.empty()) return;
+  const std::size_t n_rows = key_lens_.size();
+  BlockInfo info;
+  info.n_rows = n_rows;
+  info.n_cols = block_cols_;
+  info.tag = tag_;
+  info.key_bytes = key_blob_.size();
+  info.payload_bytes = 4 * n_rows + key_blob_.size() + 8 * n_rows * block_cols_;
+
+  std::string payload;
+  payload.reserve(info.payload_bytes);
+  for (const std::uint32_t len : key_lens_) put_u32(payload, len);
+  payload += key_blob_;
+  // Transpose the row-major append buffer into SoA columns.
+  for (std::size_t c = 0; c < block_cols_; ++c) {
+    for (std::size_t r = 0; r < n_rows; ++r) {
+      put_u64(payload, value_bits_[r * block_cols_ + c]);
+    }
+  }
+  std::string block = encode_header(info, crc32(payload.data(), payload.size()));
+  block += payload;
+  // One write() per block: a crash can tear only the file's tail, never an
+  // already-flushed block.
+  write_all(fd_, block.data(), block.size(), path_);
+  if (options_.fsync_blocks) {
+    while (::fsync(fd_) != 0) {
+      if (errno != EINTR) throw_errno("fsync failed", path_);
+    }
+  }
+  ++blocks_written_;
+  key_lens_.clear();
+  key_blob_.clear();
+  value_bits_.clear();
+  block_cols_ = 0;
+}
+
+void ColumnarWriter::close() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return;
+  flush_locked();
+  ::close(fd_);
+  fd_ = -1;
+}
+
+std::size_t scan_columnar_file(const std::string& path,
+                               const std::function<void(const ColumnarRow&)>& fn,
+                               const std::function<bool(std::uint64_t tag)>& block_filter) {
+  const int fd = open_readonly(path);
+  std::size_t tail = 0;
+  try {
+    walk_blocks(
+        fd, path,
+        [&](const BlockInfo& info, const std::string& raw) {
+          if (block_filter && !block_filter(info.tag)) return;
+          emit_rows(info, raw, fn);
+        },
+        &tail);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  return tail;
+}
+
+std::size_t merge_columnar_file(ColumnarWriter& dest, const std::string& source_path,
+                                std::vector<std::uint64_t>* seen_tags) {
+  if (!dest.is_open()) throw std::runtime_error("columnar: merge into a closed writer");
+  if (seen_tags == nullptr) throw std::invalid_argument("columnar: merge needs a seen_tags set");
+  if (::access(source_path.c_str(), F_OK) != 0) {
+    throw std::runtime_error("merge_columnar_file: no such store: " + source_path);
+  }
+  // First call with an empty dedup set: charge dest's existing blocks into
+  // it so re-merging after a crash-mid-merge stays first-block-wins.
+  if (seen_tags->empty()) {
+    const int dfd = open_readonly(dest.path());
+    try {
+      walk_blocks(
+          dfd, dest.path(),
+          [&](const BlockInfo& info, const std::string&) { seen_tags->push_back(info.tag); },
+          nullptr);
+    } catch (...) {
+      ::close(dfd);
+      throw;
+    }
+    ::close(dfd);
+  }
+  // Blocks with the same tag hold bit-identical rows (work units are
+  // deterministic), so first-wins dedup both drops cross-shard duplicates
+  // and makes the merge idempotent.
+  dest.flush();
+  const int sfd = open_readonly(source_path);
+  std::size_t appended = 0;
+  try {
+    walk_blocks(
+        sfd, source_path,
+        [&](const BlockInfo& info, const std::string& raw) {
+          if (std::find(seen_tags->begin(), seen_tags->end(), info.tag) != seen_tags->end()) {
+            return;
+          }
+          seen_tags->push_back(info.tag);
+          // Verbatim block copy -- CRCs and row bytes carry over untouched.
+          write_all(dest.fd_, raw.data(), raw.size(), dest.path());
+          ++dest.blocks_written_;
+          ++appended;
+        },
+        nullptr);
+  } catch (...) {
+    ::close(sfd);
+    throw;
+  }
+  ::close(sfd);
+  return appended;
+}
+
+}  // namespace mtcmos::util

@@ -110,6 +110,13 @@ struct Outcome {
 /// r + 1 (so rung 0 = first try, rung 1 = first retry/escalation, ...).
 /// `failures` preserves item indices in the order the serial reduction
 /// visited them, so reports are deterministic for any thread count.
+///
+/// Retention is bounded: only the first `max_failures` FailureInfo
+/// details are kept (a million-item campaign where a corner collapses
+/// must not grow an unbounded in-RAM failure list); `failures_dropped`
+/// counts the rest.  Counts stay exact regardless -- `failed`, the rung
+/// histogram, and the per-code histogram are maintained as counters, so
+/// dropping detail never skews a summary.
 struct SweepReport {
   std::size_t total = 0;
   std::size_t succeeded = 0;  ///< ok on the first attempt
@@ -117,6 +124,14 @@ struct SweepReport {
   std::size_t failed = 0;     ///< never ok
   std::vector<std::size_t> rung_histogram;
   std::vector<std::pair<std::size_t, FailureInfo>> failures;
+  /// Cap on retained FailureInfo details (not on counts).  Mutable
+  /// per-report so campaign drivers can tighten it; the default keeps
+  /// every failure of a normal sweep while bounding pathological runs.
+  std::size_t max_failures = 1024;
+  /// Failures counted in `failed` but whose details were not retained.
+  std::size_t failures_dropped = 0;
+  /// Exact per-code failure counts (enum order), independent of retention.
+  std::vector<std::size_t> code_counts;
 
   template <typename T>
   void add(std::size_t index, const Outcome<T>& outcome) {
@@ -133,14 +148,20 @@ struct SweepReport {
       ++rung_histogram[rung];
     } else {
       ++failed;
-      failures.emplace_back(index, outcome.failure);
+      count_code(outcome.failure.code);
+      if (failures.size() < max_failures) {
+        failures.emplace_back(index, outcome.failure);
+      } else {
+        ++failures_dropped;
+      }
     }
   }
 
   /// Fold another report into this one (a driver aggregating several
   /// sweep calls -- e.g. one sharded sweep per W/L row -- into one
   /// campaign health report).  Failure indices keep their per-call
-  /// meaning, exactly as when one report is reused across calls.
+  /// meaning, exactly as when one report is reused across calls.  The
+  /// merged detail list honors *this* report's cap; counts stay exact.
   void merge(const SweepReport& other) {
     total += other.total;
     succeeded += other.succeeded;
@@ -152,23 +173,30 @@ struct SweepReport {
     for (std::size_t r = 0; r < other.rung_histogram.size(); ++r) {
       rung_histogram[r] += other.rung_histogram[r];
     }
-    failures.insert(failures.end(), other.failures.begin(), other.failures.end());
+    if (code_counts.size() < other.code_counts.size()) {
+      code_counts.resize(other.code_counts.size(), 0);
+    }
+    for (std::size_t c = 0; c < other.code_counts.size(); ++c) {
+      code_counts[c] += other.code_counts[c];
+    }
+    failures_dropped += other.failures_dropped;
+    for (const auto& entry : other.failures) {
+      if (failures.size() < max_failures) {
+        failures.push_back(entry);
+      } else {
+        ++failures_dropped;
+      }
+    }
   }
 
   /// Failure counts per FailureCode, in enum order, zero-count codes
   /// omitted.  The shape an interrupted run prints so the user can see
   /// what was skipped (cancelled vs genuinely failed) before resuming.
+  /// Backed by `code_counts`, so it stays exact past the retention cap.
   std::vector<std::pair<FailureCode, std::size_t>> code_histogram() const {
-    std::vector<std::size_t> counts;
-    for (const auto& [index, info] : failures) {
-      (void)index;
-      const auto code = static_cast<std::size_t>(info.code);
-      if (counts.size() <= code) counts.resize(code + 1, 0);
-      ++counts[code];
-    }
     std::vector<std::pair<FailureCode, std::size_t>> out;
-    for (std::size_t c = 0; c < counts.size(); ++c) {
-      if (counts[c] > 0) out.emplace_back(static_cast<FailureCode>(c), counts[c]);
+    for (std::size_t c = 0; c < code_counts.size(); ++c) {
+      if (code_counts[c] > 0) out.emplace_back(static_cast<FailureCode>(c), code_counts[c]);
     }
     return out;
   }
@@ -185,7 +213,18 @@ struct SweepReport {
       }
       out += "]";
     }
+    if (failures_dropped > 0) {
+      out += "; " + std::to_string(failures_dropped) + " failure details dropped (cap " +
+             std::to_string(max_failures) + ", counts exact)";
+    }
     return out;
+  }
+
+ private:
+  void count_code(FailureCode code) {
+    const auto c = static_cast<std::size_t>(code);
+    if (code_counts.size() <= c) code_counts.resize(c + 1, 0);
+    ++code_counts[c];
   }
 };
 

@@ -1,0 +1,80 @@
+#pragma once
+// Minimal JSON DOM for campaign spec files and table emission.
+//
+// The campaign driver needs to *read* a small hand-written spec
+// (objects, arrays, strings, numbers, bools) and *write* a
+// characterization table whose bytes are identical across fresh,
+// resumed, and sharded runs.  That is the whole requirement -- no
+// streaming parse, no unicode escapes beyond pass-through, no float
+// fidelity games on input (specs are human-written values like 2.5).
+// Output-side fidelity is the one hard part: json_double() prints the
+// shortest decimal that round-trips to the exact bit pattern, so a
+// table built from replayed bit-exact doubles is byte-stable.
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mtcmos::util {
+
+class JsonValue;
+using JsonPtr = std::shared_ptr<JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+
+  /// Typed accessors throw std::runtime_error naming the expected kind on
+  /// mismatch, so spec errors surface as readable messages, not UB.
+  double as_number() const;
+  bool as_bool() const;
+  const std::string& as_string() const;
+  const std::vector<JsonPtr>& as_array() const;
+
+  /// Object field lookup; `get` returns nullptr when absent, `require`
+  /// throws with the field name.
+  JsonPtr get(const std::string& key) const;
+  JsonPtr require(const std::string& key) const;
+  /// Convenience: field value or a default when absent.
+  double number_or(const std::string& key, double fallback) const;
+  std::string string_or(const std::string& key, const std::string& fallback) const;
+  bool bool_or(const std::string& key, bool fallback) const;
+
+  /// Object keys in file order (spec diagnostics / strict-field checks).
+  const std::vector<std::string>& object_keys() const;
+
+  static JsonPtr make(Kind kind);
+
+ private:
+  friend class JsonParser;  ///< json.cpp
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonPtr> array_;
+  std::vector<std::string> keys_;           ///< insertion order
+  std::map<std::string, JsonPtr> fields_;
+};
+
+/// Parse a complete JSON document.  Throws std::runtime_error with a
+/// line:column position on malformed input or trailing garbage.
+JsonPtr parse_json(const std::string& text);
+
+/// Shortest decimal representation that strtod()s back to exactly `v`
+/// (tries %.15g .. %.17g).  NaN/inf -- which valid JSON cannot carry --
+/// are emitted as null.
+std::string json_double(double v);
+
+/// Escape and quote `s` as a JSON string literal.
+std::string json_string(const std::string& s);
+
+}  // namespace mtcmos::util

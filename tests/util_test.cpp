@@ -7,6 +7,7 @@
 
 #include "util/dense_matrix.hpp"
 #include "util/error.hpp"
+#include "util/failure.hpp"
 #include "util/rng.hpp"
 #include "util/sparse_lu.hpp"
 #include "util/table.hpp"
@@ -378,6 +379,67 @@ TEST(Table, RowCellCountMismatchThrows) {
 TEST(Table, NumFormatting) {
   EXPECT_EQ(Table::num(1.5), "1.5");
   EXPECT_EQ(Table::num(0.123456, 3), "0.123");
+}
+
+Outcome<double> failed_outcome(FailureCode code) {
+  FailureInfo info;
+  info.code = code;
+  info.site = "test";
+  return Outcome<double>::fail(info);
+}
+
+TEST(SweepReport, BoundedRetentionKeepsCountsExact) {
+  SweepReport report;
+  report.max_failures = 3;
+  for (std::size_t i = 0; i < 10; ++i) {
+    report.add(i, failed_outcome(FailureCode::kNewtonDiverged));
+  }
+  report.add(10, Outcome<double>::success(1.0));
+  EXPECT_EQ(report.failed, 10u);             // exact
+  EXPECT_EQ(report.failures.size(), 3u);     // detail capped
+  EXPECT_EQ(report.failures_dropped, 7u);
+  const auto histogram = report.code_histogram();
+  ASSERT_EQ(histogram.size(), 1u);
+  EXPECT_EQ(histogram[0].first, FailureCode::kNewtonDiverged);
+  EXPECT_EQ(histogram[0].second, 10u);       // histogram unaffected by the cap
+  EXPECT_NE(report.summary().find("7 failure details dropped"), std::string::npos);
+}
+
+TEST(SweepReport, MergeHonorsTheDestinationCap) {
+  SweepReport src;
+  for (std::size_t i = 0; i < 5; ++i) src.add(i, failed_outcome(FailureCode::kSingularMatrix));
+
+  SweepReport dst;
+  dst.max_failures = 2;
+  dst.merge(src);
+  dst.merge(src);
+  EXPECT_EQ(dst.failed, 10u);
+  EXPECT_EQ(dst.failures.size(), 2u);
+  EXPECT_EQ(dst.failures_dropped, 8u);
+  const auto histogram = dst.code_histogram();
+  ASSERT_EQ(histogram.size(), 1u);
+  EXPECT_EQ(histogram[0].second, 10u);
+}
+
+TEST(SweepReport, MergeAggregatesMixedCodesAndRungs) {
+  SweepReport a;
+  a.add(0, Outcome<double>::success(1.0));
+  a.add(1, Outcome<double>::success(1.0, 2));  // recovered on rung 1
+  a.add(2, failed_outcome(FailureCode::kCancelled));
+
+  SweepReport b;
+  b.add(0, failed_outcome(FailureCode::kNewtonDiverged));
+
+  a.merge(b);
+  EXPECT_EQ(a.total, 4u);
+  EXPECT_EQ(a.succeeded, 1u);
+  EXPECT_EQ(a.recovered, 1u);
+  EXPECT_EQ(a.failed, 2u);
+  ASSERT_EQ(a.rung_histogram.size(), 2u);
+  EXPECT_EQ(a.rung_histogram[0], 1u);
+  EXPECT_EQ(a.rung_histogram[1], 1u);
+  EXPECT_EQ(a.code_histogram().size(), 2u);
+  EXPECT_EQ(a.failures_dropped, 0u);
 }
 
 }  // namespace
