@@ -12,6 +12,39 @@
 
 namespace mtcmos::bench {
 
+/// Compile-time SIMD ISA this binary targets, for perf-baseline
+/// provenance: committed BENCH json records it so the regression gate
+/// never compares speedups across instruction sets (an AVX-512 baseline
+/// must not gate an SSE2 CI box or vice versa).
+inline const char* simd_isa() {
+#if defined(__AVX512F__)
+  return "avx512";
+#elif defined(__AVX2__)
+  return "avx2";
+#elif defined(__AVX__)
+  return "avx";
+#elif defined(__SSE2__) || defined(_M_X64)
+  return "sse2";
+#elif defined(__ARM_NEON)
+  return "neon";
+#else
+  return "generic";
+#endif
+}
+
+/// double lanes per vector register of simd_isa().
+inline int simd_lanes() {
+#if defined(__AVX512F__)
+  return 8;
+#elif defined(__AVX2__) || defined(__AVX__)
+  return 4;
+#elif defined(__SSE2__) || defined(_M_X64) || defined(__ARM_NEON)
+  return 2;
+#else
+  return 1;
+#endif
+}
+
 inline void print_header(const std::string& experiment_id, const std::string& title) {
   std::cout << "==================================================================\n"
             << experiment_id << ": " << title << "\n"

@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
       std::cerr << "usage: fig14_adder_vector_sweep [--quick] [--threads N] "
                    "[--checkpoint DIR] [--batch N]\n"
                    "  --batch N   session batch size for the VBS sweep "
-                   "(0 = auto 64, 1 = scalar path)\n";
+                   "(0 = auto 256, 1 = scalar path)\n";
       return 2;
     }
   }

@@ -9,10 +9,13 @@
 // (switch-level vs transistor-level) and writes BENCH_backend.json.
 //
 // Next comes the batch VBS kernel benchmark: the full 4096-vector adder
-// sweep through the scalar per-vector path and through the SoA batch
-// kernel, both single-threaded, verifying bit-identity and writing
-// BENCH_vbs.json (including the MTCMOS_NATIVE ISA flag, so perf baselines
-// are never compared across instruction sets).
+// sweep through the scalar per-vector path and through each SoA batch
+// kernel variant (lockstep / simd / cohort) single-threaded, plus a
+// multi-threaded cohort leg on min(4, threads) threads, verifying
+// bit-identity of every leg and writing BENCH_vbs.json (including the
+// MTCMOS_NATIVE flag and compile-time SIMD ISA, so perf baselines are
+// never compared across instruction sets).  --only vbs.<sub> narrows the
+// run to one kernel variant.
 //
 // It then runs the SPICE hot-path benchmark: a sampled adder vector set
 // through the transistor-level SpiceBackend, once with the accelerations
@@ -21,14 +24,15 @@
 // delays are bit-identical to a 1-thread run of the same configuration,
 // and writes BENCH_spice.json including the EngineStats counters.
 //
-//   microbench [--threads N] [--json PATH] [--only sweep|backend|vbs|spice]
+//   microbench [--threads N] [--json PATH]
+//              [--only sweep|backend|vbs[.scalar|.lockstep|.simd|.cohort]|spice]
 //              [--batch N] [--gbench [gbench args...]]
 //
 // --only restricts the run to one of the four benchmarks (the perf
 // regression ctests use --only spice / --only vbs); it also filters the
 // --gbench micro-suite to the matching BM_* benchmarks unless an explicit
 // --benchmark_filter is forwarded.  --batch sets the batch-kernel chunk
-// size (default 64).  --gbench additionally runs the google-benchmark
+// size (default 256).  --gbench additionally runs the google-benchmark
 // micro-suite (Eq. 5 solves, switch-level vector evaluations,
 // transistor-level steps); remaining arguments are forwarded to
 // google-benchmark.  See bench/README.md.
@@ -40,7 +44,10 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "bench_util.hpp"
 
 #include "circuits/generators.hpp"
 #include "core/vbs.hpp"
@@ -305,13 +312,21 @@ int backend_benchmark(const std::string& json_path) {
 }
 
 // Batch VBS kernel benchmark (ROADMAP item 2): the full 4096-vector adder
-// sweep, single-threaded, once through the scalar per-vector path and
-// once through the SoA batch kernel in chunks of `batch`.  The two delay
-// arrays must be bit-identical (the batch determinism contract).  Each
-// leg is timed best-of-3 so the committed baseline is not hostage to a
-// scheduler hiccup.  Writes BENCH_vbs.json including the MTCMOS_NATIVE
-// flag, so check_bench.py never compares speedups across ISAs.
-int vbs_benchmark(std::size_t batch, const std::string& json_path) {
+// sweep through the scalar per-vector path (the bit-identity reference,
+// always run) and through the SoA batch kernel variants in chunks of
+// `batch` -- one leg per BatchKernel so a variant-specific regression is
+// visible in isolation -- plus a multi-threaded cohort leg on
+// min(4, threads) threads (chunks fan out over the thread pool, one
+// workspace per thread), the configuration the <= 10 ms sweep target is
+// specified against.  Every leg's delay array must be bit-identical to
+// the scalar reference.  Legs are timed best-of-3 so the committed
+// baseline is not hostage to a scheduler hiccup.  `sub` restricts the
+// run to one kernel variant (--only vbs.scalar|lockstep|simd|cohort;
+// empty runs everything including the MT leg).  Writes BENCH_vbs.json
+// including the MTCMOS_NATIVE flag and the compile-time SIMD ISA, so
+// check_bench.py never compares speedups across instruction sets.
+int vbs_benchmark(std::size_t batch, int threads, const std::string& sub,
+                  const std::string& json_path) {
   using Clock = std::chrono::steady_clock;
   const auto adder = circuits::make_ripple_adder(tech07(), 3);
   std::vector<std::string> outs;
@@ -321,10 +336,9 @@ int vbs_benchmark(std::size_t batch, const std::string& json_path) {
   core::VbsOptions opt;
   opt.sleep_resistance = SleepTransistor(tech07(), wl).reff();
   const core::VbsSimulator sim(adder.netlist, opt);
-  const core::VbsBatchSimulator batch_sim(sim);
   const auto pairs = sizing::all_vector_pairs(6);
   const std::size_t n = pairs.size();
-  if (batch == 0) batch = 64;
+  if (batch == 0) batch = 256;
 
   const auto best_of = [](int reps, const auto& leg) {
     double best = 0.0;
@@ -344,22 +358,64 @@ int vbs_benchmark(std::size_t batch, const std::string& json_path) {
       scalar_delays[i] = sim.critical_delay(pairs[i].v0, pairs[i].v1, outs, ws);
     }
   });
+  const double scalar_us = scalar_s / static_cast<double>(n) * 1e6;
 
   std::vector<core::VbsBatchItem> items;
   items.reserve(n);
   for (const auto& p : pairs) items.push_back({&p.v0, &p.v1});
-  std::vector<core::VbsLaneResult> lanes(n);
-  core::VbsBatchWorkspace bws;
-  const double batch_s = best_of(3, [&] {
-    for (std::size_t off = 0; off < n; off += batch) {
-      batch_sim.critical_delays(items.data() + off, std::min(batch, n - off), outs, bws,
-                                lanes.data() + off);
-    }
-  });
 
-  bool identical = true;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!lanes[i].ok || lanes[i].delay != scalar_delays[i]) identical = false;
+  struct Leg {
+    double seconds = 0.0;
+    bool identical = true;
+    bool ran = false;
+  };
+  std::vector<core::VbsLaneResult> lanes(n);
+  const auto check = [&] {
+    bool ident = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!lanes[i].ok || lanes[i].delay != scalar_delays[i]) ident = false;
+    }
+    return ident;
+  };
+  const auto us_of = [n](const Leg& l) { return l.seconds / static_cast<double>(n) * 1e6; };
+  const auto run_variant = [&](core::BatchKernel kernel) {
+    const core::VbsBatchSimulator bsim(sim, kernel);
+    core::VbsBatchWorkspace bws;
+    Leg leg;
+    leg.seconds = best_of(3, [&] {
+      for (std::size_t off = 0; off < n; off += batch) {
+        bsim.critical_delays(items.data() + off, std::min(batch, n - off), outs, bws,
+                             lanes.data() + off);
+      }
+    });
+    leg.identical = check();
+    leg.ran = true;
+    return leg;
+  };
+
+  Leg lockstep, simd, cohort, mt;
+  const bool all = sub.empty();
+  if (all || sub == "lockstep") lockstep = run_variant(core::BatchKernel::kLockstep);
+  if (all || sub == "simd") simd = run_variant(core::BatchKernel::kSimd);
+  if (all || sub == "cohort") cohort = run_variant(core::BatchKernel::kCohort);
+
+  const int mt_threads = std::min(4, std::max(1, threads));
+  if (all) {
+    // Chunks are disjoint lane ranges, so concurrent workers write
+    // disjoint slices of `lanes`; each thread reuses its own workspace.
+    const core::VbsBatchSimulator bsim(sim, core::BatchKernel::kCohort);
+    util::ThreadPool pool(mt_threads);
+    const std::size_t n_chunks = (n + batch - 1) / batch;
+    mt.seconds = best_of(3, [&] {
+      pool.parallel_for(n_chunks, [&](std::size_t c) {
+        thread_local core::VbsBatchWorkspace tws;
+        const std::size_t off = c * batch;
+        bsim.critical_delays(items.data() + off, std::min(batch, n - off), outs, tws,
+                             lanes.data() + off);
+      });
+    });
+    mt.identical = check();
+    mt.ran = true;
   }
 
 #ifdef MTCMOS_NATIVE_BUILD
@@ -367,17 +423,32 @@ int vbs_benchmark(std::size_t batch, const std::string& json_path) {
 #else
   const bool march_native = false;
 #endif
-  const double speedup = scalar_s / batch_s;
-  const double scalar_us = scalar_s / static_cast<double>(n) * 1e6;
-  const double batch_us = batch_s / static_cast<double>(n) * 1e6;
+  const bool identical = lockstep.identical && simd.identical && cohort.identical && mt.identical;
+  const Leg& head = cohort.ran ? cohort : (simd.ran ? simd : lockstep);
+  const double speedup = head.ran ? scalar_s / head.seconds : 1.0;
 
   std::cout << "VBS batch kernel, 3-bit adder, " << n << " vector pairs, W/L = " << wl
-            << ", batch = " << batch
-            << "\n  scalar (1 thread): " << scalar_s << " s  (" << scalar_us
-            << " us/vector)\n  batch  (1 thread): " << batch_s << " s  (" << batch_us
-            << " us/vector)\n  speedup: " << speedup
+            << ", batch = " << batch << "\n  scalar   (1 thread): " << scalar_s << " s  ("
+            << scalar_us << " us/vector)\n";
+  const auto print_leg = [&](const char* name, const Leg& l) {
+    if (!l.ran) return;
+    std::cout << "  " << name << l.seconds << " s  (" << us_of(l) << " us/vector)"
+              << (l.identical ? "" : "  NOT IDENTICAL") << "\n";
+  };
+  print_leg("lockstep (1 thread): ", lockstep);
+  print_leg("simd     (1 thread): ", simd);
+  print_leg("cohort   (1 thread): ", cohort);
+  if (mt.ran) {
+    std::cout << "  cohort   (" << mt_threads
+              << (mt_threads == 1 ? " thread):  " : " threads): ") << mt.seconds << " s  ("
+              << mt.seconds * 1e3 << " ms sweep)" << (mt.identical ? "" : "  NOT IDENTICAL")
+              << "\n";
+  }
+  std::cout << "  speedup: " << speedup
             << "x   results bit-identical: " << (identical ? "yes" : "NO")
-            << "\n  march_native: " << (march_native ? "yes" : "no") << "\n";
+            << "\n  march_native: " << (march_native ? "yes" : "no")
+            << "   simd_isa: " << bench::simd_isa() << " (" << bench::simd_lanes()
+            << " double lanes)\n";
 
   std::ofstream json(json_path);
   if (!json) {
@@ -391,9 +462,25 @@ int vbs_benchmark(std::size_t batch, const std::string& json_path) {
        << "  \"sleep_wl\": " << wl << ",\n"
        << "  \"batch\": " << batch << ",\n"
        << "  \"scalar_seconds\": " << scalar_s << ",\n"
-       << "  \"batch_seconds\": " << batch_s << ",\n"
-       << "  \"scalar_us_per_vector\": " << scalar_us << ",\n"
-       << "  \"batch_us_per_vector\": " << batch_us << ",\n"
+       << "  \"scalar_us_per_vector\": " << scalar_us << ",\n";
+  if (lockstep.ran) {
+    json << "  \"lockstep_us_per_vector\": " << us_of(lockstep) << ",\n";
+  }
+  if (simd.ran) {
+    json << "  \"simd_us_per_vector\": " << us_of(simd) << ",\n";
+  }
+  if (cohort.ran) {
+    json << "  \"batch_seconds\": " << cohort.seconds << ",\n"
+         << "  \"batch_us_per_vector\": " << us_of(cohort) << ",\n"
+         << "  \"sweep_ms\": " << cohort.seconds * 1e3 << ",\n";
+  }
+  if (mt.ran) {
+    json << "  \"mt_threads\": " << mt_threads << ",\n"
+         << "  \"mt_sweep_ms\": " << mt.seconds * 1e3 << ",\n";
+  }
+  json << "  \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n"
+       << "  \"simd_isa\": \"" << bench::simd_isa() << "\",\n"
+       << "  \"simd_lanes\": " << bench::simd_lanes() << ",\n"
        << "  \"speedup\": " << speedup << ",\n"
        << "  \"identical\": " << (identical ? "true" : "false") << ",\n"
        << "  \"march_native\": " << (march_native ? "true" : "false") << "\n"
@@ -503,9 +590,10 @@ int spice_benchmark(int threads, const std::string& json_path) {
 
 int main(int argc, char** argv) {
   int threads = util::ThreadPool::default_thread_count();
-  std::size_t batch = 64;
+  std::size_t batch = 256;
   std::string json_path = "BENCH_sweep.json";
   std::string only;
+  std::string vbs_sub;
   bool gbench = false;
   std::vector<char*> gbench_args = {argv[0]};
   for (int i = 1; i < argc; ++i) {
@@ -520,8 +608,20 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (arg == "--only" && i + 1 < argc) {
       only = argv[++i];
-      if (only != "sweep" && only != "backend" && only != "vbs" && only != "spice") {
-        std::cerr << "microbench: --only expects sweep, backend, vbs, or spice\n";
+      // The vbs suite takes kernel-variant sub-suites: --only vbs.cohort
+      // runs the scalar reference plus just that batch leg.
+      if (only.rfind("vbs.", 0) == 0) {
+        vbs_sub = only.substr(4);
+        only = "vbs";
+        if (vbs_sub == "batch") vbs_sub = "lockstep";  // historical alias
+        if (vbs_sub != "scalar" && vbs_sub != "lockstep" && vbs_sub != "simd" &&
+            vbs_sub != "cohort") {
+          std::cerr << "microbench: --only vbs.<sub> expects scalar, lockstep (alias: "
+                       "batch), simd, or cohort\n";
+          return 2;
+        }
+      } else if (only != "sweep" && only != "backend" && only != "vbs" && only != "spice") {
+        std::cerr << "microbench: --only expects sweep, backend, vbs[.<sub>], or spice\n";
         return 2;
       }
     } else if (arg == "--gbench") {
@@ -530,7 +630,7 @@ int main(int argc, char** argv) {
       gbench_args.push_back(argv[i]);  // forward to google-benchmark
     } else {
       std::cerr << "usage: microbench [--threads N] [--json PATH] "
-                   "[--only sweep|backend|vbs|spice] [--batch N] "
+                   "[--only sweep|backend|vbs[.scalar|.lockstep|.simd|.cohort]|spice] [--batch N] "
                    "[--gbench [gbench args...]]\n"
                    "  --only also filters the --gbench micro-suite (see bench/README.md)\n";
       return 2;
@@ -546,7 +646,7 @@ int main(int argc, char** argv) {
     if (brc != 0) return brc;
   }
   if (only.empty() || only == "vbs") {
-    const int vrc = vbs_benchmark(batch, "BENCH_vbs.json");
+    const int vrc = vbs_benchmark(batch, threads, vbs_sub, "BENCH_vbs.json");
     if (vrc != 0) return vrc;
   }
   if (only.empty() || only == "spice") {

@@ -106,7 +106,7 @@ int main(int argc, char** argv) {
   using namespace mtcmos::units;
   bool quick = false;
   int threads = util::ThreadPool::default_thread_count();
-  std::size_t batch = 64;
+  std::size_t batch = 256;
   std::string checkpoint_dir;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -122,7 +122,7 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: sec62_runtime [--quick] [--threads N] [--checkpoint DIR] "
                    "[--batch N]\n"
-                   "  --batch N   chunk size for the batched VBS leg (default 64; "
+                   "  --batch N   chunk size for the batched VBS leg (default 256; "
                    "1 skips it)\n";
       return 2;
     }

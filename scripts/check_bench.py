@@ -124,10 +124,19 @@ def main() -> int:
 
     fresh_native = bool(fresh.get("march_native", False))
     base_native = bool(baseline.get("march_native", False))
+    fresh_isa = fresh.get("simd_isa")
+    base_isa = baseline.get("simd_isa")
     if fresh_native != base_native:
         # An -march=native binary vs a generic baseline (or vice versa) is an
         # ISA change, not a regression: check only the invariants above.
         print(f"NOTE: march_native mismatch (fresh {fresh_native}, baseline {base_native}); "
+              f"skipping the {merit} comparison -- regenerate the baseline on this build "
+              "to re-arm it")
+    elif fresh_isa is not None and base_isa is not None and fresh_isa != base_isa:
+        # Same rule for the compile-time SIMD ISA: an avx512 baseline must
+        # not gate an sse2 CI box (or vice versa).  Older baselines without
+        # the field still gate on march_native alone.
+        print(f"NOTE: simd_isa mismatch (fresh {fresh_isa}, baseline {base_isa}); "
               f"skipping the {merit} comparison -- regenerate the baseline on this build "
               "to re-arm it")
     else:

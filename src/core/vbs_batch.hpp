@@ -25,6 +25,29 @@
 //     settling pass (shared-prefix reuse) -- in an ordered all-pairs
 //     sweep a whole chunk typically shares its v0.
 //
+// Three kernel variants share the contract, selectable per simulator so a
+// perf regression can be bisected stage by stage (bench/microbench.cpp
+// runs one leg per variant):
+//
+//   kLockstep  the original PR 6 kernel: every gate x lane re-evaluated
+//              every round, branchy inner loops, per-lane Eq. 5 solves.
+//   kSimd      same lockstep schedule, but the Eq. 5 re-solve goes
+//              through the batched closed form (solve_vx_batch) when
+//              alpha == 2 without body effect, and the beta / slope /
+//              candidate / advance passes are branchless selects under
+//              MTCMOS_SIMD_LOOP (portable scalar without MTCMOS_NATIVE).
+//   kCohort    (default) kSimd plus work skipping: lanes that finish or
+//              fail are swap-retired out of a dense live prefix so every
+//              pass runs over [0, live) only; gates are partitioned into
+//              an active cohort (>= 1 live lane driving) and a settled
+//              cohort that is skipped entirely instead of re-evaluated
+//              each round; the general-alpha / body-effect Eq. 5 path
+//              dedups identical discharger sets per domain per round; and
+//              v0 settling is shared across *similar* (not just equal)
+//              vectors by settling each new group incrementally from its
+//              Hamming-nearest settled neighbor, propagating only the
+//              dirty logic cone.
+//
 // Determinism contract: for every lane, critical_delays() returns a value
 // bit-identical to VbsSimulator::critical_delay(v0, v1, out_names) on the
 // same simulator, for every VbsOptions extension (body_effect,
@@ -96,8 +119,12 @@ struct VbsBatchWorkspace {
   std::vector<std::size_t> event_end;
   // Delayed gate activations (input-slope extension), per lane.
   std::vector<std::vector<detail::PendingEval>> pending;
-  // Event-stage scratch (lanes are processed one at a time there).
+  // Event-stage scratch.  run_lockstep processes lanes one at a time
+  // through to_reevaluate; run_work batches the whole round's
+  // re-evaluations as packed (lane << 32 | gate) keys so one sort gives
+  // every lane its gate-index-ordered unique set.
   std::vector<int> to_reevaluate;
+  std::vector<std::uint64_t> reeval_pairs;
   std::vector<bool> pins;
   // Shared-prefix reuse: settled logic per distinct v0 in the batch.
   std::vector<std::uint8_t> settled_logic;  ///< [group * nets + net]
@@ -118,13 +145,40 @@ struct VbsBatchWorkspace {
     int input = -1;
   };
   std::vector<OutRef> out_refs;
+  // Per-gate pulldown truth tables (run_work): bit m of gate_tt[g] is
+  // SpExpr::conducts for fanin assignment m (fanin p = bit p), built for
+  // gates with <= 6 fanins.  Wider gates (gate_tt_ok == 0) keep the
+  // expression walk.  Cached per netlist: tt_netlist tags which netlist
+  // the tables describe so chunked sweeps build them once.
+  std::vector<std::uint64_t> gate_tt;
+  std::vector<std::uint8_t> gate_tt_ok;
+  const void* tt_netlist = nullptr;
+  // Cohort-kernel state (unused by kLockstep).
+  std::vector<std::size_t> slot_item;     ///< live slot -> original item index
+  std::vector<std::uint32_t> gate_active; ///< per gate: live lanes with a non-idle drive
+  std::vector<std::uint32_t> lane_active; ///< per lane: gates with a non-idle drive
+  std::vector<int> active_gates;          ///< active cohort, rebuilt each round (ascending)
+  std::vector<std::uint64_t> group_key;   ///< packed v0 per settle group (n_in <= 64)
+  std::vector<std::uint8_t> net_dirty;    ///< incremental-settle cone scratch
+};
+
+/// Which batch kernel critical_delays() runs.  All variants are
+/// bit-identical to the scalar path (and to each other); the split exists
+/// so perf regressions can be bisected per stage.  See the file comment.
+enum class BatchKernel : std::uint8_t {
+  kLockstep,  ///< PR 6 lockstep SoA kernel (bisection reference)
+  kSimd,      ///< + batched Eq. 5 closed form and branchless SIMD passes
+  kCohort,    ///< + live-lane compaction, active-gate cohorts, solve dedup,
+              ///<   Hamming-incremental v0 settling (default)
 };
 
 class VbsBatchSimulator {
  public:
   /// The wrapped simulator (and its netlist) must outlive the batch
   /// simulator.  Construction is cheap; no per-batch state is kept here.
-  explicit VbsBatchSimulator(const VbsSimulator& sim) : sim_(sim) {}
+  explicit VbsBatchSimulator(const VbsSimulator& sim,
+                             BatchKernel kernel = BatchKernel::kCohort)
+      : sim_(sim), kernel_(kernel) {}
 
   /// Batched equivalent of calling sim.critical_delay(*v0, *v1, out_names)
   /// once per item.  results[i].delay is bit-identical to the scalar
@@ -140,9 +194,19 @@ class VbsBatchSimulator {
                                              VbsBatchWorkspace& ws) const;
 
   const VbsSimulator& simulator() const { return sim_; }
+  BatchKernel kernel() const { return kernel_; }
 
  private:
+  void run_lockstep(const VbsBatchItem* items, std::size_t count,
+                    const std::vector<std::string>& out_names, VbsBatchWorkspace& ws,
+                    VbsLaneResult* results) const;
+  template <bool Cohort>
+  void run_work(const VbsBatchItem* items, std::size_t count,
+                const std::vector<std::string>& out_names, VbsBatchWorkspace& ws,
+                VbsLaneResult* results) const;
+
   const VbsSimulator& sim_;
+  BatchKernel kernel_;
 };
 
 }  // namespace mtcmos::core

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/simd.hpp"
 #include "models/level1.hpp"
 #include "util/error.hpp"
 
@@ -97,6 +98,43 @@ VxSolution solve_vx(double r, double vdd, const MosParams& nmos, double beta_tot
   sol.vx = vx;
   sol.total_current = power_current(beta_total, u, alpha);
   return sol;
+}
+
+void solve_vx_batch(double r, double vdd, const MosParams& nmos, const double* beta,
+                    std::size_t n, double* out_vx, double* out_u) {
+  require(r >= 0.0, "solve_vx: resistance must be non-negative");
+  require(vdd > 0.0, "solve_vx: vdd must be positive");
+  const double drive0 = vdd - nmos.vt0;
+  if (drive0 <= 0.0) {
+    // Sub-threshold supply: every branch of the scalar solve collapses to
+    // vx = 0, u = 0 (solve_u returns 0, and the degenerate beta/r path's
+    // max(vdd - vt0, 0) is 0 too).
+    for (std::size_t i = 0; i < n; ++i) {
+      out_vx[i] = 0.0;
+      out_u[i] = 0.0;
+    }
+    return;
+  }
+  if (r <= 0.0) {
+    // R -> 0: no ground bounce for any discharger set.
+    for (std::size_t i = 0; i < n; ++i) {
+      out_vx[i] = 0.0;
+      out_u[i] = drive0;
+    }
+    return;
+  }
+  // Lane-wise scalar solve: beta <= 0 and a < 1e-12 both select u = drive0
+  // (and then vx = max(drive0 - drive0, 0) = 0, matching the degenerate
+  // path's vx = 0 exactly).  The unselected root may be inf for denormal
+  // a; it is discarded by the select, never consumed.
+  MTCMOS_SIMD_LOOP
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = beta[i] * r;
+    const double root = (-1.0 + std::sqrt(1.0 + 2.0 * a * drive0)) / a;
+    const double u = (a < 1e-12) ? drive0 : root;
+    out_u[i] = u;
+    out_vx[i] = std::max(drive0 - u, 0.0);
+  }
 }
 
 double gate_discharge_current(double beta, const VxSolution& sol, double alpha) {

@@ -18,6 +18,8 @@
 // standard body-effect expression and iterates the closed form to a fixed
 // point.
 
+#include <cstddef>
+
 #include "models/mos_params.hpp"
 
 namespace mtcmos::core {
@@ -40,6 +42,15 @@ struct VxSolution {
 /// Velocity-saturated short-channel devices have alpha in [1, 2].
 VxSolution solve_vx(double r, double vdd, const MosParams& nmos, double beta_total,
                     bool body_effect = false, double alpha = 2.0);
+
+/// Batched square-law solve: for each lane i writes out_vx[i] / out_u[i]
+/// bit-identical to solve_vx(r, vdd, nmos, beta[i], false, 2.0)'s .vx and
+/// .gate_drive.  This is the alpha == 2, no-body-effect fast path of the
+/// batch VBS kernel: lanes are independent and the loop is a single
+/// select + sqrt + divide chain, so it vectorizes (every operation is
+/// IEEE-exact per lane, keeping the bit-identity contract).
+void solve_vx_batch(double r, double vdd, const MosParams& nmos, const double* beta,
+                    std::size_t n, double* out_vx, double* out_u);
 
 /// Saturation current of one discharging gate with gain factor `beta`
 /// given a solved operating point.

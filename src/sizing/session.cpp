@@ -196,7 +196,7 @@ Outcome<T> run_item(const SweepCtx& ctx, std::size_t index, const std::string& k
 
 // --- Batch fast path (EvalSession::batch) ---
 
-constexpr std::size_t kDefaultBatch = 64;
+constexpr std::size_t kDefaultBatch = 256;
 
 // Chunk size for this entry-point call, or 0 when the batch precompute
 // must stand down: the backend has no batch kernel, the caller forced

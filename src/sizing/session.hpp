@@ -94,8 +94,8 @@ struct EvalSession {
   /// either way: internally they are built from a MemorySink).
   ResultSink* sink = nullptr;
   /// Chunk size for the backend's batch fast path (EvalBackend::
-  /// delay_*_batch, the SoA lockstep kernel on VbsBackend).  0 = auto:
-  /// chunks of 64 when the backend supports batching; 1 forces the
+  /// delay_*_batch, the SoA cohort kernel on VbsBackend).  0 = auto:
+  /// chunks of 256 when the backend supports batching; 1 forces the
   /// scalar per-item path; any other value is used as the chunk size.
   /// Batched sweeps are bit-identical to scalar ones for any thread
   /// count: the kernel replays the scalar floating-point sequence,

@@ -21,6 +21,7 @@
 #include "sizing/sizing.hpp"
 #include "util/error.hpp"
 #include "util/faultinject.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mtcmos::core {
@@ -51,8 +52,9 @@ std::vector<VbsBatchItem> make_items(const std::vector<VectorPair>& pairs) {
 /// Runs the batch kernel in chunks of `batch` and requires every lane to
 /// equal the scalar critical_delay bit-for-bit.
 void expect_bit_identical(const VbsSimulator& sim, const std::vector<VectorPair>& pairs,
-                          const std::vector<std::string>& outs, std::size_t batch) {
-  const VbsBatchSimulator batch_sim(sim);
+                          const std::vector<std::string>& outs, std::size_t batch,
+                          BatchKernel kernel = BatchKernel::kCohort) {
+  const VbsBatchSimulator batch_sim(sim, kernel);
   const std::vector<VbsBatchItem> items = make_items(pairs);
   std::vector<VbsLaneResult> results(items.size());
   VbsBatchWorkspace bws;
@@ -83,6 +85,71 @@ TEST(VbsBatch, BitIdenticalAcrossBatchSizes) {
   }
   expect_bit_identical(sim, fx.pairs, fx.outs, 64);
   expect_bit_identical(sim, fx.pairs, fx.outs, fx.pairs.size());  // full sweep, one batch
+}
+
+TEST(VbsBatch, BitIdenticalForEveryKernel) {
+  // Every BatchKernel variant replays the scalar FP sequence exactly --
+  // the lockstep reference, the branchless SIMD passes, and the cohort
+  // scheduler's compaction/skipping must not change a single bit.
+  const AdderFixture fx;
+  VbsOptions opt;
+  opt.sleep_resistance = SleepTransistor(tech07(), 8.0).reff();
+  const VbsSimulator sim(fx.adder.netlist, opt);
+  std::vector<VectorPair> sample;
+  for (std::size_t i = 0; i < fx.pairs.size(); i += 17) sample.push_back(fx.pairs[i]);
+  for (const BatchKernel kernel :
+       {BatchKernel::kLockstep, BatchKernel::kSimd, BatchKernel::kCohort}) {
+    SCOPED_TRACE(static_cast<int>(kernel));
+    expect_bit_identical(sim, sample, fx.outs, 32, kernel);
+  }
+  // The extension everything-on config through each variant too: the
+  // general-alpha solve and reverse-conduction paths diverge most.
+  VbsOptions all;
+  all.sleep_resistance = SleepTransistor(tech07(), 6.0).reff();
+  all.body_effect = true;
+  all.virtual_ground_cap = 5e-12;
+  all.reverse_conduction = true;
+  all.alpha = 1.5;
+  all.input_slope_factor = 0.2;
+  const VbsSimulator sim_all(fx.adder.netlist, all);
+  std::vector<VectorPair> thin;
+  for (std::size_t i = 0; i < fx.pairs.size(); i += 41) thin.push_back(fx.pairs[i]);
+  for (const BatchKernel kernel :
+       {BatchKernel::kLockstep, BatchKernel::kSimd, BatchKernel::kCohort}) {
+    SCOPED_TRACE(static_cast<int>(kernel));
+    expect_bit_identical(sim_all, thin, fx.outs, 32, kernel);
+  }
+}
+
+TEST(VbsBatch, RandomizedMixedSettleVectorsAreBitIdentical) {
+  // Randomized vector sets stress the cohort scheduler where the ordered
+  // all-pairs sweep does not: lanes settle at wildly different round
+  // counts (compaction retires them out of order), v0 groups repeat
+  // non-contiguously (Hamming-incremental settling walks arbitrary
+  // cones), and v0 == v1 lanes finish without a single breakpoint.
+  const AdderFixture fx;
+  VbsOptions opt;
+  opt.sleep_resistance = SleepTransistor(tech07(), 8.0).reff();
+  const VbsSimulator sim(fx.adder.netlist, opt);
+  mtcmos::Rng rng(20260807);
+  const auto random_bits = [&](std::size_t n) {
+    std::vector<bool> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = rng.coin();
+    return v;
+  };
+  std::vector<VectorPair> pairs;
+  for (int i = 0; i < 160; ++i) {
+    VectorPair p;
+    p.v0 = random_bits(6);
+    p.v1 = (i % 9 == 0) ? p.v0 : random_bits(6);  // some no-op transitions
+    pairs.push_back(std::move(p));
+  }
+  for (const BatchKernel kernel :
+       {BatchKernel::kLockstep, BatchKernel::kSimd, BatchKernel::kCohort}) {
+    SCOPED_TRACE(static_cast<int>(kernel));
+    // A chunk size that does not divide the set exercises the tail chunk.
+    expect_bit_identical(sim, pairs, fx.outs, 48, kernel);
+  }
 }
 
 TEST(VbsBatch, BitIdenticalForEveryExtension) {
@@ -314,6 +381,28 @@ TEST(VbsBatchSession, MultiThreadedSweepsAreBitIdenticalToScalar) {
   }
 }
 
+TEST(VbsBatchSession, EveryThreadCountIsBitIdenticalToScalar) {
+  // threads x batch scaling: the chunked batch precompute on a pool of
+  // 1..8 workers must reproduce the single-threaded scalar sweep
+  // bit-for-bit -- chunks land in index-addressed slots, so scheduling
+  // order must never leak into the results.
+  const AdderFixture fx(2);
+  const VbsBackend backend(fx.adder.netlist, fx.outs);
+
+  EvalSession scalar;
+  scalar.batch = 1;
+  const auto reference = sizing::rank_vectors(backend, fx.pairs, 10.0, scalar);
+
+  for (int threads = 1; threads <= 8; ++threads) {
+    SCOPED_TRACE(threads);
+    util::ThreadPool pool(threads);
+    EvalSession batched;
+    batched.pool = &pool;
+    batched.batch = 16;  // several chunks per worker at every pool size
+    expect_same_ranking(sizing::rank_vectors(backend, fx.pairs, 10.0, batched), reference);
+  }
+}
+
 TEST(VbsBatchSession, KilledBatchedRankResumesBitIdentically) {
   // Kill a *batched* checkpointed sweep mid-journal, then resume with the
   // batch path still enabled: the resume re-forms batches from the items
@@ -358,6 +447,53 @@ TEST(VbsBatchSession, KilledBatchedRankResumesBitIdentically) {
   EXPECT_EQ(report.total, ref_report.total);
   EXPECT_EQ(report.succeeded + report.recovered, ref_report.succeeded + ref_report.recovered);
   EXPECT_EQ(report.failed, ref_report.failed);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(VbsBatchSession, KilledRandomizedRankResumesBitIdentically) {
+  // Kill-and-resume over a *randomized* vector order (with no-op
+  // v0 == v1 transitions mixed in): the journal holds an arbitrary
+  // subset, so the resume re-forms batches from a ragged remainder whose
+  // settle groups no longer arrive in sweep order.
+  const AdderFixture fx(2);
+  const VbsBackend backend(fx.adder.netlist, fx.outs);
+  std::vector<VectorPair> pairs = fx.pairs;
+  mtcmos::Rng rng(97);
+  for (std::size_t i = pairs.size() - 1; i > 0; --i) {
+    std::swap(pairs[i], pairs[rng.uniform_int(0, i)]);
+  }
+  pairs.resize(96);
+  for (std::size_t i = 0; i < 96; i += 16) pairs[i].v1 = pairs[i].v0;  // no-op lanes
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("vbs_batch_rand." +
+                    std::to_string(::testing::UnitTest::GetInstance()->random_seed()));
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "rank.mtj").string();
+
+  EvalSession scalar;
+  scalar.batch = 1;
+  const auto reference = sizing::rank_vectors(backend, pairs, 10.0, scalar);
+
+  {
+    sizing::Checkpoint killed;
+    killed.open(path);
+    EvalSession session;
+    session.batch = 24;
+    session.checkpoint = &killed;
+    faultinject::arm(faultinject::Site::kJournalAppend, /*scope=*/7, /*fail_hits=*/1);
+    EXPECT_THROW(sizing::rank_vectors(backend, pairs, 10.0, session), NumericalError);
+    faultinject::disarm_all();
+    EXPECT_LT(killed.journal().size(), pairs.size());
+    killed.journal().close();
+  }
+
+  sizing::Checkpoint resumed;
+  resumed.open(path);
+  EvalSession resume_session;
+  resume_session.batch = 24;
+  resume_session.checkpoint = &resumed;
+  expect_same_ranking(sizing::rank_vectors(backend, pairs, 10.0, resume_session), reference);
   std::filesystem::remove_all(dir);
 }
 
