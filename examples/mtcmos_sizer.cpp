@@ -80,13 +80,16 @@
 #include "netlist/expand.hpp"
 #include "netlist/io.hpp"
 #include "sizing/checkpoint.hpp"
+#include "sizing/daemon.hpp"
 #include "sizing/session.hpp"
 #include "sizing/sizing.hpp"
 #include "sizing/supervisor.hpp"
 #include "spice/deck.hpp"
 #include "util/cancel.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
+#include "util/socket.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 #include "waveform/vcd.hpp"
@@ -96,6 +99,9 @@ namespace {
 using namespace mtcmos;
 
 int usage() {
+  // The exit-code lines below are the tool's contract; docs/robustness.md
+  // section 7 carries the same table with the full semantics -- keep the
+  // two in sync (tests/daemon_test.cpp pins the daemon rows).
   std::cerr
       << "usage: mtcmos_sizer <netlist.mtn | builtin:adderN> [--target PCT] [--vectors N]\n"
          "                    [--seed S] [--sweep WL1,WL2,...] [--backend vbs|spice]\n"
@@ -105,10 +111,19 @@ int usage() {
          "                    [--shards N]\n"
          "       mtcmos_sizer --campaign spec.json --checkpoint DIR [--table PATH]\n"
          "                    [--resume] [--shards N]\n"
-         "exit codes: 0 = success, 1 = error (failure-code histogram distinguishes a\n"
-         "completed sweep whose items all failed from an orchestration error),\n"
-         "2 = usage, 3 = interrupted (SIGINT/SIGTERM; partial results journaled under\n"
-         "--checkpoint), 4 = completed with quarantined (poisoned) items\n";
+         "       mtcmos_sizer --serve --socket PATH --checkpoint DIR [--shards N]\n"
+         "                    [--max-queue N] [--deadline S]\n"
+         "       mtcmos_sizer --request JSON --socket PATH\n"
+         "exit codes (full table: docs/robustness.md section 7):\n"
+         "  0  success; daemon: drained with no admitted work interrupted\n"
+         "  1  error -- either completed-with-failures (every sweep item failed;\n"
+         "     the histogram classifies them) or an \"orchestration error:\"\n"
+         "     (infrastructure death); client: coded request failure\n"
+         "  2  usage error\n"
+         "  3  interrupted (SIGINT/SIGTERM) -- partial results journaled under\n"
+         "     --checkpoint, resumable; daemon: drain cancelled admitted work\n"
+         "     (resumes at the next --serve); client: cancelled/deadline response\n"
+         "  4  completed with quarantined (poisoned) items or campaign chunks\n";
   return 2;
 }
 
@@ -210,6 +225,69 @@ int run_campaign(const std::string& spec_path, const std::string& dir, bool resu
   return 0;
 }
 
+/// --serve mode: run mtcmos_sizerd on a Unix-domain socket (see
+/// sizing/daemon.hpp for the protocol and the robustness contract).
+int run_serve(const std::string& socket_path, const std::string& state_dir, int shards,
+              int max_queue, double default_deadline_s) {
+  sizing::DaemonOptions dopt;
+  dopt.socket_path = socket_path;
+  dopt.state_dir = state_dir;
+  dopt.shards = shards;
+  dopt.max_queue = max_queue;
+  dopt.default_deadline_s = default_deadline_s;
+  std::cout << "mtcmos_sizerd: serving on " << socket_path << " (state " << state_dir
+            << ", max queue " << max_queue << ", shards " << shards << ")\n"
+            << std::flush;
+  try {
+    sizing::Daemon daemon(dopt);
+    const sizing::DaemonStats stats = daemon.serve();
+    std::cout << "mtcmos_sizerd: drained -- " << stats.accepted << " accepted, "
+              << stats.rejected << " rejected, " << stats.completed << " completed, "
+              << stats.failed << " failed, " << stats.resumed << " resumed, dedup "
+              << stats.dedup_hits << " hits / " << stats.dedup_misses << " misses\n";
+    if (stats.interrupted) {
+      std::cerr << "interrupted: admitted requests were cancelled mid-drain; they are "
+                   "journaled and resume at the next --serve\n";
+    }
+    return sizing::Daemon::exit_code(stats);
+  } catch (const std::exception& e) {
+    std::cerr << "orchestration error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+/// --request mode: submit one JSON request line to a running daemon and
+/// stream every response line for it to stdout.  Exit codes follow the
+/// table in usage(): 0 done/status/drain-ack, 1 coded failure, 3
+/// cancelled/deadline.
+int run_client(const std::string& socket_path, const std::string& request_line) {
+  try {
+    util::LineChannel chan(util::unix_connect(socket_path));
+    if (!chan.send(request_line)) {
+      std::cerr << "orchestration error: daemon hung up before the request was sent\n";
+      return 1;
+    }
+    std::string line;
+    while (chan.recv(line, /*timeout_ms=*/-1)) {
+      std::cout << line << "\n" << std::flush;
+      const util::JsonPtr doc = util::parse_json(line);
+      const std::string type = doc->string_or("type", "");
+      if (type == "status" || type == "done") return 0;
+      if (type == "ack" && doc->string_or("op", "") == "drain") return 0;
+      if (type == "error") {
+        const std::string code = doc->string_or("code", "");
+        return (code == "cancelled" || code == "deadline") ? 3 : 1;
+      }
+    }
+    std::cerr << "orchestration error: connection closed before a terminal response (daemon "
+                 "killed? re-send the request after it restarts)\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "orchestration error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -232,6 +310,11 @@ int main(int argc, char** argv) {
   int shards = 1;
   std::string campaign_path;
   std::string table_path;
+  bool serve = false;
+  std::string socket_path;
+  std::string request_json;
+  int max_queue = 8;
+  double serve_deadline_s = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -278,12 +361,44 @@ int main(int argc, char** argv) {
       campaign_path = next();
     } else if (arg == "--table") {
       table_path = next();
+    } else if (arg == "--serve") {
+      serve = true;
+    } else if (arg == "--socket") {
+      socket_path = next();
+    } else if (arg == "--request") {
+      request_json = next();
+    } else if (arg == "--max-queue") {
+      max_queue = std::stoi(next());
+    } else if (arg == "--deadline") {
+      serve_deadline_s = std::stod(next());
     } else if (arg[0] == '-') {
       std::cerr << "unknown option: " << arg << "\n";
       return usage();
     } else {
       path = arg;
     }
+  }
+  if (serve || !request_json.empty()) {
+    if (serve && !request_json.empty()) {
+      std::cerr << "--serve and --request are mutually exclusive\n";
+      return usage();
+    }
+    if (socket_path.empty()) {
+      std::cerr << "--serve/--request require --socket PATH\n";
+      return usage();
+    }
+    if (!path.empty() || !campaign_path.empty()) {
+      std::cerr << "--serve/--request take no netlist or campaign arguments (requests name "
+                   "their circuits)\n";
+      return usage();
+    }
+    if (!request_json.empty()) return run_client(socket_path, request_json);
+    if (checkpoint_dir.empty()) {
+      std::cerr << "--serve requires --checkpoint DIR (the request journal and shared "
+                   "checkpoint store live there)\n";
+      return usage();
+    }
+    return run_serve(socket_path, checkpoint_dir, shards, max_queue, serve_deadline_s);
   }
   if (!campaign_path.empty()) {
     if (!path.empty()) {

@@ -21,6 +21,11 @@ Suites:
          throughput (rows_per_second) instead of a speedup ratio, and
          additionally requires rss_bounded: the ~1.18M-row acceptance
          campaign must finish with bounded peak-RSS growth.
+  daemon Sizing-as-a-service daemon (BENCH_daemon.json, produced by the
+         daemon_bench binary -- pass it as --microbench).  Gates on
+         dedup-hit replay throughput (rows_per_second) over the socket,
+         and additionally requires clean_exit: the daemon must drain to
+         exit code 0 after the run.
 
 Common checks:
   * the benchmark itself succeeds (each suite self-checks the optimized
@@ -36,7 +41,7 @@ Common checks:
 Usage:
   check_bench.py --microbench build/bench/microbench \
                  --baseline bench/baselines/BENCH_spice.json \
-                 [--suite spice|vbs|campaign] [--threshold 3.0] [--threads N]
+                 [--suite spice|vbs|campaign|daemon] [--threshold 3.0] [--threads N]
 
 --suite defaults from the baseline filename (BENCH_<suite>.json).
 """
@@ -72,7 +77,7 @@ def main() -> int:
     ap.add_argument("--microbench", required=True, help="path to the microbench binary")
     ap.add_argument("--baseline", required=True,
                     help="committed baseline (bench/baselines/BENCH_<suite>.json)")
-    ap.add_argument("--suite", choices=["spice", "vbs", "campaign"],
+    ap.add_argument("--suite", choices=["spice", "vbs", "campaign", "daemon"],
                     help="which microbench suite to run (default: from the baseline filename)")
     ap.add_argument("--threshold", type=float, default=3.0,
                     help="allowed slowdown factor vs the baseline speedup (default 3)")
@@ -84,12 +89,12 @@ def main() -> int:
     suite = args.suite
     if suite is None:
         m = re.search(r"BENCH_(\w+)\.json$", os.path.basename(args.baseline))
-        if not m or m.group(1) not in ("spice", "vbs", "campaign"):
+        if not m or m.group(1) not in ("spice", "vbs", "campaign", "daemon"):
             print(f"FAIL: cannot infer --suite from baseline name "
                   f"'{os.path.basename(args.baseline)}'; pass --suite explicitly")
             return 1
         suite = m.group(1)
-    merit = "rows_per_second" if suite == "campaign" else "speedup"
+    merit = "rows_per_second" if suite in ("campaign", "daemon") else "speedup"
 
     baseline = load_json(args.baseline, "baseline", merit)
     if baseline is None:
@@ -117,6 +122,8 @@ def main() -> int:
         failures.append("optimized results are not bit-identical to the reference run")
     if suite == "spice" and fresh.get("bypass_hits", 0) <= 0:
         failures.append("bypass_hits == 0: the device-evaluation bypass never fired")
+    if suite == "daemon" and not fresh.get("clean_exit", False):
+        failures.append("clean_exit is false: the daemon did not drain to exit code 0")
     if suite == "campaign" and not fresh.get("rss_bounded", False):
         failures.append(
             f"rss_bounded is false: peak RSS grew {fresh.get('rss_delta_mb', 0.0):.1f} MB "
@@ -140,7 +147,7 @@ def main() -> int:
               f"skipping the {merit} comparison -- regenerate the baseline on this build "
               "to re-arm it")
     else:
-        unit = " rows/s" if suite == "campaign" else "x"
+        unit = " rows/s" if suite in ("campaign", "daemon") else "x"
         floor = baseline[merit] / args.threshold
         if fresh[merit] < floor:
             failures.append(
@@ -150,6 +157,9 @@ def main() -> int:
               f"{baseline[merit]:.2f}{unit} (floor {floor:.2f}{unit})")
     if suite == "spice":
         print(f"bypass hit rate {fresh.get('bypass_hit_rate', 0.0):.1%}")
+    if suite == "daemon":
+        print(f"status RTT p50 {fresh.get('rtt_p50_us', 0.0):.0f} us "
+              f"(mean {fresh.get('rtt_mean_us', 0.0):.0f} us)")
     if suite == "campaign":
         print(f"peak RSS growth {fresh.get('rss_delta_mb', 0.0):.1f} MB "
               f"(bounded: {fresh.get('rss_bounded', False)})")

@@ -1,0 +1,788 @@
+#include "sizing/daemon.hpp"
+
+#include <poll.h>
+#include <signal.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sizing/backend.hpp"
+#include "sizing/campaign.hpp"
+#include "sizing/checkpoint.hpp"
+#include "sizing/result_sink.hpp"
+#include "sizing/session.hpp"
+#include "sizing/sizing.hpp"
+#include "sizing/supervisor.hpp"
+#include "util/error.hpp"
+#include "util/faultinject.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/socket.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mtcmos::sizing {
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = kFnvOffset;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::string bits_string(const std::vector<bool>& bits) {
+  std::string out;
+  out.reserve(bits.size());
+  for (const bool b : bits) out += b ? '1' : '0';
+  return out;
+}
+
+/// Compact, deterministic re-serialization of a parsed JSON value:
+/// objects keep insertion order, numbers print via json_double.  Used to
+/// canonicalize the inline campaign spec so the same client bytes always
+/// hash to the same request key and the journaled form re-parses.
+std::string dump_json(const util::JsonPtr& v) {
+  using Kind = util::JsonValue::Kind;
+  if (v == nullptr) return "null";
+  switch (v->kind()) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return v->as_bool() ? "true" : "false";
+    case Kind::kNumber:
+      return util::json_double(v->as_number());
+    case Kind::kString:
+      return util::json_string(v->as_string());
+    case Kind::kArray: {
+      std::string out = "[";
+      const auto& items = v->as_array();
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i != 0) out += ",";
+        out += dump_json(items[i]);
+      }
+      return out + "]";
+    }
+    case Kind::kObject: {
+      std::string out = "{";
+      bool first = true;
+      for (const std::string& key : v->object_keys()) {
+        if (!first) out += ",";
+        first = false;
+        out += util::json_string(key) + ":" + dump_json(v->get(key));
+      }
+      return out + "}";
+    }
+  }
+  return "null";
+}
+
+/// One parsed protocol request.  `canonical()` is the identity: it is
+/// what gets hashed into the request key and what the request journal
+/// stores, so a restart re-parses exactly the admitted work.  The
+/// deadline is deliberately *not* part of the identity -- two clients
+/// asking for the same sweep under different deadlines are asking for
+/// the same work, and a headless restart-resume runs without one.
+struct Request {
+  std::string op;
+  std::string circuit;
+  std::string backend = "vbs";
+  double wl = 10.0;          // rank
+  double target_pct = 5.0;   // size / verify
+  int vectors = 200;         // sampled-mode transition count
+  std::uint64_t seed = 1;
+  double seconds = 0.0;      // sleep
+  std::string spec;          // campaign: canonicalized spec document
+  double deadline_s = 0.0;   // not hashed
+
+  std::string canonical() const {
+    std::string out = "{\"op\":" + util::json_string(op);
+    if (op == "sleep") {
+      out += ",\"seconds\":" + util::json_double(seconds);
+    } else if (op == "campaign") {
+      out += ",\"spec\":" + spec;
+    } else {
+      out += ",\"circuit\":" + util::json_string(circuit) +
+             ",\"backend\":" + util::json_string(backend);
+      if (op == "rank") out += ",\"wl\":" + util::json_double(wl);
+      if (op == "size" || op == "verify") {
+        out += ",\"target_pct\":" + util::json_double(target_pct);
+      }
+      out += ",\"vectors\":" + std::to_string(vectors) + ",\"seed\":" + std::to_string(seed);
+    }
+    return out + "}";
+  }
+
+  std::string key() const { return hex16(fnv1a(canonical())); }
+};
+
+Request parse_request(const util::JsonValue& doc) {
+  Request req;
+  req.op = doc.require("op")->as_string();
+  if (req.op != "rank" && req.op != "size" && req.op != "verify" && req.op != "campaign" &&
+      req.op != "sleep") {
+    throw std::invalid_argument("unknown op '" + req.op +
+                                "' (expected rank|size|verify|campaign|sleep|status|drain)");
+  }
+  req.deadline_s = doc.number_or("deadline_s", 0.0);
+  if (req.op == "sleep") {
+    req.seconds = doc.number_or("seconds", 0.0);
+    if (req.seconds < 0.0) throw std::invalid_argument("sleep: seconds must be >= 0");
+    return req;
+  }
+  if (req.op == "campaign") {
+    const util::JsonPtr spec = doc.require("spec");
+    req.spec = dump_json(spec);
+    CampaignSpec::parse(req.spec);  // validate at admission, not mid-queue
+    return req;
+  }
+  req.circuit = doc.require("circuit")->as_string();
+  req.backend = doc.string_or("backend", "vbs");
+  if (req.backend != "vbs" && req.backend != "spice") {
+    throw std::invalid_argument("unknown backend '" + req.backend + "' (expected vbs or spice)");
+  }
+  req.wl = doc.number_or("wl", 10.0);
+  if (!(req.wl > 0.0)) throw std::invalid_argument("wl must be > 0");
+  req.target_pct = doc.number_or("target_pct", 5.0);
+  req.vectors = static_cast<int>(doc.number_or("vectors", 200.0));
+  if (req.vectors < 1) throw std::invalid_argument("vectors must be >= 1");
+  req.seed = static_cast<std::uint64_t>(doc.number_or("seed", 1.0));
+  // Fail unknown circuits at admission so the client's bad-request
+  // arrives before the ack, not as a failed execution later.
+  campaign_nominal_tech(req.circuit);
+  return req;
+}
+
+/// One accepted client connection.  Lines are written under a mutex so
+/// poll-loop acks and executor row streams never interleave mid-line
+/// (whole-line interleaving is fine: every line carries its request
+/// key).  A client that hung up flips `alive`; senders keep going --
+/// the work itself must finish into the checkpoint store regardless.
+struct Connection {
+  explicit Connection(int fd_in) : fd(fd_in), reader(fd_in) {}
+  ~Connection() { util::close_fd(fd); }
+
+  void send(const std::string& line) {
+    const std::lock_guard<std::mutex> lock(write_mutex);
+    if (!alive.load(std::memory_order_relaxed)) return;
+    if (!util::write_line(fd, line)) alive.store(false, std::memory_order_relaxed);
+  }
+
+  int fd;
+  util::LineReader reader;
+  std::mutex write_mutex;
+  std::atomic<bool> alive{true};
+};
+
+using ConnPtr = std::shared_ptr<Connection>;
+
+/// The executing request's cancellation surface, shared between the
+/// executor (which plumbs the token into the sweep session) and the
+/// poll loop (which raises it on deadline expiry or drain).
+struct ActiveState {
+  util::CancelToken token;
+  Clock::time_point deadline = Clock::time_point::max();
+  std::atomic<bool> deadline_fired{false};
+};
+
+struct Pending {
+  std::string key;
+  std::string canonical;
+  Request req;
+  ConnPtr conn;  ///< nullptr for headless restart-resumed requests
+};
+
+/// ResultSink streaming rows to the client as JSON lines.  Emission
+/// happens in the entry points' serial input-order reduction, so the row
+/// sequence -- indices, bits, round-trip-exact doubles -- is
+/// deterministic and byte-identical between a fresh run and a
+/// checkpoint-replayed one.  kDaemonWrite fires *before* the write with
+/// the row index as scope, so tests can kill the daemon at exactly row k.
+class SocketRowSink final : public ResultSink {
+ public:
+  SocketRowSink(const ConnPtr& conn, const std::string& req_key)
+      : conn_(conn), req_key_(req_key) {}
+
+  void on_delay(const std::string& /*key*/, const VectorDelay& row) override {
+    std::string line = "{\"type\":\"row\",\"req\":\"" + req_key_ +
+                       "\",\"index\":" + std::to_string(index_) + ",\"v0\":\"" +
+                       bits_string(row.pair.v0) + "\",\"v1\":\"" + bits_string(row.pair.v1) +
+                       "\",\"delay_cmos\":" + util::json_double(row.delay_cmos) +
+                       ",\"delay_mtcmos\":" + util::json_double(row.delay_mtcmos) +
+                       ",\"degradation_pct\":" + util::json_double(row.degradation_pct) + "}";
+    emit(line);
+  }
+
+  void on_value(const std::string& /*key*/, double value) override {
+    emit("{\"type\":\"value\",\"req\":\"" + req_key_ + "\",\"index\":" + std::to_string(index_) +
+         ",\"value\":" + util::json_double(value) + "}");
+  }
+
+  std::size_t rows() const { return index_; }
+
+ private:
+  void emit(const std::string& line) {
+    const faultinject::ScopedScope scope(static_cast<std::int64_t>(index_));
+    if (faultinject::fired(faultinject::Site::kDaemonWrite)) ::raise(SIGKILL);
+    ++index_;
+    if (conn_ != nullptr) conn_->send(line);
+  }
+
+  ConnPtr conn_;
+  std::string req_key_;
+  std::size_t index_ = 0;
+};
+
+std::string bool_json(bool v) { return v ? "true" : "false"; }
+
+class DaemonImpl {
+ public:
+  explicit DaemonImpl(const DaemonOptions& options) : options_(options) {}
+
+  DaemonStats serve() {
+    if (options_.socket_path.empty() || options_.state_dir.empty()) {
+      throw std::runtime_error("daemon: socket_path and state_dir are required");
+    }
+    if (options_.max_queue < 0) throw std::runtime_error("daemon: max_queue must be >= 0");
+    ::signal(SIGPIPE, SIG_IGN);
+    if (options_.cancel_token == nullptr) util::install_cancel_signal_handlers();
+
+    fs::create_directories(options_.state_dir);
+    requests_.open((fs::path(options_.state_dir) / "requests.mtj").string(), options_.journal);
+    store_.open((fs::path(options_.state_dir) / "store.mtj").string(), options_.journal);
+
+    // Boot counter: the process generation for kDaemon* faultinject
+    // plans.  A plan pinned to generation 0 kills only the first daemon
+    // life, so a deterministic kill test's *restarted* daemon (same
+    // inherited plan table) does not die again at the same site.
+    int prior_boots = 0;
+    if (const std::string* b = requests_.find("boot")) prior_boots = std::atoi(b->c_str());
+    faultinject::set_generation(prior_boots);
+    requests_.append("boot", std::to_string(prior_boots + 1));
+
+    resume_unfinished();
+
+    listener_.open(options_.socket_path);
+    std::thread executor([this] { executor_loop(); });
+    poll_loop();
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      stop_ = true;
+    }
+    queue_cv_.notify_all();
+    executor.join();
+    listener_.close();
+    requests_.flush();
+    store_.journal().flush();
+
+    DaemonStats out;
+    out.accepted = accepted_.load();
+    out.rejected = rejected_.load();
+    out.completed = completed_.load();
+    out.failed = failed_.load();
+    out.resumed = resumed_.load();
+    out.dedup_hits = dedup_hits_.load();
+    out.dedup_misses = dedup_misses_.load();
+    out.interrupted = interrupted_.load();
+    return out;
+  }
+
+ private:
+  util::CancelToken& drain_token() {
+    return options_.cancel_token != nullptr ? *options_.cancel_token
+                                            : util::CancelToken::global();
+  }
+
+  /// Replay the request journal: every acked (`req:`) record without a
+  /// matching `done:` re-enters the queue headless, in sorted-key order
+  /// so resumes are deterministic.
+  void resume_unfinished() {
+    // Snapshot first: for_each holds the journal mutex, so find() calls
+    // from inside the callback would self-deadlock.
+    std::vector<std::pair<std::string, std::string>> requests;
+    std::set<std::string> done;
+    requests_.for_each([&](const std::string& key, const std::string& value) {
+      if (key.rfind("req:", 0) == 0) requests.emplace_back(key.substr(4), value);
+      if (key.rfind("done:", 0) == 0) done.insert(key.substr(5));
+    });
+    std::vector<std::pair<std::string, std::string>> unfinished;
+    for (auto& [id, canonical] : requests) {
+      if (done.count(id) == 0) unfinished.emplace_back(id, canonical);
+    }
+    std::sort(unfinished.begin(), unfinished.end());
+    for (auto& [id, canonical] : unfinished) {
+      Pending p;
+      p.key = id;
+      p.canonical = canonical;
+      try {
+        p.req = parse_request(*util::parse_json(canonical));
+      } catch (const std::exception&) {
+        // A journal written by an incompatible run: mark it done so it
+        // does not wedge every future boot, and keep serving.
+        requests_.append("done:" + id, "{\"type\":\"error\",\"code\":\"bad-request\"}");
+        continue;
+      }
+      p.req.deadline_s = 0.0;  // headless resumes run to completion
+      {
+        const std::lock_guard<std::mutex> lock(queue_mutex_);
+        queue_.push_back(std::move(p));
+      }
+      resumed_.fetch_add(1);
+    }
+    queue_cv_.notify_all();
+  }
+
+  // ---------------------------------------------------------------- poll
+
+  void poll_loop() {
+    std::map<int, ConnPtr> conns;
+    while (true) {
+      if (drain_token().requested() && !cancel_drain_.load()) begin_cancel_drain();
+      check_deadline();
+      if (draining_.load() && queue_empty() && !executor_busy_.load()) break;
+
+      wait_activity(conns);
+      accept_new(conns);
+      read_clients(conns);
+    }
+    // Drain complete: close client connections (EOF tells clients the
+    // daemon is gone).
+    conns.clear();
+  }
+
+  bool queue_empty() {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    return queue_.empty();
+  }
+
+  void begin_cancel_drain() {
+    cancel_drain_.store(true);
+    draining_.store(true);
+    {
+      const std::lock_guard<std::mutex> lock(active_mutex_);
+      if (active_ != nullptr) active_->token.request();
+    }
+    queue_cv_.notify_all();
+  }
+
+  void check_deadline() {
+    const std::lock_guard<std::mutex> lock(active_mutex_);
+    if (active_ == nullptr) return;
+    if (Clock::now() >= active_->deadline && !active_->deadline_fired.load()) {
+      active_->deadline_fired.store(true);
+      active_->token.request();
+    }
+  }
+
+  void wait_activity(const std::map<int, ConnPtr>& conns) {
+    std::vector<pollfd> fds;
+    fds.push_back({listener_.fd(), POLLIN, 0});
+    for (const auto& [fd, conn] : conns) fds.push_back({fd, POLLIN, 0});
+    ::poll(fds.data(), fds.size(), options_.poll_interval_ms);  // EINTR = a normal tick
+  }
+
+  void accept_new(std::map<int, ConnPtr>& conns) {
+    while (true) {
+      const int fd = listener_.accept_client();
+      if (fd < 0) break;
+      const faultinject::ScopedScope scope(static_cast<std::int64_t>(conn_seq_++));
+      if (faultinject::fired(faultinject::Site::kDaemonAccept)) ::raise(SIGKILL);
+      conns.emplace(fd, std::make_shared<Connection>(fd));
+    }
+  }
+
+  void read_clients(std::map<int, ConnPtr>& conns) {
+    std::vector<int> closed;
+    for (auto& [fd, conn] : conns) {
+      std::vector<std::string> lines;
+      conn->reader.poll(lines);
+      for (const std::string& line : lines) {
+        if (!line.empty()) handle_line(conn, line);
+      }
+      if (conn->reader.eof()) {
+        conn->alive.store(false, std::memory_order_relaxed);
+        closed.push_back(fd);
+      }
+    }
+    for (const int fd : closed) conns.erase(fd);
+  }
+
+  void handle_line(const ConnPtr& conn, const std::string& line) {
+    Request req;
+    try {
+      const util::JsonPtr doc = util::parse_json(line);
+      const std::string op = doc->require("op")->as_string();
+      if (op == "status") {
+        conn->send(status_line());
+        return;
+      }
+      if (op == "drain") {
+        draining_.store(true);
+        queue_cv_.notify_all();
+        conn->send("{\"type\":\"ack\",\"op\":\"drain\"}");
+        return;
+      }
+      req = parse_request(*doc);
+    } catch (const std::exception& e) {
+      rejected_.fetch_add(1);
+      conn->send("{\"type\":\"error\",\"code\":\"bad-request\",\"message\":" +
+                 util::json_string(e.what()) + "}");
+      return;
+    }
+
+    if (draining_.load()) {
+      rejected_.fetch_add(1);
+      conn->send("{\"type\":\"error\",\"code\":\"draining\",\"message\":\"daemon is draining; "
+                 "not admitting new requests\"}");
+      return;
+    }
+    {
+      // An idle daemon (nothing executing, nothing queued) always admits;
+      // the bound is on requests *waiting behind* the executing one.
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      const bool idle = !executor_busy_.load() && queue_.empty();
+      if (!idle && queue_.size() >= static_cast<std::size_t>(options_.max_queue)) {
+        rejected_.fetch_add(1);
+        conn->send("{\"type\":\"error\",\"code\":\"overloaded\",\"message\":\"admission queue "
+                   "is full (" +
+                   std::to_string(options_.max_queue) + "); retry later\"}");
+        return;
+      }
+    }
+
+    Pending p;
+    p.key = req.key();
+    p.canonical = req.canonical();
+    p.req = std::move(req);
+    p.conn = conn;
+
+    const faultinject::ScopedScope scope(static_cast<std::int64_t>(request_seq_++));
+    if (faultinject::fired(faultinject::Site::kDaemonRead)) ::raise(SIGKILL);
+
+    // Journal strictly before the ack: once the client has seen the ack,
+    // the request survives any crash.  (A crash between journal and ack
+    // -- kDaemonAckLost -- resumes headless AND lets the client safely
+    // re-send: same canonical bytes, same key, answered from the store.)
+    if (requests_.find("req:" + p.key) == nullptr) {
+      requests_.append("req:" + p.key, p.canonical);
+    }
+    if (faultinject::fired(faultinject::Site::kDaemonAckLost)) ::raise(SIGKILL);
+    conn->send("{\"type\":\"ack\",\"req\":\"" + p.key + "\",\"op\":\"" + p.req.op + "\"}");
+    accepted_.fetch_add(1);
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      queue_.push_back(std::move(p));
+    }
+    queue_cv_.notify_all();
+  }
+
+  std::string status_line() {
+    std::size_t depth;
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      depth = queue_.size();
+    }
+    return "{\"type\":\"status\",\"queue\":" + std::to_string(depth) +
+           ",\"active\":" + std::to_string(executor_busy_.load() ? 1 : 0) +
+           ",\"accepted\":" + std::to_string(accepted_.load()) +
+           ",\"rejected\":" + std::to_string(rejected_.load()) +
+           ",\"completed\":" + std::to_string(completed_.load()) +
+           ",\"failed\":" + std::to_string(failed_.load()) +
+           ",\"resumed\":" + std::to_string(resumed_.load()) +
+           ",\"dedup_hits\":" + std::to_string(dedup_hits_.load()) +
+           ",\"dedup_misses\":" + std::to_string(dedup_misses_.load()) +
+           ",\"max_queue\":" + std::to_string(options_.max_queue) +
+           ",\"shards\":" + std::to_string(options_.shards) +
+           ",\"draining\":" + bool_json(draining_.load()) + "}";
+  }
+
+  // ------------------------------------------------------------ executor
+
+  void executor_loop() {
+    while (true) {
+      Pending p;
+      {
+        std::unique_lock<std::mutex> lock(queue_mutex_);
+        queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) {
+          if (stop_) return;
+          continue;
+        }
+        p = std::move(queue_.front());
+        queue_.pop_front();
+        executor_busy_.store(true);
+      }
+      if (cancel_drain_.load()) {
+        // Admitted but never started: stays journaled (req: without
+        // done:), resumes on the next boot.
+        interrupted_.store(true);
+        send_error(p, "cancelled", "daemon is shutting down; request journaled for restart");
+        executor_busy_.store(false);
+        continue;
+      }
+      run_request(p);
+      executor_busy_.store(false);
+    }
+  }
+
+  void send_error(const Pending& p, const std::string& code, const std::string& message) {
+    if (p.conn != nullptr) {
+      p.conn->send("{\"type\":\"error\",\"req\":\"" + p.key + "\",\"code\":\"" + code +
+                   "\",\"message\":" + util::json_string(message) + "}");
+    }
+  }
+
+  void run_request(const Pending& p) {
+    auto active = std::make_shared<ActiveState>();
+    const double deadline_s =
+        p.req.deadline_s > 0.0 ? p.req.deadline_s : options_.default_deadline_s;
+    if (deadline_s > 0.0) {
+      active->deadline =
+          Clock::now() + std::chrono::microseconds(static_cast<std::int64_t>(deadline_s * 1e6));
+    }
+    {
+      const std::lock_guard<std::mutex> lock(active_mutex_);
+      active_ = active;
+    }
+    const std::size_t store_before = store_.journal().size();
+    std::string done_fields;
+    std::string fail_message;
+    SweepReport report;
+    SocketRowSink sink(p.conn, p.key);
+    try {
+      if (p.req.op == "sleep") {
+        run_sleep(p.req, active->token);
+      } else if (p.req.op == "campaign") {
+        done_fields = run_campaign(p, report, active->token);
+      } else {
+        done_fields = run_sweep(p, report, sink, active->token, deadline_s);
+      }
+    } catch (const NumericalError& e) {
+      if (e.info().code != FailureCode::kCancelled) fail_message = e.what();
+    } catch (const std::exception& e) {
+      fail_message = e.what();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(active_mutex_);
+      active_ = nullptr;
+    }
+
+    const std::size_t new_records = store_.journal().size() - store_before;
+    const std::size_t total = report.total;
+    const std::size_t hits = total > new_records ? total - new_records : 0;
+    dedup_hits_.fetch_add(hits);
+    dedup_misses_.fetch_add(new_records);
+
+    if (!fail_message.empty()) {
+      // A terminal, non-cancellation failure is an *answer*: journal it
+      // done so the daemon does not re-run a deterministic failure on
+      // every boot.  Re-sending the request re-runs it on demand.
+      failed_.fetch_add(1);
+      requests_.append("done:" + p.key, "error");
+      send_error(p, "failed", fail_message);
+      return;
+    }
+    if (active->token.requested()) {
+      // Interrupted (deadline or drain): completed items are in the
+      // store, the request stays journaled, and the next boot finishes
+      // it headless.
+      if (active->deadline_fired.load()) {
+        send_error(p, "deadline",
+                   "deadline of " + util::json_double(deadline_s) +
+                       "s expired; partial work is checkpointed and will finish after the next "
+                       "daemon start, or re-send the request");
+      } else {
+        interrupted_.store(true);
+        send_error(p, "cancelled", "daemon is shutting down; request journaled for restart");
+      }
+      return;
+    }
+
+    completed_.fetch_add(1);
+    requests_.append("done:" + p.key, "ok");
+    if (p.conn != nullptr) {
+      std::string line = "{\"type\":\"done\",\"req\":\"" + p.key + "\",\"op\":\"" + p.req.op +
+                         "\",\"rows\":" + std::to_string(sink.rows()) +
+                         ",\"total\":" + std::to_string(report.total) +
+                         ",\"failed\":" + std::to_string(report.failed) +
+                         ",\"dedup_hits\":" + std::to_string(hits) +
+                         ",\"dedup_misses\":" + std::to_string(new_records) + done_fields + "}";
+      p.conn->send(line);
+    }
+  }
+
+  void run_sleep(const Request& req, util::CancelToken& token) {
+    const auto end =
+        Clock::now() + std::chrono::microseconds(static_cast<std::int64_t>(req.seconds * 1e6));
+    while (Clock::now() < end) {
+      if (token.requested()) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+
+  /// rank / size / verify bodies.  Returns extra done-line fields.
+  std::string run_sweep(const Pending& p, SweepReport& report, SocketRowSink& sink,
+                        util::CancelToken& token, double deadline_s) {
+    const Request& req = p.req;
+    const CornerCircuit cc = build_campaign_circuit(req.circuit, nullptr);
+    std::unique_ptr<EvalBackend> backend;
+    if (req.backend == "spice") {
+      backend = std::make_unique<SpiceBackend>(cc.nl, cc.outputs);
+    } else {
+      backend = std::make_unique<VbsBackend>(cc.nl, cc.outputs);
+    }
+
+    const int n_in = static_cast<int>(cc.nl.inputs().size());
+    std::vector<VectorPair> vectors;
+    if (n_in <= 8) {
+      vectors = all_vector_pairs(n_in);
+    } else {
+      Rng rng(req.seed);
+      vectors = sampled_vector_pairs(n_in, req.vectors, rng);
+    }
+
+    EvalSession session;
+    session.report = &report;
+    session.checkpoint = &store_;
+    session.cancel_token = &token;
+    session.deadline_s = deadline_s;
+    session.sink = &sink;
+
+    if (req.op == "rank") {
+      if (options_.shards > 1 && !all_keys_present(*backend, vectors, req.wl)) {
+        // Fan the missing items across supervised worker processes; their
+        // shard journals merge into the shared store, then the streaming
+        // pass below replays everything without simulating.
+        SupervisorOptions sopt;
+        sopt.shards = options_.shards;
+        sopt.dir = (fs::path(options_.state_dir) / "shards" / p.key).string();
+        sopt.cancel_token = &token;
+        sopt.journal = options_.journal;
+        sharded_rank_vectors(*backend, vectors, req.wl, sopt, &store_);
+      }
+      rank_vectors_stream(*backend, vectors, req.wl, session);
+      return "";
+    }
+    if (req.op == "size") {
+      const SizingResult sized = size_for_degradation(*backend, vectors, req.target_pct, {}, session);
+      return ",\"wl\":" + util::json_double(sized.wl) +
+             ",\"degradation_pct\":" + util::json_double(sized.degradation_pct) + ",\"v0\":\"" +
+             bits_string(sized.binding_vector.v0) + "\",\"v1\":\"" +
+             bits_string(sized.binding_vector.v1) + "\"";
+    }
+    // verify: size on the fast backend, re-measure on the reference.
+    const SizingResult sized = size_for_degradation(*backend, vectors, req.target_pct, {}, session);
+    const SpiceBackend reference(cc.nl, cc.outputs);
+    const VerifyResult vr = verify_sizing(*backend, reference, sized, req.target_pct, session);
+    if (!vr.ok) throw NumericalError(FailureInfo(vr.failure));
+    return ",\"wl\":" + util::json_double(vr.wl) +
+           ",\"fast_degradation_pct\":" + util::json_double(vr.fast_degradation_pct) +
+           ",\"reference_degradation_pct\":" + util::json_double(vr.reference_degradation_pct) +
+           ",\"delta_pct\":" + util::json_double(vr.delta_pct) +
+           ",\"meets_target\":" + bool_json(vr.reference_meets_target);
+  }
+
+  bool all_keys_present(const EvalBackend& backend, const std::vector<VectorPair>& vectors,
+                        double wl) {
+    const std::string prefix = checkpoint_prefix(
+        "rank", backend.name(), netlist_fingerprint(backend.netlist(), backend.outputs()), wl);
+    for (const VectorPair& vp : vectors) {
+      if (store_.journal().find(checkpoint_item_key(prefix, vp)) == nullptr) return false;
+    }
+    return true;
+  }
+
+  std::string run_campaign(const Pending& p, SweepReport& report, util::CancelToken& token) {
+    const CampaignSpec spec = CampaignSpec::parse(p.req.spec);
+    const std::string dir = (fs::path(options_.state_dir) / "campaigns" / p.key).string();
+    const bool resume = fs::exists(fs::path(dir) / "campaign.mtj");
+    CampaignDriver driver(spec, dir, resume, options_.journal);
+    const std::size_t replayed_before = driver.chunks_done();
+    const CampaignStats stats = driver.run(options_.shards, &report, &token);
+    if (!stats.complete) {
+      if (stats.cancelled || token.requested()) return "";  // classified by the caller
+      throw std::runtime_error("campaign incomplete: " + std::to_string(driver.chunks_done()) +
+                               "/" + std::to_string(driver.n_chunks()) +
+                               " chunks journaled (quarantined chunks?)");
+    }
+    const std::string table_path = (fs::path(dir) / "table.json").string();
+    std::ofstream os(table_path, std::ios::binary);
+    if (!os) throw std::runtime_error("cannot open " + table_path + " for writing");
+    driver.write_table(os);
+    // Campaign dedup is chunk-granular: replayed chunks are store hits.
+    dedup_hits_.fetch_add(replayed_before);
+    return ",\"table_path\":" + util::json_string(table_path) +
+           ",\"chunks_total\":" + std::to_string(stats.chunks_total) +
+           ",\"chunks_replayed\":" + std::to_string(stats.chunks_replayed) +
+           ",\"chunks_run\":" + std::to_string(stats.chunks_run) +
+           ",\"rows_spilled\":" + std::to_string(stats.rows_emitted);
+  }
+
+  // --------------------------------------------------------------- state
+
+  const DaemonOptions& options_;
+  util::UnixListener listener_;
+  util::Journal requests_;
+  Checkpoint store_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  bool stop_ = false;
+
+  std::mutex active_mutex_;
+  std::shared_ptr<ActiveState> active_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> cancel_drain_{false};
+  std::atomic<bool> executor_busy_{false};
+  std::atomic<bool> interrupted_{false};
+
+  std::atomic<std::size_t> accepted_{0};
+  std::atomic<std::size_t> rejected_{0};
+  std::atomic<std::size_t> completed_{0};
+  std::atomic<std::size_t> failed_{0};
+  std::atomic<std::size_t> resumed_{0};
+  std::atomic<std::size_t> dedup_hits_{0};
+  std::atomic<std::size_t> dedup_misses_{0};
+
+  std::size_t conn_seq_ = 0;
+  std::size_t request_seq_ = 0;
+};
+
+}  // namespace
+
+DaemonStats Daemon::serve() {
+  DaemonImpl impl(options_);
+  return impl.serve();
+}
+
+}  // namespace mtcmos::sizing

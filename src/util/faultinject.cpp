@@ -50,6 +50,10 @@ const char* to_string(Site site) {
     case Site::kWorkerKill: return "worker-kill";
     case Site::kWorkerStall: return "worker-stall";
     case Site::kWorkerTornTail: return "worker-torn-tail";
+    case Site::kDaemonAccept: return "daemon-accept";
+    case Site::kDaemonRead: return "daemon-read";
+    case Site::kDaemonAckLost: return "daemon-ack-lost";
+    case Site::kDaemonWrite: return "daemon-write";
   }
   return "unknown-site";
 }

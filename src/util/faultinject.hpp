@@ -45,6 +45,14 @@ enum class Site : int {
   kWorkerKill,             ///< worker raises SIGKILL before running the item
   kWorkerStall,            ///< worker stops heartbeating and hangs
   kWorkerTornTail,         ///< worker writes a torn journal tail, then SIGKILL
+  // Daemon lifecycle sites consumed by mtcmos_sizerd via fired() (the
+  // daemon raises SIGKILL on a hit; see sizing/daemon.hpp).  Scope is the
+  // connection index for accept, the request sequence number for
+  // read/ack-lost, and the streamed row index for write.
+  kDaemonAccept,           ///< daemon dies right after accepting a connection
+  kDaemonRead,             ///< daemon dies after reading a request, before journaling it
+  kDaemonAckLost,          ///< daemon dies after journaling a request, before the ack
+  kDaemonWrite,            ///< daemon dies before streaming a result row
 };
 
 const char* to_string(Site site);

@@ -30,8 +30,11 @@
 // cheaper than an fsync.  fsync_every adds a count-based trigger on top
 // for callers that want per-record durability (fsync_every = 1).
 //
-// Thread safety: append()/flush() are mutex-serialized and safe to call
-// from pool workers; open/replay/compact are owner-thread operations.
+// Thread safety: append()/flush()/compact() are mutex-serialized and
+// safe to call from pool workers -- a compaction racing concurrent
+// appends lands every record in either the old or the new file, never
+// torn across both (the daemon compacts its request journal while the
+// executor appends).  open/replay are owner-thread operations.
 
 #include <chrono>
 #include <cstddef>

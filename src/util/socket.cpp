@@ -1,0 +1,157 @@
+#include "util/socket.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace mtcmos::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error("socket: " + what + ": " + std::strerror(errno));
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket: path too long for sockaddr_un: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+void set_nonblocking_cloexec(int fd) {
+  const int fl = ::fcntl(fd, F_GETFL);
+  if (fl >= 0) ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+  const int fdfl = ::fcntl(fd, F_GETFD);
+  if (fdfl >= 0) ::fcntl(fd, F_SETFD, fdfl | FD_CLOEXEC);
+}
+
+}  // namespace
+
+UnixListener::~UnixListener() { close(); }
+
+void UnixListener::open(const std::string& path, int backlog) {
+  close();
+  const sockaddr_un addr = make_addr(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket failed");
+  // A stale socket file from a crashed daemon would make bind fail with
+  // EADDRINUSE even though nobody is listening; the request journal, not
+  // the socket file, is what carries state across restarts.
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("bind failed for " + path);
+  }
+  if (::listen(fd, backlog) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    ::unlink(path.c_str());
+    errno = saved;
+    throw_errno("listen failed for " + path);
+  }
+  fd_ = fd;
+  path_ = path;
+}
+
+void UnixListener::close() {
+  if (fd_ >= 0) {
+    close_fd(fd_);
+    fd_ = -1;
+    ::unlink(path_.c_str());
+    path_.clear();
+  }
+}
+
+int UnixListener::accept_client() {
+  if (fd_ < 0) return -1;
+  while (true) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) {
+      set_nonblocking_cloexec(client);
+      return client;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) return -1;
+    throw_errno("accept failed");
+  }
+}
+
+int unix_connect(const std::string& path) {
+  const sockaddr_un addr = make_addr(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket failed");
+  int r;
+  do {
+    r = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (r != 0 && errno == EINTR);
+  if (r != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect failed for " + path);
+  }
+  return fd;
+}
+
+bool wait_readable(int fd, int timeout_ms) {
+  using clock = std::chrono::steady_clock;
+  const auto deadline =
+      timeout_ms < 0 ? clock::time_point::max() : clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    int remaining = -1;
+    if (timeout_ms >= 0) {
+      const auto left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - clock::now()).count();
+      remaining = left > 0 ? static_cast<int>(left) : 0;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, remaining);
+    if (r > 0) return (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+    if (r == 0) return false;  // timed out
+    if (errno != EINTR) throw_errno("poll failed");
+  }
+}
+
+LineChannel::LineChannel(int fd) : fd_(fd), reader_(fd) { set_nonblocking_cloexec(fd); }
+
+void LineChannel::close() {
+  if (fd_ >= 0) {
+    close_fd(fd_);
+    fd_ = -1;
+  }
+}
+
+bool LineChannel::recv(std::string& out, int timeout_ms) {
+  while (true) {
+    if (!pending_.empty()) {
+      out = std::move(pending_.front());
+      pending_.pop_front();
+      return true;
+    }
+    if (fd_ < 0 || reader_.eof()) return false;
+    if (!wait_readable(fd_, timeout_ms)) return false;
+    std::vector<std::string> lines;
+    reader_.poll(lines);
+    for (std::string& line : lines) pending_.push_back(std::move(line));
+    // A wakeup that produced no complete line (partial write in flight)
+    // loops back into poll() against the same timeout budget; EOF with
+    // nothing buffered falls out above.
+    if (pending_.empty() && reader_.eof()) return false;
+  }
+}
+
+}  // namespace mtcmos::util

@@ -1,0 +1,94 @@
+#pragma once
+// Unix-domain line-protocol socket helpers for mtcmos_sizerd.
+//
+// The daemon (sizing/daemon.hpp) speaks newline-delimited JSON over a
+// SOCK_STREAM Unix-domain socket.  This header carries the small POSIX
+// surface under it, sharing the line discipline with the worker status
+// pipes: write_line() for sends and LineReader (subprocess.hpp) for
+// receives, so the EINTR/short-read hardening is exercised by both the
+// supervisor and the daemon.
+//
+//  - UnixListener: bind/listen/accept with nonblocking, close-on-exec
+//    fds, stale-socket unlink on open and unlink on close.
+//  - unix_connect(): blocking client connect.
+//  - wait_readable(): poll() one fd, EINTR-retried.
+//  - LineChannel: client-side convenience bundling an fd, a LineReader,
+//    and a pending-line queue into blocking send()/recv() calls -- what
+//    tests, the bench, and the CLI's --request mode use.
+
+#include <deque>
+#include <string>
+
+#include "util/subprocess.hpp"
+
+namespace mtcmos::util {
+
+/// Listening Unix-domain socket.  Non-copyable; close() (or destruction)
+/// closes the fd and unlinks the socket path.
+class UnixListener {
+ public:
+  UnixListener() = default;
+  ~UnixListener();
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  /// Create a nonblocking SOCK_STREAM listener at `path`, unlinking any
+  /// stale socket file first.  Throws std::runtime_error on failure
+  /// (path too long for sockaddr_un, bind/listen errors).
+  void open(const std::string& path, int backlog = 16);
+  void close();
+
+  bool is_open() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  const std::string& path() const { return path_; }
+
+  /// Accept one pending connection.  Returns the nonblocking,
+  /// close-on-exec connection fd, or -1 when no connection is pending.
+  /// Transient accept errors (ECONNABORTED, EINTR) are treated as "none
+  /// pending"; hard errors throw.
+  int accept_client();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Blocking client connect to a Unix-domain listener.  Retries EINTR.
+/// Throws std::runtime_error when the daemon is not there.
+int unix_connect(const std::string& path);
+
+/// poll() `fd` for readability; true when readable before `timeout_ms`
+/// elapses (-1 = wait forever).  Retries EINTR against the remaining
+/// budget.  POLLHUP/POLLERR count as readable so callers observe EOF.
+bool wait_readable(int fd, int timeout_ms);
+
+/// Client-side line channel over a connected socket fd (takes ownership;
+/// the fd is switched to nonblocking -- LineReader requires it, and
+/// recv() supplies the blocking semantics via wait_readable).
+class LineChannel {
+ public:
+  explicit LineChannel(int fd);
+  ~LineChannel() { close(); }
+  LineChannel(const LineChannel&) = delete;
+  LineChannel& operator=(const LineChannel&) = delete;
+
+  int fd() const { return fd_; }
+  void close();
+
+  /// Send one line; false when the daemon hung up.
+  bool send(const std::string& line) { return fd_ >= 0 && write_line(fd_, line); }
+
+  /// Receive the next line, waiting up to `timeout_ms` (-1 = forever).
+  /// False on timeout or EOF with no buffered line left.
+  bool recv(std::string& out, int timeout_ms = -1);
+
+  /// EOF observed and every buffered line consumed.
+  bool drained() { return pending_.empty() && reader_.eof(); }
+
+ private:
+  int fd_ = -1;
+  LineReader reader_;
+  std::deque<std::string> pending_;
+};
+
+}  // namespace mtcmos::util

@@ -1,6 +1,7 @@
 #include "util/subprocess.hpp"
 
 #include <fcntl.h>
+#include <poll.h>
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -116,6 +117,15 @@ bool write_line(int fd, const std::string& line) {
     const ssize_t n = ::write(fd, buf.data() + done, buf.size() - done);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Nonblocking socket with a full send buffer (a slow client
+        // mid-row-stream): wait for writability instead of dropping the
+        // line.  POLLERR/POLLHUP wake the poll and the retried write
+        // then reports the real error.
+        pollfd pfd{fd, POLLOUT, 0};
+        ::poll(&pfd, 1, -1);
+        continue;
+      }
       return false;  // EPIPE: reader is gone
     }
     done += static_cast<std::size_t>(n);
@@ -130,7 +140,9 @@ bool LineReader::poll(std::vector<std::string>& lines) {
     const ssize_t n = ::read(fd_, buf, sizeof(buf));
     if (n < 0) {
       if (errno == EINTR) continue;
-      break;  // EAGAIN: drained for now
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;  // drained for now
+      eof_ = true;  // ECONNRESET etc.: the peer is gone, not "try later"
+      break;
     }
     if (n == 0) {
       eof_ = true;

@@ -68,14 +68,21 @@ void send_signal(pid_t pid, int sig);
 /// Retrying close() for fds handed out by spawn_child.
 void close_fd(int fd);
 
-/// Write one '\n'-terminated line to a pipe fd, retrying EINTR.  Returns
-/// false if the reader vanished (EPIPE) -- workers treat that as "parent
-/// died, stop".  The write is at most PIPE_BUF bytes so it is atomic.
+/// Write one '\n'-terminated line to a pipe or socket fd, retrying EINTR
+/// and short writes.  Returns false if the reader vanished (EPIPE /
+/// ECONNRESET) -- workers treat that as "parent died, stop", the daemon
+/// as "client hung up".  Callers must have SIGPIPE ignored.  Worker
+/// heartbeat lines stay under PIPE_BUF so they are atomic on pipes;
+/// longer lines (daemon result rows) are delivered by the retry loop.
 bool write_line(int fd, const std::string& line);
 
-/// Incremental line splitter over a nonblocking fd.  poll() drains
-/// whatever is currently readable and appends complete lines; a trailing
-/// partial line is buffered until its newline arrives.
+/// Incremental line splitter over a nonblocking fd (worker status pipes,
+/// daemon socket connections).  poll() drains whatever is currently
+/// readable and appends complete lines; a trailing partial line is
+/// buffered until its newline arrives -- byte-at-a-time delivery and
+/// EINTR-interrupted reads reassemble losslessly.  Any read error other
+/// than EAGAIN/EWOULDBLOCK (e.g. ECONNRESET on a socket) is EOF: the
+/// peer is gone and will never deliver the missing newline.
 class LineReader {
  public:
   explicit LineReader(int fd) : fd_(fd) {}

@@ -1,0 +1,515 @@
+// mtcmos_sizerd contract tests: line-protocol round trips, admission
+// control (coded `overloaded` rejections under flood), request
+// deadlines, graceful drain exit codes, cross-request dedup counters,
+// and the crash-safety ladder driven by the kDaemon* faultinject sites
+// -- kill after accept, after read-before-journal, between journal and
+// ack, and mid-row-stream, each followed by a restart that must resume
+// journaled work and answer a re-sent request with byte-identical rows.
+//
+// The daemon runs as a forked child (util::spawn_child) so a SIGKILL
+// plan takes out a real process; the fork inherits the test's armed
+// plan table, and the daemon's boot-counter generation stamp keeps a
+// generation-0 plan from re-firing in the restarted life.
+
+#include "sizing/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/faultinject.hpp"
+#include "util/socket.hpp"
+#include "util/subprocess.hpp"
+
+namespace mtcmos {
+namespace {
+
+namespace fs = std::filesystem;
+using sizing::Daemon;
+using sizing::DaemonOptions;
+using util::ChildProcess;
+using util::ExitStatus;
+using util::LineChannel;
+
+// ------------------------------------------------------------ satellite:
+// LineReader short-read hardening.  A writer dribbles two lines one byte
+// at a time while bombarding the reader with a no-SA_RESTART signal, so
+// reads and polls keep getting interrupted mid-byte; both lines must
+// still arrive intact and in order.
+
+void noop_handler(int) {}
+
+TEST(LineReaderHardening, ByteAtATimeInterruptedWritesDeliverWholeLines) {
+  struct sigaction sa {};
+  sa.sa_handler = noop_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART: force EINTR
+  struct sigaction old {};
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  const std::string payload = "first line with spaces\nsecond:{\"json\":true}\n";
+
+  const pthread_t reader_thread = ::pthread_self();
+  std::thread writer([&] {
+    for (const char c : payload) {
+      ASSERT_EQ(::write(sv[1], &c, 1), 1);
+      ::pthread_kill(reader_thread, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    ::close(sv[1]);
+  });
+
+  LineChannel ch(sv[0]);
+  std::string line;
+  ASSERT_TRUE(ch.recv(line, 10000));
+  EXPECT_EQ(line, "first line with spaces");
+  ASSERT_TRUE(ch.recv(line, 10000));
+  EXPECT_EQ(line, "second:{\"json\":true}");
+  EXPECT_FALSE(ch.recv(line, 1000));  // EOF after the writer closed
+  EXPECT_TRUE(ch.drained());
+  writer.join();
+  ::sigaction(SIGUSR1, &old, nullptr);
+}
+
+// --------------------------------------------------------------- harness
+
+class DaemonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("daemon_test." + std::to_string(::getpid()) + "." +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+
+  void TearDown() override {
+    faultinject::disarm_all();
+    for (const pid_t pid : running_) {
+      util::send_signal(pid, SIGKILL);
+      util::reap(pid);
+    }
+    running_.clear();
+    fs::remove_all(dir_);
+  }
+
+  std::string sock() const { return (dir_ / "d.sock").string(); }
+  std::string state(const std::string& name) const { return (dir_ / name).string(); }
+
+  /// Fork a daemon on `state_dir`.  The child inherits whatever
+  /// faultinject plans are armed right now.
+  ChildProcess start(const std::string& state_dir, int max_queue = 8, int shards = 1,
+                     double default_deadline_s = 0.0) {
+    DaemonOptions opt;
+    opt.socket_path = sock();
+    opt.state_dir = state_dir;
+    opt.max_queue = max_queue;
+    opt.shards = shards;
+    opt.default_deadline_s = default_deadline_s;
+    opt.poll_interval_ms = 10;
+    ChildProcess child = util::spawn_child([opt](int) -> int {
+      Daemon daemon(opt);
+      return Daemon::exit_code(daemon.serve());
+    });
+    util::close_fd(child.pipe_fd);
+    running_.push_back(child.pid);
+    return child;
+  }
+
+  ExitStatus wait_exit(const ChildProcess& child) {
+    const ExitStatus st = util::reap(child.pid);
+    running_.erase(std::remove(running_.begin(), running_.end(), child.pid), running_.end());
+    return st;
+  }
+
+  /// Connect to the daemon socket, retrying while it boots (or reboots:
+  /// a stale socket file from a killed daemon refuses connections until
+  /// the restarted listener rebinds).
+  std::unique_ptr<LineChannel> connect(int timeout_ms = 15000) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (true) {
+      try {
+        return std::make_unique<LineChannel>(util::unix_connect(sock()));
+      } catch (const std::exception&) {
+        if (std::chrono::steady_clock::now() >= deadline) throw;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    }
+  }
+
+  static std::string recv_line(LineChannel& ch, int timeout_ms = 60000) {
+    std::string line;
+    EXPECT_TRUE(ch.recv(line, timeout_ms)) << "expected a protocol line, got timeout/EOF";
+    return line;
+  }
+
+  struct Stream {
+    std::string ack;
+    std::vector<std::string> rows;  ///< `row` and `value` lines, in order
+    std::string terminal;           ///< `done` or `error` line ("" = EOF first)
+  };
+
+  /// Send a request and collect its whole response stream.
+  static Stream exchange(LineChannel& ch, const std::string& request, int timeout_ms = 60000) {
+    EXPECT_TRUE(ch.send(request));
+    Stream s;
+    std::string line;
+    while (ch.recv(line, timeout_ms)) {
+      if (line.find("\"type\":\"ack\"") != std::string::npos) {
+        s.ack = line;
+      } else if (line.find("\"type\":\"row\"") != std::string::npos ||
+                 line.find("\"type\":\"value\"") != std::string::npos) {
+        s.rows.push_back(line);
+      } else {
+        s.terminal = line;
+        break;
+      }
+    }
+    return s;
+  }
+
+  static bool has(const std::string& line, const std::string& needle) {
+    return line.find(needle) != std::string::npos;
+  }
+
+  fs::path dir_;
+  std::vector<pid_t> running_;
+};
+
+constexpr char kRank[] = "{\"op\":\"rank\",\"circuit\":\"builtin:adder2\",\"wl\":6}";
+
+// ------------------------------------------------------------- protocol
+
+TEST_F(DaemonTest, StatusDrainAndExitZero) {
+  const ChildProcess child = start(state("a"));
+  auto ch = connect();
+  EXPECT_TRUE(ch->send("{\"op\":\"status\"}"));
+  const std::string status = recv_line(*ch);
+  EXPECT_TRUE(has(status, "\"type\":\"status\"")) << status;
+  EXPECT_TRUE(has(status, "\"queue\":0")) << status;
+  EXPECT_TRUE(has(status, "\"draining\":false")) << status;
+
+  EXPECT_TRUE(ch->send("{\"op\":\"drain\"}"));
+  EXPECT_TRUE(has(recv_line(*ch), "\"type\":\"ack\""));
+  const ExitStatus st = wait_exit(child);
+  EXPECT_FALSE(st.signaled);
+  EXPECT_EQ(st.exit_code, 0);  // drained while idle
+}
+
+TEST_F(DaemonTest, BadRequestIsCodedAndKeepsTheConnectionUsable) {
+  const ChildProcess child = start(state("a"));
+  auto ch = connect();
+  EXPECT_TRUE(ch->send("this is not json"));
+  std::string err = recv_line(*ch);
+  EXPECT_TRUE(has(err, "\"code\":\"bad-request\"")) << err;
+
+  EXPECT_TRUE(ch->send("{\"op\":\"rank\",\"circuit\":\"builtin:nosuch9\"}"));
+  err = recv_line(*ch);
+  EXPECT_TRUE(has(err, "\"code\":\"bad-request\"")) << err;
+
+  // The connection survives both rejections.
+  EXPECT_TRUE(ch->send("{\"op\":\"status\"}"));
+  EXPECT_TRUE(has(recv_line(*ch), "\"type\":\"status\""));
+  util::send_signal(child.pid, SIGTERM);
+  EXPECT_EQ(wait_exit(child).exit_code, 0);
+}
+
+TEST_F(DaemonTest, RankStreamsRowsAndDuplicateRequestIsAllDedupHits) {
+  const ChildProcess child = start(state("a"));
+  auto ch = connect();
+
+  const Stream first = exchange(*ch, kRank);
+  EXPECT_TRUE(has(first.ack, "\"type\":\"ack\"")) << first.ack;
+  ASSERT_FALSE(first.rows.empty());
+  EXPECT_TRUE(has(first.terminal, "\"type\":\"done\"")) << first.terminal;
+  EXPECT_TRUE(has(first.terminal, "\"failed\":0")) << first.terminal;
+  EXPECT_TRUE(has(first.terminal, "\"dedup_hits\":0")) << first.terminal;
+  EXPECT_TRUE(has(first.terminal,
+                  "\"dedup_misses\":" + std::to_string(first.rows.size())))
+      << first.terminal;
+
+  // Same request again: answered entirely from the shared checkpoint
+  // store, with byte-identical rows.
+  const Stream second = exchange(*ch, kRank);
+  EXPECT_EQ(second.rows, first.rows);
+  EXPECT_TRUE(has(second.terminal,
+                  "\"dedup_hits\":" + std::to_string(first.rows.size())))
+      << second.terminal;
+  EXPECT_TRUE(has(second.terminal, "\"dedup_misses\":0")) << second.terminal;
+
+  // Daemon-wide counters on `status` reflect both requests.
+  EXPECT_TRUE(ch->send("{\"op\":\"status\"}"));
+  const std::string status = recv_line(*ch);
+  EXPECT_TRUE(has(status, "\"accepted\":2")) << status;
+  EXPECT_TRUE(has(status, "\"completed\":2")) << status;
+  EXPECT_TRUE(has(status, "\"dedup_hits\":" + std::to_string(first.rows.size()))) << status;
+
+  EXPECT_TRUE(ch->send("{\"op\":\"drain\"}"));
+  EXPECT_EQ(wait_exit(child).exit_code, 0);
+}
+
+TEST_F(DaemonTest, SizeAndVerifyReturnSizingFields) {
+  const ChildProcess child = start(state("a"));
+  auto ch = connect();
+  const Stream sized = exchange(
+      *ch, "{\"op\":\"size\",\"circuit\":\"builtin:adder1\",\"target_pct\":8,\"vectors\":16}");
+  EXPECT_TRUE(has(sized.terminal, "\"type\":\"done\"")) << sized.terminal;
+  EXPECT_TRUE(has(sized.terminal, "\"wl\":")) << sized.terminal;
+  EXPECT_TRUE(has(sized.terminal, "\"degradation_pct\":")) << sized.terminal;
+
+  const Stream verified = exchange(
+      *ch, "{\"op\":\"verify\",\"circuit\":\"builtin:adder1\",\"target_pct\":8,\"vectors\":16}",
+      300000);
+  EXPECT_TRUE(has(verified.terminal, "\"type\":\"done\"")) << verified.terminal;
+  EXPECT_TRUE(has(verified.terminal, "\"meets_target\":")) << verified.terminal;
+
+  EXPECT_TRUE(ch->send("{\"op\":\"drain\"}"));
+  EXPECT_EQ(wait_exit(child).exit_code, 0);
+}
+
+TEST_F(DaemonTest, CampaignRunsToATableAndRepeatReplaysChunks) {
+  const ChildProcess child = start(state("a"));
+  auto ch = connect();
+  const std::string request =
+      "{\"op\":\"campaign\",\"spec\":{\"circuit\":\"builtin:adder1\",\"target_pct\":10.0,"
+      "\"wl_grid\":[10,80],\"chunk\":4}}";
+  const Stream first = exchange(*ch, request, 300000);
+  ASSERT_TRUE(has(first.terminal, "\"type\":\"done\"")) << first.terminal;
+  EXPECT_TRUE(has(first.terminal, "\"table_path\":")) << first.terminal;
+  EXPECT_TRUE(has(first.terminal, "\"chunks_replayed\":0")) << first.terminal;
+
+  // Same spec again: the campaign checkpoint replays every chunk.
+  const Stream second = exchange(*ch, request, 300000);
+  ASSERT_TRUE(has(second.terminal, "\"type\":\"done\"")) << second.terminal;
+  EXPECT_TRUE(has(second.terminal, "\"chunks_run\":0")) << second.terminal;
+
+  EXPECT_TRUE(ch->send("{\"op\":\"drain\"}"));
+  EXPECT_EQ(wait_exit(child).exit_code, 0);
+}
+
+// ------------------------------------------------------------ admission
+
+TEST_F(DaemonTest, FloodPastTheQueueBoundIsRejectedOverloaded) {
+  // max_queue = 0: an idle daemon still admits (the executor takes the
+  // request), but anything arriving while one executes is rejected.
+  const ChildProcess child = start(state("a"), /*max_queue=*/0);
+  auto ch = connect();
+  EXPECT_TRUE(ch->send("{\"op\":\"sleep\",\"seconds\":2}"));
+  EXPECT_TRUE(has(recv_line(*ch), "\"type\":\"ack\""));
+
+  int overloaded = 0;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(ch->send("{\"op\":\"sleep\",\"seconds\":2." + std::to_string(i) + "1}"));
+    const std::string reply = recv_line(*ch);
+    EXPECT_TRUE(has(reply, "\"code\":\"overloaded\"")) << reply;
+    if (has(reply, "\"code\":\"overloaded\"")) ++overloaded;
+  }
+  EXPECT_EQ(overloaded, 5);
+
+  // `status` bypasses the queue: the daemon stays observable under load.
+  EXPECT_TRUE(ch->send("{\"op\":\"status\"}"));
+  const std::string status = recv_line(*ch);
+  EXPECT_TRUE(has(status, "\"rejected\":5")) << status;
+  EXPECT_TRUE(has(status, "\"max_queue\":0")) << status;
+
+  EXPECT_TRUE(has(recv_line(*ch, 30000), "\"type\":\"done\""));  // the admitted sleep
+  EXPECT_TRUE(ch->send("{\"op\":\"drain\"}"));
+  EXPECT_EQ(wait_exit(child).exit_code, 0);
+}
+
+TEST_F(DaemonTest, RequestsAfterDrainAreRejectedDraining) {
+  const ChildProcess child = start(state("a"));
+  auto ch = connect();
+  EXPECT_TRUE(ch->send("{\"op\":\"sleep\",\"seconds\":0.5}"));
+  EXPECT_TRUE(has(recv_line(*ch), "\"type\":\"ack\""));
+  EXPECT_TRUE(ch->send("{\"op\":\"drain\"}"));
+  EXPECT_TRUE(has(recv_line(*ch), "\"op\":\"drain\""));
+  EXPECT_TRUE(ch->send("{\"op\":\"sleep\",\"seconds\":0.6}"));
+  EXPECT_TRUE(has(recv_line(*ch), "\"code\":\"draining\""));
+  // The drain op still finishes admitted work before exit 0.
+  EXPECT_TRUE(has(recv_line(*ch, 30000), "\"type\":\"done\""));
+  EXPECT_EQ(wait_exit(child).exit_code, 0);
+}
+
+// ------------------------------------------------------------ deadlines
+
+TEST_F(DaemonTest, DeadlineCancelsTheInFlightRequestWithACodedError) {
+  const ChildProcess child = start(state("a"));
+  auto ch = connect();
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(ch->send("{\"op\":\"sleep\",\"seconds\":30,\"deadline_s\":0.3}"));
+  EXPECT_TRUE(has(recv_line(*ch), "\"type\":\"ack\""));
+  const std::string reply = recv_line(*ch, 15000);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_TRUE(has(reply, "\"code\":\"deadline\"")) << reply;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(), 10);
+  EXPECT_TRUE(ch->send("{\"op\":\"drain\"}"));
+  // A deadline is not an interruption of the daemon itself: drain exits 0.
+  EXPECT_EQ(wait_exit(child).exit_code, 0);
+}
+
+// ---------------------------------------------------------------- drain
+
+TEST_F(DaemonTest, SigtermWhileIdleExitsZero) {
+  const ChildProcess child = start(state("a"));
+  auto ch = connect();
+  EXPECT_TRUE(ch->send("{\"op\":\"status\"}"));
+  recv_line(*ch);  // daemon is up and answering
+  util::send_signal(child.pid, SIGTERM);
+  const ExitStatus st = wait_exit(child);
+  EXPECT_FALSE(st.signaled);
+  EXPECT_EQ(st.exit_code, 0);
+}
+
+TEST_F(DaemonTest, SigtermWhileBusyCancelsAndExitsThree) {
+  const ChildProcess child = start(state("a"));
+  auto ch = connect();
+  EXPECT_TRUE(ch->send("{\"op\":\"sleep\",\"seconds\":30}"));
+  EXPECT_TRUE(has(recv_line(*ch), "\"type\":\"ack\""));
+  util::send_signal(child.pid, SIGTERM);
+  const std::string reply = recv_line(*ch, 15000);
+  EXPECT_TRUE(has(reply, "\"code\":\"cancelled\"")) << reply;
+  const ExitStatus st = wait_exit(child);
+  EXPECT_FALSE(st.signaled);
+  EXPECT_EQ(st.exit_code, 3);  // interrupted admitted work: resumable
+}
+
+// --------------------------------------------------- crash-safety ladder
+
+TEST_F(DaemonTest, KillAfterAcceptThenRestartServes) {
+  faultinject::arm_generation(faultinject::Site::kDaemonAccept, /*scope=*/0,
+                              /*generation=*/0, 1);
+  const ChildProcess first = start(state("a"));
+  auto ch = connect();
+  std::string line;
+  EXPECT_FALSE(ch->recv(line, 15000));  // daemon died on accept: EOF, no line
+  const ExitStatus st = wait_exit(first);
+  EXPECT_TRUE(st.signaled);
+  EXPECT_EQ(st.term_signal, SIGKILL);
+
+  const ChildProcess second = start(state("a"));
+  ch = connect();
+  EXPECT_TRUE(ch->send("{\"op\":\"status\"}"));
+  EXPECT_TRUE(has(recv_line(*ch), "\"type\":\"status\""));
+  EXPECT_TRUE(ch->send("{\"op\":\"drain\"}"));
+  EXPECT_EQ(wait_exit(second).exit_code, 0);
+}
+
+TEST_F(DaemonTest, KillBeforeJournalLosesTheUnackedRequestOnly) {
+  faultinject::arm_generation(faultinject::Site::kDaemonRead, /*scope=*/0,
+                              /*generation=*/0, 1);
+  const ChildProcess first = start(state("a"));
+  auto ch = connect();
+  EXPECT_TRUE(ch->send("{\"op\":\"sleep\",\"seconds\":0.1}"));
+  std::string line;
+  EXPECT_FALSE(ch->recv(line, 15000));  // died before journal: no ack
+  EXPECT_EQ(wait_exit(first).term_signal, SIGKILL);
+
+  // Nothing was acked, so nothing resumes; the client re-sends.
+  const ChildProcess second = start(state("a"));
+  ch = connect();
+  EXPECT_TRUE(ch->send("{\"op\":\"status\"}"));
+  EXPECT_TRUE(has(recv_line(*ch), "\"resumed\":0"));
+  const Stream again = exchange(*ch, "{\"op\":\"sleep\",\"seconds\":0.1}");
+  EXPECT_TRUE(has(again.terminal, "\"type\":\"done\"")) << again.terminal;
+  EXPECT_TRUE(ch->send("{\"op\":\"drain\"}"));
+  EXPECT_EQ(wait_exit(second).exit_code, 0);
+}
+
+TEST_F(DaemonTest, KillBetweenJournalAndAckResumesHeadlessAtRestart) {
+  faultinject::arm_generation(faultinject::Site::kDaemonAckLost, /*scope=*/0,
+                              /*generation=*/0, 1);
+  const ChildProcess first = start(state("a"));
+  auto ch = connect();
+  EXPECT_TRUE(ch->send("{\"op\":\"sleep\",\"seconds\":0.1}"));
+  std::string line;
+  EXPECT_FALSE(ch->recv(line, 15000));  // journaled, but died before the ack
+  EXPECT_EQ(wait_exit(first).term_signal, SIGKILL);
+
+  // The acked-side contract: journal strictly before ack means the
+  // journaled request is re-run headless even though no ack made it out.
+  const ChildProcess second = start(state("a"));
+  ch = connect();
+  EXPECT_TRUE(ch->send("{\"op\":\"status\"}"));
+  EXPECT_TRUE(has(recv_line(*ch), "\"resumed\":1"));
+  EXPECT_TRUE(ch->send("{\"op\":\"drain\"}"));
+  EXPECT_EQ(wait_exit(second).exit_code, 0);  // drain finishes the resumed work
+}
+
+TEST_F(DaemonTest, KillMidStreamThenRestartAnswersByteIdentical) {
+  // Reference: an uninterrupted run in its own state dir.
+  const ChildProcess ref = start(state("ref"));
+  auto ch = connect();
+  const Stream want = exchange(*ch, kRank);
+  ASSERT_TRUE(has(want.terminal, "\"type\":\"done\"")) << want.terminal;
+  ASSERT_GT(want.rows.size(), 110u);
+  EXPECT_TRUE(ch->send("{\"op\":\"drain\"}"));
+  EXPECT_EQ(wait_exit(ref).exit_code, 0);
+
+  // Kill the daemon right before it streams row 100 (generation 0 only:
+  // the restarted daemon inherits the same plan table but boots with
+  // generation 1, so the resume does not die again).
+  faultinject::arm_generation(faultinject::Site::kDaemonWrite, /*scope=*/100,
+                              /*generation=*/0, 1);
+  const ChildProcess killed = start(state("kill"));
+  ch = connect();
+  const Stream partial = exchange(*ch, kRank);
+  EXPECT_EQ(partial.terminal, "");  // EOF mid-stream, no done line
+  ASSERT_EQ(partial.rows.size(), 100u);
+  for (std::size_t i = 0; i < partial.rows.size(); ++i) {
+    EXPECT_EQ(partial.rows[i], want.rows[i]) << "partial row " << i;
+  }
+  EXPECT_EQ(wait_exit(killed).term_signal, SIGKILL);
+
+  // Restart on the same state dir: the journaled request resumes
+  // headless into the store; re-sending it answers from the store with
+  // the byte-identical full row stream.
+  const ChildProcess second = start(state("kill"));
+  ch = connect();
+  EXPECT_TRUE(ch->send("{\"op\":\"status\"}"));
+  EXPECT_TRUE(has(recv_line(*ch), "\"resumed\":1"));
+  const Stream replay = exchange(*ch, kRank);
+  EXPECT_EQ(replay.rows, want.rows);
+  EXPECT_TRUE(has(replay.terminal, "\"type\":\"done\"")) << replay.terminal;
+  EXPECT_TRUE(has(replay.terminal,
+                  "\"dedup_hits\":" + std::to_string(want.rows.size())))
+      << replay.terminal;
+  EXPECT_TRUE(ch->send("{\"op\":\"drain\"}"));
+  EXPECT_EQ(wait_exit(second).exit_code, 0);
+}
+
+// ------------------------------------------------------------- sharding
+
+TEST_F(DaemonTest, ShardedRankMatchesSerialByteForByte) {
+  const ChildProcess serial = start(state("serial"), 8, /*shards=*/1);
+  auto ch = connect();
+  const Stream want = exchange(*ch, kRank);
+  ASSERT_TRUE(has(want.terminal, "\"type\":\"done\"")) << want.terminal;
+  EXPECT_TRUE(ch->send("{\"op\":\"drain\"}"));
+  EXPECT_EQ(wait_exit(serial).exit_code, 0);
+
+  const ChildProcess sharded = start(state("sharded"), 8, /*shards=*/2);
+  ch = connect();
+  const Stream got = exchange(*ch, kRank, 300000);
+  EXPECT_EQ(got.rows, want.rows);
+  EXPECT_TRUE(has(got.terminal, "\"type\":\"done\"")) << got.terminal;
+  EXPECT_TRUE(ch->send("{\"op\":\"drain\"}"));
+  EXPECT_EQ(wait_exit(sharded).exit_code, 0);
+}
+
+}  // namespace
+}  // namespace mtcmos
