@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -184,20 +185,28 @@ Request parse_request(const util::JsonValue& doc) {
 /// One accepted client connection.  Lines are written under a mutex so
 /// poll-loop acks and executor row streams never interleave mid-line
 /// (whole-line interleaving is fine: every line carries its request
-/// key).  A client that hung up flips `alive`; senders keep going --
-/// the work itself must finish into the checkpoint store regardless.
+/// key).  A client that hung up -- or kept the connection open but
+/// stopped reading for longer than the write-stall grace -- flips
+/// `alive`; senders keep going headless, because the work itself must
+/// finish into the checkpoint store regardless.  The bounded stall is
+/// what keeps a wedged client from pinning the executor (and the write
+/// mutex) past deadlines, drain, and SIGTERM.
 struct Connection {
-  explicit Connection(int fd_in) : fd(fd_in), reader(fd_in) {}
+  Connection(int fd_in, int write_stall_ms_in)
+      : fd(fd_in), reader(fd_in), write_stall_ms(write_stall_ms_in) {}
   ~Connection() { util::close_fd(fd); }
 
   void send(const std::string& line) {
     const std::lock_guard<std::mutex> lock(write_mutex);
     if (!alive.load(std::memory_order_relaxed)) return;
-    if (!util::write_line(fd, line)) alive.store(false, std::memory_order_relaxed);
+    if (!util::write_line(fd, line, write_stall_ms)) {
+      alive.store(false, std::memory_order_relaxed);
+    }
   }
 
   int fd;
   util::LineReader reader;
+  int write_stall_ms;
   std::mutex write_mutex;
   std::atomic<bool> alive{true};
 };
@@ -292,7 +301,17 @@ class DaemonImpl {
 
     listener_.open(options_.socket_path);
     std::thread executor([this] { executor_loop(); });
-    poll_loop();
+    // A poll-loop throw must not unwind past the joinable executor
+    // thread (whose destructor would std::terminate with no journal
+    // flush): capture it, shut the executor down like a drain, flush,
+    // and only then rethrow.
+    std::exception_ptr poll_error;
+    try {
+      poll_loop();
+    } catch (...) {
+      poll_error = std::current_exception();
+      begin_cancel_drain();  // cancel in-flight work so join() is prompt
+    }
     {
       const std::lock_guard<std::mutex> lock(queue_mutex_);
       stop_ = true;
@@ -302,6 +321,7 @@ class DaemonImpl {
     listener_.close();
     requests_.flush();
     store_.journal().flush();
+    if (poll_error != nullptr) std::rethrow_exception(poll_error);
 
     DaemonStats out;
     out.accepted = accepted_.load();
@@ -415,7 +435,7 @@ class DaemonImpl {
       if (fd < 0) break;
       const faultinject::ScopedScope scope(static_cast<std::int64_t>(conn_seq_++));
       if (faultinject::fired(faultinject::Site::kDaemonAccept)) ::raise(SIGKILL);
-      conns.emplace(fd, std::make_shared<Connection>(fd));
+      conns.emplace(fd, std::make_shared<Connection>(fd, options_.write_stall_ms));
     }
   }
 
@@ -479,8 +499,21 @@ class DaemonImpl {
     }
 
     Pending p;
-    p.key = req.key();
     p.canonical = req.canonical();
+    // The 64-bit content hash is only a journal index, not the identity:
+    // the journal stores the canonical bytes as the req: value, so on a
+    // hash collision (craftable against FNV-1a) probe suffixed keys
+    // until the slot is free or holds *these* bytes -- a colliding
+    // request must never silently inherit another request's done state.
+    // The probe is deterministic over the journal contents, so a re-sent
+    // identical request lands on the same key.
+    const std::string base_key = req.key();
+    p.key = base_key;
+    for (int alt = 1;; ++alt) {
+      const std::string* existing = requests_.find("req:" + p.key);
+      if (existing == nullptr || *existing == p.canonical) break;
+      p.key = base_key + "-" + std::to_string(alt);
+    }
     p.req = std::move(req);
     p.conn = conn;
 
@@ -577,11 +610,13 @@ class DaemonImpl {
     std::string fail_message;
     SweepReport report;
     SocketRowSink sink(p.conn, p.key);
+    std::size_t hits = 0;
+    std::size_t misses = 0;
     try {
       if (p.req.op == "sleep") {
         run_sleep(p.req, active->token);
       } else if (p.req.op == "campaign") {
-        done_fields = run_campaign(p, report, active->token);
+        done_fields = run_campaign(p, report, active->token, hits, misses);
       } else {
         done_fields = run_sweep(p, report, sink, active->token, deadline_s);
       }
@@ -595,11 +630,17 @@ class DaemonImpl {
       active_ = nullptr;
     }
 
-    const std::size_t new_records = store_.journal().size() - store_before;
-    const std::size_t total = report.total;
-    const std::size_t hits = total > new_records ? total - new_records : 0;
+    if (p.req.op != "campaign") {
+      // Sweep dedup is item-granular against the shared store: items the
+      // run journaled are misses, the rest of the report replayed.  A
+      // campaign writes to its per-campaign journal instead, so its
+      // hit/miss split is the chunk-granular one run_campaign filled in
+      // -- the store delta would count every campaign item as a hit.
+      misses = store_.journal().size() - store_before;
+      hits = report.total > misses ? report.total - misses : 0;
+    }
     dedup_hits_.fetch_add(hits);
-    dedup_misses_.fetch_add(new_records);
+    dedup_misses_.fetch_add(misses);
 
     if (!fail_message.empty()) {
       // A terminal, non-cancellation failure is an *answer*: journal it
@@ -634,7 +675,7 @@ class DaemonImpl {
                          ",\"total\":" + std::to_string(report.total) +
                          ",\"failed\":" + std::to_string(report.failed) +
                          ",\"dedup_hits\":" + std::to_string(hits) +
-                         ",\"dedup_misses\":" + std::to_string(new_records) + done_fields + "}";
+                         ",\"dedup_misses\":" + std::to_string(misses) + done_fields + "}";
       p.conn->send(line);
     }
   }
@@ -720,13 +761,19 @@ class DaemonImpl {
     return true;
   }
 
-  std::string run_campaign(const Pending& p, SweepReport& report, util::CancelToken& token) {
+  /// Fills `hits`/`misses` with the chunk-granular dedup split (chunks
+  /// replayed from the campaign checkpoint vs freshly run) -- campaigns
+  /// bypass the shared store, so the caller's store-delta accounting
+  /// does not apply to them.
+  std::string run_campaign(const Pending& p, SweepReport& report, util::CancelToken& token,
+                           std::size_t& hits, std::size_t& misses) {
     const CampaignSpec spec = CampaignSpec::parse(p.req.spec);
     const std::string dir = (fs::path(options_.state_dir) / "campaigns" / p.key).string();
     const bool resume = fs::exists(fs::path(dir) / "campaign.mtj");
     CampaignDriver driver(spec, dir, resume, options_.journal);
-    const std::size_t replayed_before = driver.chunks_done();
     const CampaignStats stats = driver.run(options_.shards, &report, &token);
+    hits = stats.chunks_replayed;
+    misses = stats.chunks_run;
     if (!stats.complete) {
       if (stats.cancelled || token.requested()) return "";  // classified by the caller
       throw std::runtime_error("campaign incomplete: " + std::to_string(driver.chunks_done()) +
@@ -737,8 +784,6 @@ class DaemonImpl {
     std::ofstream os(table_path, std::ios::binary);
     if (!os) throw std::runtime_error("cannot open " + table_path + " for writing");
     driver.write_table(os);
-    // Campaign dedup is chunk-granular: replayed chunks are store hits.
-    dedup_hits_.fetch_add(replayed_before);
     return ",\"table_path\":" + util::json_string(table_path) +
            ",\"chunks_total\":" + std::to_string(stats.chunks_total) +
            ",\"chunks_replayed\":" + std::to_string(stats.chunks_replayed) +

@@ -84,6 +84,12 @@ struct DaemonOptions {
   /// Poll-loop tick [ms]: socket poll timeout, deadline check period,
   /// and global-cancel forwarding latency.
   int poll_interval_ms = 50;
+  /// Grace [ms] a client may stall a row-stream write (connection open
+  /// but not reading, send buffer full) before the daemon declares the
+  /// connection dead and finishes the work headless into the checkpoint
+  /// store -- the same path as an outright hang-up.  Keeps a stalled
+  /// client from pinning the executor past deadlines and drain.
+  int write_stall_ms = 5000;
   util::JournalOptions journal = {};  ///< durability for both journals
   /// Cancellation source the poll loop watches for drain; nullptr = the
   /// process-global token (what SIGTERM raises).  Tests pass their own.

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -37,6 +38,21 @@ void set_nonblocking_cloexec(int fd) {
   if (fdfl >= 0) ::fcntl(fd, F_SETFD, fdfl | FD_CLOEXEC);
 }
 
+/// True when a live listener is accepting at `addr`.  A nonblocking
+/// connect succeeds (or queues: EAGAIN on a full backlog) against a live
+/// listener and fails ECONNREFUSED against a stale socket file.
+bool listener_alive(const sockaddr_un& addr) {
+  const int probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (probe < 0) return false;
+  int r;
+  do {
+    r = ::connect(probe, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (r != 0 && errno == EINTR);
+  const int saved = errno;
+  ::close(probe);
+  return r == 0 || saved == EAGAIN || saved == EINPROGRESS;
+}
+
 }  // namespace
 
 UnixListener::~UnixListener() { close(); }
@@ -48,8 +64,20 @@ void UnixListener::open(const std::string& path, int backlog) {
   if (fd < 0) throw_errno("socket failed");
   // A stale socket file from a crashed daemon would make bind fail with
   // EADDRINUSE even though nobody is listening; the request journal, not
-  // the socket file, is what carries state across restarts.
-  ::unlink(path.c_str());
+  // the socket file, is what carries state across restarts.  But only a
+  // *stale* file may be unlinked: probe first so a second daemon started
+  // on the same path fails loudly instead of silently stealing the
+  // socket from a live one (both would then share the same state dir).
+  struct stat st {};
+  if (::lstat(path.c_str(), &st) == 0 && S_ISSOCK(st.st_mode)) {
+    if (listener_alive(addr)) {
+      ::close(fd);
+      throw std::runtime_error("socket: " + path +
+                               " already has a live listener (another daemon?); refusing to "
+                               "take it over");
+    }
+    ::unlink(path.c_str());
+  }
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
     const int saved = errno;
     ::close(fd);
@@ -86,6 +114,10 @@ int UnixListener::accept_client() {
     }
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) return -1;
+    // fd exhaustion is transient pressure, not a reason to tear the
+    // daemon down: the pending connection stays queued and the next
+    // poll-loop tick retries after fds have been released.
+    if (errno == EMFILE || errno == ENFILE) return -1;
     throw_errno("accept failed");
   }
 }

@@ -9,7 +9,8 @@
 // supervisor and the daemon.
 //
 //  - UnixListener: bind/listen/accept with nonblocking, close-on-exec
-//    fds, stale-socket unlink on open and unlink on close.
+//    fds; open() unlinks a *stale* socket file but refuses a path with a
+//    live listener, and close() unlinks the path.
 //  - unix_connect(): blocking client connect.
 //  - wait_readable(): poll() one fd, EINTR-retried.
 //  - LineChannel: client-side convenience bundling an fd, a LineReader,
@@ -32,9 +33,12 @@ class UnixListener {
   UnixListener(const UnixListener&) = delete;
   UnixListener& operator=(const UnixListener&) = delete;
 
-  /// Create a nonblocking SOCK_STREAM listener at `path`, unlinking any
-  /// stale socket file first.  Throws std::runtime_error on failure
-  /// (path too long for sockaddr_un, bind/listen errors).
+  /// Create a nonblocking SOCK_STREAM listener at `path`, unlinking a
+  /// stale socket file first.  A path where a *live* listener is still
+  /// accepting (a second daemon started on the same socket) is refused
+  /// with std::runtime_error rather than silently stolen.  Also throws
+  /// on other failures (path too long for sockaddr_un, bind/listen
+  /// errors).
   void open(const std::string& path, int backlog = 16);
   void close();
 
@@ -44,8 +48,9 @@ class UnixListener {
 
   /// Accept one pending connection.  Returns the nonblocking,
   /// close-on-exec connection fd, or -1 when no connection is pending.
-  /// Transient accept errors (ECONNABORTED, EINTR) are treated as "none
-  /// pending"; hard errors throw.
+  /// Transient accept errors (ECONNABORTED, EINTR, and EMFILE/ENFILE fd
+  /// exhaustion -- the connection stays queued for a later retry) are
+  /// treated as "none pending"; hard errors throw.
   int accept_client();
 
  private:

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
@@ -109,7 +110,33 @@ void close_fd(int fd) {
   } while (r != 0 && errno == EINTR);
 }
 
-bool write_line(int fd, const std::string& line) {
+namespace {
+
+/// poll() for writability, retrying EINTR against the remaining budget.
+/// timeout_ms < 0 waits forever.  Returns false on timeout.
+bool wait_writable(int fd, int timeout_ms) {
+  const auto deadline = timeout_ms < 0
+                            ? std::chrono::steady_clock::time_point::max()
+                            : std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    int remaining = -1;
+    if (timeout_ms >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - std::chrono::steady_clock::now())
+                            .count();
+      remaining = left > 0 ? static_cast<int>(left) : 0;
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    const int r = ::poll(&pfd, 1, remaining);
+    if (r > 0) return true;  // POLLERR/POLLHUP too: the retried write reports it
+    if (r == 0) return false;
+    if (errno != EINTR) return true;  // let write() surface the error
+  }
+}
+
+}  // namespace
+
+bool write_line(int fd, const std::string& line, int stall_timeout_ms) {
   std::string buf = line;
   buf += '\n';
   std::size_t done = 0;
@@ -120,10 +147,10 @@ bool write_line(int fd, const std::string& line) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
         // Nonblocking socket with a full send buffer (a slow client
         // mid-row-stream): wait for writability instead of dropping the
-        // line.  POLLERR/POLLHUP wake the poll and the retried write
-        // then reports the real error.
-        pollfd pfd{fd, POLLOUT, 0};
-        ::poll(&pfd, 1, -1);
+        // line, but only within the stall budget -- a peer that keeps
+        // the connection open yet never reads must not pin the writer
+        // forever.  Any drain by the peer restarts the budget.
+        if (!wait_writable(fd, stall_timeout_ms)) return false;  // stalled: peer is as good as gone
         continue;
       }
       return false;  // EPIPE: reader is gone

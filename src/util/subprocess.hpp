@@ -74,7 +74,14 @@ void close_fd(int fd);
 /// as "client hung up".  Callers must have SIGPIPE ignored.  Worker
 /// heartbeat lines stay under PIPE_BUF so they are atomic on pipes;
 /// longer lines (daemon result rows) are delivered by the retry loop.
-bool write_line(int fd, const std::string& line);
+///
+/// `stall_timeout_ms` bounds how long a nonblocking fd may sit
+/// unwritable (EAGAIN, peer not draining) before the write gives up and
+/// returns false; any forward progress restarts the budget.  -1 (the
+/// default, right for worker pipes whose parent always polls) waits
+/// forever.  The daemon passes a finite grace so a client that stops
+/// reading mid-stream is declared dead instead of pinning the executor.
+bool write_line(int fd, const std::string& line, int stall_timeout_ms = -1);
 
 /// Incremental line splitter over a nonblocking fd (worker status pipes,
 /// daemon socket connections).  poll() drains whatever is currently

@@ -15,13 +15,19 @@
 
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
 #include <pthread.h>
 #include <signal.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -29,6 +35,8 @@
 #include <vector>
 
 #include "util/faultinject.hpp"
+#include "util/journal.hpp"
+#include "util/json.hpp"
 #include "util/socket.hpp"
 #include "util/subprocess.hpp"
 
@@ -82,6 +90,86 @@ TEST(LineReaderHardening, ByteAtATimeInterruptedWritesDeliverWholeLines) {
   EXPECT_TRUE(ch.drained());
   writer.join();
   ::sigaction(SIGUSR1, &old, nullptr);
+}
+
+// ---------------------------------------------------- write-stall bound
+// A peer that keeps its connection open but never reads must fail the
+// write within the stall budget instead of blocking forever (what would
+// otherwise pin the daemon executor inside a row stream); a peer that
+// does drain lets the same oversized line through.
+
+TEST(WriteLineStall, NonReadingPeerFailsWithinBudgetDrainingPeerSucceeds) {
+  ::signal(SIGPIPE, SIG_IGN);
+  const std::string line(512 * 1024, 'x');  // far beyond any socket buffer
+
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  const int sndbuf = 8 * 1024;
+  ::setsockopt(sv[0], SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf));
+  ASSERT_EQ(::fcntl(sv[0], F_SETFL, ::fcntl(sv[0], F_GETFL) | O_NONBLOCK), 0);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(util::write_line(sv[0], line, /*stall_timeout_ms=*/200));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_GE(elapsed, 150);   // it did wait out the grace...
+  EXPECT_LT(elapsed, 5000);  // ...but not forever
+  ::close(sv[0]);
+  ::close(sv[1]);
+
+  int rw[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, rw), 0);
+  ::setsockopt(rw[0], SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf));
+  ASSERT_EQ(::fcntl(rw[0], F_SETFL, ::fcntl(rw[0], F_GETFL) | O_NONBLOCK), 0);
+  std::thread reader([&] {
+    char buf[4096];
+    std::size_t total = 0;
+    while (total < line.size() + 1) {
+      const ssize_t n = ::read(rw[1], buf, sizeof(buf));
+      if (n <= 0) break;
+      total += static_cast<std::size_t>(n);
+    }
+  });
+  EXPECT_TRUE(util::write_line(rw[0], line, /*stall_timeout_ms=*/10000));
+  reader.join();
+  ::close(rw[0]);
+  ::close(rw[1]);
+}
+
+// --------------------------------------------------- socket ownership
+// open() may reclaim only a *stale* socket file; a path where another
+// daemon is still listening must be refused, not silently stolen.
+
+TEST(UnixListenerOwnership, LivePathIsRefusedStaleFileIsReclaimed) {
+  const std::string path =
+      (fs::temp_directory_path() / ("ul_own." + std::to_string(::getpid()) + ".sock")).string();
+  ::unlink(path.c_str());
+
+  util::UnixListener first;
+  first.open(path);
+  util::UnixListener second;
+  EXPECT_THROW(second.open(path), std::runtime_error);
+  // The refusal left the live listener untouched.
+  const int fd = util::unix_connect(path);
+  util::close_fd(fd);
+  first.close();
+
+  // A SIGKILLed daemon leaves a bound-but-dead socket file behind;
+  // recreate that shape (bind + close without unlink) and expect open()
+  // to reclaim it.
+  {
+    const int s = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(s, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    ASSERT_LT(path.size(), sizeof(addr.sun_path));
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    ASSERT_EQ(::bind(s, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+    ::close(s);
+  }
+  second.open(path);  // stale: reclaimed without throwing
+  second.close();
 }
 
 // --------------------------------------------------------------- harness
@@ -184,6 +272,13 @@ class DaemonTest : public ::testing::Test {
 
   static bool has(const std::string& line, const std::string& needle) {
     return line.find(needle) != std::string::npos;
+  }
+
+  /// Integer value of `"key":N` in a protocol line (-1 when absent).
+  static long json_field(const std::string& line, const std::string& key) {
+    const std::size_t pos = line.find("\"" + key + "\":");
+    if (pos == std::string::npos) return -1;
+    return std::atol(line.c_str() + pos + key.size() + 3);
   }
 
   fs::path dir_;
@@ -291,11 +386,21 @@ TEST_F(DaemonTest, CampaignRunsToATableAndRepeatReplaysChunks) {
   ASSERT_TRUE(has(first.terminal, "\"type\":\"done\"")) << first.terminal;
   EXPECT_TRUE(has(first.terminal, "\"table_path\":")) << first.terminal;
   EXPECT_TRUE(has(first.terminal, "\"chunks_replayed\":0")) << first.terminal;
+  // Campaign dedup is chunk-granular (campaigns journal into their own
+  // checkpoint, not the shared store): a fresh run is all misses.
+  EXPECT_EQ(json_field(first.terminal, "dedup_hits"), 0) << first.terminal;
+  EXPECT_EQ(json_field(first.terminal, "dedup_misses"),
+            json_field(first.terminal, "chunks_run"))
+      << first.terminal;
 
   // Same spec again: the campaign checkpoint replays every chunk.
   const Stream second = exchange(*ch, request, 300000);
   ASSERT_TRUE(has(second.terminal, "\"type\":\"done\"")) << second.terminal;
   EXPECT_TRUE(has(second.terminal, "\"chunks_run\":0")) << second.terminal;
+  EXPECT_EQ(json_field(second.terminal, "dedup_misses"), 0) << second.terminal;
+  EXPECT_EQ(json_field(second.terminal, "dedup_hits"),
+            json_field(second.terminal, "chunks_replayed"))
+      << second.terminal;
 
   EXPECT_TRUE(ch->send("{\"op\":\"drain\"}"));
   EXPECT_EQ(wait_exit(child).exit_code, 0);
@@ -490,6 +595,60 @@ TEST_F(DaemonTest, KillMidStreamThenRestartAnswersByteIdentical) {
       << replay.terminal;
   EXPECT_TRUE(ch->send("{\"op\":\"drain\"}"));
   EXPECT_EQ(wait_exit(second).exit_code, 0);
+}
+
+// ------------------------------------------------- key-collision fallback
+// The 64-bit FNV-1a request key is only a journal index; the canonical
+// bytes stored as the req: value are the identity.  Simulate a hash
+// collision by pre-seeding the journal with a *different* request's
+// canonical bytes under exactly the key our request hashes to: the
+// daemon must fall back to a suffixed key instead of silently answering
+// with (or overwriting) the other request's journal state.
+
+TEST_F(DaemonTest, HashCollisionFallsBackToSuffixedJournalKey) {
+  // Local replica of the daemon's canonical form + FNV-1a key for a
+  // sleep request.  If the identity format ever drifts, the suffix
+  // assertions below fail loudly -- that format is a journal
+  // compatibility contract, not an implementation detail.
+  const std::string canonical = "{\"op\":\"sleep\",\"seconds\":" + util::json_double(0.05) + "}";
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : canonical) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  char key[17];
+  std::snprintf(key, sizeof(key), "%016llx", static_cast<unsigned long long>(h));
+
+  const std::string other = "{\"op\":\"sleep\",\"seconds\":" + util::json_double(0.01) + "}";
+  fs::create_directories(state("a"));
+  {
+    util::Journal j;
+    j.open(state("a") + "/requests.mtj");
+    j.append(std::string("req:") + key, other);
+    j.close();
+  }
+
+  // Boot resumes the seeded (valid, unfinished) request headless, then
+  // the colliding request must still run and journal under "<key>-1".
+  const ChildProcess child = start(state("a"));
+  auto ch = connect();
+  EXPECT_TRUE(ch->send("{\"op\":\"status\"}"));
+  EXPECT_TRUE(has(recv_line(*ch), "\"resumed\":1"));
+  const Stream s = exchange(*ch, "{\"op\":\"sleep\",\"seconds\":0.05}");
+  EXPECT_TRUE(has(s.ack, std::string("\"req\":\"") + key + "-1\"")) << s.ack;
+  EXPECT_TRUE(has(s.terminal, "\"type\":\"done\"")) << s.terminal;
+  EXPECT_TRUE(ch->send("{\"op\":\"drain\"}"));
+  EXPECT_EQ(wait_exit(child).exit_code, 0);
+
+  util::Journal j;
+  j.open(state("a") + "/requests.mtj");
+  const std::string* seeded = j.find(std::string("req:") + key);
+  ASSERT_NE(seeded, nullptr);
+  EXPECT_EQ(*seeded, other);  // the colliding request did not clobber it
+  const std::string* ours = j.find(std::string("req:") + key + "-1");
+  ASSERT_NE(ours, nullptr);
+  EXPECT_EQ(*ours, canonical);
+  EXPECT_NE(j.find(std::string("done:") + key + "-1"), nullptr);
 }
 
 // ------------------------------------------------------------- sharding
